@@ -1,0 +1,154 @@
+//! Rank statistics quantifying how much key *order* a disguise leaks.
+//!
+//! Kendall's τ over (original key, disguised key) pairs is the cleanest
+//! measure of the §4.1/§4.3 trade-off: the sum-of-treatments substitution is
+//! order-preserving (τ = 1, shape reconstructible), the oval substitution
+//! scrambles order (τ ≈ 0, shape hidden).
+
+/// Kendall's τ-a between paired sequences. Returns a value in `[-1, 1]`;
+/// `None` when fewer than two pairs are supplied.
+pub fn kendall_tau(pairs: &[(u64, u64)]) -> Option<f64> {
+    let n = pairs.len();
+    if n < 2 {
+        return None;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in i + 1..n {
+            let (a1, b1) = pairs[i];
+            let (a2, b2) = pairs[j];
+            let x = (a1.cmp(&a2)) as i64;
+            let y = (b1.cmp(&b2)) as i64;
+            match x * y {
+                v if v > 0 => concordant += 1,
+                v if v < 0 => discordant += 1,
+                _ => {} // tie in either coordinate contributes nothing (τ-a)
+            }
+        }
+    }
+    let total = (n * (n - 1) / 2) as f64;
+    Some((concordant - discordant) as f64 / total)
+}
+
+/// Spearman's ρ (rank correlation) between paired sequences.
+pub fn spearman_rho(pairs: &[(u64, u64)]) -> Option<f64> {
+    let n = pairs.len();
+    if n < 2 {
+        return None;
+    }
+    let rank = |vals: Vec<u64>| -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..vals.len()).collect();
+        idx.sort_by_key(|&i| vals[i]);
+        let mut ranks = vec![0f64; vals.len()];
+        let mut i = 0;
+        while i < idx.len() {
+            // Average ranks over ties.
+            let mut j = i;
+            while j + 1 < idx.len() && vals[idx[j + 1]] == vals[idx[i]] {
+                j += 1;
+            }
+            let avg = (i + j) as f64 / 2.0 + 1.0;
+            for &k in &idx[i..=j] {
+                ranks[k] = avg;
+            }
+            i = j + 1;
+        }
+        ranks
+    };
+    let ra = rank(pairs.iter().map(|&(a, _)| a).collect());
+    let rb = rank(pairs.iter().map(|&(_, b)| b).collect());
+    let mean = (n as f64 + 1.0) / 2.0;
+    let mut num = 0f64;
+    let mut da = 0f64;
+    let mut db = 0f64;
+    for i in 0..n {
+        let xa = ra[i] - mean;
+        let xb = rb[i] - mean;
+        num += xa * xb;
+        da += xa * xa;
+        db += xb * xb;
+    }
+    if da == 0.0 || db == 0.0 {
+        return None;
+    }
+    Some(num / (da * db).sqrt())
+}
+
+/// Shannon entropy of a byte string, in bits per byte (0..=8).
+pub fn shannon_entropy(bytes: &[u8]) -> f64 {
+    if bytes.is_empty() {
+        return 0.0;
+    }
+    let mut counts = [0u64; 256];
+    for &b in bytes {
+        counts[b as usize] += 1;
+    }
+    let n = bytes.len() as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tau_of_identity_is_one() {
+        let pairs: Vec<(u64, u64)> = (0..50).map(|i| (i, i * 13 + 7)).collect();
+        assert!((kendall_tau(&pairs).unwrap() - 1.0).abs() < 1e-12);
+        assert!((spearman_rho(&pairs).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tau_of_reversal_is_minus_one() {
+        let pairs: Vec<(u64, u64)> = (0..50).map(|i| (i, 1000 - i)).collect();
+        assert!((kendall_tau(&pairs).unwrap() + 1.0).abs() < 1e-12);
+        assert!((spearman_rho(&pairs).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tau_of_multiplicative_scramble_is_small() {
+        // k -> k*t mod v (the oval substitution) destroys most order.
+        let v = 10303u64;
+        let t = 4999u64;
+        let pairs: Vec<(u64, u64)> = (0..500).map(|k| (k, k * t % v)).collect();
+        let tau = kendall_tau(&pairs).unwrap();
+        assert!(tau.abs() < 0.15, "expected near-zero, got {tau}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(kendall_tau(&[]), None);
+        assert_eq!(kendall_tau(&[(1, 2)]), None);
+        assert_eq!(spearman_rho(&[(1, 2)]), None);
+        // Constant second coordinate: rho undefined.
+        let pairs: Vec<(u64, u64)> = (0..10).map(|i| (i, 5)).collect();
+        assert_eq!(spearman_rho(&pairs), None);
+        // Kendall with all ties on one side -> 0.
+        assert_eq!(kendall_tau(&pairs), Some(0.0));
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        assert_eq!(shannon_entropy(&[]), 0.0);
+        assert_eq!(shannon_entropy(&[7u8; 1024]), 0.0);
+        let all: Vec<u8> = (0..=255u8).collect();
+        assert!((shannon_entropy(&all) - 8.0).abs() < 1e-12);
+        // Ciphertext should be close to 8 bits/byte.
+        let pseudo: Vec<u8> = (0..4096u64)
+            .map(|i| {
+                let mut x = i.wrapping_mul(0x9e3779b97f4a7c15);
+                x ^= x >> 29;
+                x as u8
+            })
+            .collect();
+        assert!(shannon_entropy(&pseudo) > 7.5);
+    }
+}

@@ -1,0 +1,195 @@
+//! The opponent's input: a raw disk image.
+//!
+//! §4.1: "Having access only to the B-Tree representation on a sequential
+//! set of disk blocks, the opponent will face difficulty in determining the
+//! most likely children node blocks of a given parent block." This module
+//! parses whatever is *visible* in each block under Kerckhoffs' assumption —
+//! the opponent knows the node formats (tags, header layout, seal widths)
+//! but none of the keys or design parameters.
+
+/// A raw disk image: every block of the stolen medium.
+#[derive(Debug, Clone)]
+pub struct DiskImage {
+    pub block_size: usize,
+    pub blocks: Vec<Vec<u8>>,
+}
+
+impl DiskImage {
+    pub fn new(block_size: usize, blocks: Vec<Vec<u8>>) -> Self {
+        DiskImage { block_size, blocks }
+    }
+}
+
+/// What a block reveals without any secret material.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VisibleBlock {
+    /// Substitution-codec node: plaintext header + disguised key fields.
+    SubstitutionNode {
+        block: u32,
+        is_leaf: bool,
+        /// The raw (disguised) key-field values, in on-disk order.
+        raw_keys: Vec<u64>,
+    },
+    /// Bayer–Metzger node: header metadata visible, all triplets sealed.
+    SealedNode { block: u32, is_leaf: bool, n: usize },
+    /// No recognisable structure (whole-page encipherment, data blocks,
+    /// free blocks, superblocks).
+    Opaque,
+}
+
+/// Format knowledge the opponent is assumed to have (Kerckhoffs): the codec
+/// tag values and the pointer-seal width used by the installation.
+#[derive(Debug, Clone, Copy)]
+pub struct FormatKnowledge {
+    /// Seal width in bytes for the substitution codec (16 for DES/Speck,
+    /// modulus width for RSA).
+    pub seal_len: usize,
+}
+
+impl Default for FormatKnowledge {
+    fn default() -> Self {
+        FormatKnowledge { seal_len: 16 }
+    }
+}
+
+const TAG_SUBSTITUTION: u8 = 0x53;
+const TAG_BAYER_METZGER: u8 = 0x42;
+const TAG_PLAIN: u8 = 0x00;
+const HEADER_LEN: usize = 8;
+const BM_SEALED_TRIPLET: usize = 24;
+
+/// Parses one block into its visible content.
+pub fn parse_block(data: &[u8], knowledge: &FormatKnowledge) -> VisibleBlock {
+    if data.len() < HEADER_LEN {
+        return VisibleBlock::Opaque;
+    }
+    let tag = data[0];
+    let is_leaf = match data[1] {
+        0 => false,
+        1 => true,
+        _ => return VisibleBlock::Opaque,
+    };
+    let n = u16::from_be_bytes([data[2], data[3]]) as usize;
+    let block = u32::from_be_bytes([data[4], data[5], data[6], data[7]]);
+    match tag {
+        TAG_SUBSTITUTION | TAG_PLAIN => {
+            let seal_len = if tag == TAG_PLAIN { 0 } else { knowledge.seal_len };
+            let entry_len = 8 + if tag == TAG_PLAIN { 8 } else { seal_len };
+            let base = HEADER_LEN
+                + if is_leaf || tag == TAG_PLAIN {
+                    0
+                } else {
+                    seal_len
+                };
+            let mut raw_keys = Vec::with_capacity(n);
+            for i in 0..n {
+                let off = base + i * entry_len;
+                if off + 8 > data.len() {
+                    return VisibleBlock::Opaque;
+                }
+                raw_keys.push(u64::from_be_bytes(
+                    data[off..off + 8].try_into().expect("fixed width"),
+                ));
+            }
+            VisibleBlock::SubstitutionNode {
+                block,
+                is_leaf,
+                raw_keys,
+            }
+        }
+        TAG_BAYER_METZGER => {
+            // Sanity: the sealed payload must fit.
+            let body = HEADER_LEN
+                + if is_leaf { 0 } else { BM_SEALED_TRIPLET }
+                + n * BM_SEALED_TRIPLET;
+            if body > data.len() {
+                return VisibleBlock::Opaque;
+            }
+            VisibleBlock::SealedNode { block, is_leaf, n }
+        }
+        _ => VisibleBlock::Opaque,
+    }
+}
+
+/// Parses the whole image.
+pub fn parse_image(image: &DiskImage, knowledge: &FormatKnowledge) -> Vec<VisibleBlock> {
+    image
+        .blocks
+        .iter()
+        .map(|b| parse_block(b, knowledge))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_substitution_block(block: u32, is_leaf: bool, keys: &[u64]) -> Vec<u8> {
+        let seal = 16usize;
+        let mut page = vec![0u8; 256];
+        page[0] = TAG_SUBSTITUTION;
+        page[1] = is_leaf as u8;
+        page[2..4].copy_from_slice(&(keys.len() as u16).to_be_bytes());
+        page[4..8].copy_from_slice(&block.to_be_bytes());
+        let base = HEADER_LEN + if is_leaf { 0 } else { seal };
+        for (i, &k) in keys.iter().enumerate() {
+            let off = base + i * (8 + seal);
+            page[off..off + 8].copy_from_slice(&k.to_be_bytes());
+        }
+        page
+    }
+
+    #[test]
+    fn parses_substitution_node() {
+        let page = fake_substitution_block(5, false, &[10, 20, 30]);
+        let parsed = parse_block(&page, &FormatKnowledge::default());
+        assert_eq!(
+            parsed,
+            VisibleBlock::SubstitutionNode {
+                block: 5,
+                is_leaf: false,
+                raw_keys: vec![10, 20, 30],
+            }
+        );
+    }
+
+    #[test]
+    fn parses_bm_header_only() {
+        let mut page = vec![0u8; 256];
+        page[0] = TAG_BAYER_METZGER;
+        page[1] = 1;
+        page[2..4].copy_from_slice(&4u16.to_be_bytes());
+        page[4..8].copy_from_slice(&9u32.to_be_bytes());
+        let parsed = parse_block(&page, &FormatKnowledge::default());
+        assert_eq!(
+            parsed,
+            VisibleBlock::SealedNode {
+                block: 9,
+                is_leaf: true,
+                n: 4
+            }
+        );
+    }
+
+    #[test]
+    fn garbage_is_opaque() {
+        let page = vec![0xABu8; 256];
+        assert_eq!(
+            parse_block(&page, &FormatKnowledge::default()),
+            VisibleBlock::Opaque
+        );
+        assert_eq!(parse_block(&[1, 2, 3], &FormatKnowledge::default()), VisibleBlock::Opaque);
+    }
+
+    #[test]
+    fn overclaimed_n_is_opaque() {
+        let mut page = vec![0u8; 64];
+        page[0] = TAG_SUBSTITUTION;
+        page[1] = 1;
+        page[2..4].copy_from_slice(&1000u16.to_be_bytes());
+        assert_eq!(
+            parse_block(&page, &FormatKnowledge::default()),
+            VisibleBlock::Opaque
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! # sks-attack — the opponent of §4.1/§6
+//!
+//! The paper's security argument is that an opponent holding the raw disk
+//! image "cannot recreate the correct shape of the B-Tree": tree and data
+//! pointers are encrypted, and disguised search keys do not reflect the true
+//! key order (except for the deliberately order-preserving §4.3 scheme).
+//! This crate implements that opponent and measures how far they get:
+//!
+//! * [`image`] — parse what is visible in each raw block (Kerckhoffs:
+//!   format known, secrets unknown).
+//! * [`reconstruct`] — the interval-fitting shape-reconstruction attack,
+//!   scored as precision/recall of parent→child edges.
+//! * [`correlation`] — Kendall τ / Spearman ρ order-leakage metrics.
+//! * [`frequency`] — repeated-cryptogram counting and block entropy.
+//! * [`report`] — the assembled E5 report, one row per scheme.
+
+pub mod correlation;
+pub mod frequency;
+pub mod image;
+pub mod reconstruct;
+pub mod report;
+
+pub use correlation::{kendall_tau, shannon_entropy, spearman_rho};
+pub use frequency::{mean_block_entropy, repeated_chunks};
+pub use image::{parse_block, parse_image, DiskImage, FormatKnowledge, VisibleBlock};
+pub use reconstruct::{reconstruct_shape, score, Edge, Reconstruction, ShapeScore};
+pub use report::{AttackReport, GroundTruth};

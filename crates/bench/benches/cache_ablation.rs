@@ -1,0 +1,42 @@
+//! Ablation: buffer-pool capacity under an enciphered point-lookup
+//! workload. The cache sits *below* the crypto boundary (Bayer–Metzger's
+//! hardware-unit placement), so it removes physical I/O but not
+//! decryptions — this bench quantifies how much of the lookup cost is I/O
+//! versus cryptography at each capacity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sks_btree_core::{BTree, RecordPtr};
+use sks_core::{Scheme, SchemeConfig};
+use sks_storage::{CachedStore, MemDisk, OpCounters};
+
+fn bench_cache_sizes(c: &mut Criterion) {
+    let n_keys = 2_000u64;
+    let cfg = SchemeConfig::with_capacity(Scheme::Oval, n_keys + 2);
+    let mut group = c.benchmark_group("ablation_cache_capacity");
+    for capacity in [2usize, 8, 32, 128] {
+        let counters = OpCounters::new();
+        let (codec, _) = cfg.build_codec(&counters).unwrap();
+        let disk = MemDisk::with_counters(cfg.block_size, counters.clone());
+        let cached = CachedStore::new(disk, capacity);
+        let mut tree = BTree::create(cached, codec).unwrap();
+        for k in 0..n_keys {
+            tree.insert(k, RecordPtr(k)).unwrap();
+        }
+        group.bench_function(BenchmarkId::from_parameter(capacity), |b| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = (k + 37) % n_keys;
+                tree.get(std::hint::black_box(k)).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_cache_sizes
+}
+criterion_main!(benches);

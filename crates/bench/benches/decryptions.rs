@@ -1,0 +1,36 @@
+//! E1 — lookup cost as node fanout grows: the `1` vs `log₂ n` vs
+//! `whole-page` separation (§3/§6). Wall-clock here; the exact decryption
+//! counts are printed by `repro --exp e1`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sks_bench::workload::{build_tree, lookup_keys};
+use sks_core::Scheme;
+
+fn bench_fanout_sweep(c: &mut Criterion) {
+    let n_keys = 2_000u64;
+    let mut group = c.benchmark_group("e1_decryptions_by_fanout");
+    for block_size in [512usize, 1024, 4096] {
+        for scheme in [Scheme::Oval, Scheme::BayerMetzger, Scheme::BayerMetzgerPage] {
+            let tree = build_tree(scheme, n_keys, block_size, 7);
+            let queries = lookup_keys(scheme, n_keys, 256, 8);
+            let label = format!("{}@{}", scheme.name(), block_size);
+            group.bench_function(BenchmarkId::from_parameter(label), |b| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let q = queries[i % queries.len()];
+                    i += 1;
+                    tree.get_pointer(std::hint::black_box(q)).unwrap()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_fanout_sweep
+}
+criterion_main!(benches);

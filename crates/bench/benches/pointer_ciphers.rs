@@ -1,0 +1,61 @@
+//! E7 — the §5 cipher choice: DES vs Speck vs secret-parameter RSA for
+//! pointer seals, plus raw block-cipher speed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sks_bench::seal_payload_for_bench;
+use sks_core::codec::{BlockCipherSealer, RsaSealer, TripletSealer};
+use sks_crypto::cipher::BlockCipher64;
+use sks_crypto::des::Des;
+use sks_crypto::rsa::RsaKey;
+use sks_crypto::speck::Speck64;
+
+fn bench_sealers(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let sealers: Vec<(&str, Box<dyn TripletSealer>)> = vec![
+        ("des", Box::new(BlockCipherSealer::des(0x0123456789ABCDEF))),
+        (
+            "speck",
+            Box::new(BlockCipherSealer::speck(0x1122334455667788_99AABBCCDDEEFF00)),
+        ),
+        (
+            "rsa-256",
+            Box::new(RsaSealer::new(RsaKey::generate(&mut rng, 256)).unwrap()),
+        ),
+        (
+            "rsa-512",
+            Box::new(RsaSealer::new(RsaKey::generate(&mut rng, 512)).unwrap()),
+        ),
+    ];
+    let payload = seal_payload_for_bench(42, 0xF00D, 9);
+    let mut group = c.benchmark_group("e7_pointer_seal_roundtrip");
+    for (name, sealer) in &sealers {
+        group.bench_function(BenchmarkId::from_parameter(*name), |b| {
+            b.iter(|| {
+                let ct = sealer.seal(std::hint::black_box(&payload));
+                sealer.unseal(&ct).unwrap()
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e7_raw_block_ciphers");
+    let des = Des::new(0x0123456789ABCDEF);
+    let speck = Speck64::from_u128(0x0011223344556677_8899AABBCCDDEEFF);
+    group.bench_function("des_block", |b| {
+        b.iter(|| des.encrypt_block(std::hint::black_box(0xCAFEBABE)))
+    });
+    group.bench_function("speck_block", |b| {
+        b.iter(|| speck.encrypt_block(std::hint::black_box(0xCAFEBABE)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_sealers
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E6 — range-scan wall-clock per scheme and width (§1 motivation; §4.3's
+//! preserved ordering).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use sks_bench::workload::build_tree;
+use sks_core::Scheme;
+
+fn bench_ranges(c: &mut Criterion) {
+    let n_keys = 2_000u64;
+    let block_size = 1024;
+    let mut group = c.benchmark_group("e6_range_queries");
+    for scheme in [
+        Scheme::Plaintext,
+        Scheme::Oval,
+        Scheme::SumOfTreatments,
+        Scheme::BayerMetzger,
+    ] {
+        let tree = build_tree(scheme, n_keys, block_size, 13);
+        for width in [10u64, 100, 1000] {
+            group.throughput(Throughput::Elements(width));
+            let label = format!("{}@w{}", scheme.name(), width);
+            group.bench_function(BenchmarkId::from_parameter(label), |b| {
+                let lo = n_keys / 3;
+                b.iter(|| tree.range(std::hint::black_box(lo), lo + width - 1).unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_ranges
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E4 — insert/delete churn wall-clock: the §3 reorganisation overhead
+//! (whole-triplet re-encipherment vs re-disguising).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sks_bench::workload::{build_tree, lookup_keys, record_for};
+use sks_core::Scheme;
+
+fn bench_churn(c: &mut Criterion) {
+    let n_keys = 1_000u64;
+    let block_size = 512;
+    let mut group = c.benchmark_group("e4_reorg_churn");
+    for scheme in [
+        Scheme::Plaintext,
+        Scheme::Oval,
+        Scheme::SumOfTreatments,
+        Scheme::BayerMetzger,
+        Scheme::BayerMetzgerPage,
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(scheme.name()), |b| {
+            let mut tree = build_tree(scheme, n_keys, block_size, 9);
+            let victims = lookup_keys(scheme, n_keys, 512, 10);
+            let mut i = 0usize;
+            b.iter(|| {
+                let k = victims[i % victims.len()];
+                i += 1;
+                if tree.delete(std::hint::black_box(k)).unwrap().is_some() {
+                    tree.insert(k, record_for(k)).unwrap();
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_churn
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E2 — point-lookup wall-clock per scheme (the §6 claim that comparisons
+//! on substituted keys beat decryptions).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sks_bench::workload::{build_tree, lookup_keys};
+use sks_core::Scheme;
+
+fn bench_search(c: &mut Criterion) {
+    let n_keys = 2_000u64;
+    let block_size = 1024;
+    let mut group = c.benchmark_group("e2_search_throughput");
+    for scheme in [
+        Scheme::Plaintext,
+        Scheme::Oval,
+        Scheme::SumOfTreatments,
+        Scheme::Exponentiation,
+        Scheme::BayerMetzger,
+        Scheme::BayerMetzgerPage,
+    ] {
+        let tree = build_tree(scheme, n_keys, block_size, 5);
+        let queries = lookup_keys(scheme, n_keys, 256, 6);
+        group.bench_function(BenchmarkId::from_parameter(scheme.name()), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = queries[i % queries.len()];
+                i += 1;
+                tree.get_pointer(std::hint::black_box(q)).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_search
+}
+criterion_main!(benches);

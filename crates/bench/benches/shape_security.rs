@@ -1,0 +1,36 @@
+//! E5 — cost of the opponent's shape-reconstruction attack as the tree
+//! grows (the attack itself; its success rates are in `repro --exp e5`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sks_attack::{parse_image, reconstruct_shape, DiskImage, FormatKnowledge};
+use sks_bench::workload::build_tree;
+use sks_core::Scheme;
+
+fn bench_attack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_shape_reconstruction");
+    for n_keys in [200u64, 1_000] {
+        for scheme in [Scheme::Oval, Scheme::SumOfTreatments] {
+            let tree = build_tree(scheme, n_keys, 512, 15);
+            let image = DiskImage::new(512, tree.raw_node_image());
+            let label = format!("{}@{}", scheme.name(), n_keys);
+            group.bench_function(BenchmarkId::from_parameter(label), |b| {
+                b.iter(|| {
+                    let parsed = parse_image(
+                        std::hint::black_box(&image),
+                        &FormatKnowledge::default(),
+                    );
+                    reconstruct_shape(&parsed)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_attack
+}
+criterion_main!(benches);

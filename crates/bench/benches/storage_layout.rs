@@ -1,0 +1,79 @@
+//! E3 — node encode/decode throughput per codec and sealer; the dynamic
+//! side of the layout experiment (static table: `repro --exp e3`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sks_btree_core::{Node, NodeCodec, RecordPtr};
+use sks_core::{Scheme, SchemeConfig, SealerKind};
+use sks_storage::{BlockId, OpCounters};
+
+fn full_node(m: usize) -> Node {
+    Node {
+        id: BlockId(3),
+        keys: (0..m as u64).collect(),
+        data_ptrs: (0..m as u64).map(RecordPtr).collect(),
+        children: (0..=m as u32).map(BlockId).collect(),
+    }
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let page_size = 1024;
+    let mut group = c.benchmark_group("e3_codec_encode_decode");
+    let configs: Vec<(String, SchemeConfig)> = vec![
+        ("plaintext".into(), {
+            let mut c = SchemeConfig::with_capacity(Scheme::Plaintext, 1024);
+            c.block_size = page_size;
+            c
+        }),
+        ("oval-des".into(), {
+            let mut c = SchemeConfig::with_capacity(Scheme::Oval, 1024);
+            c.block_size = page_size;
+            c
+        }),
+        ("oval-speck".into(), {
+            let mut c = SchemeConfig::with_capacity(Scheme::Oval, 1024);
+            c.block_size = page_size;
+            c.sealer = SealerKind::Speck;
+            c
+        }),
+        ("oval-rsa256".into(), {
+            let mut c = SchemeConfig::with_capacity(Scheme::Oval, 1024);
+            c.block_size = page_size;
+            c.sealer = SealerKind::Rsa(256);
+            c
+        }),
+        ("bayer-metzger".into(), {
+            let mut c = SchemeConfig::with_capacity(Scheme::BayerMetzger, 1024);
+            c.block_size = page_size;
+            c
+        }),
+        ("bm-full-page".into(), {
+            let mut c = SchemeConfig::with_capacity(Scheme::BayerMetzgerPage, 1024);
+            c.block_size = page_size;
+            c
+        }),
+    ];
+    for (label, cfg) in configs {
+        let counters = OpCounters::new();
+        let (codec, _) = cfg.build_codec(&counters).unwrap();
+        let m = codec.max_keys(page_size).min(32);
+        let node = full_node(m);
+        let mut page = vec![0u8; page_size];
+        codec.encode(&node, &mut page).unwrap();
+        group.bench_function(BenchmarkId::new("encode", &label), |b| {
+            let mut buf = vec![0u8; page_size];
+            b.iter(|| codec.encode(std::hint::black_box(&node), &mut buf).unwrap());
+        });
+        group.bench_function(BenchmarkId::new("decode", &label), |b| {
+            b.iter(|| codec.decode(BlockId(3), std::hint::black_box(&page)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_codecs
+}
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! `repro` — regenerates every table, figure and experiment of the
+//! reproduction.
+//!
+//! ```text
+//! repro --all                  everything (tables, figures, E1–E8)
+//! repro --tables               T1 T2 T3
+//! repro --figures              F1 F2 F3 (+ the plaintext reference)
+//! repro --table t1|t2|t3
+//! repro --figure f1|f2|f3
+//! repro --exp e1|e2|…|e8       one experiment
+//! repro --quick                tables + figures + fast experiments
+//! ```
+
+use sks_bench::{experiments, figures, tables};
+
+fn print_table(which: &str) {
+    match which {
+        "t1" => println!("{}", tables::table_t1()),
+        "t2" => println!("{}", tables::table_t2()),
+        "t3" => println!("{}", tables::table_t3()),
+        other => eprintln!("unknown table {other} (expected t1|t2|t3)"),
+    }
+}
+
+fn print_figure(which: &str) {
+    match which {
+        "f1" => println!("{}", figures::figure_f1()),
+        "f2" => println!("{}", figures::figure_f2()),
+        "f3" => println!("{}", figures::figure_f3()),
+        other => eprintln!("unknown figure {other} (expected f1|f2|f3)"),
+    }
+}
+
+fn run_experiment(which: &str, quick: bool) {
+    let (n_small, n_mid) = if quick { (400, 800) } else { (2_000, 5_000) };
+    match which {
+        "e1" => println!("{}", experiments::e1_decryptions(n_mid as u64, &[512, 1024, 4096]).0),
+        "e2" => println!("{}", experiments::e2_throughput(n_mid as u64, 1024).0),
+        "e3" => println!("{}", experiments::e3_layout(4096).0),
+        "e4" => println!(
+            "{}",
+            experiments::e4_reorg(n_small as u64, if quick { 100 } else { 500 }, 512).0
+        ),
+        "e5" => println!("{}", experiments::e5_shape_security(150, 512).0),
+        "e6" => println!("{}", experiments::e6_ranges(n_mid as u64, 1024).0),
+        "e7" => println!("{}", experiments::e7_pointer_ciphers().0),
+        "e8" => println!(
+            "{}",
+            experiments::e8_secret_material(&[1_000, 10_000, 100_000]).0
+        ),
+        other => eprintln!("unknown experiment {other} (expected e1..e8)"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    let mut did_anything = false;
+    let quick = args.iter().any(|a| a == "--quick");
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--all" | "--quick" => {
+                println!("=== Paper tables ===\n");
+                for t in ["t1", "t2", "t3"] {
+                    print_table(t);
+                }
+                println!("=== Paper figures ===\n");
+                println!("{}", figures::all_figures());
+                println!("=== Experiments ===\n");
+                for e in ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"] {
+                    run_experiment(e, quick || arg == "--quick");
+                }
+                did_anything = true;
+            }
+            "--tables" => {
+                for t in ["t1", "t2", "t3"] {
+                    print_table(t);
+                }
+                did_anything = true;
+            }
+            "--figures" => {
+                println!("{}", figures::all_figures());
+                did_anything = true;
+            }
+            "--table" => {
+                if let Some(t) = it.next() {
+                    print_table(t);
+                    did_anything = true;
+                }
+            }
+            "--figure" => {
+                if let Some(f) = it.next() {
+                    print_figure(f);
+                    did_anything = true;
+                }
+            }
+            "--exp" => {
+                if let Some(e) = it.next() {
+                    run_experiment(e, quick);
+                    did_anything = true;
+                }
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+            }
+        }
+    }
+    if !did_anything {
+        eprintln!(
+            "usage: repro [--all | --quick | --tables | --figures | --table tN | --figure fN | --exp eN]"
+        );
+        std::process::exit(2);
+    }
+}

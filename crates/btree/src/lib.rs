@@ -1,0 +1,32 @@
+//! # sks-btree-core — the disk B-tree substrate
+//!
+//! A paged B-tree of `[search key, data pointer, tree pointer]` triplets in
+//! the Elmasri & Navathe layout the paper adopts in §3: `n` keys, `n` data
+//! pointers and `n+1` tree pointers per node block.
+//!
+//! The crate is deliberately agnostic about *how* a node is laid out on
+//! disk: all (de)serialisation and all cryptography live behind the
+//! [`NodeCodec`] trait, so the identical tree algorithms run plaintext
+//! (this crate's [`PlainCodec`]), fully enciphered (Bayer–Metzger, in
+//! `sks-core`), or key-disguised (the paper's scheme, in `sks-core`) —
+//! which is precisely the paper's point that the substitution happens
+//! "after the shape of the B-Tree has been determined".
+//!
+//! * [`node`] — plaintext node representation and in-node search.
+//! * [`codec`] — the [`NodeCodec`] boundary, probe semantics, [`PlainCodec`].
+//! * [`tree`] — create/open, get/insert/delete/range, validation; CLRS
+//!   preemptive split/merge balancing; every access counted.
+//! * [`render`] — ASCII renderings for the paper's figures.
+
+pub mod codec;
+pub mod node;
+pub mod render;
+pub mod tree;
+
+#[cfg(test)]
+mod tree_tests;
+
+pub use codec::{CodecError, NodeCodec, PlainCodec, Probe, NODE_HEADER_LEN};
+pub use node::{Node, NodeSearch, RecordPtr};
+pub use render::{render_logical, render_with};
+pub use tree::{BTree, TreeError};

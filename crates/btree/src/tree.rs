@@ -1,0 +1,809 @@
+//! The disk-resident B-tree of `[search key, data pointer, tree pointer]`
+//! triplets.
+//!
+//! Every node access round-trips through the [`BlockStore`] and the
+//! [`NodeCodec`], so operation counters reflect exactly what a paged,
+//! enciphered B-tree would do: searches *probe* raw pages (paying only the
+//! decryptions the scheme requires), while structure modifications decode
+//! and re-encode whole nodes (paying the re-encipherment costs §3 of the
+//! paper analyses).
+//!
+//! The balancing algorithm is the classic preemptive-split/merge B-tree
+//! (CLRS ch. 18) with minimum degree `t` derived from the codec's fanout.
+
+use sks_storage::{BlockId, BlockStore, OpCounters, PageReader, PageWriter, StorageError};
+
+use crate::codec::{CodecError, NodeCodec, Probe};
+use crate::node::{Node, NodeSearch, RecordPtr};
+
+/// Errors from tree operations.
+#[derive(Debug)]
+pub enum TreeError {
+    Storage(StorageError),
+    Codec(CodecError),
+    /// The codec cannot fit even a minimal node in the store's block size.
+    PageTooSmall { page_size: usize, max_keys: usize },
+    /// Structural invariant violated (returned by [`BTree::validate`]).
+    Invalid(String),
+}
+
+impl std::fmt::Display for TreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeError::Storage(e) => write!(f, "storage error: {e}"),
+            TreeError::Codec(e) => write!(f, "codec error: {e}"),
+            TreeError::PageTooSmall {
+                page_size,
+                max_keys,
+            } => write!(
+                f,
+                "page of {page_size} bytes holds only {max_keys} keys; need at least 3"
+            ),
+            TreeError::Invalid(msg) => write!(f, "tree invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+impl From<StorageError> for TreeError {
+    fn from(e: StorageError) -> Self {
+        TreeError::Storage(e)
+    }
+}
+
+impl From<CodecError> for TreeError {
+    fn from(e: CodecError) -> Self {
+        TreeError::Codec(e)
+    }
+}
+
+const SUPER_MAGIC: u64 = 0x534b_5342_5452_4545; // "SKSBTREE"
+
+/// A disk B-tree parameterised by block store and node codec.
+#[derive(Debug)]
+pub struct BTree<S: BlockStore, C: NodeCodec> {
+    store: S,
+    codec: C,
+    superblock: BlockId,
+    root: BlockId,
+    count: u64,
+    height: u32,
+    /// CLRS minimum degree: nodes hold `t-1 ..= 2t-1` keys (root exempt).
+    t: usize,
+}
+
+impl<S: BlockStore, C: NodeCodec> BTree<S, C> {
+    /// Bulk-loads a tree bottom-up from *strictly ascending* `(key, ptr)`
+    /// pairs — the standard index-build path a DBMS uses for initial loads.
+    /// Compared to repeated inserts this writes every node exactly once
+    /// (one encipherment pass per block, no splits) and produces uniform
+    /// fill ≥ `t − 1` everywhere.
+    pub fn bulk_load(
+        store: S,
+        codec: C,
+        items: &[(u64, RecordPtr)],
+    ) -> Result<Self, TreeError> {
+        if let Some(w) = items.windows(2).find(|w| w[0].0 >= w[1].0) {
+            return Err(TreeError::Invalid(format!(
+                "bulk_load requires strictly ascending keys ({} then {})",
+                w[0].0, w[1].0
+            )));
+        }
+        let mut tree = BTree::create(store, codec)?;
+        if items.is_empty() {
+            return Ok(tree);
+        }
+        let t = tree.t;
+        let max = 2 * t - 1;
+        if items.len() <= max {
+            let mut root = Node::leaf(tree.root);
+            root.keys = items.iter().map(|&(k, _)| k).collect();
+            root.data_ptrs = items.iter().map(|&(_, p)| p).collect();
+            tree.write_node(&root)?;
+            tree.count = items.len() as u64;
+            tree.write_superblock()?;
+            return Ok(tree);
+        }
+        // Chunk sizes that keep every node within [t-1, 2t-1] keys, leaving
+        // one separator key between adjacent chunks.
+        let next_chunk = |remaining: usize| -> usize {
+            if remaining <= max {
+                remaining
+            } else if remaining < max + 1 + (t - 1) {
+                // Shrink so the tail chunk still reaches t-1 keys.
+                remaining - 1 - (t - 1)
+            } else {
+                max
+            }
+        };
+        // Build the leaf level. The freshly created empty root is reused as
+        // the first leaf block.
+        let mut level_blocks: Vec<BlockId> = Vec::new();
+        let mut seps: Vec<(u64, RecordPtr)> = Vec::new();
+        let mut i = 0usize;
+        let mut first = true;
+        while i < items.len() {
+            let chunk = next_chunk(items.len() - i);
+            let id = if first {
+                first = false;
+                tree.root
+            } else {
+                tree.allocate_node()?
+            };
+            let mut leaf = Node::leaf(id);
+            leaf.keys = items[i..i + chunk].iter().map(|&(k, _)| k).collect();
+            leaf.data_ptrs = items[i..i + chunk].iter().map(|&(_, p)| p).collect();
+            tree.write_node(&leaf)?;
+            level_blocks.push(id);
+            i += chunk;
+            if i < items.len() {
+                seps.push(items[i]);
+                i += 1;
+            }
+        }
+        // Build internal levels until one root remains.
+        let mut height = 1u32;
+        while level_blocks.len() > 1 {
+            debug_assert_eq!(level_blocks.len(), seps.len() + 1);
+            let mut next_blocks = Vec::new();
+            let mut next_seps = Vec::new();
+            let mut child = 0usize;
+            let mut j = 0usize;
+            loop {
+                let chunk = next_chunk(seps.len() - j);
+                let id = tree.allocate_node()?;
+                let node = Node {
+                    id,
+                    keys: seps[j..j + chunk].iter().map(|&(k, _)| k).collect(),
+                    data_ptrs: seps[j..j + chunk].iter().map(|&(_, p)| p).collect(),
+                    children: level_blocks[child..child + chunk + 1].to_vec(),
+                };
+                tree.write_node(&node)?;
+                next_blocks.push(id);
+                child += chunk + 1;
+                j += chunk;
+                if j < seps.len() {
+                    next_seps.push(seps[j]);
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            debug_assert_eq!(child, level_blocks.len());
+            level_blocks = next_blocks;
+            seps = next_seps;
+            height += 1;
+        }
+        tree.root = level_blocks[0];
+        tree.height = height;
+        tree.count = items.len() as u64;
+        tree.write_superblock()?;
+        Ok(tree)
+    }
+
+    /// Creates a fresh tree on an empty store (allocates the superblock and
+    /// an empty root leaf).
+    pub fn create(mut store: S, codec: C) -> Result<Self, TreeError> {
+        let page_size = store.block_size();
+        let max_keys = codec.max_keys(page_size);
+        if max_keys < 3 {
+            return Err(TreeError::PageTooSmall {
+                page_size,
+                max_keys,
+            });
+        }
+        let t = max_keys.div_ceil(2); // 2t-1 <= max_keys
+        let superblock = store.allocate()?;
+        let root_id = store.allocate()?;
+        let mut tree = BTree {
+            store,
+            codec,
+            superblock,
+            root: root_id,
+            count: 0,
+            height: 1,
+            t,
+        };
+        let root = Node::leaf(root_id);
+        tree.write_node(&root)?;
+        tree.write_superblock()?;
+        Ok(tree)
+    }
+
+    /// Reopens a tree persisted on `store` (reads the superblock).
+    pub fn open(store: S, codec: C) -> Result<Self, TreeError> {
+        let page_size = store.block_size();
+        let max_keys = codec.max_keys(page_size);
+        let superblock = BlockId(0);
+        let page = store.read_block_vec(superblock)?;
+        let mut r = PageReader::new(&page);
+        let magic = r.get_u64().map_err(CodecError::from)?;
+        if magic != SUPER_MAGIC {
+            return Err(TreeError::Codec(CodecError::Corrupt(
+                "bad superblock magic".into(),
+            )));
+        }
+        let root = BlockId(r.get_u32().map_err(CodecError::from)?);
+        let count = r.get_u64().map_err(CodecError::from)?;
+        let height = r.get_u32().map_err(CodecError::from)?;
+        let t = r.get_u32().map_err(CodecError::from)? as usize;
+        if t < 2 || 2 * t - 1 > max_keys {
+            return Err(TreeError::Codec(CodecError::Corrupt(format!(
+                "superblock degree t={t} incompatible with codec fanout {max_keys}"
+            ))));
+        }
+        Ok(BTree {
+            store,
+            codec,
+            superblock,
+            root,
+            count,
+            height,
+            t,
+        })
+    }
+
+    fn write_superblock(&mut self) -> Result<(), TreeError> {
+        let mut page = vec![0u8; self.store.block_size()];
+        {
+            let mut w = PageWriter::new(&mut page);
+            w.put_u64(SUPER_MAGIC).map_err(CodecError::from)?;
+            w.put_u32(self.root.0).map_err(CodecError::from)?;
+            w.put_u64(self.count).map_err(CodecError::from)?;
+            w.put_u32(self.height).map_err(CodecError::from)?;
+            w.put_u32(self.t as u32).map_err(CodecError::from)?;
+            w.pad_remaining();
+        }
+        self.store.write_block(self.superblock, &page)?;
+        Ok(())
+    }
+
+    /// Persists metadata and flushes the store.
+    pub fn flush(&mut self) -> Result<(), TreeError> {
+        self.write_superblock()?;
+        self.store.flush()?;
+        Ok(())
+    }
+
+    // ---- node I/O ------------------------------------------------------
+
+    fn read_node(&self, id: BlockId) -> Result<Node, TreeError> {
+        self.counters().bump(|c| &c.node_visits);
+        let page = self.store.read_block_vec(id)?;
+        Ok(self.codec.decode(id, &page)?)
+    }
+
+    fn write_node(&mut self, node: &Node) -> Result<(), TreeError> {
+        let mut page = vec![0u8; self.store.block_size()];
+        self.codec.encode(node, &mut page)?;
+        self.store.write_block(node.id, &page)?;
+        Ok(())
+    }
+
+    fn allocate_node(&mut self) -> Result<BlockId, TreeError> {
+        Ok(self.store.allocate()?)
+    }
+
+    // ---- accessors -----------------------------------------------------
+
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Height in levels (1 = a single leaf root).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    pub fn root_id(&self) -> BlockId {
+        self.root
+    }
+
+    /// Maximum keys per node (`2t − 1`).
+    pub fn max_keys_per_node(&self) -> usize {
+        2 * self.t - 1
+    }
+
+    /// CLRS minimum degree.
+    pub fn min_degree(&self) -> usize {
+        self.t
+    }
+
+    pub fn counters(&self) -> &OpCounters {
+        self.store.counters()
+    }
+
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    pub fn codec(&self) -> &C {
+        &self.codec
+    }
+
+    /// Consumes the tree, flushing metadata and returning the store (for
+    /// attack experiments that want the raw medium).
+    pub fn into_store(mut self) -> Result<S, TreeError> {
+        self.flush()?;
+        Ok(self.store)
+    }
+
+    // ---- search --------------------------------------------------------
+
+    /// Point lookup via raw-page probes — the paper's search path. Costs
+    /// exactly the decryptions the codec's scheme requires per node.
+    pub fn get(&self, key: u64) -> Result<Option<RecordPtr>, TreeError> {
+        let mut cur = self.root;
+        loop {
+            self.counters().bump(|c| &c.node_visits);
+            let page = self.store.read_block_vec(cur)?;
+            match self.codec.probe(cur, &page, key)? {
+                Probe::Found { data_ptr } => return Ok(Some(data_ptr)),
+                Probe::Missing => return Ok(None),
+                Probe::Descend { child } => cur = child,
+            }
+        }
+    }
+
+    /// `true` iff the key is present.
+    pub fn contains(&self, key: u64) -> Result<bool, TreeError> {
+        Ok(self.get(key)?.is_some())
+    }
+
+    // ---- insert --------------------------------------------------------
+
+    /// Inserts (or replaces) `key → ptr`. Returns the previous pointer when
+    /// the key was already present.
+    pub fn insert(&mut self, key: u64, ptr: RecordPtr) -> Result<Option<RecordPtr>, TreeError> {
+        let root_node = self.read_node(self.root)?;
+        let root_node = if root_node.n() == self.max_keys_per_node() {
+            // Grow upward: new root over the old one, then split.
+            let new_root_id = self.allocate_node()?;
+            let mut new_root = Node {
+                id: new_root_id,
+                keys: Vec::new(),
+                data_ptrs: Vec::new(),
+                children: vec![self.root],
+            };
+            self.split_child(&mut new_root, 0)?;
+            self.write_node(&new_root)?;
+            self.root = new_root_id;
+            self.height += 1;
+            new_root
+        } else {
+            root_node
+        };
+        let res = self.insert_nonfull(root_node, key, ptr)?;
+        self.write_superblock()?;
+        Ok(res)
+    }
+
+    /// Splits the full child at slot `i` of `parent`. Writes both child
+    /// halves; the caller is responsible for writing `parent`.
+    fn split_child(&mut self, parent: &mut Node, i: usize) -> Result<(), TreeError> {
+        let t = self.t;
+        let mut child = self.read_node(parent.children[i])?;
+        debug_assert_eq!(child.n(), 2 * t - 1, "split requires a full child");
+        let right_id = self.allocate_node()?;
+        let right = Node {
+            id: right_id,
+            keys: child.keys.split_off(t),
+            data_ptrs: child.data_ptrs.split_off(t),
+            children: if child.is_leaf() {
+                Vec::new()
+            } else {
+                child.children.split_off(t)
+            },
+        };
+        let median_key = child.keys.pop().expect("t-1 keys remain after pop");
+        let median_ptr = child.data_ptrs.pop().expect("t-1 ptrs remain after pop");
+        parent.keys.insert(i, median_key);
+        parent.data_ptrs.insert(i, median_ptr);
+        parent.children.insert(i + 1, right_id);
+        self.write_node(&child)?;
+        self.write_node(&right)?;
+        self.counters().bump(|c| &c.splits);
+        Ok(())
+    }
+
+    fn insert_nonfull(
+        &mut self,
+        mut node: Node,
+        key: u64,
+        ptr: RecordPtr,
+    ) -> Result<Option<RecordPtr>, TreeError> {
+        debug_assert!(node.n() < self.max_keys_per_node());
+        loop {
+            match node.search(key) {
+                NodeSearch::Here(i) => {
+                    let old = node.data_ptrs[i];
+                    node.data_ptrs[i] = ptr;
+                    self.write_node(&node)?;
+                    return Ok(Some(old));
+                }
+                NodeSearch::Child(i) => {
+                    if node.is_leaf() {
+                        node.keys.insert(i, key);
+                        node.data_ptrs.insert(i, ptr);
+                        self.write_node(&node)?;
+                        self.count += 1;
+                        return Ok(None);
+                    }
+                    let child = self.read_node(node.children[i])?;
+                    if child.n() == self.max_keys_per_node() {
+                        self.split_child(&mut node, i)?;
+                        self.write_node(&node)?;
+                        // The promoted median may be the key itself.
+                        match key.cmp(&node.keys[i]) {
+                            std::cmp::Ordering::Equal => {
+                                let old = node.data_ptrs[i];
+                                node.data_ptrs[i] = ptr;
+                                self.write_node(&node)?;
+                                return Ok(Some(old));
+                            }
+                            std::cmp::Ordering::Greater => {
+                                node = self.read_node(node.children[i + 1])?;
+                            }
+                            std::cmp::Ordering::Less => {
+                                node = self.read_node(node.children[i])?;
+                            }
+                        }
+                    } else {
+                        node = child;
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- delete --------------------------------------------------------
+
+    /// Removes `key`, returning its data pointer if it was present.
+    pub fn delete(&mut self, key: u64) -> Result<Option<RecordPtr>, TreeError> {
+        let root_node = self.read_node(self.root)?;
+        let result = self.delete_from(root_node, key)?;
+        // Shrink the root if it became an empty internal node.
+        let root_node = self.read_node(self.root)?;
+        if root_node.n() == 0 && !root_node.is_leaf() {
+            let old_root = self.root;
+            self.root = root_node.children[0];
+            self.store.free(old_root)?;
+            self.height -= 1;
+        }
+        self.write_superblock()?;
+        Ok(result)
+    }
+
+    fn delete_from(&mut self, mut node: Node, key: u64) -> Result<Option<RecordPtr>, TreeError> {
+        match node.search(key) {
+            NodeSearch::Here(i) => {
+                if node.is_leaf() {
+                    let _ = node.keys.remove(i);
+                    let old = node.data_ptrs.remove(i);
+                    self.write_node(&node)?;
+                    self.count -= 1;
+                    return Ok(Some(old));
+                }
+                let left_id = node.children[i];
+                let right_id = node.children[i + 1];
+                let left = self.read_node(left_id)?;
+                if left.n() >= self.t {
+                    // Replace with predecessor, then delete it below.
+                    let (pk, pp) = self.max_entry_under(left)?;
+                    let old = node.data_ptrs[i];
+                    node.keys[i] = pk;
+                    node.data_ptrs[i] = pp;
+                    self.write_node(&node)?;
+                    let next = self.read_node(left_id)?;
+                    let removed = self.delete_from(next, pk)?;
+                    debug_assert!(removed.is_some());
+                    return Ok(Some(old));
+                }
+                let right = self.read_node(right_id)?;
+                if right.n() >= self.t {
+                    let (sk, sp) = self.min_entry_under(right)?;
+                    let old = node.data_ptrs[i];
+                    node.keys[i] = sk;
+                    node.data_ptrs[i] = sp;
+                    self.write_node(&node)?;
+                    let next = self.read_node(right_id)?;
+                    let removed = self.delete_from(next, sk)?;
+                    debug_assert!(removed.is_some());
+                    return Ok(Some(old));
+                }
+                // Both children minimal: merge around the key, then recurse.
+                self.merge_children(&mut node, i)?;
+                let merged = self.read_node(node.children[i])?;
+                self.delete_from(merged, key)
+            }
+            NodeSearch::Child(i) => {
+                if node.is_leaf() {
+                    return Ok(None); // absent
+                }
+                let child = self.read_node(node.children[i])?;
+                let child = if child.n() < self.t {
+                    self.fill_child(&mut node, i, child)?
+                } else {
+                    child
+                };
+                self.delete_from(child, key)
+            }
+        }
+    }
+
+    /// Ensures the child being descended into has at least `t` keys, by
+    /// borrowing from a sibling or merging. Returns the node to descend
+    /// into (which may be a merged node at a different slot).
+    fn fill_child(
+        &mut self,
+        parent: &mut Node,
+        i: usize,
+        mut child: Node,
+    ) -> Result<Node, TreeError> {
+        debug_assert_eq!(child.n(), self.t - 1);
+        // Borrow from the left sibling.
+        if i > 0 {
+            let mut left = self.read_node(parent.children[i - 1])?;
+            if left.n() >= self.t {
+                child.keys.insert(0, parent.keys[i - 1]);
+                child.data_ptrs.insert(0, parent.data_ptrs[i - 1]);
+                parent.keys[i - 1] = left.keys.pop().expect("left has >= t keys");
+                parent.data_ptrs[i - 1] = left.data_ptrs.pop().expect("left has >= t ptrs");
+                if !left.is_leaf() {
+                    let moved = left.children.pop().expect("internal left has children");
+                    child.children.insert(0, moved);
+                }
+                self.write_node(&left)?;
+                self.write_node(&child)?;
+                self.write_node(parent)?;
+                self.counters().bump(|c| &c.borrows);
+                return Ok(child);
+            }
+        }
+        // Borrow from the right sibling.
+        if i + 1 < parent.children.len() {
+            let mut right = self.read_node(parent.children[i + 1])?;
+            if right.n() >= self.t {
+                child.keys.push(parent.keys[i]);
+                child.data_ptrs.push(parent.data_ptrs[i]);
+                parent.keys[i] = right.keys.remove(0);
+                parent.data_ptrs[i] = right.data_ptrs.remove(0);
+                if !right.is_leaf() {
+                    child.children.push(right.children.remove(0));
+                }
+                self.write_node(&right)?;
+                self.write_node(&child)?;
+                self.write_node(parent)?;
+                self.counters().bump(|c| &c.borrows);
+                return Ok(child);
+            }
+        }
+        // Merge with a sibling.
+        if i > 0 {
+            self.merge_children(parent, i - 1)?;
+            self.read_node(parent.children[i - 1])
+        } else {
+            self.merge_children(parent, i)?;
+            self.read_node(parent.children[i])
+        }
+    }
+
+    /// Merges `children[i]`, separator key `i`, and `children[i+1]` into a
+    /// single node at slot `i`. Writes the merged child and the parent;
+    /// frees the right child's block.
+    fn merge_children(&mut self, parent: &mut Node, i: usize) -> Result<(), TreeError> {
+        let mut left = self.read_node(parent.children[i])?;
+        let right = self.read_node(parent.children[i + 1])?;
+        left.keys.push(parent.keys.remove(i));
+        left.data_ptrs.push(parent.data_ptrs.remove(i));
+        left.keys.extend_from_slice(&right.keys);
+        left.data_ptrs.extend_from_slice(&right.data_ptrs);
+        left.children.extend_from_slice(&right.children);
+        parent.children.remove(i + 1);
+        self.write_node(&left)?;
+        self.write_node(parent)?;
+        self.store.free(right.id)?;
+        self.counters().bump(|c| &c.merges);
+        Ok(())
+    }
+
+    /// Largest `(key, ptr)` in the subtree rooted at `node`.
+    fn max_entry_under(&self, mut node: Node) -> Result<(u64, RecordPtr), TreeError> {
+        loop {
+            if node.is_leaf() {
+                let i = node.n() - 1;
+                return Ok((node.keys[i], node.data_ptrs[i]));
+            }
+            let last = *node.children.last().expect("internal node has children");
+            node = self.read_node(last)?;
+        }
+    }
+
+    /// Smallest `(key, ptr)` in the subtree rooted at `node`.
+    fn min_entry_under(&self, mut node: Node) -> Result<(u64, RecordPtr), TreeError> {
+        loop {
+            if node.is_leaf() {
+                return Ok((node.keys[0], node.data_ptrs[0]));
+            }
+            node = self.read_node(node.children[0])?;
+        }
+    }
+
+    /// Smallest entry in the tree.
+    pub fn first(&self) -> Result<Option<(u64, RecordPtr)>, TreeError> {
+        if self.is_empty() {
+            return Ok(None);
+        }
+        let root = self.read_node(self.root)?;
+        self.min_entry_under(root).map(Some)
+    }
+
+    /// Largest entry in the tree.
+    pub fn last(&self) -> Result<Option<(u64, RecordPtr)>, TreeError> {
+        if self.is_empty() {
+            return Ok(None);
+        }
+        let root = self.read_node(self.root)?;
+        self.max_entry_under(root).map(Some)
+    }
+
+    // ---- range scans ---------------------------------------------------
+
+    /// Collects all `(key, ptr)` pairs with `lo <= key <= hi`, in key
+    /// order. This is the operation §1 motivates and §4.3 preserves:
+    /// whole-subtree access works because triplet *positions* are never
+    /// based on disguised values.
+    pub fn range(&self, lo: u64, hi: u64) -> Result<Vec<(u64, RecordPtr)>, TreeError> {
+        let mut out = Vec::new();
+        if lo > hi || self.is_empty() {
+            return Ok(out);
+        }
+        self.range_walk(self.root, lo, hi, &mut out)?;
+        Ok(out)
+    }
+
+    fn range_walk(
+        &self,
+        id: BlockId,
+        lo: u64,
+        hi: u64,
+        out: &mut Vec<(u64, RecordPtr)>,
+    ) -> Result<(), TreeError> {
+        let node = self.read_node(id)?;
+        let n = node.n();
+        for i in 0..=n {
+            if !node.is_leaf() {
+                // Child i spans the open interval (keys[i-1], keys[i]);
+                // descend only if that interval intersects [lo, hi].
+                let below_hi = i == 0 || node.keys[i - 1] < hi;
+                let above_lo = i == n || node.keys[i] > lo;
+                if below_hi && above_lo {
+                    self.range_walk(node.children[i], lo, hi, out)?;
+                }
+            }
+            if i < n && node.keys[i] >= lo && node.keys[i] <= hi {
+                out.push((node.keys[i], node.data_ptrs[i]));
+            }
+        }
+        Ok(())
+    }
+
+    /// Full ordered scan.
+    pub fn scan_all(&self) -> Result<Vec<(u64, RecordPtr)>, TreeError> {
+        self.range(0, u64::MAX)
+    }
+
+    // ---- validation ----------------------------------------------------
+
+    /// Exhaustively checks structural invariants: shape, strict key order,
+    /// separator bounds, uniform leaf depth, minimum fill, and that the
+    /// entry count matches the metadata.
+    pub fn validate(&self) -> Result<(), TreeError> {
+        let mut counted = 0u64;
+        let mut leaf_depth: Option<u32> = None;
+        self.validate_walk(
+            self.root,
+            None,
+            None,
+            1,
+            true,
+            &mut counted,
+            &mut leaf_depth,
+        )?;
+        if counted != self.count {
+            return Err(TreeError::Invalid(format!(
+                "metadata count {} != walked count {counted}",
+                self.count
+            )));
+        }
+        if let Some(d) = leaf_depth {
+            if d != self.height {
+                return Err(TreeError::Invalid(format!(
+                    "metadata height {} != leaf depth {d}",
+                    self.height
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn validate_walk(
+        &self,
+        id: BlockId,
+        lower: Option<u64>,
+        upper: Option<u64>,
+        depth: u32,
+        is_root: bool,
+        counted: &mut u64,
+        leaf_depth: &mut Option<u32>,
+    ) -> Result<(), TreeError> {
+        let node = self.read_node(id)?;
+        node.check_shape().map_err(TreeError::Invalid)?;
+        node.check_sorted().map_err(TreeError::Invalid)?;
+        if !is_root && node.n() < self.t - 1 {
+            return Err(TreeError::Invalid(format!(
+                "node {id} underfull: {} < {}",
+                node.n(),
+                self.t - 1
+            )));
+        }
+        if node.n() > self.max_keys_per_node() {
+            return Err(TreeError::Invalid(format!(
+                "node {id} overfull: {} > {}",
+                node.n(),
+                self.max_keys_per_node()
+            )));
+        }
+        for &k in &node.keys {
+            if let Some(lo) = lower {
+                if k <= lo {
+                    return Err(TreeError::Invalid(format!(
+                        "node {id}: key {k} <= separator lower bound {lo}"
+                    )));
+                }
+            }
+            if let Some(hi) = upper {
+                if k >= hi {
+                    return Err(TreeError::Invalid(format!(
+                        "node {id}: key {k} >= separator upper bound {hi}"
+                    )));
+                }
+            }
+        }
+        *counted += node.n() as u64;
+        if node.is_leaf() {
+            match *leaf_depth {
+                None => *leaf_depth = Some(depth),
+                Some(d) if d != depth => {
+                    return Err(TreeError::Invalid(format!(
+                        "leaves at different depths: {d} and {depth}"
+                    )))
+                }
+                _ => {}
+            }
+            return Ok(());
+        }
+        for i in 0..node.children.len() {
+            let lo = if i == 0 { lower } else { Some(node.keys[i - 1]) };
+            let hi = if i == node.n() {
+                upper
+            } else {
+                Some(node.keys[i])
+            };
+            self.validate_walk(node.children[i], lo, hi, depth + 1, false, counted, leaf_depth)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a node for inspection (rendering, attack setup). Public but
+    /// not part of the data-path API.
+    pub fn inspect_node(&self, id: BlockId) -> Result<Node, TreeError> {
+        self.read_node(id)
+    }
+}

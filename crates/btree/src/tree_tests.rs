@@ -1,0 +1,469 @@
+//! Exhaustive tests of the B-tree over the plaintext codec. (The enciphered
+//! codecs get the same treatment in `sks-core`, reusing these behaviours.)
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use sks_storage::{BlockId, BlockStore, MemDisk, OpCounters};
+
+use crate::codec::PlainCodec;
+use crate::node::RecordPtr;
+use crate::tree::{BTree, TreeError};
+
+fn make_tree(block_size: usize) -> BTree<MemDisk, PlainCodec> {
+    let counters = OpCounters::new();
+    let disk = MemDisk::with_counters(block_size, counters.clone());
+    BTree::create(disk, PlainCodec::new(counters)).unwrap()
+}
+
+#[test]
+fn empty_tree_properties() {
+    let tree = make_tree(256);
+    assert!(tree.is_empty());
+    assert_eq!(tree.len(), 0);
+    assert_eq!(tree.height(), 1);
+    assert_eq!(tree.get(42).unwrap(), None);
+    assert_eq!(tree.first().unwrap(), None);
+    assert_eq!(tree.last().unwrap(), None);
+    assert!(tree.scan_all().unwrap().is_empty());
+    tree.validate().unwrap();
+}
+
+#[test]
+fn insert_and_get_sequential() {
+    let mut tree = make_tree(256);
+    for k in 0..500u64 {
+        assert_eq!(tree.insert(k, RecordPtr(k * 10)).unwrap(), None);
+    }
+    assert_eq!(tree.len(), 500);
+    for k in 0..500u64 {
+        assert_eq!(tree.get(k).unwrap(), Some(RecordPtr(k * 10)), "key {k}");
+    }
+    assert_eq!(tree.get(500).unwrap(), None);
+    assert!(tree.height() > 1, "tree must have split");
+    tree.validate().unwrap();
+}
+
+#[test]
+fn insert_reverse_and_shuffled() {
+    for seed in 0..3u64 {
+        let mut tree = make_tree(256);
+        let mut keys: Vec<u64> = (0..400).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        keys.shuffle(&mut rng);
+        for &k in &keys {
+            tree.insert(k, RecordPtr(k)).unwrap();
+        }
+        tree.validate().unwrap();
+        let scanned: Vec<u64> = tree.scan_all().unwrap().iter().map(|&(k, _)| k).collect();
+        let want: Vec<u64> = (0..400).collect();
+        assert_eq!(scanned, want, "seed {seed}");
+    }
+}
+
+#[test]
+fn upsert_replaces_pointer() {
+    let mut tree = make_tree(256);
+    assert_eq!(tree.insert(7, RecordPtr(1)).unwrap(), None);
+    assert_eq!(tree.insert(7, RecordPtr(2)).unwrap(), Some(RecordPtr(1)));
+    assert_eq!(tree.len(), 1, "upsert must not double-count");
+    assert_eq!(tree.get(7).unwrap(), Some(RecordPtr(2)));
+    tree.validate().unwrap();
+}
+
+#[test]
+fn upsert_at_full_node_boundary() {
+    // Replacing a key that is the promoted median of a split exercises the
+    // equal-median path in insert_nonfull.
+    let mut tree = make_tree(256);
+    let max = tree.max_keys_per_node() as u64;
+    for k in 0..max * 4 {
+        tree.insert(k, RecordPtr(k)).unwrap();
+    }
+    for k in 0..max * 4 {
+        assert_eq!(tree.insert(k, RecordPtr(k + 1000)).unwrap(), Some(RecordPtr(k)));
+    }
+    assert_eq!(tree.len(), max * 4);
+    tree.validate().unwrap();
+}
+
+#[test]
+fn delete_from_leaf_simple() {
+    let mut tree = make_tree(256);
+    for k in [10u64, 20, 30] {
+        tree.insert(k, RecordPtr(k)).unwrap();
+    }
+    assert_eq!(tree.delete(20).unwrap(), Some(RecordPtr(20)));
+    assert_eq!(tree.delete(20).unwrap(), None);
+    assert_eq!(tree.len(), 2);
+    assert_eq!(tree.get(20).unwrap(), None);
+    assert_eq!(tree.get(10).unwrap(), Some(RecordPtr(10)));
+    tree.validate().unwrap();
+}
+
+#[test]
+fn delete_everything_ascending_and_descending() {
+    for ascending in [true, false] {
+        let mut tree = make_tree(256);
+        let n = 300u64;
+        for k in 0..n {
+            tree.insert(k, RecordPtr(k)).unwrap();
+        }
+        let order: Vec<u64> = if ascending {
+            (0..n).collect()
+        } else {
+            (0..n).rev().collect()
+        };
+        for (i, &k) in order.iter().enumerate() {
+            assert_eq!(tree.delete(k).unwrap(), Some(RecordPtr(k)), "delete {k}");
+            if i % 37 == 0 {
+                tree.validate().unwrap();
+            }
+        }
+        assert!(tree.is_empty());
+        assert_eq!(tree.height(), 1, "tree must shrink back to a single leaf");
+        tree.validate().unwrap();
+    }
+}
+
+#[test]
+fn delete_random_interleaved_with_inserts() {
+    let mut tree = make_tree(256);
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut model = std::collections::BTreeMap::new();
+    for round in 0..2000u64 {
+        let k = rng.gen_range(0..500u64);
+        if rng.gen_bool(0.6) {
+            let expected = model.insert(k, k + round);
+            let got = tree.insert(k, RecordPtr(k + round)).unwrap();
+            assert_eq!(got.map(|p| p.0), expected, "insert {k} round {round}");
+        } else {
+            let expected = model.remove(&k);
+            let got = tree.delete(k).unwrap();
+            assert_eq!(got.map(|p| p.0), expected, "delete {k} round {round}");
+        }
+        if round % 250 == 0 {
+            tree.validate().unwrap();
+        }
+    }
+    tree.validate().unwrap();
+    assert_eq!(tree.len(), model.len() as u64);
+    let scanned: Vec<(u64, u64)> = tree
+        .scan_all()
+        .unwrap()
+        .iter()
+        .map(|&(k, p)| (k, p.0))
+        .collect();
+    let want: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+    assert_eq!(scanned, want);
+}
+
+#[test]
+fn range_queries_match_model() {
+    let mut tree = make_tree(256);
+    let keys: Vec<u64> = (0..300).map(|i| i * 3).collect(); // 0,3,6,...
+    for &k in &keys {
+        tree.insert(k, RecordPtr(k)).unwrap();
+    }
+    for (lo, hi) in [(0u64, 0u64), (1, 2), (0, 897), (10, 100), (450, 460), (897, 2000), (5, 5), (6, 6)] {
+        let got: Vec<u64> = tree.range(lo, hi).unwrap().iter().map(|&(k, _)| k).collect();
+        let want: Vec<u64> = keys
+            .iter()
+            .copied()
+            .filter(|&k| k >= lo && k <= hi)
+            .collect();
+        assert_eq!(got, want, "range [{lo}, {hi}]");
+    }
+    // Inverted range is empty.
+    assert!(tree.range(10, 5).unwrap().is_empty());
+}
+
+#[test]
+fn first_and_last() {
+    let mut tree = make_tree(256);
+    for k in [50u64, 10, 90, 30, 70] {
+        tree.insert(k, RecordPtr(k)).unwrap();
+    }
+    assert_eq!(tree.first().unwrap(), Some((10, RecordPtr(10))));
+    assert_eq!(tree.last().unwrap(), Some((90, RecordPtr(90))));
+}
+
+#[test]
+fn persistence_across_reopen() {
+    let counters = OpCounters::new();
+    let disk = MemDisk::with_counters(256, counters.clone());
+    let mut tree = BTree::create(disk, PlainCodec::new(counters.clone())).unwrap();
+    for k in 0..100u64 {
+        tree.insert(k, RecordPtr(k)).unwrap();
+    }
+    let store = tree.into_store().unwrap();
+    let tree = BTree::open(store, PlainCodec::new(counters)).unwrap();
+    assert_eq!(tree.len(), 100);
+    for k in 0..100u64 {
+        assert_eq!(tree.get(k).unwrap(), Some(RecordPtr(k)));
+    }
+    tree.validate().unwrap();
+}
+
+#[test]
+fn open_rejects_garbage_superblock() {
+    let mut disk = MemDisk::new(256);
+    let b = disk.allocate().unwrap();
+    disk.write_block(b, &[0xAB; 256]).unwrap();
+    let counters = disk.counters().clone();
+    assert!(matches!(
+        BTree::open(disk, PlainCodec::new(counters)),
+        Err(TreeError::Codec(_))
+    ));
+}
+
+#[test]
+fn create_rejects_tiny_pages() {
+    let counters = OpCounters::new();
+    let disk = MemDisk::with_counters(32, counters.clone());
+    assert!(matches!(
+        BTree::create(disk, PlainCodec::new(counters)),
+        Err(TreeError::PageTooSmall { .. })
+    ));
+}
+
+#[test]
+fn height_grows_logarithmically() {
+    let mut tree = make_tree(128); // small pages -> small fanout
+    for k in 0..1000u64 {
+        tree.insert(k, RecordPtr(k)).unwrap();
+    }
+    tree.validate().unwrap();
+    let t = tree.min_degree() as f64;
+    let bound = ((1000f64).ln() / t.ln()).ceil() as u32 + 2;
+    assert!(
+        tree.height() <= bound,
+        "height {} exceeds O(log_t n) bound {bound}",
+        tree.height()
+    );
+}
+
+#[test]
+fn splits_and_merges_are_counted() {
+    let mut tree = make_tree(128);
+    for k in 0..200u64 {
+        tree.insert(k, RecordPtr(k)).unwrap();
+    }
+    let s = tree.counters().snapshot();
+    assert!(s.splits > 0, "insertions at this scale must split");
+    for k in 0..200u64 {
+        tree.delete(k).unwrap();
+    }
+    let s = tree.counters().snapshot();
+    assert!(s.merges > 0, "deletions at this scale must merge");
+}
+
+#[test]
+fn freed_blocks_are_reused_after_merges() {
+    let mut tree = make_tree(128);
+    for k in 0..500u64 {
+        tree.insert(k, RecordPtr(k)).unwrap();
+    }
+    let peak = tree.store().num_blocks();
+    for k in 100..500u64 {
+        tree.delete(k).unwrap();
+    }
+    for k in 100..500u64 {
+        tree.insert(k, RecordPtr(k)).unwrap();
+    }
+    tree.validate().unwrap();
+    // Reinsertion must largely reuse freed blocks rather than keep growing.
+    let after = tree.store().num_blocks();
+    assert!(
+        after <= peak + peak / 4,
+        "block leak: peak {peak}, after churn {after}"
+    );
+}
+
+#[test]
+fn duplicate_monotonic_pointers_data_integrity() {
+    // Pointer payloads unrelated to keys survive splits/merges unchanged.
+    let mut tree = make_tree(256);
+    for k in 0..300u64 {
+        tree.insert(k, RecordPtr(u64::MAX - k)).unwrap();
+    }
+    for k in (0..300u64).step_by(3) {
+        tree.delete(k).unwrap();
+    }
+    for k in 0..300u64 {
+        let want = if k % 3 == 0 {
+            None
+        } else {
+            Some(RecordPtr(u64::MAX - k))
+        };
+        assert_eq!(tree.get(k).unwrap(), want, "key {k}");
+    }
+}
+
+#[test]
+fn extreme_keys() {
+    let mut tree = make_tree(256);
+    for k in [0u64, 1, u64::MAX, u64::MAX - 1, u64::MAX / 2] {
+        tree.insert(k, RecordPtr(k)).unwrap();
+    }
+    assert_eq!(tree.get(u64::MAX).unwrap(), Some(RecordPtr(u64::MAX)));
+    assert_eq!(tree.get(0).unwrap(), Some(RecordPtr(0)));
+    let all: Vec<u64> = tree.scan_all().unwrap().iter().map(|&(k, _)| k).collect();
+    assert_eq!(all, vec![0, 1, u64::MAX / 2, u64::MAX - 1, u64::MAX]);
+    tree.validate().unwrap();
+}
+
+#[test]
+fn inspect_node_exposes_root() {
+    let mut tree = make_tree(256);
+    tree.insert(5, RecordPtr(5)).unwrap();
+    let root = tree.inspect_node(tree.root_id()).unwrap();
+    assert_eq!(root.keys, vec![5]);
+    assert_eq!(root.id, BlockId(1), "root allocated after superblock");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn prop_matches_btreemap_model(
+        ops in proptest::collection::vec((any::<bool>(), 0u64..200), 1..300),
+        block_size in prop_oneof![Just(128usize), Just(256), Just(512)],
+    ) {
+        let counters = OpCounters::new();
+        let disk = MemDisk::with_counters(block_size, counters.clone());
+        let mut tree = BTree::create(disk, PlainCodec::new(counters)).unwrap();
+        let mut model = std::collections::BTreeMap::new();
+        for (i, &(is_insert, k)) in ops.iter().enumerate() {
+            if is_insert {
+                let want = model.insert(k, i as u64);
+                let got = tree.insert(k, RecordPtr(i as u64)).unwrap();
+                prop_assert_eq!(got.map(|p| p.0), want);
+            } else {
+                let want = model.remove(&k);
+                let got = tree.delete(k).unwrap();
+                prop_assert_eq!(got.map(|p| p.0), want);
+            }
+        }
+        tree.validate().unwrap();
+        prop_assert_eq!(tree.len(), model.len() as u64);
+        let scanned: Vec<(u64, u64)> =
+            tree.scan_all().unwrap().iter().map(|&(k, p)| (k, p.0)).collect();
+        let want: Vec<(u64, u64)> = model.into_iter().collect();
+        prop_assert_eq!(scanned, want);
+    }
+
+    #[test]
+    fn prop_range_equals_filtered_scan(
+        keys in proptest::collection::btree_set(0u64..1000, 0..120),
+        lo in 0u64..1000,
+        width in 0u64..500,
+    ) {
+        let mut tree = make_tree(256);
+        for &k in &keys {
+            tree.insert(k, RecordPtr(k)).unwrap();
+        }
+        let hi = lo.saturating_add(width);
+        let got: Vec<u64> = tree.range(lo, hi).unwrap().iter().map(|&(k, _)| k).collect();
+        let want: Vec<u64> = keys.iter().copied().filter(|&k| k >= lo && k <= hi).collect();
+        prop_assert_eq!(got, want);
+    }
+}
+
+// ---- bulk loading --------------------------------------------------------
+
+fn bulk(items: &[(u64, u64)], block_size: usize) -> BTree<MemDisk, PlainCodec> {
+    let counters = OpCounters::new();
+    let disk = MemDisk::with_counters(block_size, counters.clone());
+    let pairs: Vec<(u64, RecordPtr)> = items.iter().map(|&(k, p)| (k, RecordPtr(p))).collect();
+    BTree::bulk_load(disk, PlainCodec::new(counters), &pairs).unwrap()
+}
+
+#[test]
+fn bulk_load_empty_and_tiny() {
+    let tree = bulk(&[], 256);
+    assert!(tree.is_empty());
+    tree.validate().unwrap();
+
+    let tree = bulk(&[(5, 50)], 256);
+    assert_eq!(tree.len(), 1);
+    assert_eq!(tree.get(5).unwrap(), Some(RecordPtr(50)));
+    tree.validate().unwrap();
+}
+
+#[test]
+fn bulk_load_matches_insert_built_tree_contents() {
+    for n in [1u64, 7, 20, 100, 500, 2_000] {
+        let items: Vec<(u64, u64)> = (0..n).map(|k| (k * 3, k)).collect();
+        let tree = bulk(&items, 256);
+        assert_eq!(tree.len(), n, "n={n}");
+        tree.validate().unwrap_or_else(|e| panic!("n={n}: {e}"));
+        let scanned: Vec<(u64, u64)> = tree
+            .scan_all()
+            .unwrap()
+            .iter()
+            .map(|&(k, p)| (k, p.0))
+            .collect();
+        assert_eq!(scanned, items, "n={n}");
+        // Spot lookups.
+        assert_eq!(tree.get(0).unwrap(), Some(RecordPtr(0)));
+        assert_eq!(tree.get(3 * (n - 1)).unwrap(), Some(RecordPtr(n - 1)));
+        assert_eq!(tree.get(3 * n + 1).unwrap(), None);
+    }
+}
+
+#[test]
+fn bulk_load_rejects_unsorted_or_duplicate_keys() {
+    let counters = OpCounters::new();
+    let disk = MemDisk::with_counters(256, counters.clone());
+    let err = BTree::bulk_load(
+        disk,
+        PlainCodec::new(counters.clone()),
+        &[(3, RecordPtr(1)), (2, RecordPtr(2))],
+    )
+    .unwrap_err();
+    assert!(matches!(err, TreeError::Invalid(_)));
+    let disk = MemDisk::with_counters(256, counters.clone());
+    assert!(BTree::bulk_load(
+        disk,
+        PlainCodec::new(counters),
+        &[(3, RecordPtr(1)), (3, RecordPtr(2))],
+    )
+    .is_err());
+}
+
+#[test]
+fn bulk_load_writes_each_block_once() {
+    let items: Vec<(u64, RecordPtr)> = (0..3_000u64).map(|k| (k, RecordPtr(k))).collect();
+    let counters = OpCounters::new();
+    let disk = MemDisk::with_counters(256, counters.clone());
+    let tree = BTree::bulk_load(disk, PlainCodec::new(counters), &items).unwrap();
+    let s = tree.counters().snapshot();
+    // Block writes ≈ node count + superblock writes; far below the ~2 writes
+    // per insert an incremental build costs.
+    let nodes = tree.store().num_blocks() as u64;
+    assert!(
+        s.block_writes <= nodes + 4,
+        "bulk load wrote {} blocks for {} nodes",
+        s.block_writes,
+        nodes
+    );
+    assert_eq!(s.splits, 0, "no splits during bulk load");
+    tree.validate().unwrap();
+}
+
+#[test]
+fn bulk_load_supports_mutation_afterwards() {
+    let items: Vec<(u64, u64)> = (0..800u64).map(|k| (k * 2, k)).collect();
+    let mut tree = bulk(&items, 256);
+    // Insert odd keys, delete some evens.
+    for k in 0..200u64 {
+        tree.insert(k * 2 + 1, RecordPtr(k + 10_000)).unwrap();
+    }
+    for k in (0..800u64).step_by(5) {
+        tree.delete(k * 2).unwrap();
+    }
+    tree.validate().unwrap();
+    assert_eq!(tree.len(), 800 + 200 - 160);
+}

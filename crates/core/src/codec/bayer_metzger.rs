@@ -1,0 +1,387 @@
+//! The Bayer–Metzger baseline with §3's *binary search-and-decrypt*.
+//!
+//! Every triplet `(kᵢ, aᵢ, pᵢ)` is one cryptogram under the page key
+//! `K_{P} = PK(K_E, P_id)` (so identical triplets in different nodes yield
+//! different cryptograms), and navigating a node costs up to `log₂ n`
+//! triplet decryptions. Reorganisation (split/merge) must decrypt and
+//! re-encrypt every moved triplet *including its never-changing search key*
+//! — the overhead the paper's scheme removes.
+
+use std::cell::RefCell;
+
+use sks_btree_core::{CodecError, Node, NodeCodec, Probe, RecordPtr, NODE_HEADER_LEN};
+use sks_crypto::cipher::BlockCipher64;
+use sks_crypto::pagekey::PageKeyScheme;
+use sks_storage::{BlockId, OpCounters, PageReader, PageWriter};
+
+const TAG: u8 = 0x42; // 'B'
+
+/// Triplet cryptogram width: `k(8) ‖ a(8) ‖ p(4) ‖ check(4)` = 24 bytes
+/// (three cipher blocks, CBC, zero IV — uniqueness comes from the page key).
+const SEALED_TRIPLET_LEN: usize = 24;
+
+/// The Bayer–Metzger per-triplet codec.
+pub struct BayerMetzgerCodec {
+    pages: PageKeyScheme,
+    counters: OpCounters,
+}
+
+impl BayerMetzgerCodec {
+    pub fn new(pages: PageKeyScheme, counters: OpCounters) -> Self {
+        BayerMetzgerCodec { pages, counters }
+    }
+
+    fn seal_triplet(
+        &self,
+        cipher: &dyn BlockCipher64,
+        k: u64,
+        a: u64,
+        p: u32,
+        block: u32,
+    ) -> [u8; SEALED_TRIPLET_LEN] {
+        let mut pt = [0u8; SEALED_TRIPLET_LEN];
+        pt[0..8].copy_from_slice(&k.to_be_bytes());
+        pt[8..16].copy_from_slice(&a.to_be_bytes());
+        pt[16..20].copy_from_slice(&p.to_be_bytes());
+        pt[20..24].copy_from_slice(&block.to_be_bytes());
+        let mut out = [0u8; SEALED_TRIPLET_LEN];
+        let mut prev = 0u64;
+        for i in 0..3 {
+            let b = u64::from_be_bytes(pt[i * 8..(i + 1) * 8].try_into().expect("fixed"));
+            let c = cipher.encrypt_block(b ^ prev);
+            out[i * 8..(i + 1) * 8].copy_from_slice(&c.to_be_bytes());
+            prev = c;
+        }
+        out
+    }
+
+    fn unseal_triplet(
+        &self,
+        cipher: &dyn BlockCipher64,
+        ct: &[u8],
+        block: u32,
+    ) -> Result<(u64, u64, u32), CodecError> {
+        if ct.len() != SEALED_TRIPLET_LEN {
+            return Err(CodecError::Corrupt(format!(
+                "triplet cryptogram must be {SEALED_TRIPLET_LEN} bytes, got {}",
+                ct.len()
+            )));
+        }
+        let mut pt = [0u8; SEALED_TRIPLET_LEN];
+        let mut prev = 0u64;
+        for i in 0..3 {
+            let c = u64::from_be_bytes(ct[i * 8..(i + 1) * 8].try_into().expect("fixed"));
+            let b = cipher.decrypt_block(c) ^ prev;
+            pt[i * 8..(i + 1) * 8].copy_from_slice(&b.to_be_bytes());
+            prev = c;
+        }
+        let check = u32::from_be_bytes(pt[20..24].try_into().expect("fixed"));
+        if check != block {
+            return Err(CodecError::BindingMismatch {
+                expected: block,
+                got: check,
+            });
+        }
+        let k = u64::from_be_bytes(pt[0..8].try_into().expect("fixed"));
+        let a = u64::from_be_bytes(pt[8..16].try_into().expect("fixed"));
+        let p = u32::from_be_bytes(pt[16..20].try_into().expect("fixed"));
+        Ok((k, a, p))
+    }
+
+    /// Offset of sealed triplet `i` (slot 0 = the leftmost-pointer seal for
+    /// internal nodes; keyed triplets follow).
+    fn triplet_offset(is_leaf: bool, i: usize) -> usize {
+        let base = NODE_HEADER_LEN + if is_leaf { 0 } else { SEALED_TRIPLET_LEN };
+        base + i * SEALED_TRIPLET_LEN
+    }
+}
+
+impl NodeCodec for BayerMetzgerCodec {
+    fn encode(&self, node: &Node, page: &mut [u8]) -> Result<(), CodecError> {
+        node.check_shape().map_err(CodecError::Corrupt)?;
+        let cipher = self.pages.page_cipher(node.id.as_u64());
+        let mut w = PageWriter::new(page);
+        sks_btree_core::codec::write_header(&mut w, TAG, node)?;
+        let b = node.id.0;
+        if !node.is_leaf() {
+            // The lone leftmost pointer, sealed without a key.
+            self.counters.bump(|c| &c.ptr_encrypts);
+            let ct = self.seal_triplet(cipher.as_ref(), 0, 0, node.children[0].0, b);
+            w.put_bytes(&ct)?;
+        }
+        for i in 0..node.n() {
+            let p = if node.is_leaf() {
+                0
+            } else {
+                node.children[i + 1].0
+            };
+            // The whole triplet — key included — is one cryptogram; this is
+            // the key re-encipherment §3 complains about.
+            self.counters.bump(|c| &c.key_encrypts);
+            let ct = self.seal_triplet(cipher.as_ref(), node.keys[i], node.data_ptrs[i].0, p, b);
+            w.put_bytes(&ct)?;
+        }
+        w.pad_remaining();
+        Ok(())
+    }
+
+    fn decode(&self, id: BlockId, page: &[u8]) -> Result<Node, CodecError> {
+        let cipher = self.pages.page_cipher(id.as_u64());
+        let mut r = PageReader::new(page);
+        let (is_leaf, n) = sks_btree_core::codec::read_header(&mut r, TAG, id)?;
+        let mut keys = Vec::with_capacity(n);
+        let mut data_ptrs = Vec::with_capacity(n);
+        let mut children = Vec::new();
+        if !is_leaf {
+            let ct = r.get_bytes(SEALED_TRIPLET_LEN)?;
+            self.counters.bump(|c| &c.ptr_decrypts);
+            let (_, _, p0) = self.unseal_triplet(cipher.as_ref(), ct, id.0)?;
+            children.push(BlockId(p0));
+        }
+        for _ in 0..n {
+            let ct = r.get_bytes(SEALED_TRIPLET_LEN)?;
+            self.counters.bump(|c| &c.key_decrypts);
+            let (k, a, p) = self.unseal_triplet(cipher.as_ref(), ct, id.0)?;
+            keys.push(k);
+            data_ptrs.push(RecordPtr(a));
+            if !is_leaf {
+                children.push(BlockId(p));
+            }
+        }
+        let node = Node {
+            id,
+            keys,
+            data_ptrs,
+            children,
+        };
+        node.check_shape().map_err(CodecError::Corrupt)?;
+        Ok(node)
+    }
+
+    fn probe(&self, id: BlockId, page: &[u8], key: u64) -> Result<Probe, CodecError> {
+        let cipher = self.pages.page_cipher(id.as_u64());
+        let mut r = PageReader::new(page);
+        let (is_leaf, n) = sks_btree_core::codec::read_header(&mut r, TAG, id)?;
+
+        // Binary search-and-decrypt with memoisation: each triplet is
+        // decrypted at most once per probe.
+        let memo: RefCell<Vec<Option<(u64, u64, u32)>>> = RefCell::new(vec![None; n]);
+        let triplet_at = |i: usize| -> Result<(u64, u64, u32), CodecError> {
+            if let Some(t) = memo.borrow()[i] {
+                return Ok(t);
+            }
+            let mut rr = PageReader::new(page);
+            rr.seek(Self::triplet_offset(is_leaf, i))?;
+            let ct = rr.get_bytes(SEALED_TRIPLET_LEN)?;
+            self.counters.bump(|c| &c.key_decrypts);
+            let t = self.unseal_triplet(cipher.as_ref(), ct, id.0)?;
+            memo.borrow_mut()[i] = Some(t);
+            Ok(t)
+        };
+
+        let mut lo = 0usize;
+        let mut hi = n;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            self.counters.bump(|c| &c.key_compares);
+            let (k, a, _) = triplet_at(mid)?;
+            match k.cmp(&key) {
+                std::cmp::Ordering::Equal => {
+                    return Ok(Probe::Found {
+                        data_ptr: RecordPtr(a),
+                    })
+                }
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+            }
+        }
+        if is_leaf {
+            return Ok(Probe::Missing);
+        }
+        // Child `lo`: p₀ from the leftmost seal, child i+1 from triplet i.
+        if lo == 0 {
+            let mut rr = PageReader::new(page);
+            rr.seek(NODE_HEADER_LEN)?;
+            let ct = rr.get_bytes(SEALED_TRIPLET_LEN)?;
+            self.counters.bump(|c| &c.ptr_decrypts);
+            let (_, _, p0) = self.unseal_triplet(cipher.as_ref(), ct, id.0)?;
+            Ok(Probe::Descend { child: BlockId(p0) })
+        } else {
+            let (_, _, p) = triplet_at(lo - 1)?;
+            Ok(Probe::Descend { child: BlockId(p) })
+        }
+    }
+
+    fn max_keys(&self, page_size: usize) -> usize {
+        let fixed = NODE_HEADER_LEN + SEALED_TRIPLET_LEN; // header + leftmost
+        if page_size <= fixed {
+            return 0;
+        }
+        (page_size - fixed) / SEALED_TRIPLET_LEN
+    }
+
+    fn name(&self) -> &'static str {
+        "bayer-metzger"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sks_crypto::pagekey::PageCipherKind;
+
+    fn codec() -> (BayerMetzgerCodec, OpCounters) {
+        let counters = OpCounters::new();
+        (
+            BayerMetzgerCodec::new(
+                PageKeyScheme::new(0xDEAD_BEEF_F00D_CAFE, PageCipherKind::Des),
+                counters.clone(),
+            ),
+            counters,
+        )
+    }
+
+    fn sample_internal() -> Node {
+        Node {
+            id: BlockId(7),
+            keys: vec![10, 20, 30, 40, 50],
+            data_ptrs: (1..=5).map(RecordPtr).collect(),
+            children: (11..=16).map(BlockId).collect(),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (codec, _) = codec();
+        let node = sample_internal();
+        let mut page = vec![0u8; 512];
+        codec.encode(&node, &mut page).unwrap();
+        assert_eq!(codec.decode(BlockId(7), &page).unwrap(), node);
+    }
+
+    #[test]
+    fn keys_are_not_visible_on_disk() {
+        let (codec, _) = codec();
+        let node = sample_internal();
+        let mut page = vec![0u8; 512];
+        codec.encode(&node, &mut page).unwrap();
+        // No plaintext key value may appear anywhere in the page body.
+        for &k in &node.keys {
+            let needle = k.to_be_bytes();
+            let hits = page.windows(8).filter(|w| *w == needle).count();
+            assert_eq!(hits, 0, "plaintext key {k} leaked to the page");
+        }
+    }
+
+    #[test]
+    fn probe_costs_log2_decryptions() {
+        let (codec, counters) = codec();
+        let node = sample_internal(); // n = 5
+        let mut page = vec![0u8; 512];
+        codec.encode(&node, &mut page).unwrap();
+        counters.reset();
+        let p = codec.probe(BlockId(7), &page, 30).unwrap();
+        assert_eq!(p, Probe::Found { data_ptr: RecordPtr(3) });
+        let s = counters.snapshot();
+        // Midpoint found immediately: exactly 1 decryption here; worst case
+        // checked below.
+        assert!(s.key_decrypts >= 1);
+
+        counters.reset();
+        let p = codec.probe(BlockId(7), &page, 15).unwrap();
+        assert_eq!(p, Probe::Descend { child: BlockId(12) });
+        let s = counters.snapshot();
+        assert!(
+            s.key_decrypts as f64 <= (5f64).log2().ceil() + 1.0,
+            "binary search-and-decrypt must stay ~log2(n): {}",
+            s.key_decrypts
+        );
+    }
+
+    #[test]
+    fn memoisation_avoids_double_decrypting_a_triplet() {
+        let (codec, counters) = codec();
+        let node = sample_internal();
+        let mut page = vec![0u8; 512];
+        codec.encode(&node, &mut page).unwrap();
+        counters.reset();
+        // Descending between keys 20 and 30 needs triplet 1 both as a probe
+        // and as the pointer source; it must be decrypted once.
+        let p = codec.probe(BlockId(7), &page, 25).unwrap();
+        assert_eq!(p, Probe::Descend { child: BlockId(13) });
+        let s = counters.snapshot();
+        assert!(s.key_decrypts <= 3, "memoised probe decrypted {}", s.key_decrypts);
+    }
+
+    #[test]
+    fn identical_triplets_different_blocks_different_cryptograms() {
+        // The page-key property of §2.
+        let (codec, _) = codec();
+        let mut a = Node::leaf(BlockId(1));
+        a.keys = vec![42];
+        a.data_ptrs = vec![RecordPtr(7)];
+        let mut b = a.clone();
+        b.id = BlockId(2);
+        let mut pa = vec![0u8; 128];
+        let mut pb = vec![0u8; 128];
+        codec.encode(&a, &mut pa).unwrap();
+        codec.encode(&b, &mut pb).unwrap();
+        assert_ne!(
+            pa[NODE_HEADER_LEN..NODE_HEADER_LEN + SEALED_TRIPLET_LEN],
+            pb[NODE_HEADER_LEN..NODE_HEADER_LEN + SEALED_TRIPLET_LEN],
+            "same triplet in different blocks must differ on disk"
+        );
+    }
+
+    #[test]
+    fn encode_counts_key_encryptions() {
+        // §3: every triplet moved = one key re-encipherment. The counter is
+        // how experiment E4 measures reorganisation overhead.
+        let (codec, counters) = codec();
+        let node = sample_internal();
+        let mut page = vec![0u8; 512];
+        codec.encode(&node, &mut page).unwrap();
+        let s = counters.snapshot();
+        assert_eq!(s.key_encrypts, 5, "one per triplet");
+        assert_eq!(s.ptr_encrypts, 1, "the lone leftmost pointer");
+    }
+
+    #[test]
+    fn wrong_page_key_detected() {
+        let (codec, _) = codec();
+        let other = BayerMetzgerCodec::new(
+            PageKeyScheme::new(0x1111, PageCipherKind::Des),
+            OpCounters::new(),
+        );
+        let node = sample_internal();
+        let mut page = vec![0u8; 512];
+        codec.encode(&node, &mut page).unwrap();
+        assert!(other.decode(BlockId(7), &page).is_err());
+    }
+
+    #[test]
+    fn relocated_page_detected() {
+        let (codec, _) = codec();
+        let node = sample_internal();
+        let mut page = vec![0u8; 512];
+        codec.encode(&node, &mut page).unwrap();
+        page[4..8].copy_from_slice(&9u32.to_be_bytes());
+        assert!(codec.decode(BlockId(9), &page).is_err());
+    }
+
+    #[test]
+    fn max_keys_consistent_with_encode() {
+        let (codec, _) = codec();
+        for page_size in [128usize, 256, 512] {
+            let m = codec.max_keys(page_size);
+            let node = Node {
+                id: BlockId(1),
+                keys: (0..m as u64).collect(),
+                data_ptrs: (0..m as u64).map(RecordPtr).collect(),
+                children: (0..=m as u32).map(BlockId).collect(),
+            };
+            let mut page = vec![0u8; page_size];
+            codec.encode(&node, &mut page).unwrap();
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! Scheme configuration: one declarative description that builds the whole
+//! stack (design, disguise, sealer, codec) for any of the paper's schemes
+//! or baselines.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sks_btree_core::PlainCodec;
+use sks_crypto::pagekey::{PageCipherKind, PageKeyScheme};
+use sks_crypto::rsa::RsaKey;
+use sks_designs::diffset::DifferenceSet;
+use sks_designs::primes::{next_prime, primitive_root};
+use sks_storage::OpCounters;
+
+use crate::codec::{AnyCodec, BayerMetzgerCodec, BlockCipherSealer, FullPageCodec, RsaSealer, SubstitutionCodec, TripletSealer};
+use crate::disguise::{ExpSubstitution, IdentityDisguise, KeyDisguise, OvalSubstitution, PaperExpSubstitution, SumSubstitution, TableDisguise};
+use crate::error::CoreError;
+
+/// Which encipherment scheme the tree runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// No cryptography (baseline).
+    Plaintext,
+    /// Bayer–Metzger per-triplet encipherment with binary
+    /// search-and-decrypt (§3 baseline).
+    BayerMetzger,
+    /// Bayer–Metzger whole-page encipherment (§2 baseline).
+    BayerMetzgerPage,
+    /// §4.1 oval substitution + encrypted pointers — the paper's scheme.
+    Oval,
+    /// §4.2 exponentiation substitution (invertible Pohlig–Hellman reading).
+    Exponentiation,
+    /// §4.2 literal worked-example construction (figure reproduction only).
+    ExponentiationPaper,
+    /// §4.3 order-preserving sum-of-treatments substitution.
+    SumOfTreatments,
+    /// Conversion-table strawman (E8 comparison).
+    ConversionTable,
+}
+
+impl Scheme {
+    pub const ALL: [Scheme; 8] = [
+        Scheme::Plaintext,
+        Scheme::BayerMetzger,
+        Scheme::BayerMetzgerPage,
+        Scheme::Oval,
+        Scheme::Exponentiation,
+        Scheme::ExponentiationPaper,
+        Scheme::SumOfTreatments,
+        Scheme::ConversionTable,
+    ];
+
+    /// The schemes used in quantitative experiments (excludes the literal
+    /// figure-only construction).
+    pub const MEASURED: [Scheme; 6] = [
+        Scheme::Plaintext,
+        Scheme::BayerMetzger,
+        Scheme::BayerMetzgerPage,
+        Scheme::Oval,
+        Scheme::Exponentiation,
+        Scheme::SumOfTreatments,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::Plaintext => "plaintext",
+            Scheme::BayerMetzger => "bayer-metzger",
+            Scheme::BayerMetzgerPage => "bm-full-page",
+            Scheme::Oval => "oval",
+            Scheme::Exponentiation => "exponentiation",
+            Scheme::ExponentiationPaper => "exponentiation-paper",
+            Scheme::SumOfTreatments => "sum-of-treatments",
+            Scheme::ConversionTable => "conversion-table",
+        }
+    }
+}
+
+/// Which design parameterises the disguise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DesignChoice {
+    /// The paper's `(13,4,1)` worked-example design.
+    Paper13,
+    /// Singer `(q²+q+1, q+1, 1)` design for prime `q`.
+    Singer(u64),
+}
+
+/// Pointer-seal cipher selection (§5 leaves this open).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SealerKind {
+    Des,
+    Speck,
+    /// Secret-parameter RSA with this modulus size in bits.
+    Rsa(usize),
+}
+
+/// Full configuration for an [`crate::EncipheredBTree`].
+#[derive(Debug, Clone)]
+pub struct SchemeConfig {
+    pub scheme: Scheme,
+    /// Node/data block size in bytes.
+    pub block_size: usize,
+    pub sealer: SealerKind,
+    /// Tree key `K_E` (file key for page-key schemes, sealer key otherwise).
+    pub tree_key: u64,
+    /// Independent data-block key (§5).
+    pub data_key: u128,
+    pub design: DesignChoice,
+    /// Oval / exponent multiplier `t`.
+    pub t: u64,
+    /// Sum-of-treatments starting line `w`.
+    pub w: u64,
+    /// Maximum number of distinct keys the tree must support (`R`). Keys
+    /// are `0..capacity` (or `1..=capacity` for exponentiation).
+    pub capacity: u64,
+    /// Deterministic seed for table construction / RSA keygen.
+    pub rng_seed: u64,
+}
+
+impl SchemeConfig {
+    /// Paper-scale parameters: the `(13,4,1)` design, 13-key domain, 256-byte
+    /// blocks. Matches every worked example in the paper.
+    pub fn demo(scheme: Scheme) -> Self {
+        SchemeConfig {
+            scheme,
+            block_size: 256,
+            sealer: SealerKind::Des,
+            tree_key: 0x133457799BBCDFF1,
+            data_key: 0x0011_2233_4455_6677_8899_AABB_CCDD_EEFF,
+            design: DesignChoice::Paper13,
+            t: 7,
+            w: 0,
+            capacity: 11, // w + R < v - 1 for the sum scheme
+            rng_seed: 42,
+        }
+    }
+
+    /// Parameters sized for `capacity` records: picks the smallest Singer
+    /// design with `v` comfortably above the key domain (§4's `v ≫ R`).
+    pub fn with_capacity(scheme: Scheme, capacity: u64) -> Self {
+        let mut q = 3u64;
+        // v = q² + q + 1 must exceed capacity + w + margin.
+        while q * q + q + 1 < capacity + 64 {
+            q = next_prime(q + 1);
+        }
+        SchemeConfig {
+            scheme,
+            block_size: 4096,
+            sealer: SealerKind::Des,
+            tree_key: 0x133457799BBCDFF1,
+            data_key: 0x0011_2233_4455_6677_8899_AABB_CCDD_EEFF,
+            design: DesignChoice::Singer(q),
+            t: 0, // auto-pick at build time
+            w: 17 % (q * q),
+            capacity,
+            rng_seed: 42,
+        }
+    }
+
+    /// Materialises the difference set.
+    pub fn build_design(&self) -> Result<DifferenceSet, CoreError> {
+        Ok(match self.design {
+            DesignChoice::Paper13 => DifferenceSet::paper_13_4_1(),
+            DesignChoice::Singer(q) => DifferenceSet::singer(q)?,
+        })
+    }
+
+    fn pick_multiplier(&self, v: u64) -> u64 {
+        if self.t != 0 {
+            return self.t;
+        }
+        // Deterministic unit of Z_v away from ±1 so the scrambling is real.
+        let mut t = v / 2 + 3;
+        while sks_designs::arith::gcd(t, v) != 1 || t == 1 || t == v - 1 {
+            t += 1;
+        }
+        t
+    }
+
+    fn build_sealer(&self, counters: &OpCounters) -> Result<Arc<dyn TripletSealer>, CoreError> {
+        let _ = counters;
+        Ok(match self.sealer {
+            SealerKind::Des => Arc::new(BlockCipherSealer::des(self.tree_key)),
+            SealerKind::Speck => Arc::new(BlockCipherSealer::speck(
+                ((self.tree_key as u128) << 64) | !self.tree_key as u128,
+            )),
+            SealerKind::Rsa(bits) => {
+                let mut rng = StdRng::seed_from_u64(self.rng_seed);
+                let key = RsaKey::generate(&mut rng, bits);
+                Arc::new(RsaSealer::new(key)?)
+            }
+        })
+    }
+
+    /// Builds the disguise for substitution schemes (`None` for baselines).
+    pub fn build_disguise(
+        &self,
+        counters: &OpCounters,
+    ) -> Result<Option<Arc<dyn KeyDisguise>>, CoreError> {
+        let disguise: Arc<dyn KeyDisguise> = match self.scheme {
+            Scheme::Plaintext | Scheme::BayerMetzger | Scheme::BayerMetzgerPage => {
+                return Ok(None)
+            }
+            Scheme::Oval => {
+                let ds = self.build_design()?;
+                let t = self.pick_multiplier(ds.v());
+                Arc::new(OvalSubstitution::new(ds, t, counters.clone())?)
+            }
+            Scheme::Exponentiation => {
+                let ds = self.build_design()?;
+                let n = next_prime(ds.v().max(self.capacity + 2));
+                let g = primitive_root(n);
+                let mut t = self.pick_multiplier(n - 1);
+                while sks_designs::arith::gcd(t, n - 1) != 1 {
+                    t += 1;
+                }
+                Arc::new(ExpSubstitution::new(ds, g, n, t, counters.clone())?)
+            }
+            Scheme::ExponentiationPaper => {
+                Arc::new(PaperExpSubstitution::paper_example(counters.clone()))
+            }
+            Scheme::SumOfTreatments => {
+                let ds = self.build_design()?;
+                if self.w + self.capacity >= ds.v() - 1 {
+                    return Err(CoreError::Config(format!(
+                        "sum scheme needs w + R < v - 1 (w={}, R={}, v={})",
+                        self.w,
+                        self.capacity,
+                        ds.v()
+                    )));
+                }
+                Arc::new(SumSubstitution::new(
+                    ds,
+                    self.w,
+                    self.capacity,
+                    counters.clone(),
+                )?)
+            }
+            Scheme::ConversionTable => {
+                let mut rng = StdRng::seed_from_u64(self.rng_seed);
+                Arc::new(TableDisguise::random(
+                    &mut rng,
+                    self.capacity.max(2),
+                    counters.clone(),
+                ))
+            }
+        };
+        Ok(Some(disguise))
+    }
+
+    /// Builds the node codec (and returns the disguise it uses, if any).
+    pub fn build_codec(
+        &self,
+        counters: &OpCounters,
+    ) -> Result<(AnyCodec, Option<Arc<dyn KeyDisguise>>), CoreError> {
+        match self.scheme {
+            Scheme::Plaintext => Ok((AnyCodec::Plain(PlainCodec::new(counters.clone())), None)),
+            Scheme::BayerMetzger => Ok((
+                AnyCodec::BayerMetzger(BayerMetzgerCodec::new(
+                    PageKeyScheme::new(self.tree_key, PageCipherKind::Des),
+                    counters.clone(),
+                )),
+                None,
+            )),
+            Scheme::BayerMetzgerPage => Ok((
+                AnyCodec::FullPage(FullPageCodec::new(
+                    PageKeyScheme::new(self.tree_key, PageCipherKind::Des),
+                    counters.clone(),
+                )),
+                None,
+            )),
+            _ => {
+                let disguise = self
+                    .build_disguise(counters)?
+                    .unwrap_or_else(|| Arc::new(IdentityDisguise));
+                let sealer = self.build_sealer(counters)?;
+                Ok((
+                    AnyCodec::Substitution(SubstitutionCodec::new(
+                        disguise.clone(),
+                        sealer,
+                        counters.clone(),
+                    )),
+                    Some(disguise),
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_configs_build_for_all_schemes() {
+        for scheme in Scheme::ALL {
+            let cfg = SchemeConfig::demo(scheme);
+            let counters = OpCounters::new();
+            let (codec, disguise) = cfg.build_codec(&counters).unwrap();
+            use sks_btree_core::NodeCodec;
+            assert!(codec.max_keys(cfg.block_size) >= 3, "{}", scheme.name());
+            match scheme {
+                Scheme::Plaintext | Scheme::BayerMetzger | Scheme::BayerMetzgerPage => {
+                    assert!(disguise.is_none())
+                }
+                _ => assert!(disguise.is_some()),
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_configs_choose_big_enough_designs() {
+        for capacity in [100u64, 1_000, 50_000] {
+            let cfg = SchemeConfig::with_capacity(Scheme::Oval, capacity);
+            let ds = cfg.build_design().unwrap();
+            assert!(ds.v() > capacity, "v={} cap={capacity}", ds.v());
+            let counters = OpCounters::new();
+            let disguise = cfg.build_disguise(&counters).unwrap().unwrap();
+            // Spot-check the domain covers the capacity.
+            assert!(disguise.domain_size().unwrap() > capacity);
+        }
+    }
+
+    #[test]
+    fn sum_capacity_bound_is_validated() {
+        let mut cfg = SchemeConfig::demo(Scheme::SumOfTreatments);
+        cfg.capacity = 13;
+        let counters = OpCounters::new();
+        assert!(cfg.build_disguise(&counters).is_err());
+    }
+
+    #[test]
+    fn scheme_names_unique() {
+        let names: std::collections::HashSet<&str> =
+            Scheme::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), Scheme::ALL.len());
+    }
+
+    #[test]
+    fn rsa_sealer_config_builds() {
+        let mut cfg = SchemeConfig::demo(Scheme::Oval);
+        cfg.sealer = SealerKind::Rsa(256);
+        let counters = OpCounters::new();
+        let (codec, _) = cfg.build_codec(&counters).unwrap();
+        use sks_btree_core::NodeCodec;
+        // RSA-sized seals shrink the fanout substantially.
+        let des_cfg = SchemeConfig::demo(Scheme::Oval);
+        let (des_codec, _) = des_cfg.build_codec(&counters).unwrap();
+        assert!(codec.max_keys(4096) < des_codec.max_keys(4096));
+    }
+}

@@ -1,0 +1,88 @@
+//! Unified error type for the high-level API.
+
+use sks_btree_core::{CodecError, TreeError};
+use sks_designs::diffset::DesignError;
+use sks_storage::StorageError;
+
+use crate::disguise::DisguiseError;
+
+/// Any failure surfaced by the enciphered-tree facade.
+#[derive(Debug)]
+pub enum CoreError {
+    Tree(TreeError),
+    Storage(StorageError),
+    Codec(CodecError),
+    Disguise(DisguiseError),
+    Design(DesignError),
+    /// Record-store failures (slot not found, record too large, …).
+    Record(String),
+    /// A cryptographic integrity check failed (security-filter checksum).
+    Integrity(String),
+    /// Configuration is internally inconsistent.
+    Config(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Tree(e) => write!(f, "{e}"),
+            CoreError::Storage(e) => write!(f, "{e}"),
+            CoreError::Codec(e) => write!(f, "{e}"),
+            CoreError::Disguise(e) => write!(f, "{e}"),
+            CoreError::Design(e) => write!(f, "{e}"),
+            CoreError::Record(msg) => write!(f, "record store: {msg}"),
+            CoreError::Integrity(msg) => write!(f, "integrity violation: {msg}"),
+            CoreError::Config(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<TreeError> for CoreError {
+    fn from(e: TreeError) -> Self {
+        CoreError::Tree(e)
+    }
+}
+
+impl From<StorageError> for CoreError {
+    fn from(e: StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+impl From<CodecError> for CoreError {
+    fn from(e: CodecError) -> Self {
+        CoreError::Codec(e)
+    }
+}
+
+impl From<DisguiseError> for CoreError {
+    fn from(e: DisguiseError) -> Self {
+        CoreError::Disguise(e)
+    }
+}
+
+impl From<DesignError> for CoreError {
+    fn from(e: DesignError) -> Self {
+        CoreError::Design(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let samples: Vec<CoreError> = vec![
+            CoreError::Record("slot missing".into()),
+            CoreError::Integrity("checksum mismatch".into()),
+            CoreError::Config("v too small".into()),
+            CoreError::Disguise(DisguiseError::NotInImage { value: 9 }),
+        ];
+        for e in samples {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

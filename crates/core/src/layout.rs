@@ -1,0 +1,180 @@
+//! Node-layout arithmetic for experiment E3.
+//!
+//! §4.2: "the encryption of the search keys … will result in triplets that
+//! consume large storage spaces on the node blocks. Fewer triplets can be
+//! fitted onto a given node block, and the depth of the B-Tree would then
+//! increase substantially." This module turns each scheme's on-disk triplet
+//! width into fanout and expected tree depth so the claim can be tabulated.
+
+use sks_btree_core::{NodeCodec, NODE_HEADER_LEN};
+use sks_storage::OpCounters;
+
+use crate::config::{Scheme, SchemeConfig, SealerKind};
+use crate::error::CoreError;
+
+/// Static layout facts for one scheme at one page size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemeLayout {
+    pub scheme: Scheme,
+    /// Bytes the key field occupies on disk.
+    pub key_field_bytes: usize,
+    /// Bytes of cryptogram accompanying each triplet (pointer seal or whole
+    /// triplet seal).
+    pub seal_bytes: usize,
+    /// Total bytes per triplet.
+    pub triplet_bytes: usize,
+    /// Page size used.
+    pub page_size: usize,
+    /// Maximum triplets per node block.
+    pub max_keys: usize,
+}
+
+impl SchemeLayout {
+    /// Computes the layout by asking the actual codec (so the numbers can
+    /// never drift from the implementation).
+    pub fn for_config(config: &SchemeConfig) -> Result<Self, CoreError> {
+        let counters = OpCounters::new();
+        let (codec, _) = config.build_codec(&counters)?;
+        let max_keys = codec.max_keys(config.block_size);
+        let (key_field_bytes, seal_bytes) = match config.scheme {
+            Scheme::Plaintext => (8, 8 + 4), // key + data ptr + child ptr
+            Scheme::BayerMetzger => (0, 24), // key inside the 24-byte seal
+            Scheme::BayerMetzgerPage => (8, 12),
+            _ => (
+                8,
+                match config.sealer {
+                    SealerKind::Des | SealerKind::Speck => 16,
+                    SealerKind::Rsa(bits) => bits / 8,
+                },
+            ),
+        };
+        Ok(SchemeLayout {
+            scheme: config.scheme,
+            key_field_bytes,
+            seal_bytes,
+            triplet_bytes: key_field_bytes + seal_bytes,
+            page_size: config.block_size,
+            max_keys,
+        })
+    }
+
+    /// Worst-case height of a CLRS B-tree with this fanout holding `r`
+    /// keys: `1 + ⌊log_t((r+1)/2)⌋` with `t = (max_keys+1)/2`.
+    pub fn worst_case_height(&self, r: u64) -> u32 {
+        if r == 0 {
+            return 1;
+        }
+        let t = self.max_keys.div_ceil(2).max(2) as f64;
+        let h = 1.0 + (((r + 1) as f64) / 2.0).ln() / t.ln();
+        h.floor() as u32
+    }
+
+    /// Best-case height: every node full — `⌈log_{m+1}(r+1)⌉`.
+    pub fn best_case_height(&self, r: u64) -> u32 {
+        if r == 0 {
+            return 1;
+        }
+        let m = (self.max_keys + 1) as f64;
+        (((r + 1) as f64).ln() / m.ln()).ceil() as u32
+    }
+
+    /// Bytes of node storage per stored key at full occupancy, including
+    /// amortised header overhead.
+    pub fn bytes_per_key(&self) -> f64 {
+        if self.max_keys == 0 {
+            return f64::INFINITY;
+        }
+        (self.triplet_bytes as f64) + (NODE_HEADER_LEN as f64) / (self.max_keys as f64)
+    }
+}
+
+/// Convenience: layouts for all measured schemes at a page size.
+pub fn layouts_at(page_size: usize) -> Result<Vec<SchemeLayout>, CoreError> {
+    Scheme::MEASURED
+        .iter()
+        .map(|&scheme| {
+            let mut cfg = SchemeConfig::demo(scheme);
+            cfg.block_size = page_size;
+            SchemeLayout::for_config(&cfg)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substitution_beats_bayer_metzger_on_fanout() {
+        // 8 + 16 = 24 bytes/triplet for substitution wins over BM only via
+        // the leftmost-pointer bookkeeping... verify with actual codecs: at
+        // 4096-byte pages the substitution layout must fit at least as many
+        // triplets as BM.
+        let mut sub = SchemeConfig::demo(Scheme::Oval);
+        sub.block_size = 4096;
+        let mut bm = SchemeConfig::demo(Scheme::BayerMetzger);
+        bm.block_size = 4096;
+        let sub_layout = SchemeLayout::for_config(&sub).unwrap();
+        let bm_layout = SchemeLayout::for_config(&bm).unwrap();
+        assert!(sub_layout.max_keys >= bm_layout.max_keys);
+    }
+
+    #[test]
+    fn rsa_seals_shrink_fanout_dramatically() {
+        // §4.2's storage complaint: RSA-sized fields mean few triplets/node.
+        let mut des = SchemeConfig::demo(Scheme::Oval);
+        des.block_size = 4096;
+        let mut rsa = des.clone();
+        rsa.sealer = SealerKind::Rsa(512);
+        let l_des = SchemeLayout::for_config(&des).unwrap();
+        let l_rsa = SchemeLayout::for_config(&rsa).unwrap();
+        assert!(l_rsa.max_keys * 2 < l_des.max_keys);
+        assert!(l_rsa.best_case_height(1_000_000) >= l_des.best_case_height(1_000_000));
+    }
+
+    #[test]
+    fn heights_are_monotone_in_r() {
+        let mut cfg = SchemeConfig::demo(Scheme::Oval);
+        cfg.block_size = 1024;
+        let l = SchemeLayout::for_config(&cfg).unwrap();
+        let mut prev = 0;
+        for r in [0u64, 10, 1_000, 100_000, 10_000_000] {
+            let h = l.worst_case_height(r);
+            assert!(h >= prev);
+            prev = h;
+            assert!(l.best_case_height(r) <= h.max(1));
+        }
+    }
+
+    #[test]
+    fn bytes_per_key_ordering() {
+        let layouts = layouts_at(4096).unwrap();
+        let get = |s: Scheme| {
+            layouts
+                .iter()
+                .find(|l| l.scheme == s)
+                .unwrap()
+                .bytes_per_key()
+        };
+        assert!(get(Scheme::Plaintext) <= get(Scheme::Oval));
+        assert!(get(Scheme::Oval) <= get(Scheme::BayerMetzger) + 1e-9);
+    }
+
+    #[test]
+    fn layout_matches_codec_reality() {
+        // triplet_bytes must be consistent with the codec's max_keys:
+        // max_keys ≈ (page - fixed) / triplet_bytes.
+        for scheme in [Scheme::Oval, Scheme::SumOfTreatments, Scheme::BayerMetzger] {
+            let mut cfg = SchemeConfig::demo(scheme);
+            cfg.block_size = 4096;
+            let l = SchemeLayout::for_config(&cfg).unwrap();
+            let approx = (cfg.block_size - NODE_HEADER_LEN - l.seal_bytes) / l.triplet_bytes;
+            assert!(
+                (l.max_keys as i64 - approx as i64).abs() <= 1,
+                "{}: {} vs {approx}",
+                scheme.name(),
+                l.max_keys
+            );
+        }
+    }
+}

@@ -1,0 +1,862 @@
+//! Arbitrary-precision unsigned integers, from scratch.
+//!
+//! Just enough bignum for the RSA of §5: base-2³² limbs (little-endian),
+//! schoolbook multiplication, Knuth Algorithm D division, square-and-multiply
+//! modular exponentiation, extended Euclid inverses and Miller–Rabin prime
+//! generation. Correctness over speed — the paper's experiments use RSA at
+//! 256–1024 bits where this is comfortably fast.
+
+use std::cmp::Ordering;
+
+use rand::Rng;
+
+/// An arbitrary-precision unsigned integer. Limbs are `u32`, little-endian,
+/// normalised (no trailing zero limbs; zero is the empty vector).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BigUint {
+    limbs: Vec<u32>,
+}
+
+impl BigUint {
+    pub fn zero() -> Self {
+        BigUint { limbs: vec![] }
+    }
+
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    pub fn from_u64(x: u64) -> Self {
+        let mut n = BigUint {
+            limbs: vec![x as u32, (x >> 32) as u32],
+        };
+        n.normalize();
+        n
+    }
+
+    pub fn from_u128(x: u128) -> Self {
+        let mut n = BigUint {
+            limbs: vec![
+                x as u32,
+                (x >> 32) as u32,
+                (x >> 64) as u32,
+                (x >> 96) as u32,
+            ],
+        };
+        n.normalize();
+        n
+    }
+
+    /// Big-endian byte parsing (leading zeros allowed).
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 4 + 1);
+        let mut acc: u32 = 0;
+        let mut shift = 0u32;
+        for &b in bytes.iter().rev() {
+            acc |= (b as u32) << shift;
+            shift += 8;
+            if shift == 32 {
+                limbs.push(acc);
+                acc = 0;
+                shift = 0;
+            }
+        }
+        if shift > 0 {
+            limbs.push(acc);
+        }
+        let mut n = BigUint { limbs };
+        n.normalize();
+        n
+    }
+
+    /// Big-endian bytes, no leading zeros (`0` encodes as an empty vector).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return vec![];
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 4);
+        for (i, &limb) in self.limbs.iter().enumerate().rev() {
+            let bytes = limb.to_be_bytes();
+            if i == self.limbs.len() - 1 {
+                // Skip leading zero bytes of the top limb.
+                let mut started = false;
+                for b in bytes {
+                    if b != 0 || started {
+                        out.push(b);
+                        started = true;
+                    }
+                }
+            } else {
+                out.extend_from_slice(&bytes);
+            }
+        }
+        out
+    }
+
+    /// Big-endian bytes left-padded with zeros to exactly `len` bytes.
+    /// Panics if the value does not fit.
+    pub fn to_bytes_be_padded(&self, len: usize) -> Vec<u8> {
+        let raw = self.to_bytes_be();
+        assert!(raw.len() <= len, "value does not fit in {len} bytes");
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        out
+    }
+
+    pub fn from_hex(s: &str) -> Option<Self> {
+        let s = s.trim_start_matches("0x");
+        if s.is_empty() || !s.chars().all(|c| c.is_ascii_hexdigit()) {
+            return None;
+        }
+        let mut bytes = Vec::with_capacity(s.len() / 2 + 1);
+        let s = if s.len() % 2 == 1 {
+            format!("0{s}")
+        } else {
+            s.to_string()
+        };
+        for chunk in s.as_bytes().chunks(2) {
+            let hi = (chunk[0] as char).to_digit(16)?;
+            let lo = (chunk[1] as char).to_digit(16)?;
+            bytes.push(((hi << 4) | lo) as u8);
+        }
+        Some(BigUint::from_bytes_be(&bytes))
+    }
+
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".into();
+        }
+        let bytes = self.to_bytes_be();
+        let mut s = String::with_capacity(bytes.len() * 2);
+        for (i, b) in bytes.iter().enumerate() {
+            if i == 0 {
+                s.push_str(&format!("{b:x}"));
+            } else {
+                s.push_str(&format!("{b:02x}"));
+            }
+        }
+        s
+    }
+
+    /// Converts to `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u64),
+            2 => Some(self.limbs[0] as u64 | ((self.limbs[1] as u64) << 32)),
+            _ => None,
+        }
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|&l| l & 1 == 0)
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bit_length(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() - 1) * 32 + (32 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Value of bit `i` (LSB = bit 0).
+    pub fn bit(&self, i: usize) -> bool {
+        let (limb, off) = (i / 32, i % 32);
+        self.limbs.get(limb).is_some_and(|&l| (l >> off) & 1 == 1)
+    }
+
+    pub fn cmp_val(&self, other: &BigUint) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for (i, &l) in long.iter().enumerate() {
+            let s = l as u64 + short.get(i).copied().unwrap_or(0) as u64 + carry;
+            out.push(s as u32);
+            carry = s >> 32;
+        }
+        if carry > 0 {
+            out.push(carry as u32);
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// `self - other`, or `None` on underflow.
+    pub fn checked_sub(&self, other: &BigUint) -> Option<BigUint> {
+        if self.cmp_val(other) == Ordering::Less {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i64;
+        for i in 0..self.limbs.len() {
+            let d = self.limbs[i] as i64 - other.limbs.get(i).copied().unwrap_or(0) as i64 - borrow;
+            if d < 0 {
+                out.push((d + (1i64 << 32)) as u32);
+                borrow = 1;
+            } else {
+                out.push(d as u32);
+                borrow = 0;
+            }
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        Some(n)
+    }
+
+    /// `self - other`; panics on underflow.
+    pub fn sub(&self, other: &BigUint) -> BigUint {
+        self.checked_sub(other).expect("BigUint subtraction underflow")
+    }
+
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u32; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry = 0u64;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = a as u64 * b as u64 + out[i + j] as u64 + carry;
+                out[i + j] = t as u32;
+                carry = t >> 32;
+            }
+            let mut idx = i + other.limbs.len();
+            while carry > 0 {
+                let t = out[idx] as u64 + carry;
+                out[idx] = t as u32;
+                carry = t >> 32;
+                idx += 1;
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    pub fn shl_bits(&self, bits: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let (limb_shift, bit_shift) = (bits / 32, bits % 32);
+        let mut out = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u32;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (32 - bit_shift);
+            }
+            if carry > 0 {
+                out.push(carry);
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    pub fn shr_bits(&self, bits: usize) -> BigUint {
+        let (limb_shift, bit_shift) = (bits / 32, bits % 32);
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() - limb_shift);
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs[limb_shift..]);
+        } else {
+            let src = &self.limbs[limb_shift..];
+            for i in 0..src.len() {
+                let lo = src[i] >> bit_shift;
+                let hi = src.get(i + 1).copied().unwrap_or(0) << (32 - bit_shift);
+                out.push(lo | hi);
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Quotient and remainder. Panics on division by zero.
+    pub fn divrem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        match self.cmp_val(divisor) {
+            Ordering::Less => return (BigUint::zero(), self.clone()),
+            Ordering::Equal => return (BigUint::one(), BigUint::zero()),
+            Ordering::Greater => {}
+        }
+        if divisor.limbs.len() == 1 {
+            let d = divisor.limbs[0] as u64;
+            let mut q = Vec::with_capacity(self.limbs.len());
+            let mut rem = 0u64;
+            for &l in self.limbs.iter().rev() {
+                let cur = (rem << 32) | l as u64;
+                q.push((cur / d) as u32);
+                rem = cur % d;
+            }
+            q.reverse();
+            let mut qn = BigUint { limbs: q };
+            qn.normalize();
+            return (qn, BigUint::from_u64(rem));
+        }
+        // Knuth Algorithm D. Normalise so the divisor's top limb has its
+        // high bit set.
+        let shift = divisor.limbs.last().unwrap().leading_zeros() as usize;
+        let u = self.shl_bits(shift);
+        let v = divisor.shl_bits(shift);
+        let n = v.limbs.len();
+        let m = u.limbs.len() - n;
+        let mut un = u.limbs.clone();
+        un.push(0); // u_{m+n}
+        let vn = &v.limbs;
+        let b = 1u64 << 32;
+        let mut q = vec![0u32; m + 1];
+        for j in (0..=m).rev() {
+            // Estimate q̂.
+            let top = ((un[j + n] as u64) << 32) | un[j + n - 1] as u64;
+            let mut qhat = top / vn[n - 1] as u64;
+            let mut rhat = top % vn[n - 1] as u64;
+            while qhat >= b
+                || qhat * vn[n - 2] as u64 > ((rhat << 32) | un[j + n - 2] as u64)
+            {
+                qhat -= 1;
+                rhat += vn[n - 1] as u64;
+                if rhat >= b {
+                    break;
+                }
+            }
+            // Multiply-subtract.
+            let mut borrow = 0i64;
+            let mut carry = 0u64;
+            for i in 0..n {
+                let p = qhat * vn[i] as u64 + carry;
+                carry = p >> 32;
+                let t = un[i + j] as i64 - (p as u32) as i64 - borrow;
+                if t < 0 {
+                    un[i + j] = (t + (1i64 << 32)) as u32;
+                    borrow = 1;
+                } else {
+                    un[i + j] = t as u32;
+                    borrow = 0;
+                }
+            }
+            let t = un[j + n] as i64 - carry as i64 - borrow;
+            if t < 0 {
+                // q̂ was one too large: add back.
+                un[j + n] = (t + (1i64 << 32)) as u32;
+                qhat -= 1;
+                let mut carry2 = 0u64;
+                for i in 0..n {
+                    let s = un[i + j] as u64 + vn[i] as u64 + carry2;
+                    un[i + j] = s as u32;
+                    carry2 = s >> 32;
+                }
+                un[j + n] = un[j + n].wrapping_add(carry2 as u32);
+            } else {
+                un[j + n] = t as u32;
+            }
+            q[j] = qhat as u32;
+        }
+        let mut qn = BigUint { limbs: q };
+        qn.normalize();
+        let mut rn = BigUint {
+            limbs: un[..n].to_vec(),
+        };
+        rn.normalize();
+        (qn, rn.shr_bits(shift))
+    }
+
+    pub fn rem(&self, modulus: &BigUint) -> BigUint {
+        self.divrem(modulus).1
+    }
+
+    /// `(self * other) mod m`.
+    pub fn mulmod(&self, other: &BigUint, m: &BigUint) -> BigUint {
+        self.mul(other).rem(m)
+    }
+
+    /// `self^e mod m` by left-to-right square-and-multiply.
+    pub fn modpow(&self, e: &BigUint, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "zero modulus");
+        if m.is_one() {
+            return BigUint::zero();
+        }
+        let mut result = BigUint::one();
+        let base = self.rem(m);
+        let bits = e.bit_length();
+        for i in (0..bits).rev() {
+            result = result.mulmod(&result, m);
+            if e.bit(i) {
+                result = result.mulmod(&base, m);
+            }
+        }
+        result
+    }
+
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Modular inverse via extended Euclid; `None` if `gcd(self, m) != 1`.
+    pub fn modinv(&self, m: &BigUint) -> Option<BigUint> {
+        if m.is_zero() || m.is_one() {
+            return None;
+        }
+        // Iterative extended Euclid with explicit coefficient signs.
+        let mut old_r = self.rem(m);
+        let mut r = m.clone();
+        // coefficients of `self` in (value, is_negative) form
+        let mut old_s = (BigUint::one(), false);
+        let mut s = (BigUint::zero(), false);
+        while !r.is_zero() {
+            let (q, rem) = old_r.divrem(&r);
+            old_r = std::mem::replace(&mut r, rem);
+            // new_s = old_s - q * s  (signed)
+            let qs = q.mul(&s.0);
+            let new_s = signed_sub(&old_s, &(qs, s.1));
+            old_s = std::mem::replace(&mut s, new_s);
+        }
+        if !old_r.is_one() {
+            return None;
+        }
+        // old_s is the coefficient of self; reduce into [0, m).
+        let (mag, neg) = old_s;
+        let red = mag.rem(m);
+        Some(if neg && !red.is_zero() {
+            m.sub(&red)
+        } else {
+            red
+        })
+    }
+
+    /// Uniform random value with exactly `bits` bits (top bit set).
+    pub fn random_bits<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+        assert!(bits > 0);
+        let limbs_needed = bits.div_ceil(32);
+        let mut limbs: Vec<u32> = (0..limbs_needed).map(|_| rng.gen()).collect();
+        let top_bits = bits - (limbs_needed - 1) * 32;
+        let top = &mut limbs[limbs_needed - 1];
+        if top_bits < 32 {
+            *top &= (1u32 << top_bits) - 1;
+        }
+        *top |= 1u32 << (top_bits - 1); // force exact bit length
+        let mut n = BigUint { limbs };
+        n.normalize();
+        n
+    }
+
+    /// Uniform random value in `[0, bound)` by rejection sampling.
+    pub fn random_below<R: Rng + ?Sized>(rng: &mut R, bound: &BigUint) -> BigUint {
+        assert!(!bound.is_zero());
+        let bits = bound.bit_length();
+        loop {
+            let limbs_needed = bits.div_ceil(32);
+            let mut limbs: Vec<u32> = (0..limbs_needed).map(|_| rng.gen()).collect();
+            let top_bits = bits - (limbs_needed - 1) * 32;
+            if top_bits < 32 {
+                limbs[limbs_needed - 1] &= (1u32 << top_bits) - 1;
+            }
+            let mut n = BigUint { limbs };
+            n.normalize();
+            if n.cmp_val(bound) == Ordering::Less {
+                return n;
+            }
+        }
+    }
+
+    /// Miller–Rabin with `rounds` random bases (plus a base-2 round).
+    pub fn is_probable_prime<R: Rng + ?Sized>(&self, rng: &mut R, rounds: u32) -> bool {
+        if let Some(small) = self.to_u64() {
+            return sks_small_is_prime(small);
+        }
+        if self.is_even() {
+            return false;
+        }
+        // Quick trial division by small primes.
+        for p in [3u64, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67] {
+            if self.rem(&BigUint::from_u64(p)).is_zero() {
+                return false;
+            }
+        }
+        let one = BigUint::one();
+        let two = BigUint::from_u64(2);
+        let n_minus_1 = self.sub(&one);
+        let mut d = n_minus_1.clone();
+        let mut s = 0u32;
+        while d.is_even() {
+            d = d.shr_bits(1);
+            s += 1;
+        }
+        let try_base = |a: &BigUint| -> bool {
+            // true = passes (maybe prime)
+            let mut x = a.modpow(&d, self);
+            if x.is_one() || x == n_minus_1 {
+                return true;
+            }
+            for _ in 1..s {
+                x = x.mulmod(&x, self);
+                if x == n_minus_1 {
+                    return true;
+                }
+            }
+            false
+        };
+        if !try_base(&two) {
+            return false;
+        }
+        for _ in 0..rounds {
+            // Random base in [2, n-2].
+            let upper = self.sub(&BigUint::from_u64(3));
+            let a = BigUint::random_below(rng, &upper).add(&two);
+            if !try_base(&a) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Generates a random prime with exactly `bits` bits.
+    pub fn random_prime<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+        assert!(bits >= 2);
+        loop {
+            let mut cand = BigUint::random_bits(rng, bits);
+            if cand.is_even() {
+                cand = cand.add(&BigUint::one());
+                if cand.bit_length() != bits {
+                    continue;
+                }
+            }
+            if cand.is_probable_prime(rng, 24) {
+                return cand;
+            }
+        }
+    }
+}
+
+/// Signed subtraction on (magnitude, is_negative) pairs.
+fn signed_sub(a: &(BigUint, bool), b: &(BigUint, bool)) -> (BigUint, bool) {
+    match (a.1, b.1) {
+        (an, bn) if an == bn => {
+            // a - b with same sign: magnitude subtraction, sign flips if |b|>|a|.
+            match a.0.cmp_val(&b.0) {
+                Ordering::Less => (b.0.sub(&a.0), !an),
+                _ => (a.0.sub(&b.0), an),
+            }
+        }
+        // a - (-b) = a + b  /  (-a) - b = -(a + b)
+        _ => (a.0.add(&b.0), a.1),
+    }
+}
+
+/// Deterministic u64 primality (same witness logic as sks-designs, duplicated
+/// to keep the crypto crate dependency-free on the designs crate).
+fn sks_small_is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d & 1 == 0 {
+        d >>= 1;
+        s += 1;
+    }
+    let mulmod = |a: u64, b: u64| ((a as u128 * b as u128) % n as u128) as u64;
+    let powmod = |mut a: u64, mut e: u64| {
+        let mut acc = 1u64;
+        a %= n;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = mulmod(acc, a);
+            }
+            a = mulmod(a, a);
+            e >>= 1;
+        }
+        acc
+    };
+    'w: for &a in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = powmod(a, d);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 1..s {
+            x = mulmod(x, x);
+            if x == n - 1 {
+                continue 'w;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+impl std::fmt::Display for BigUint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_val(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn big(x: u128) -> BigUint {
+        BigUint::from_u128(x)
+    }
+
+    #[test]
+    fn roundtrip_bytes_and_hex() {
+        for x in [0u128, 1, 255, 256, 0xdeadbeef, u64::MAX as u128, u128::MAX] {
+            let n = big(x);
+            assert_eq!(BigUint::from_bytes_be(&n.to_bytes_be()), n);
+            assert_eq!(BigUint::from_hex(&n.to_hex()).unwrap(), n);
+        }
+        assert_eq!(BigUint::from_hex("0x0ff").unwrap(), big(255));
+        assert_eq!(BigUint::from_hex(""), None);
+        assert_eq!(BigUint::from_hex("xyz"), None);
+    }
+
+    #[test]
+    fn padded_bytes() {
+        let n = big(0x0102);
+        assert_eq!(n.to_bytes_be_padded(4), vec![0, 0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn padded_bytes_too_small_panics() {
+        big(0x010203).to_bytes_be_padded(2);
+    }
+
+    #[test]
+    fn bit_length_and_bits() {
+        assert_eq!(BigUint::zero().bit_length(), 0);
+        assert_eq!(big(1).bit_length(), 1);
+        assert_eq!(big(0x8000_0000).bit_length(), 32);
+        assert_eq!(big(1 << 100).bit_length(), 101);
+        assert!(big(0b1010).bit(1));
+        assert!(!big(0b1010).bit(0));
+        assert!(!big(0b1010).bit(64));
+    }
+
+    #[test]
+    fn add_sub_carry_chains() {
+        let a = big(u64::MAX as u128);
+        let b = big(1);
+        assert_eq!(a.add(&b), big(1u128 << 64));
+        assert_eq!(a.add(&b).sub(&b), a);
+        assert_eq!(big(0).add(&big(0)), BigUint::zero());
+        assert_eq!(big(5).checked_sub(&big(6)), None);
+    }
+
+    #[test]
+    fn mul_known() {
+        assert_eq!(big(0).mul(&big(12345)), BigUint::zero());
+        assert_eq!(
+            big(u64::MAX as u128).mul(&big(u64::MAX as u128)),
+            big((u64::MAX as u128) * (u64::MAX as u128))
+        );
+    }
+
+    #[test]
+    fn divrem_single_limb() {
+        let (q, r) = big(1_000_000_007).divrem(&big(97));
+        assert_eq!(q, big(1_000_000_007 / 97));
+        assert_eq!(r, big(1_000_000_007 % 97));
+    }
+
+    #[test]
+    fn divrem_multi_limb_knuth() {
+        // Exercise the add-back path statistically via proptest below, and a
+        // few fixed multi-limb cases here.
+        let a = BigUint::from_hex("123456789abcdef0123456789abcdef0123456789").unwrap();
+        let b = BigUint::from_hex("fedcba9876543210ff").unwrap();
+        let (q, r) = a.divrem(&b);
+        assert_eq!(q.mul(&b).add(&r), a);
+        assert!(r.cmp_val(&b) == Ordering::Less);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        big(5).divrem(&BigUint::zero());
+    }
+
+    #[test]
+    fn shifts() {
+        let n = BigUint::from_hex("123456789abcdef").unwrap();
+        assert_eq!(n.shl_bits(0), n);
+        assert_eq!(n.shl_bits(64).shr_bits(64), n);
+        assert_eq!(n.shr_bits(200), BigUint::zero());
+        assert_eq!(big(1).shl_bits(127), big(1 << 127));
+    }
+
+    #[test]
+    fn modpow_fermat() {
+        // 2^(p-1) ≡ 1 mod p for prime p = 2^89 - 1 (Mersenne prime).
+        let p = big((1u128 << 89) - 1);
+        let e = p.sub(&BigUint::one());
+        assert_eq!(big(2).modpow(&e, &p), BigUint::one());
+        // Modulus one → zero.
+        assert_eq!(big(2).modpow(&big(10), &BigUint::one()), BigUint::zero());
+    }
+
+    #[test]
+    fn modinv_known() {
+        // 3 * 4 = 12 ≡ 1 mod 11
+        assert_eq!(big(3).modinv(&big(11)).unwrap(), big(4));
+        assert_eq!(big(6).modinv(&big(9)), None); // gcd 3
+        assert_eq!(big(5).modinv(&BigUint::one()), None);
+    }
+
+    #[test]
+    fn primality_known() {
+        let mut rng = StdRng::seed_from_u64(42);
+        assert!(big((1u128 << 89) - 1).is_probable_prime(&mut rng, 16));
+        assert!(!big((1u128 << 90) - 1).is_probable_prime(&mut rng, 16));
+        assert!(big(2).is_probable_prime(&mut rng, 4));
+        assert!(!big(1).is_probable_prime(&mut rng, 4));
+        // RSA-style semiprime must be composite.
+        let p = BigUint::random_prime(&mut rng, 64);
+        let q = BigUint::random_prime(&mut rng, 64);
+        assert!(!p.mul(&q).is_probable_prime(&mut rng, 16));
+    }
+
+    #[test]
+    fn random_prime_has_exact_bits() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for bits in [16usize, 33, 64, 128] {
+            let p = BigUint::random_prime(&mut rng, bits);
+            assert_eq!(p.bit_length(), bits);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+        #[test]
+        fn prop_add_sub_roundtrip(a in any::<u128>(), b in any::<u128>()) {
+            let (ba, bb) = (big(a), big(b));
+            prop_assert_eq!(ba.add(&bb).sub(&bb), ba);
+        }
+
+        #[test]
+        fn prop_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+            prop_assert_eq!(big(a as u128).mul(&big(b as u128)), big(a as u128 * b as u128));
+        }
+
+        #[test]
+        fn prop_divrem_invariant(a in any::<u128>(), b in 1u128..) {
+            let (q, r) = big(a).divrem(&big(b));
+            prop_assert_eq!(q.mul(&big(b)).add(&r), big(a));
+            prop_assert!(r.cmp_val(&big(b)) == Ordering::Less);
+        }
+
+        #[test]
+        fn prop_divrem_multilimb(
+            a_hi in any::<u128>(), a_lo in any::<u128>(),
+            b_hi in 1u128.., b_lo in any::<u128>()
+        ) {
+            // Construct ~256-bit dividend and ~192+-bit divisor.
+            let a = big(a_hi).shl_bits(128).add(&big(a_lo));
+            let b = big(b_hi).shl_bits(64).add(&big(b_lo));
+            let (q, r) = a.divrem(&b);
+            prop_assert_eq!(q.mul(&b).add(&r), a);
+            prop_assert!(r.cmp_val(&b) == Ordering::Less);
+        }
+
+        #[test]
+        fn prop_modpow_matches_u128_naive(a in 0u128..1000, e in 0u64..24, m in 1u128..1_000_000) {
+            let mut want: u128 = 1 % m;
+            for _ in 0..e {
+                want = want * (a % m) % m;
+            }
+            prop_assert_eq!(
+                big(a).modpow(&big(e as u128), &big(m)),
+                big(want)
+            );
+        }
+
+        #[test]
+        fn prop_modinv(a in 1u128..100_000, m in 2u128..100_000) {
+            let (ba, bm) = (big(a), big(m));
+            match ba.modinv(&bm) {
+                Some(inv) => prop_assert_eq!(ba.mulmod(&inv, &bm), BigUint::one()),
+                None => prop_assert!(!ba.gcd(&bm).is_one()),
+            }
+        }
+
+        #[test]
+        fn prop_bytes_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let n = BigUint::from_bytes_be(&bytes);
+            let back = n.to_bytes_be();
+            // Leading zeros are stripped; compare numeric values.
+            prop_assert_eq!(BigUint::from_bytes_be(&back), n);
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! The Data Encryption Standard (FIPS PUB 46), implemented from the
+//! specification.
+//!
+//! The paper (§5) names DES as one of the two cryptosystems suitable for
+//! enciphering node and data blocks. This is a straightforward table-driven
+//! implementation validated against published test vectors — built for
+//! fidelity to the 1977 standard, **not** for protecting real data.
+
+use crate::cipher::BlockCipher64;
+
+/// Initial permutation IP.
+#[rustfmt::skip]
+const IP: [u8; 64] = [
+    58, 50, 42, 34, 26, 18, 10, 2,
+    60, 52, 44, 36, 28, 20, 12, 4,
+    62, 54, 46, 38, 30, 22, 14, 6,
+    64, 56, 48, 40, 32, 24, 16, 8,
+    57, 49, 41, 33, 25, 17,  9, 1,
+    59, 51, 43, 35, 27, 19, 11, 3,
+    61, 53, 45, 37, 29, 21, 13, 5,
+    63, 55, 47, 39, 31, 23, 15, 7,
+];
+
+/// Final permutation IP⁻¹.
+#[rustfmt::skip]
+const FP: [u8; 64] = [
+    40, 8, 48, 16, 56, 24, 64, 32,
+    39, 7, 47, 15, 55, 23, 63, 31,
+    38, 6, 46, 14, 54, 22, 62, 30,
+    37, 5, 45, 13, 53, 21, 61, 29,
+    36, 4, 44, 12, 52, 20, 60, 28,
+    35, 3, 43, 11, 51, 19, 59, 27,
+    34, 2, 42, 10, 50, 18, 58, 26,
+    33, 1, 41,  9, 49, 17, 57, 25,
+];
+
+/// Expansion E: 32 → 48 bits.
+#[rustfmt::skip]
+const E: [u8; 48] = [
+    32,  1,  2,  3,  4,  5,
+     4,  5,  6,  7,  8,  9,
+     8,  9, 10, 11, 12, 13,
+    12, 13, 14, 15, 16, 17,
+    16, 17, 18, 19, 20, 21,
+    20, 21, 22, 23, 24, 25,
+    24, 25, 26, 27, 28, 29,
+    28, 29, 30, 31, 32,  1,
+];
+
+/// Permutation P applied to the S-box output.
+#[rustfmt::skip]
+const P: [u8; 32] = [
+    16,  7, 20, 21,
+    29, 12, 28, 17,
+     1, 15, 23, 26,
+     5, 18, 31, 10,
+     2,  8, 24, 14,
+    32, 27,  3,  9,
+    19, 13, 30,  6,
+    22, 11,  4, 25,
+];
+
+/// Permuted choice 1 (key schedule): 64 → 56 bits.
+#[rustfmt::skip]
+const PC1: [u8; 56] = [
+    57, 49, 41, 33, 25, 17,  9,
+     1, 58, 50, 42, 34, 26, 18,
+    10,  2, 59, 51, 43, 35, 27,
+    19, 11,  3, 60, 52, 44, 36,
+    63, 55, 47, 39, 31, 23, 15,
+     7, 62, 54, 46, 38, 30, 22,
+    14,  6, 61, 53, 45, 37, 29,
+    21, 13,  5, 28, 20, 12,  4,
+];
+
+/// Permuted choice 2 (key schedule): 56 → 48 bits.
+#[rustfmt::skip]
+const PC2: [u8; 48] = [
+    14, 17, 11, 24,  1,  5,
+     3, 28, 15,  6, 21, 10,
+    23, 19, 12,  4, 26,  8,
+    16,  7, 27, 20, 13,  2,
+    41, 52, 31, 37, 47, 55,
+    30, 40, 51, 45, 33, 48,
+    44, 49, 39, 56, 34, 53,
+    46, 42, 50, 36, 29, 32,
+];
+
+/// Left-rotation schedule for the 16 rounds.
+const SHIFTS: [u8; 16] = [1, 1, 2, 2, 2, 2, 2, 2, 1, 2, 2, 2, 2, 2, 2, 1];
+
+/// The eight S-boxes, each 4 rows × 16 columns.
+#[rustfmt::skip]
+const SBOX: [[u8; 64]; 8] = [
+    [
+        14,  4, 13,  1,  2, 15, 11,  8,  3, 10,  6, 12,  5,  9,  0,  7,
+         0, 15,  7,  4, 14,  2, 13,  1, 10,  6, 12, 11,  9,  5,  3,  8,
+         4,  1, 14,  8, 13,  6,  2, 11, 15, 12,  9,  7,  3, 10,  5,  0,
+        15, 12,  8,  2,  4,  9,  1,  7,  5, 11,  3, 14, 10,  0,  6, 13,
+    ],
+    [
+        15,  1,  8, 14,  6, 11,  3,  4,  9,  7,  2, 13, 12,  0,  5, 10,
+         3, 13,  4,  7, 15,  2,  8, 14, 12,  0,  1, 10,  6,  9, 11,  5,
+         0, 14,  7, 11, 10,  4, 13,  1,  5,  8, 12,  6,  9,  3,  2, 15,
+        13,  8, 10,  1,  3, 15,  4,  2, 11,  6,  7, 12,  0,  5, 14,  9,
+    ],
+    [
+        10,  0,  9, 14,  6,  3, 15,  5,  1, 13, 12,  7, 11,  4,  2,  8,
+        13,  7,  0,  9,  3,  4,  6, 10,  2,  8,  5, 14, 12, 11, 15,  1,
+        13,  6,  4,  9,  8, 15,  3,  0, 11,  1,  2, 12,  5, 10, 14,  7,
+         1, 10, 13,  0,  6,  9,  8,  7,  4, 15, 14,  3, 11,  5,  2, 12,
+    ],
+    [
+         7, 13, 14,  3,  0,  6,  9, 10,  1,  2,  8,  5, 11, 12,  4, 15,
+        13,  8, 11,  5,  6, 15,  0,  3,  4,  7,  2, 12,  1, 10, 14,  9,
+        10,  6,  9,  0, 12, 11,  7, 13, 15,  1,  3, 14,  5,  2,  8,  4,
+         3, 15,  0,  6, 10,  1, 13,  8,  9,  4,  5, 11, 12,  7,  2, 14,
+    ],
+    [
+         2, 12,  4,  1,  7, 10, 11,  6,  8,  5,  3, 15, 13,  0, 14,  9,
+        14, 11,  2, 12,  4,  7, 13,  1,  5,  0, 15, 10,  3,  9,  8,  6,
+         4,  2,  1, 11, 10, 13,  7,  8, 15,  9, 12,  5,  6,  3,  0, 14,
+        11,  8, 12,  7,  1, 14,  2, 13,  6, 15,  0,  9, 10,  4,  5,  3,
+    ],
+    [
+        12,  1, 10, 15,  9,  2,  6,  8,  0, 13,  3,  4, 14,  7,  5, 11,
+        10, 15,  4,  2,  7, 12,  9,  5,  6,  1, 13, 14,  0, 11,  3,  8,
+         9, 14, 15,  5,  2,  8, 12,  3,  7,  0,  4, 10,  1, 13, 11,  6,
+         4,  3,  2, 12,  9,  5, 15, 10, 11, 14,  1,  7,  6,  0,  8, 13,
+    ],
+    [
+         4, 11,  2, 14, 15,  0,  8, 13,  3, 12,  9,  7,  5, 10,  6,  1,
+        13,  0, 11,  7,  4,  9,  1, 10, 14,  3,  5, 12,  2, 15,  8,  6,
+         1,  4, 11, 13, 12,  3,  7, 14, 10, 15,  6,  8,  0,  5,  9,  2,
+         6, 11, 13,  8,  1,  4, 10,  7,  9,  5,  0, 15, 14,  2,  3, 12,
+    ],
+    [
+        13,  2,  8,  4,  6, 15, 11,  1, 10,  9,  3, 14,  5,  0, 12,  7,
+         1, 15, 13,  8, 10,  3,  7,  4, 12,  5,  6, 11,  0, 14,  9,  2,
+         7, 11,  4,  1,  9, 12, 14,  2,  0,  6, 10, 13, 15,  3,  5,  8,
+         2,  1, 14,  7,  4, 10,  8, 13, 15, 12,  9,  0,  3,  5,  6, 11,
+    ],
+];
+
+/// Applies a 1-indexed bit permutation table: output bit `i` (MSB-first) is
+/// input bit `table[i]` of a `width`-bit word (also MSB-first).
+fn permute(input: u64, width: u32, table: &[u8]) -> u64 {
+    let mut out = 0u64;
+    for &src in table {
+        out = (out << 1) | ((input >> (width - src as u32)) & 1);
+    }
+    out
+}
+
+/// The DES round function f(R, K).
+fn feistel_f(r: u32, subkey: u64) -> u32 {
+    let expanded = permute(r as u64, 32, &E); // 48 bits
+    let x = expanded ^ subkey;
+    let mut out = 0u32;
+    for (i, sbox) in SBOX.iter().enumerate() {
+        let chunk = ((x >> (42 - 6 * i)) & 0x3f) as u8;
+        let row = ((chunk & 0x20) >> 4) | (chunk & 0x01);
+        let col = (chunk >> 1) & 0x0f;
+        out = (out << 4) | sbox[(row * 16 + col) as usize] as u32;
+    }
+    permute(out as u64, 32, &P) as u32
+}
+
+/// A DES key schedule (16 round subkeys).
+#[derive(Clone)]
+pub struct Des {
+    subkeys: [u64; 16],
+}
+
+impl std::fmt::Debug for Des {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Des {{ subkeys: <redacted> }}")
+    }
+}
+
+impl Des {
+    /// Expands a 64-bit key (parity bits ignored, per the standard).
+    pub fn new(key: u64) -> Self {
+        let permuted = permute(key, 64, &PC1); // 56 bits
+        let mut c = ((permuted >> 28) & 0x0fff_ffff) as u32;
+        let mut d = (permuted & 0x0fff_ffff) as u32;
+        let mut subkeys = [0u64; 16];
+        for round in 0..16 {
+            let shift = SHIFTS[round] as u32;
+            c = ((c << shift) | (c >> (28 - shift))) & 0x0fff_ffff;
+            d = ((d << shift) | (d >> (28 - shift))) & 0x0fff_ffff;
+            let cd = ((c as u64) << 28) | d as u64;
+            subkeys[round] = permute(cd, 56, &PC2);
+        }
+        Des { subkeys }
+    }
+
+    /// Creates a key schedule from 8 key bytes (big-endian).
+    pub fn from_key_bytes(key: [u8; 8]) -> Self {
+        Des::new(u64::from_be_bytes(key))
+    }
+
+    fn crypt(&self, block: u64, decrypt: bool) -> u64 {
+        let permuted = permute(block, 64, &IP);
+        let mut l = (permuted >> 32) as u32;
+        let mut r = permuted as u32;
+        for round in 0..16 {
+            let subkey = if decrypt {
+                self.subkeys[15 - round]
+            } else {
+                self.subkeys[round]
+            };
+            let new_r = l ^ feistel_f(r, subkey);
+            l = r;
+            r = new_r;
+        }
+        // Note the swap: the final round output is (R16, L16).
+        let preoutput = ((r as u64) << 32) | l as u64;
+        permute(preoutput, 64, &FP)
+    }
+}
+
+impl BlockCipher64 for Des {
+    fn encrypt_block(&self, block: u64) -> u64 {
+        self.crypt(block, false)
+    }
+
+    fn decrypt_block(&self, block: u64) -> u64 {
+        self.crypt(block, true)
+    }
+}
+
+/// Triple DES in EDE mode with three independent keys (2-key 3DES when
+/// `k1 == k3`). Included because §5 notes the data-block cipher may differ
+/// from the pointer cipher.
+#[derive(Debug, Clone)]
+pub struct TripleDes {
+    k1: Des,
+    k2: Des,
+    k3: Des,
+}
+
+impl TripleDes {
+    pub fn new(k1: u64, k2: u64, k3: u64) -> Self {
+        TripleDes {
+            k1: Des::new(k1),
+            k2: Des::new(k2),
+            k3: Des::new(k3),
+        }
+    }
+}
+
+impl BlockCipher64 for TripleDes {
+    fn encrypt_block(&self, block: u64) -> u64 {
+        self.k3
+            .encrypt_block(self.k2.decrypt_block(self.k1.encrypt_block(block)))
+    }
+
+    fn decrypt_block(&self, block: u64) -> u64 {
+        self.k1
+            .decrypt_block(self.k2.encrypt_block(self.k3.decrypt_block(block)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Classic published test vectors (key, plaintext, ciphertext).
+    const VECTORS: [(u64, u64, u64); 4] = [
+        // The worked example from many textbooks.
+        (0x133457799BBCDFF1, 0x0123456789ABCDEF, 0x85E813540F0AB405),
+        // All-zero key and plaintext.
+        (0x0000000000000000, 0x0000000000000000, 0x8CA64DE9C1B123A7),
+        // All-ones.
+        (0xFFFFFFFFFFFFFFFF, 0xFFFFFFFFFFFFFFFF, 0x7359B2163E4EDC58),
+        // "Now is t" under the sequential key.
+        (0x0123456789ABCDEF, 0x4E6F772069732074, 0x3FA40E8A984D4815),
+    ];
+
+    #[test]
+    fn known_answer_tests() {
+        for &(key, pt, ct) in &VECTORS {
+            let des = Des::new(key);
+            assert_eq!(des.encrypt_block(pt), ct, "encrypt key={key:016X}");
+            assert_eq!(des.decrypt_block(ct), pt, "decrypt key={key:016X}");
+        }
+    }
+
+    #[test]
+    fn parity_bits_ignored() {
+        // Keys differing only in parity bits (LSB of each byte) are equivalent.
+        let a = Des::new(0x0123456789ABCDEF);
+        let b = Des::new(0x0123456789ABCDEF ^ 0x0101010101010101);
+        for pt in [0u64, 1, 0xdead_beef_0bad_cafe] {
+            assert_eq!(a.encrypt_block(pt), b.encrypt_block(pt));
+        }
+    }
+
+    #[test]
+    fn complementation_property() {
+        // DES(k̄, p̄) = DES(k, p)̄ — a structural property of the cipher that
+        // only holds if the whole round network is correct.
+        let k = 0x133457799BBCDFF1u64;
+        let p = 0x0123456789ABCDEFu64;
+        let c = Des::new(k).encrypt_block(p);
+        let c_comp = Des::new(!k).encrypt_block(!p);
+        assert_eq!(c_comp, !c);
+    }
+
+    #[test]
+    fn weak_key_is_self_inverse() {
+        // 0x0101...01 is a DES weak key: encryption == decryption.
+        let weak = Des::new(0x0101010101010101);
+        for pt in [0x0011223344556677u64, 0xffeeddccbbaa9988] {
+            assert_eq!(weak.encrypt_block(weak.encrypt_block(pt)), pt);
+        }
+    }
+
+    #[test]
+    fn from_key_bytes_matches_u64() {
+        let key = 0x133457799BBCDFF1u64;
+        let a = Des::new(key);
+        let b = Des::from_key_bytes(key.to_be_bytes());
+        assert_eq!(a.encrypt_block(42), b.encrypt_block(42));
+    }
+
+    #[test]
+    fn triple_des_roundtrip_and_degeneration() {
+        let tdes = TripleDes::new(0x1111111111111111, 0x2222222222222222, 0x3333333333333333);
+        for pt in [0u64, 0x0123456789ABCDEF] {
+            assert_eq!(tdes.decrypt_block(tdes.encrypt_block(pt)), pt);
+        }
+        // With all keys equal, 3DES degenerates to single DES.
+        let k = 0x133457799BBCDFF1u64;
+        let tdes = TripleDes::new(k, k, k);
+        let des = Des::new(k);
+        assert_eq!(tdes.encrypt_block(7), des.encrypt_block(7));
+    }
+
+    #[test]
+    fn avalanche_on_plaintext() {
+        let des = Des::new(0x133457799BBCDFF1);
+        let base = des.encrypt_block(0x0123456789ABCDEF);
+        let flipped = des.encrypt_block(0x0123456789ABCDEF ^ 1);
+        let diff = (base ^ flipped).count_ones();
+        assert!((20..=44).contains(&diff), "poor avalanche: {diff} bits");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_roundtrip(key in any::<u64>(), pt in any::<u64>()) {
+            let des = Des::new(key);
+            prop_assert_eq!(des.decrypt_block(des.encrypt_block(pt)), pt);
+        }
+
+        #[test]
+        fn prop_triple_des_roundtrip(k1 in any::<u64>(), k2 in any::<u64>(), k3 in any::<u64>(), pt in any::<u64>()) {
+            let t = TripleDes::new(k1, k2, k3);
+            prop_assert_eq!(t.decrypt_block(t.encrypt_block(pt)), pt);
+        }
+    }
+}

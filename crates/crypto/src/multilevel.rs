@@ -1,0 +1,250 @@
+//! A multilevel key hierarchy in the style of Hardjono & Seberry's 1989
+//! ACSC paper (reference \[14\] of the B-tree paper), realised with the
+//! Akl–Taylor exponent construction over an RSA modulus.
+//!
+//! §5 suggests that a multilevel RSA organisation "may also allow each
+//! triplet in a node block to be assigned a security level, restricting
+//! access to data by users of lower security clearances". Here, a user
+//! cleared at level `ℓ` holds `K_ℓ = x^(p₁·…·p_{ℓ−1}) mod n` and can derive
+//! `K_m` for every *less* sensitive level `m ≥ ℓ` by further exponentiation;
+//! going the other way requires extracting prime roots modulo a composite of
+//! unknown factorisation.
+
+use rand::Rng;
+
+use crate::bignum::BigUint;
+use crate::oneway::hash64;
+
+/// Security levels are 1-based: level 1 is the most privileged (Top Secret),
+/// larger numbers are progressively less sensitive.
+pub type Level = u32;
+
+/// Distinct small odd primes used as the per-level exponents.
+const LEVEL_PRIMES: [u64; 16] = [3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59];
+
+/// The central authority's view: can mint the key for any level.
+#[derive(Debug, Clone)]
+pub struct KeyHierarchy {
+    n: BigUint,
+    master: BigUint,
+    levels: u32,
+}
+
+/// A single user's clearance: key material for one level, from which all
+/// lower-sensitivity level keys are derivable.
+#[derive(Debug, Clone)]
+pub struct ClearanceKey {
+    n: BigUint,
+    key: BigUint,
+    level: Level,
+    levels: u32,
+}
+
+/// Errors from hierarchy operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HierarchyError {
+    /// Level is zero or exceeds the configured depth.
+    BadLevel { level: Level, levels: u32 },
+    /// Derivation was requested for a *more* privileged level.
+    InsufficientClearance { have: Level, want: Level },
+}
+
+impl std::fmt::Display for HierarchyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HierarchyError::BadLevel { level, levels } => {
+                write!(f, "level {level} outside 1..={levels}")
+            }
+            HierarchyError::InsufficientClearance { have, want } => {
+                write!(f, "clearance at level {have} cannot derive level {want}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HierarchyError {}
+
+impl KeyHierarchy {
+    /// Creates a hierarchy of `levels` levels over a fresh `bits`-bit RSA
+    /// modulus with a random secret master value `x`.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, bits: usize, levels: u32) -> Self {
+        assert!(
+            (1..=LEVEL_PRIMES.len() as u32).contains(&levels),
+            "1..={} levels supported",
+            LEVEL_PRIMES.len()
+        );
+        let half = bits / 2;
+        let p = BigUint::random_prime(rng, half);
+        let q = BigUint::random_prime(rng, bits - half);
+        let n = p.mul(&q);
+        // Master secret x in [2, n).
+        let master = loop {
+            let x = BigUint::random_below(rng, &n);
+            if !x.is_zero() && !x.is_one() {
+                break x;
+            }
+        };
+        KeyHierarchy { n, master, levels }
+    }
+
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// Exponent for level `ℓ`: the product `p₁ … p_{ℓ−1}` (so level 1 gets
+    /// the master itself).
+    fn exponent_for(level: Level) -> BigUint {
+        let mut t = BigUint::one();
+        for &p in &LEVEL_PRIMES[..(level - 1) as usize] {
+            t = t.mul(&BigUint::from_u64(p));
+        }
+        t
+    }
+
+    /// Issues the clearance key for `level`.
+    pub fn clearance(&self, level: Level) -> Result<ClearanceKey, HierarchyError> {
+        if level == 0 || level > self.levels {
+            return Err(HierarchyError::BadLevel {
+                level,
+                levels: self.levels,
+            });
+        }
+        let key = self.master.modpow(&Self::exponent_for(level), &self.n);
+        Ok(ClearanceKey {
+            n: self.n.clone(),
+            key,
+            level,
+            levels: self.levels,
+        })
+    }
+}
+
+impl ClearanceKey {
+    pub fn level(&self) -> Level {
+        self.level
+    }
+
+    /// Derives the key for a less (or equally) sensitive level. Fails when
+    /// asked to climb towards higher clearances.
+    pub fn derive(&self, target: Level) -> Result<ClearanceKey, HierarchyError> {
+        if target == 0 || target > self.levels {
+            return Err(HierarchyError::BadLevel {
+                level: target,
+                levels: self.levels,
+            });
+        }
+        if target < self.level {
+            return Err(HierarchyError::InsufficientClearance {
+                have: self.level,
+                want: target,
+            });
+        }
+        // Additional exponent: product of primes for the levels in between.
+        let mut t = BigUint::one();
+        for &p in &LEVEL_PRIMES[(self.level - 1) as usize..(target - 1) as usize] {
+            t = t.mul(&BigUint::from_u64(p));
+        }
+        Ok(ClearanceKey {
+            n: self.n.clone(),
+            key: self.key.modpow(&t, &self.n),
+            level: target,
+            levels: self.levels,
+        })
+    }
+
+    /// Folds the level key into a 64-bit cipher key (for keying DES/Speck on
+    /// per-level triplet or data-block encipherment).
+    pub fn cipher_key64(&self) -> u64 {
+        hash64(&self.key.to_bytes_be())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn hierarchy(levels: u32) -> KeyHierarchy {
+        let mut rng = StdRng::seed_from_u64(99);
+        KeyHierarchy::generate(&mut rng, 128, levels)
+    }
+
+    #[test]
+    fn top_clearance_derives_everything() {
+        let h = hierarchy(5);
+        let top = h.clearance(1).unwrap();
+        for level in 1..=5 {
+            let derived = top.derive(level).unwrap();
+            let minted = h.clearance(level).unwrap();
+            assert_eq!(
+                derived.cipher_key64(),
+                minted.cipher_key64(),
+                "level {level}"
+            );
+        }
+    }
+
+    #[test]
+    fn mid_clearance_derives_only_downward() {
+        let h = hierarchy(5);
+        let mid = h.clearance(3).unwrap();
+        for level in 3..=5 {
+            assert!(mid.derive(level).is_ok());
+        }
+        for level in 1..3 {
+            assert!(matches!(
+                mid.derive(level),
+                Err(HierarchyError::InsufficientClearance { have: 3, want }) if want == level
+            ));
+        }
+    }
+
+    #[test]
+    fn derivation_is_transitive() {
+        let h = hierarchy(6);
+        let via_4 = h
+            .clearance(2)
+            .unwrap()
+            .derive(4)
+            .unwrap()
+            .derive(6)
+            .unwrap();
+        let direct = h.clearance(2).unwrap().derive(6).unwrap();
+        assert_eq!(via_4.cipher_key64(), direct.cipher_key64());
+    }
+
+    #[test]
+    fn level_keys_are_distinct() {
+        let h = hierarchy(6);
+        let keys: Vec<u64> = (1..=6)
+            .map(|l| h.clearance(l).unwrap().cipher_key64())
+            .collect();
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j], "levels {} and {}", i + 1, j + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn bad_levels_rejected() {
+        let h = hierarchy(3);
+        assert!(matches!(h.clearance(0), Err(HierarchyError::BadLevel { .. })));
+        assert!(matches!(h.clearance(4), Err(HierarchyError::BadLevel { .. })));
+        let c = h.clearance(2).unwrap();
+        assert!(matches!(c.derive(0), Err(HierarchyError::BadLevel { .. })));
+        assert!(matches!(c.derive(9), Err(HierarchyError::BadLevel { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "levels supported")]
+    fn too_many_levels_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        KeyHierarchy::generate(&mut rng, 64, 17);
+    }
+}

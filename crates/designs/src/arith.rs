@@ -1,0 +1,221 @@
+//! Modular arithmetic over `u64` operands.
+//!
+//! Everything here widens to `u128` internally so that all `u64` moduli are
+//! supported without overflow. These are the primitive operations the rest of
+//! the design machinery (difference sets, finite fields, discrete logs) is
+//! built on.
+
+/// `(a + b) mod m`, correct for all operand values with `m > 0`.
+#[inline]
+pub fn add_mod(a: u64, b: u64, m: u64) -> u64 {
+    debug_assert!(m > 0);
+    (((a as u128) + (b as u128)) % (m as u128)) as u64
+}
+
+/// `(a - b) mod m`, yielding a value in `[0, m)`.
+#[inline]
+pub fn sub_mod(a: u64, b: u64, m: u64) -> u64 {
+    debug_assert!(m > 0);
+    let (a, b) = (a % m, b % m);
+    if a >= b {
+        a - b
+    } else {
+        a + (m - b)
+    }
+}
+
+/// `(a * b) mod m` via 128-bit widening.
+#[inline]
+pub fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    debug_assert!(m > 0);
+    (((a as u128) * (b as u128)) % (m as u128)) as u64
+}
+
+/// `a^e mod m` by binary exponentiation. `0^0` is defined as `1 mod m`.
+pub fn pow_mod(mut a: u64, mut e: u64, m: u64) -> u64 {
+    debug_assert!(m > 0);
+    if m == 1 {
+        return 0;
+    }
+    let mut acc: u64 = 1;
+    a %= m;
+    while e > 0 {
+        if e & 1 == 1 {
+            acc = mul_mod(acc, a, m);
+        }
+        a = mul_mod(a, a, m);
+        e >>= 1;
+    }
+    acc
+}
+
+/// Greatest common divisor (binary-free Euclid; inputs may be zero).
+pub fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Extended Euclid on signed 128-bit: returns `(g, x, y)` with
+/// `a*x + b*y = g = gcd(a, b)`.
+pub fn egcd(a: u64, b: u64) -> (u64, i128, i128) {
+    let (mut old_r, mut r) = (a as i128, b as i128);
+    let (mut old_x, mut x) = (1i128, 0i128);
+    let (mut old_y, mut y) = (0i128, 1i128);
+    while r != 0 {
+        let q = old_r / r;
+        (old_r, r) = (r, old_r - q * r);
+        (old_x, x) = (x, old_x - q * x);
+        (old_y, y) = (y, old_y - q * y);
+    }
+    (old_r as u64, old_x, old_y)
+}
+
+/// Modular inverse of `a` modulo `m`, if `gcd(a, m) == 1`.
+pub fn inv_mod(a: u64, m: u64) -> Option<u64> {
+    if m == 0 {
+        return None;
+    }
+    if m == 1 {
+        return Some(0);
+    }
+    let (g, x, _) = egcd(a % m, m);
+    if g != 1 {
+        return None;
+    }
+    let m_i = m as i128;
+    Some((((x % m_i) + m_i) % m_i) as u64)
+}
+
+/// `true` when `gcd(a, m) == 1`.
+#[inline]
+pub fn coprime(a: u64, m: u64) -> bool {
+    gcd(a, m) == 1
+}
+
+/// Integer square root (floor) of a `u64`.
+pub fn isqrt(n: u64) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    let mut x = (n as f64).sqrt() as u64;
+    // Newton touch-up: float sqrt is within 1 ulp for u64 range.
+    while x.checked_mul(x).is_none_or(|sq| sq > n) {
+        x -= 1;
+    }
+    while (x + 1).checked_mul(x + 1).is_some_and(|sq| sq <= n) {
+        x += 1;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn add_mod_wraps() {
+        assert_eq!(add_mod(u64::MAX, u64::MAX, 7), 2);
+        assert_eq!(add_mod(5, 9, 13), 1);
+        assert_eq!(add_mod(0, 0, 1), 0);
+    }
+
+    #[test]
+    fn sub_mod_basic() {
+        assert_eq!(sub_mod(3, 8, 13), 8);
+        assert_eq!(sub_mod(8, 3, 13), 5);
+        assert_eq!(sub_mod(0, 1, 2), 1);
+        assert_eq!(sub_mod(20, 6, 13), 1);
+    }
+
+    #[test]
+    fn mul_mod_large() {
+        // (2^63)(2^63) mod (2^64-59) computed independently.
+        let m = u64::MAX - 58;
+        let got = mul_mod(1 << 63, 1 << 63, m);
+        let want = ((1u128 << 126) % m as u128) as u64;
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pow_mod_known_values() {
+        assert_eq!(pow_mod(7, 0, 13), 1);
+        assert_eq!(pow_mod(7, 1, 13), 7);
+        assert_eq!(pow_mod(7, 2, 13), 10);
+        assert_eq!(pow_mod(7, 12, 13), 1); // Fermat
+        assert_eq!(pow_mod(2, 64, 1), 0);
+    }
+
+    #[test]
+    fn gcd_cases() {
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(0, 9), 9);
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(17, 13), 1);
+    }
+
+    #[test]
+    fn inverse_roundtrip_small() {
+        for m in [2u64, 13, 97, 1_000_003] {
+            for a in 1..m.min(200) {
+                if gcd(a, m) == 1 {
+                    let inv = inv_mod(a, m).unwrap();
+                    assert_eq!(mul_mod(a, inv, m), 1, "a={a} m={m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_none_when_not_coprime() {
+        assert_eq!(inv_mod(6, 9), None);
+        assert_eq!(inv_mod(0, 5), None);
+        assert_eq!(inv_mod(4, 0), None);
+    }
+
+    #[test]
+    fn isqrt_edges() {
+        assert_eq!(isqrt(0), 0);
+        assert_eq!(isqrt(1), 1);
+        assert_eq!(isqrt(3), 1);
+        assert_eq!(isqrt(4), 2);
+        assert_eq!(isqrt(u64::MAX), 4294967295);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pow_mod_matches_naive(a in 0u64..1000, e in 0u64..12, m in 1u64..1000) {
+            let mut want = 1u64 % m;
+            for _ in 0..e {
+                want = (want * a) % m;
+            }
+            prop_assert_eq!(pow_mod(a, e, m), want);
+        }
+
+        #[test]
+        fn prop_egcd_bezout(a in 0u64..u64::MAX/2, b in 0u64..u64::MAX/2) {
+            let (g, x, y) = egcd(a, b);
+            prop_assert_eq!(g, gcd(a, b));
+            prop_assert_eq!((a as i128) * x + (b as i128) * y, g as i128);
+        }
+
+        #[test]
+        fn prop_inv_mod(a in 1u64..100_000, m in 2u64..100_000) {
+            match inv_mod(a, m) {
+                Some(inv) => prop_assert_eq!(mul_mod(a % m, inv, m), 1 % m),
+                None => prop_assert!(gcd(a, m) != 1),
+            }
+        }
+
+        #[test]
+        fn prop_isqrt(n in 0u64..u64::MAX) {
+            let r = isqrt(n);
+            prop_assert!((r as u128) * (r as u128) <= n as u128);
+            prop_assert!(((r as u128) + 1) * ((r as u128) + 1) > n as u128);
+        }
+    }
+}

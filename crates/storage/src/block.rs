@@ -1,0 +1,131 @@
+//! The block-device abstraction: fixed-size blocks addressed by [`BlockId`].
+//!
+//! The paper's storage model (§3, following Elmasri & Navathe) is a
+//! sequential set of fixed-size *blocks* on secondary storage: node blocks
+//! hold `[search key, data pointer, tree pointer]` triplets, data blocks
+//! hold records. Everything above (B-tree, record store, encipherment)
+//! speaks [`BlockStore`]; everything below ([`crate::MemDisk`],
+//! [`crate::FileDisk`]) simulates the device.
+
+/// Identifier of a block on the device. Block 0 is conventionally the
+/// superblock of whatever structure lives on the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    pub const fn as_u64(self) -> u64 {
+        self.0 as u64
+    }
+}
+
+impl std::fmt::Display for BlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// Errors from block-store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// Block id past the end of the device.
+    OutOfRange { id: u32, len: u32 },
+    /// Access to a block that is currently on the free list.
+    FreedBlock { id: u32 },
+    /// Payload length does not match the device block size.
+    WrongBlockSize { expected: usize, got: usize },
+    /// Underlying I/O failure (file-backed stores).
+    Io(String),
+    /// On-disk structure is inconsistent.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::OutOfRange { id, len } => {
+                write!(f, "block {id} out of range (device has {len} blocks)")
+            }
+            StorageError::FreedBlock { id } => write!(f, "block {id} is freed"),
+            StorageError::WrongBlockSize { expected, got } => {
+                write!(f, "expected {expected}-byte block, got {got}")
+            }
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::Corrupt(e) => write!(f, "corrupt store: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e.to_string())
+    }
+}
+
+/// A device of fixed-size blocks.
+///
+/// Reads take `&self` (concurrent readers are fine for the in-memory
+/// stores); mutation takes `&mut self`. All implementations must count
+/// operations on their [`crate::OpCounters`].
+pub trait BlockStore {
+    /// Fixed block size in bytes.
+    fn block_size(&self) -> usize;
+
+    /// Number of blocks ever allocated (the device length; includes freed
+    /// blocks still on the free list).
+    fn num_blocks(&self) -> u32;
+
+    /// Allocates a zeroed block, reusing freed blocks when available.
+    fn allocate(&mut self) -> Result<BlockId, StorageError>;
+
+    /// Returns a block to the free list.
+    fn free(&mut self, id: BlockId) -> Result<(), StorageError>;
+
+    /// Reads a whole block into `buf` (`buf.len()` must equal
+    /// [`Self::block_size`]).
+    fn read_block(&self, id: BlockId, buf: &mut [u8]) -> Result<(), StorageError>;
+
+    /// Overwrites a whole block (`data.len()` must equal block size).
+    fn write_block(&mut self, id: BlockId, data: &[u8]) -> Result<(), StorageError>;
+
+    /// Shared operation counters.
+    fn counters(&self) -> &crate::OpCounters;
+
+    /// Convenience: read into a fresh vector.
+    fn read_block_vec(&self, id: BlockId) -> Result<Vec<u8>, StorageError> {
+        let mut buf = vec![0u8; self.block_size()];
+        self.read_block(id, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Flushes buffered state to the backing medium (no-op by default).
+    fn flush(&mut self) -> Result<(), StorageError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_id_display_and_conversions() {
+        let id = BlockId(42);
+        assert_eq!(id.to_string(), "b42");
+        assert_eq!(id.as_u32(), 42);
+        assert_eq!(id.as_u64(), 42);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = StorageError::OutOfRange { id: 9, len: 4 };
+        assert!(e.to_string().contains("block 9"));
+        let e: StorageError = std::io::Error::other("boom").into();
+        assert!(matches!(e, StorageError::Io(_)));
+    }
+}

@@ -1,0 +1,243 @@
+//! An LRU buffer pool layered over any [`BlockStore`].
+//!
+//! Bayer & Metzger encipher pages *between* main memory and disk; the buffer
+//! pool marks that boundary. Pages cached here are the (encrypted) disk
+//! images — decryption happens above, in the node codecs — so cache hits
+//! save physical I/O but **not** decryption work, exactly as in the paper's
+//! model where the hardware crypto unit sits at the disk interface.
+
+use std::collections::HashMap;
+
+use crate::block::{BlockId, BlockStore, StorageError};
+
+/// Write-back LRU cache of whole blocks.
+#[derive(Debug)]
+pub struct BufferPool<S: BlockStore> {
+    store: S,
+    capacity: usize,
+    frames: HashMap<BlockId, Frame>,
+    /// LRU order: front = least recently used. Small capacities only, so a
+    /// Vec scan is fine (and keeps the structure obviously correct).
+    lru: Vec<BlockId>,
+}
+
+#[derive(Debug)]
+struct Frame {
+    data: Vec<u8>,
+    dirty: bool,
+}
+
+impl<S: BlockStore> BufferPool<S> {
+    pub fn new(store: S, capacity: usize) -> Self {
+        assert!(capacity >= 1);
+        BufferPool {
+            store,
+            capacity,
+            frames: HashMap::with_capacity(capacity),
+            lru: Vec::with_capacity(capacity),
+        }
+    }
+
+    fn touch(&mut self, id: BlockId) {
+        if let Some(pos) = self.lru.iter().position(|&x| x == id) {
+            self.lru.remove(pos);
+        }
+        self.lru.push(id);
+    }
+
+    fn evict_if_needed(&mut self) -> Result<(), StorageError> {
+        while self.frames.len() > self.capacity {
+            let victim = self.lru.remove(0);
+            if let Some(frame) = self.frames.remove(&victim) {
+                if frame.dirty {
+                    self.store.write_block(victim, &frame.data)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads through the cache.
+    pub fn read(&mut self, id: BlockId) -> Result<&[u8], StorageError> {
+        if self.frames.contains_key(&id) {
+            self.store.counters().bump(|c| &c.cache_hits);
+            self.touch(id);
+            return Ok(&self.frames[&id].data);
+        }
+        self.store.counters().bump(|c| &c.cache_misses);
+        let data = self.store.read_block_vec(id)?;
+        self.frames.insert(id, Frame { data, dirty: false });
+        self.touch(id);
+        self.evict_if_needed()?;
+        Ok(&self.frames[&id].data)
+    }
+
+    /// Writes through the cache (write-back: dirty until flush/eviction).
+    pub fn write(&mut self, id: BlockId, data: &[u8]) -> Result<(), StorageError> {
+        if data.len() != self.store.block_size() {
+            return Err(StorageError::WrongBlockSize {
+                expected: self.store.block_size(),
+                got: data.len(),
+            });
+        }
+        self.frames.insert(
+            id,
+            Frame {
+                data: data.to_vec(),
+                dirty: true,
+            },
+        );
+        self.touch(id);
+        self.evict_if_needed()
+    }
+
+    /// Flushes all dirty frames to the store.
+    pub fn flush(&mut self) -> Result<(), StorageError> {
+        let mut dirty: Vec<BlockId> = self
+            .frames
+            .iter()
+            .filter(|(_, f)| f.dirty)
+            .map(|(&id, _)| id)
+            .collect();
+        dirty.sort_unstable();
+        for id in dirty {
+            let frame = self.frames.get_mut(&id).expect("collected above");
+            self.store.write_block(id, &frame.data)?;
+            frame.dirty = false;
+        }
+        self.store.flush()
+    }
+
+    /// Drops a block from the cache without writing it back (used after
+    /// `free`).
+    pub fn discard(&mut self, id: BlockId) {
+        self.frames.remove(&id);
+        if let Some(pos) = self.lru.iter().position(|&x| x == id) {
+            self.lru.remove(pos);
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    pub fn store_mut(&mut self) -> &mut S {
+        &mut self.store
+    }
+
+    /// Consumes the pool, flushing and returning the underlying store.
+    pub fn into_store(mut self) -> Result<S, StorageError> {
+        self.flush()?;
+        Ok(self.store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memdisk::MemDisk;
+
+    fn disk_with_blocks(n: u32) -> MemDisk {
+        let mut disk = MemDisk::new(64);
+        for i in 0..n {
+            let id = disk.allocate().unwrap();
+            disk.write_block(id, &[i as u8; 64]).unwrap();
+        }
+        disk
+    }
+
+    #[test]
+    fn read_hits_after_first_miss() {
+        let disk = disk_with_blocks(4);
+        let mut pool = BufferPool::new(disk, 2);
+        let _ = pool.read(BlockId(0)).unwrap();
+        let _ = pool.read(BlockId(0)).unwrap();
+        let s = pool.store().counters().snapshot();
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.block_reads, 1, "only one physical read");
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let disk = disk_with_blocks(3);
+        let mut pool = BufferPool::new(disk, 2);
+        let _ = pool.read(BlockId(0)).unwrap();
+        let _ = pool.read(BlockId(1)).unwrap();
+        let _ = pool.read(BlockId(0)).unwrap(); // 1 is now LRU
+        let _ = pool.read(BlockId(2)).unwrap(); // evicts 1
+        let _ = pool.read(BlockId(0)).unwrap(); // still cached
+        let s = pool.store().counters().snapshot();
+        assert_eq!(s.block_reads, 3, "0,1,2 read once each; 0 stayed cached");
+    }
+
+    #[test]
+    fn write_back_on_eviction_and_flush() {
+        let disk = disk_with_blocks(3);
+        let mut pool = BufferPool::new(disk, 1);
+        pool.write(BlockId(0), &[0xAA; 64]).unwrap();
+        // Evict block 0 by reading block 1.
+        let _ = pool.read(BlockId(1)).unwrap();
+        assert_eq!(
+            pool.store().read_block_vec(BlockId(0)).unwrap(),
+            vec![0xAA; 64],
+            "dirty frame written back on eviction"
+        );
+        pool.write(BlockId(2), &[0xBB; 64]).unwrap();
+        pool.flush().unwrap();
+        assert_eq!(
+            pool.store().read_block_vec(BlockId(2)).unwrap(),
+            vec![0xBB; 64]
+        );
+    }
+
+    #[test]
+    fn cached_read_returns_written_data_before_flush() {
+        let disk = disk_with_blocks(1);
+        let mut pool = BufferPool::new(disk, 2);
+        pool.write(BlockId(0), &[0xCC; 64]).unwrap();
+        assert_eq!(pool.read(BlockId(0)).unwrap(), &[0xCC; 64][..]);
+        // Physical store still has the old content (write-back).
+        assert_eq!(
+            pool.store().read_block_vec(BlockId(0)).unwrap(),
+            vec![0x00; 64]
+        );
+    }
+
+    #[test]
+    fn discard_forgets_without_writeback() {
+        let disk = disk_with_blocks(1);
+        let mut pool = BufferPool::new(disk, 2);
+        pool.write(BlockId(0), &[0xDD; 64]).unwrap();
+        pool.discard(BlockId(0));
+        pool.flush().unwrap();
+        assert_eq!(
+            pool.store().read_block_vec(BlockId(0)).unwrap(),
+            vec![0x00; 64],
+            "discarded dirty frame never hits the store"
+        );
+    }
+
+    #[test]
+    fn into_store_flushes() {
+        let disk = disk_with_blocks(1);
+        let mut pool = BufferPool::new(disk, 2);
+        pool.write(BlockId(0), &[0xEE; 64]).unwrap();
+        let store = pool.into_store().unwrap();
+        assert_eq!(store.read_block_vec(BlockId(0)).unwrap(), vec![0xEE; 64]);
+    }
+
+    #[test]
+    fn rejects_wrong_sized_write() {
+        let disk = disk_with_blocks(1);
+        let mut pool = BufferPool::new(disk, 2);
+        assert!(matches!(
+            pool.write(BlockId(0), &[0u8; 7]),
+            Err(StorageError::WrongBlockSize { .. })
+        ));
+    }
+}

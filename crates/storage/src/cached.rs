@@ -1,0 +1,145 @@
+//! [`CachedStore`] — a [`BlockStore`] adapter over the [`BufferPool`], so a
+//! whole B-tree (or record store) transparently runs behind the cache.
+//!
+//! Cache hits save physical block I/O but never cryptography: pages are
+//! cached in their *enciphered* form, exactly where Bayer–Metzger put the
+//! hardware crypto unit (between main memory and the device). Decryption
+//! savings come from the codec layer, not from here — keeping the two
+//! effects separable in the counters.
+
+use std::cell::RefCell;
+
+use crate::block::{BlockId, BlockStore, StorageError};
+use crate::bufferpool::BufferPool;
+use crate::counters::OpCounters;
+
+/// A block store wrapped in a write-back LRU cache.
+#[derive(Debug)]
+pub struct CachedStore<S: BlockStore> {
+    /// RefCell so `&self` reads can update LRU state (single-threaded use,
+    /// like the rest of the tree stack).
+    pool: RefCell<BufferPool<S>>,
+    counters: OpCounters,
+    block_size: usize,
+}
+
+impl<S: BlockStore> CachedStore<S> {
+    pub fn new(store: S, capacity: usize) -> Self {
+        let counters = store.counters().clone();
+        let block_size = store.block_size();
+        CachedStore {
+            pool: RefCell::new(BufferPool::new(store, capacity)),
+            counters,
+            block_size,
+        }
+    }
+
+    /// Flushes dirty frames and returns the inner store.
+    pub fn into_inner(self) -> Result<S, StorageError> {
+        self.pool.into_inner().into_store()
+    }
+}
+
+impl<S: BlockStore> BlockStore for CachedStore<S> {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn num_blocks(&self) -> u32 {
+        self.pool.borrow().store().num_blocks()
+    }
+
+    fn allocate(&mut self) -> Result<BlockId, StorageError> {
+        self.pool.get_mut().store_mut().allocate()
+    }
+
+    fn free(&mut self, id: BlockId) -> Result<(), StorageError> {
+        let pool = self.pool.get_mut();
+        pool.discard(id);
+        pool.store_mut().free(id)
+    }
+
+    fn read_block(&self, id: BlockId, buf: &mut [u8]) -> Result<(), StorageError> {
+        if buf.len() != self.block_size {
+            return Err(StorageError::WrongBlockSize {
+                expected: self.block_size,
+                got: buf.len(),
+            });
+        }
+        let mut pool = self.pool.borrow_mut();
+        let data = pool.read(id)?;
+        buf.copy_from_slice(data);
+        Ok(())
+    }
+
+    fn write_block(&mut self, id: BlockId, data: &[u8]) -> Result<(), StorageError> {
+        self.pool.get_mut().write(id, data)
+    }
+
+    fn counters(&self) -> &OpCounters {
+        &self.counters
+    }
+
+    fn flush(&mut self) -> Result<(), StorageError> {
+        self.pool.get_mut().flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memdisk::MemDisk;
+
+    #[test]
+    fn behaves_like_the_inner_store() {
+        let mut cached = CachedStore::new(MemDisk::new(64), 4);
+        let a = cached.allocate().unwrap();
+        let b = cached.allocate().unwrap();
+        cached.write_block(a, &[1u8; 64]).unwrap();
+        cached.write_block(b, &[2u8; 64]).unwrap();
+        assert_eq!(cached.read_block_vec(a).unwrap(), vec![1u8; 64]);
+        assert_eq!(cached.read_block_vec(b).unwrap(), vec![2u8; 64]);
+        cached.free(a).unwrap();
+        assert!(cached.read_block_vec(a).is_err());
+        assert_eq!(cached.num_blocks(), 2);
+    }
+
+    #[test]
+    fn repeated_reads_hit_cache_not_disk() {
+        let mut cached = CachedStore::new(MemDisk::new(64), 4);
+        let a = cached.allocate().unwrap();
+        cached.write_block(a, &[9u8; 64]).unwrap();
+        cached.flush().unwrap();
+        for _ in 0..10 {
+            let _ = cached.read_block_vec(a).unwrap();
+        }
+        let s = cached.counters().snapshot();
+        assert!(s.cache_hits >= 9, "hits {}", s.cache_hits);
+        assert!(
+            s.block_reads <= 1,
+            "physical reads {} should be ≤ 1",
+            s.block_reads
+        );
+    }
+
+    #[test]
+    fn into_inner_persists_dirty_frames() {
+        let mut cached = CachedStore::new(MemDisk::new(64), 4);
+        let a = cached.allocate().unwrap();
+        cached.write_block(a, &[7u8; 64]).unwrap();
+        let inner = cached.into_inner().unwrap();
+        assert_eq!(inner.read_block_vec(a).unwrap(), vec![7u8; 64]);
+    }
+
+    #[test]
+    fn freed_block_is_dropped_from_cache() {
+        let mut cached = CachedStore::new(MemDisk::new(64), 4);
+        let a = cached.allocate().unwrap();
+        cached.write_block(a, &[5u8; 64]).unwrap();
+        cached.free(a).unwrap();
+        // Reallocating yields a zeroed block, not the stale cached frame.
+        let again = cached.allocate().unwrap();
+        assert_eq!(again, a);
+        assert_eq!(cached.read_block_vec(again).unwrap(), vec![0u8; 64]);
+    }
+}

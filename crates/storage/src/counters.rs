@@ -1,0 +1,192 @@
+//! Shared operation counters.
+//!
+//! The paper's comparative claims are about *counts* — decryptions per node
+//! visit (§3), re-encipherments on reorganisation (§3), block reads per
+//! search (§4.2) — so counting is a first-class concern. Counters are
+//! `Arc`-shared atomics: the store, the codec and the tree all increment the
+//! same [`OpCounters`] and experiments snapshot it between phases.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One atomic counter cell.
+macro_rules! counters {
+    ($($(#[$doc:meta])* $name:ident),+ $(,)?) => {
+        /// Shared atomic operation counters (see module docs).
+        #[derive(Debug, Default)]
+        pub struct OpCountersInner {
+            $( $(#[$doc])* pub $name: AtomicU64, )+
+        }
+
+        /// An owned snapshot of [`OpCounters`] at a point in time.
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        pub struct OpSnapshot {
+            $( $(#[$doc])* pub $name: u64, )+
+        }
+
+        impl OpCountersInner {
+            fn snapshot(&self) -> OpSnapshot {
+                OpSnapshot {
+                    $( $name: self.$name.load(Ordering::Relaxed), )+
+                }
+            }
+
+            fn reset(&self) {
+                $( self.$name.store(0, Ordering::Relaxed); )+
+            }
+        }
+
+        impl OpSnapshot {
+            /// Component-wise difference (`self - earlier`), saturating.
+            pub fn delta(&self, earlier: &OpSnapshot) -> OpSnapshot {
+                OpSnapshot {
+                    $( $name: self.$name.saturating_sub(earlier.$name), )+
+                }
+            }
+        }
+    };
+}
+
+counters! {
+    /// Physical block reads from the store.
+    block_reads,
+    /// Physical block writes to the store.
+    block_writes,
+    /// Blocks allocated.
+    allocs,
+    /// Blocks freed.
+    frees,
+    /// Buffer-pool hits (reads served from cache).
+    cache_hits,
+    /// Buffer-pool misses.
+    cache_misses,
+    /// Cipher-block (or RSA-block) encryptions of *search-key* material.
+    key_encrypts,
+    /// Cipher-block (or RSA-block) decryptions of *search-key* material.
+    key_decrypts,
+    /// Cipher-block encryptions of pointer material `E(b‖a‖p)`.
+    ptr_encrypts,
+    /// Cipher-block decryptions of pointer material.
+    ptr_decrypts,
+    /// Whole-page stream/CBC block encryptions (Bayer–Metzger full page).
+    page_encrypts,
+    /// Whole-page stream/CBC block decryptions.
+    page_decrypts,
+    /// Record (data-block) encryptions — §5's independent data cipher.
+    data_encrypts,
+    /// Record (data-block) decryptions.
+    data_decrypts,
+    /// Key disguise applications `f(k)` (substitution, §4).
+    disguise_ops,
+    /// Disguise inversions `f⁻¹(k̂)`.
+    recover_ops,
+    /// Discrete-log computations (exponentiation disguise, §4.2).
+    dlog_ops,
+    /// In-node key comparisons during navigation.
+    key_compares,
+    /// B-tree node visits.
+    node_visits,
+    /// Node splits.
+    splits,
+    /// Node merges.
+    merges,
+    /// Sibling borrows during deletion.
+    borrows,
+}
+
+/// Cheaply cloneable handle to a shared counter set.
+#[derive(Debug, Clone, Default)]
+pub struct OpCounters {
+    inner: Arc<OpCountersInner>,
+}
+
+impl OpCounters {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to a counter field selected by the closure.
+    #[inline]
+    pub fn bump_by(&self, field: impl Fn(&OpCountersInner) -> &AtomicU64, n: u64) {
+        field(&self.inner).fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1 to a counter field selected by the closure, e.g.
+    /// `counters.bump(|c| &c.ptr_decrypts)`.
+    #[inline]
+    pub fn bump(&self, field: impl Fn(&OpCountersInner) -> &AtomicU64) {
+        self.bump_by(field, 1);
+    }
+
+    pub fn snapshot(&self) -> OpSnapshot {
+        self.inner.snapshot()
+    }
+
+    pub fn reset(&self) {
+        self.inner.reset();
+    }
+}
+
+impl OpSnapshot {
+    /// Total cryptogram decryptions of any kind — the paper's headline
+    /// metric for search cost.
+    pub fn total_decrypts(&self) -> u64 {
+        self.key_decrypts + self.ptr_decrypts + self.page_decrypts
+    }
+
+    /// Total cryptogram encryptions of any kind.
+    pub fn total_encrypts(&self) -> u64 {
+        self.key_encrypts + self.ptr_encrypts + self.page_encrypts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_snapshot() {
+        let c = OpCounters::new();
+        c.bump(|i| &i.block_reads);
+        c.bump(|i| &i.block_reads);
+        c.bump_by(|i| &i.ptr_decrypts, 5);
+        let s = c.snapshot();
+        assert_eq!(s.block_reads, 2);
+        assert_eq!(s.ptr_decrypts, 5);
+        assert_eq!(s.total_decrypts(), 5);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = OpCounters::new();
+        let b = a.clone();
+        b.bump(|i| &i.splits);
+        assert_eq!(a.snapshot().splits, 1);
+    }
+
+    #[test]
+    fn delta_and_reset() {
+        let c = OpCounters::new();
+        c.bump_by(|i| &i.node_visits, 10);
+        let before = c.snapshot();
+        c.bump_by(|i| &i.node_visits, 7);
+        let after = c.snapshot();
+        assert_eq!(after.delta(&before).node_visits, 7);
+        c.reset();
+        assert_eq!(c.snapshot().node_visits, 0);
+    }
+
+    #[test]
+    fn totals_cover_all_crypto_fields() {
+        let c = OpCounters::new();
+        c.bump(|i| &i.key_encrypts);
+        c.bump(|i| &i.ptr_encrypts);
+        c.bump(|i| &i.page_encrypts);
+        c.bump(|i| &i.key_decrypts);
+        c.bump(|i| &i.ptr_decrypts);
+        c.bump(|i| &i.page_decrypts);
+        let s = c.snapshot();
+        assert_eq!(s.total_encrypts(), 3);
+        assert_eq!(s.total_decrypts(), 3);
+    }
+}

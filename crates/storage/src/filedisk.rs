@@ -1,0 +1,285 @@
+//! A file-backed block device so that enciphered trees survive process
+//! restarts (and so the attack tooling can be pointed at an actual file).
+//!
+//! Layout: an 8-KiB header (magic, version, block size, block count, free
+//! list head) followed by the blocks. Freed blocks form an intrusive linked
+//! list: the first four bytes of a freed block store the next free block id.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::block::{BlockId, BlockStore, StorageError};
+use crate::counters::OpCounters;
+
+const MAGIC: &[u8; 8] = b"SKSBTRE1";
+const HEADER_LEN: u64 = 8192;
+const NO_FREE: u32 = u32::MAX;
+
+/// File-backed block device.
+#[derive(Debug)]
+pub struct FileDisk {
+    file: File,
+    block_size: usize,
+    num_blocks: u32,
+    free_head: u32,
+    counters: OpCounters,
+}
+
+impl FileDisk {
+    /// Creates a new store file (truncating any existing content).
+    pub fn create<P: AsRef<Path>>(path: P, block_size: usize) -> Result<Self, StorageError> {
+        assert!(block_size >= 32, "blocks below 32 bytes are not useful");
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let mut disk = FileDisk {
+            file,
+            block_size,
+            num_blocks: 0,
+            free_head: NO_FREE,
+            counters: OpCounters::new(),
+        };
+        disk.write_header()?;
+        Ok(disk)
+    }
+
+    /// Opens an existing store file.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, StorageError> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut header = [0u8; 28];
+        file.seek(SeekFrom::Start(0))?;
+        file.read_exact(&mut header)?;
+        if &header[0..8] != MAGIC {
+            return Err(StorageError::Corrupt("bad magic".into()));
+        }
+        let version = u32::from_be_bytes(header[8..12].try_into().unwrap());
+        if version != 1 {
+            return Err(StorageError::Corrupt(format!("unknown version {version}")));
+        }
+        let block_size = u64::from_be_bytes(header[12..20].try_into().unwrap()) as usize;
+        let num_blocks = u32::from_be_bytes(header[20..24].try_into().unwrap());
+        let free_head = u32::from_be_bytes(header[24..28].try_into().unwrap());
+        Ok(FileDisk {
+            file,
+            block_size,
+            num_blocks,
+            free_head,
+            counters: OpCounters::new(),
+        })
+    }
+
+    fn write_header(&mut self) -> Result<(), StorageError> {
+        let mut header = vec![0u8; HEADER_LEN as usize];
+        header[0..8].copy_from_slice(MAGIC);
+        header[8..12].copy_from_slice(&1u32.to_be_bytes());
+        header[12..20].copy_from_slice(&(self.block_size as u64).to_be_bytes());
+        header[20..24].copy_from_slice(&self.num_blocks.to_be_bytes());
+        header[24..28].copy_from_slice(&self.free_head.to_be_bytes());
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.write_all(&header)?;
+        Ok(())
+    }
+
+    fn offset(&self, id: BlockId) -> u64 {
+        HEADER_LEN + id.0 as u64 * self.block_size as u64
+    }
+
+    fn check(&self, id: BlockId) -> Result<(), StorageError> {
+        if id.0 >= self.num_blocks {
+            return Err(StorageError::OutOfRange {
+                id: id.0,
+                len: self.num_blocks,
+            });
+        }
+        Ok(())
+    }
+
+    fn read_raw(&self, id: BlockId) -> Result<Vec<u8>, StorageError> {
+        let mut buf = vec![0u8; self.block_size];
+        // Positioned read keeps `&self` reads safe without seeking the
+        // shared cursor.
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.read_exact_at(&mut buf, self.offset(id))?;
+        }
+        #[cfg(not(unix))]
+        {
+            let mut f = &self.file;
+            f.seek(SeekFrom::Start(self.offset(id)))?;
+            f.read_exact(&mut buf)?;
+        }
+        Ok(buf)
+    }
+
+    fn write_raw(&mut self, id: BlockId, data: &[u8]) -> Result<(), StorageError> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.write_all_at(data, self.offset(id))?;
+        }
+        #[cfg(not(unix))]
+        {
+            self.file.seek(SeekFrom::Start(self.offset(id)))?;
+            self.file.write_all(data)?;
+        }
+        Ok(())
+    }
+
+    /// Raw image (for the attacker tooling), freed blocks included.
+    pub fn raw_image(&self) -> Result<Vec<Vec<u8>>, StorageError> {
+        (0..self.num_blocks)
+            .map(|i| self.read_raw(BlockId(i)))
+            .collect()
+    }
+}
+
+impl BlockStore for FileDisk {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn num_blocks(&self) -> u32 {
+        self.num_blocks
+    }
+
+    fn allocate(&mut self) -> Result<BlockId, StorageError> {
+        self.counters.bump(|c| &c.allocs);
+        if self.free_head != NO_FREE {
+            let id = BlockId(self.free_head);
+            let block = self.read_raw(id)?;
+            self.free_head = u32::from_be_bytes(block[0..4].try_into().unwrap());
+            self.write_raw(id, &vec![0u8; self.block_size])?;
+            self.write_header()?;
+            return Ok(id);
+        }
+        let id = BlockId(self.num_blocks);
+        self.num_blocks += 1;
+        self.write_raw(id, &vec![0u8; self.block_size])?;
+        self.write_header()?;
+        Ok(id)
+    }
+
+    fn free(&mut self, id: BlockId) -> Result<(), StorageError> {
+        self.check(id)?;
+        self.counters.bump(|c| &c.frees);
+        let mut block = vec![0u8; self.block_size];
+        block[0..4].copy_from_slice(&self.free_head.to_be_bytes());
+        self.write_raw(id, &block)?;
+        self.free_head = id.0;
+        self.write_header()?;
+        Ok(())
+    }
+
+    fn read_block(&self, id: BlockId, buf: &mut [u8]) -> Result<(), StorageError> {
+        self.check(id)?;
+        if buf.len() != self.block_size {
+            return Err(StorageError::WrongBlockSize {
+                expected: self.block_size,
+                got: buf.len(),
+            });
+        }
+        self.counters.bump(|c| &c.block_reads);
+        buf.copy_from_slice(&self.read_raw(id)?);
+        Ok(())
+    }
+
+    fn write_block(&mut self, id: BlockId, data: &[u8]) -> Result<(), StorageError> {
+        self.check(id)?;
+        if data.len() != self.block_size {
+            return Err(StorageError::WrongBlockSize {
+                expected: self.block_size,
+                got: data.len(),
+            });
+        }
+        self.counters.bump(|c| &c.block_writes);
+        self.write_raw(id, data)
+    }
+
+    fn counters(&self) -> &OpCounters {
+        &self.counters
+    }
+
+    fn flush(&mut self) -> Result<(), StorageError> {
+        self.write_header()?;
+        self.file.sync_all()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sks_filedisk_{}_{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn create_write_reopen_read() {
+        let path = tmpfile("reopen");
+        {
+            let mut disk = FileDisk::create(&path, 128).unwrap();
+            let a = disk.allocate().unwrap();
+            let b = disk.allocate().unwrap();
+            disk.write_block(a, &[0x11; 128]).unwrap();
+            disk.write_block(b, &[0x22; 128]).unwrap();
+            disk.flush().unwrap();
+        }
+        {
+            let disk = FileDisk::open(&path).unwrap();
+            assert_eq!(disk.block_size(), 128);
+            assert_eq!(disk.num_blocks(), 2);
+            assert_eq!(disk.read_block_vec(BlockId(0)).unwrap(), vec![0x11; 128]);
+            assert_eq!(disk.read_block_vec(BlockId(1)).unwrap(), vec![0x22; 128]);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn free_list_survives_reopen() {
+        let path = tmpfile("freelist");
+        {
+            let mut disk = FileDisk::create(&path, 64).unwrap();
+            let a = disk.allocate().unwrap();
+            let _b = disk.allocate().unwrap();
+            disk.free(a).unwrap();
+            disk.flush().unwrap();
+        }
+        {
+            let mut disk = FileDisk::open(&path).unwrap();
+            let again = disk.allocate().unwrap();
+            assert_eq!(again, BlockId(0), "freed block is reused after reopen");
+            assert_eq!(disk.num_blocks(), 2);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_corrupt_magic() {
+        let path = tmpfile("magic");
+        std::fs::write(&path, b"NOTAMAGICHEADERxxxxxxxxxxxxxxxxx").unwrap();
+        assert!(matches!(
+            FileDisk::open(&path),
+            Err(StorageError::Corrupt(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn raw_image_matches_block_content() {
+        let path = tmpfile("image");
+        let mut disk = FileDisk::create(&path, 64).unwrap();
+        let a = disk.allocate().unwrap();
+        disk.write_block(a, &[0xEE; 64]).unwrap();
+        let image = disk.raw_image().unwrap();
+        assert_eq!(image, vec![vec![0xEE; 64]]);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,32 @@
+//! # sks-storage — simulated secondary storage
+//!
+//! The storage model of §3 (after Elmasri & Navathe): fixed-size *blocks* on
+//! a device, some holding B-tree node triplets, some holding records.
+//! Bayer & Metzger place the encryption module at the memory↔disk boundary;
+//! this crate provides that boundary with exact accounting:
+//!
+//! * [`block`] — the [`BlockStore`] trait and error types.
+//! * [`memdisk`] — in-memory device; [`MemDisk::raw_image`] is the
+//!   opponent's view of the stolen medium.
+//! * [`filedisk`] — file-backed device with a persistent free list.
+//! * [`bufferpool`] — write-back LRU cache at the memory↔disk boundary.
+//! * [`cached`] — [`CachedStore`]: the pool wrapped back into a [`BlockStore`].
+//! * [`counters`] — shared atomic [`OpCounters`]: block I/O, cache traffic,
+//!   and every class of cryptographic operation the paper's claims count.
+//! * [`pagerw`] — bounds-checked big-endian page cursors for node codecs.
+
+pub mod block;
+pub mod bufferpool;
+pub mod cached;
+pub mod counters;
+pub mod filedisk;
+pub mod memdisk;
+pub mod pagerw;
+
+pub use block::{BlockId, BlockStore, StorageError};
+pub use bufferpool::BufferPool;
+pub use cached::CachedStore;
+pub use counters::{OpCounters, OpCountersInner, OpSnapshot};
+pub use filedisk::FileDisk;
+pub use memdisk::MemDisk;
+pub use pagerw::{PageOverflow, PageReader, PageWriter};

@@ -1,0 +1,67 @@
+//! Regenerates the worked examples of the paper in one shot: the
+//! `(13,4,1)` lines→ovals table (§4.1), the exponentiation grid (§4.2),
+//! the cumulative-sum column (§4.3), and the three figure B-trees —
+//! straight from the public API (the `repro` binary in `sks-bench` does
+//! the same plus the quantitative experiments).
+//!
+//! ```sh
+//! cargo run --example paper_figures
+//! ```
+
+use sks_btree::core::disguise::{KeyDisguise, PaperExpSubstitution};
+use sks_btree::core::{EncipheredBTree, OvalSubstitution, Scheme, SchemeConfig};
+use sks_btree::designs::DifferenceSet;
+use sks_btree::storage::OpCounters;
+
+fn main() {
+    let ds = DifferenceSet::paper_13_4_1();
+
+    println!("== §4.1 table: lines vs ovals, (13,4,1), t = 7 ==\n");
+    for y in 0..13 {
+        let line = ds.line_in_base_order(y);
+        let oval = ds.oval_in_base_order(y, 7);
+        println!("  L{y:<2} {line:>2?}   ->   O{y:<2} {oval:>2?}");
+    }
+
+    println!("\n== §4.1 substitution (key -> 7·key mod 13) ==\n");
+    let oval = OvalSubstitution::paper_example(OpCounters::new());
+    let pairs: Vec<String> = (0..13)
+        .map(|k| format!("{k}→{}", oval.disguise(k).unwrap()))
+        .collect();
+    println!("  {}", pairs.join("  "));
+
+    println!("\n== §4.2 exponent grid (g = 7, N = 13) ==\n");
+    let exp = PaperExpSubstitution::paper_example(OpCounters::new());
+    let lines = exp.line_exponent_grid();
+    let ovals = exp.oval_exponent_grid();
+    for y in 0..13 {
+        let l: Vec<String> = lines[y].iter().map(|e| format!("7^{e}")).collect();
+        let o: Vec<String> = ovals[y].iter().map(|e| format!("7^{e}")).collect();
+        println!("  {:<24} | {}", l.join(" "), o.join(" "));
+    }
+
+    println!("\n== §4.3 cumulative sums ==\n");
+    for x in 0..13u64 {
+        println!("  key {x:>2}  ->  k̂ = {}", ds.cumulative_sum(0, x));
+    }
+
+    println!("\n== Figures 1–3: the demonstration B-tree under each scheme ==");
+    for (name, scheme) in [
+        ("Figure 1 (oval)", Scheme::Oval),
+        ("Figure 2 (exponentiation, literal)", Scheme::ExponentiationPaper),
+        ("Figure 3 (sum of treatments)", Scheme::SumOfTreatments),
+    ] {
+        let cfg = SchemeConfig::demo(scheme);
+        let mut tree = EncipheredBTree::create_in_memory(cfg).expect("demo");
+        let keys: &[u64] = match scheme {
+            Scheme::ExponentiationPaper => &[3, 4, 5, 6, 8, 9, 11],
+            _ => &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
+        };
+        for &k in keys {
+            tree.insert(k, format!("rec{k}").into_bytes()).expect("insert");
+        }
+        println!("\n-- {name} --");
+        println!("logical:\n{}", tree.render_logical().expect("render"));
+        println!("on disk:\n{}", tree.render_disk_view().expect("render"));
+    }
+}

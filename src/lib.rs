@@ -1,0 +1,43 @@
+//! # sks-btree — Search Key Substitution in the Encipherment of B-Trees
+//!
+//! A reproduction of Hardjono & Seberry, *"Search Key Substitution in the
+//! Encipherment of B-Trees"*, VLDB 1990. This facade crate re-exports the
+//! whole workspace:
+//!
+//! * [`designs`] — combinatorial block designs (difference sets, projective
+//!   planes, ovals) and the number-theoretic substrate.
+//! * [`crypto`] — from-scratch DES, RSA, cipher modes, page-key derivation,
+//!   and the multilevel key hierarchy of §5.
+//! * [`storage`] — simulated block devices, buffer pool, and I/O counters.
+//! * [`btree`] — the disk B-tree of `[search key, data pointer, tree pointer]`
+//!   triplets with pluggable node codecs.
+//! * [`core`] — the paper's contribution: key disguises (§4.1–§4.3), node
+//!   encipherment codecs (§3, §5), the [`core::EncipheredBTree`] API and the
+//!   high-level [`core::SecurityFilter`].
+//! * [`attack`] — the opponent of §4.1/§6: shape reconstruction from raw
+//!   disk images and how well each scheme resists it.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sks_btree::core::{EncipheredBTree, SchemeConfig, Scheme};
+//!
+//! // A design sized for up to 2048 keys (v >> R, §4 of the paper).
+//! let config = SchemeConfig::with_capacity(Scheme::Oval, 2048);
+//! let mut tree = EncipheredBTree::create_in_memory(config).unwrap();
+//! for key in [17u64, 3, 250, 99, 1024] {
+//!     tree.insert(key, format!("record-{key}").into_bytes()).unwrap();
+//! }
+//! assert_eq!(tree.get(99).unwrap().unwrap(), b"record-99");
+//! assert_eq!(tree.len(), 5);
+//! ```
+//!
+//! **Security warning:** the DES and RSA implementations exist to reproduce a
+//! 1990 paper faithfully. Do not use them to protect real data.
+
+pub use sks_attack as attack;
+pub use sks_btree_core as btree;
+pub use sks_core as core;
+pub use sks_crypto as crypto;
+pub use sks_designs as designs;
+pub use sks_storage as storage;

@@ -1,0 +1,154 @@
+//! Cross-crate integration: the full stack (design → disguise → codec →
+//! B-tree → data blocks) exercised through the public facade.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sks_btree::core::{EncipheredBTree, Scheme, SchemeConfig};
+
+fn rand_ops(seed: u64, n_ops: usize, key_space: u64) -> Vec<(u8, u64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_ops)
+        .map(|_| (rng.gen_range(0..10u8), rng.gen_range(1..key_space)))
+        .collect()
+}
+
+/// Every measured scheme must behave exactly like a BTreeMap on the same
+/// operation sequence — inserts, upserts, deletes, point and range queries.
+#[test]
+fn all_schemes_agree_with_model_under_churn() {
+    let key_space = 700u64;
+    let ops = rand_ops(2024, 1_500, key_space);
+    for scheme in Scheme::MEASURED {
+        let mut cfg = SchemeConfig::with_capacity(scheme, key_space + 2);
+        cfg.block_size = 512;
+        let mut tree = EncipheredBTree::create_in_memory(cfg).unwrap();
+        let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+        for (i, &(op, key)) in ops.iter().enumerate() {
+            match op {
+                0..=5 => {
+                    let rec = format!("{}:{}", scheme.name(), i).into_bytes();
+                    let want = model.insert(key, rec.clone());
+                    let got = tree.insert(key, rec).unwrap();
+                    assert_eq!(got, want, "{}: insert {key} @{i}", scheme.name());
+                }
+                6..=8 => {
+                    let want = model.remove(&key);
+                    let got = tree.delete(key).unwrap();
+                    assert_eq!(got, want, "{}: delete {key} @{i}", scheme.name());
+                }
+                _ => {
+                    let want = model.get(&key).cloned();
+                    let got = tree.get(key).unwrap();
+                    assert_eq!(got, want, "{}: get {key} @{i}", scheme.name());
+                }
+            }
+        }
+        tree.validate().unwrap();
+        assert_eq!(tree.len(), model.len() as u64, "{}", scheme.name());
+        // Full ordered agreement.
+        let got: Vec<(u64, Vec<u8>)> = tree.range(0, key_space).unwrap();
+        let want: Vec<(u64, Vec<u8>)> = model.into_iter().collect();
+        assert_eq!(got, want, "{}", scheme.name());
+    }
+}
+
+/// Range scans across schemes return identical contents for identical data.
+#[test]
+fn schemes_agree_pairwise_on_ranges() {
+    let n = 400u64;
+    let mut trees: Vec<(Scheme, EncipheredBTree)> = Scheme::MEASURED
+        .iter()
+        .map(|&scheme| {
+            let mut cfg = SchemeConfig::with_capacity(scheme, n + 2);
+            cfg.block_size = 1024;
+            let mut tree = EncipheredBTree::create_in_memory(cfg).unwrap();
+            for k in 1..=n {
+                tree.insert(k, k.to_be_bytes().to_vec()).unwrap();
+            }
+            (scheme, tree)
+        })
+        .collect();
+    let reference = trees.remove(0).1.range(50, 250).unwrap();
+    for (scheme, tree) in &trees {
+        assert_eq!(
+            tree.range(50, 250).unwrap(),
+            reference,
+            "{} disagrees with plaintext reference",
+            scheme.name()
+        );
+    }
+}
+
+/// The decryption-count separation of §3/§6 at integration scale.
+#[test]
+fn decryption_cost_ordering_holds() {
+    let n = 1_200u64;
+    let mut per_scheme = Vec::new();
+    for scheme in [Scheme::Oval, Scheme::BayerMetzger, Scheme::BayerMetzgerPage] {
+        let mut cfg = SchemeConfig::with_capacity(scheme, n + 2);
+        cfg.block_size = 1024;
+        let mut tree = EncipheredBTree::create_in_memory(cfg).unwrap();
+        for k in 0..n {
+            tree.insert(k, vec![7]).unwrap();
+        }
+        tree.counters().reset();
+        for k in (0..n).step_by(11) {
+            let _ = tree.get_pointer(k).unwrap();
+        }
+        let s = tree.snapshot();
+        per_scheme.push((scheme, s.total_decrypts()));
+    }
+    let oval = per_scheme[0].1;
+    let bm = per_scheme[1].1;
+    let page = per_scheme[2].1;
+    assert!(oval < bm, "substitution {oval} !< search-and-decrypt {bm}");
+    assert!(bm < page, "search-and-decrypt {bm} !< whole-page {page}");
+}
+
+/// Records survive intact through splits, merges and re-encipherment.
+#[test]
+fn payload_integrity_through_rebalancing() {
+    let mut cfg = SchemeConfig::with_capacity(Scheme::SumOfTreatments, 1_000);
+    cfg.block_size = 512;
+    let mut tree = EncipheredBTree::create_in_memory(cfg).unwrap();
+    // Large-ish distinctive payloads.
+    let payload = |k: u64| {
+        let mut v = format!("record-{k}-").into_bytes();
+        v.extend((0..100).map(|i| ((k + i) % 251) as u8));
+        v
+    };
+    for k in 0..800u64 {
+        tree.insert(k, payload(k)).unwrap();
+    }
+    for k in (0..800u64).step_by(2) {
+        tree.delete(k).unwrap();
+    }
+    for k in 0..800u64 {
+        let want = if k % 2 == 0 { None } else { Some(payload(k)) };
+        assert_eq!(tree.get(k).unwrap(), want, "key {k}");
+    }
+    tree.validate().unwrap();
+}
+
+/// Deleting everything shrinks the tree back to a single empty leaf, for
+/// every scheme.
+#[test]
+fn drain_to_empty_all_schemes() {
+    for scheme in Scheme::MEASURED {
+        let mut cfg = SchemeConfig::with_capacity(scheme, 300);
+        cfg.block_size = 512;
+        let mut tree = EncipheredBTree::create_in_memory(cfg).unwrap();
+        for k in 1..=250u64 {
+            tree.insert(k, vec![k as u8]).unwrap();
+        }
+        for k in 1..=250u64 {
+            assert!(tree.delete(k).unwrap().is_some(), "{}: {k}", scheme.name());
+        }
+        assert!(tree.is_empty(), "{}", scheme.name());
+        assert_eq!(tree.height(), 1, "{}", scheme.name());
+        tree.validate().unwrap();
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based cross-crate tests: randomised workloads and randomised
+//! design parameters through the full public stack.
+
+use proptest::prelude::*;
+
+use sks_btree::core::disguise::KeyDisguise;
+use sks_btree::core::{EncipheredBTree, OvalSubstitution, Scheme, SchemeConfig, SumSubstitution};
+use sks_btree::designs::arith::coprime;
+use sks_btree::designs::DifferenceSet;
+use sks_btree::storage::OpCounters;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Oval substitution is a bijection for any Singer design and any unit
+    /// multiplier, and never preserves order for non-trivial multipliers.
+    #[test]
+    fn oval_bijective_over_random_singer_designs(
+        q_idx in 0usize..3,
+        t_seed in 2u64..10_000,
+    ) {
+        let q = [7u64, 13, 31][q_idx];
+        let ds = DifferenceSet::singer(q).unwrap();
+        let v = ds.v();
+        let mut t = t_seed % v;
+        while !coprime(t, v) || t <= 1 {
+            t = (t + 1) % v.max(2);
+        }
+        let d = OvalSubstitution::new(ds, t, OpCounters::new()).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for k in (0..v).step_by((v / 64).max(1) as usize) {
+            let dk = d.disguise(k).unwrap();
+            prop_assert!(seen.insert(dk), "collision at {k}");
+            prop_assert_eq!(d.recover(dk).unwrap(), k);
+        }
+    }
+
+    /// Sum substitution is strictly monotone for any valid (w, capacity).
+    #[test]
+    fn sum_monotone_over_random_parameters(
+        w in 0u64..40,
+        cap_extra in 1u64..60,
+    ) {
+        let ds = DifferenceSet::singer(11).unwrap(); // v = 133
+        let capacity = cap_extra.min(133 - 2 - w);
+        prop_assume!(capacity >= 1 && w + capacity < 132);
+        let d = SumSubstitution::new(ds, w, capacity, OpCounters::new()).unwrap();
+        let mut prev = None;
+        for k in 0..capacity {
+            let dk = d.disguise(k).unwrap();
+            if let Some(p) = prev {
+                prop_assert!(dk > p, "not monotone at {k}");
+            }
+            prev = Some(dk);
+            prop_assert_eq!(d.recover(dk).unwrap(), k);
+        }
+    }
+
+    /// A random insert/delete/get workload agrees with BTreeMap under the
+    /// oval scheme (the heaviest moving parts: disguise + seals + CLRS
+    /// rebalancing together).
+    #[test]
+    fn oval_tree_matches_model_random_ops(
+        ops in proptest::collection::vec((0u8..3, 0u64..150), 1..120),
+    ) {
+        let mut cfg = SchemeConfig::with_capacity(Scheme::Oval, 160);
+        cfg.block_size = 512;
+        let mut tree = EncipheredBTree::create_in_memory(cfg).unwrap();
+        let mut model = std::collections::BTreeMap::new();
+        for (i, &(op, k)) in ops.iter().enumerate() {
+            match op {
+                0 => {
+                    let rec = vec![(i % 256) as u8; 4];
+                    let want = model.insert(k, rec.clone());
+                    let got = tree.insert(k, rec).unwrap();
+                    prop_assert_eq!(got, want);
+                }
+                1 => {
+                    let want = model.remove(&k);
+                    let got = tree.delete(k).unwrap();
+                    prop_assert_eq!(got, want);
+                }
+                _ => {
+                    prop_assert_eq!(tree.get(k).unwrap(), model.get(&k).cloned());
+                }
+            }
+        }
+        tree.validate().unwrap();
+        prop_assert_eq!(tree.len(), model.len() as u64);
+    }
+
+    /// Range results equal filtered full scans for every measured scheme on
+    /// a random key set.
+    #[test]
+    fn ranges_equal_filtered_scans(
+        keys in proptest::collection::btree_set(1u64..200, 1..60),
+        lo in 0u64..200,
+        width in 0u64..100,
+    ) {
+        let hi = lo.saturating_add(width);
+        for scheme in [Scheme::Oval, Scheme::SumOfTreatments, Scheme::BayerMetzger] {
+            let mut cfg = SchemeConfig::with_capacity(scheme, 220);
+            cfg.block_size = 512;
+            let mut tree = EncipheredBTree::create_in_memory(cfg).unwrap();
+            for &k in &keys {
+                tree.insert(k, k.to_be_bytes().to_vec()).unwrap();
+            }
+            let got: Vec<u64> = tree.range(lo, hi).unwrap().iter().map(|&(k, _)| k).collect();
+            let want: Vec<u64> = keys.iter().copied().filter(|&k| k >= lo && k <= hi).collect();
+            prop_assert_eq!(got, want, "{}", scheme.name());
+        }
+    }
+}

@@ -73,7 +73,11 @@ pub fn parse_block(data: &[u8], knowledge: &FormatKnowledge) -> VisibleBlock {
     let block = u32::from_be_bytes([data[4], data[5], data[6], data[7]]);
     match tag {
         TAG_SUBSTITUTION | TAG_PLAIN => {
-            let seal_len = if tag == TAG_PLAIN { 0 } else { knowledge.seal_len };
+            let seal_len = if tag == TAG_PLAIN {
+                0
+            } else {
+                knowledge.seal_len
+            };
             let entry_len = 8 + if tag == TAG_PLAIN { 8 } else { seal_len };
             let base = HEADER_LEN
                 + if is_leaf || tag == TAG_PLAIN {
@@ -99,9 +103,8 @@ pub fn parse_block(data: &[u8], knowledge: &FormatKnowledge) -> VisibleBlock {
         }
         TAG_BAYER_METZGER => {
             // Sanity: the sealed payload must fit.
-            let body = HEADER_LEN
-                + if is_leaf { 0 } else { BM_SEALED_TRIPLET }
-                + n * BM_SEALED_TRIPLET;
+            let body =
+                HEADER_LEN + if is_leaf { 0 } else { BM_SEALED_TRIPLET } + n * BM_SEALED_TRIPLET;
             if body > data.len() {
                 return VisibleBlock::Opaque;
             }
@@ -178,7 +181,10 @@ mod tests {
             parse_block(&page, &FormatKnowledge::default()),
             VisibleBlock::Opaque
         );
-        assert_eq!(parse_block(&[1, 2, 3], &FormatKnowledge::default()), VisibleBlock::Opaque);
+        assert_eq!(
+            parse_block(&[1, 2, 3], &FormatKnowledge::default()),
+            VisibleBlock::Opaque
+        );
     }
 
     #[test]

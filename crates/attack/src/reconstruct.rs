@@ -182,9 +182,27 @@ mod tests {
         let rec = reconstruct_shape(&blocks);
         assert_eq!(
             rec.edges,
-            vec![Edge { parent: 1, child: 2 }, Edge { parent: 1, child: 3 }]
+            vec![
+                Edge {
+                    parent: 1,
+                    child: 2
+                },
+                Edge {
+                    parent: 1,
+                    child: 3
+                }
+            ]
         );
-        let truth = vec![Edge { parent: 1, child: 2 }, Edge { parent: 1, child: 3 }];
+        let truth = vec![
+            Edge {
+                parent: 1,
+                child: 2,
+            },
+            Edge {
+                parent: 1,
+                child: 3,
+            },
+        ];
         let s = score(&rec, &truth);
         assert_eq!((s.correct, s.true_edges), (2, 2));
         assert_eq!(s.recall, 1.0);
@@ -207,19 +225,45 @@ mod tests {
         ];
         let rec = reconstruct_shape(&blocks);
         let truth = vec![
-            Edge { parent: 1, child: 2 },
-            Edge { parent: 1, child: 3 },
-            Edge { parent: 2, child: 4 },
-            Edge { parent: 2, child: 5 },
-            Edge { parent: 2, child: 6 },
-            Edge { parent: 3, child: 7 },
-            Edge { parent: 3, child: 8 },
+            Edge {
+                parent: 1,
+                child: 2,
+            },
+            Edge {
+                parent: 1,
+                child: 3,
+            },
+            Edge {
+                parent: 2,
+                child: 4,
+            },
+            Edge {
+                parent: 2,
+                child: 5,
+            },
+            Edge {
+                parent: 2,
+                child: 6,
+            },
+            Edge {
+                parent: 3,
+                child: 7,
+            },
+            Edge {
+                parent: 3,
+                child: 8,
+            },
         ];
         let s = score(&rec, &truth);
         // The tight-interval heuristic nails interior children; a boundary
         // child can still be claimed by an ancestor whose half-open
         // interval happens to hug it tighter. Expect strong recall.
-        assert!(s.recall >= 0.7, "recall {} (edges: {:?})", s.recall, rec.edges);
+        assert!(
+            s.recall >= 0.7,
+            "recall {} (edges: {:?})",
+            s.recall,
+            rec.edges
+        );
         assert!(s.correct >= 5);
     }
 
@@ -251,12 +295,21 @@ mod tests {
         // spans no longer nest.
         let f = |k: u64| k * 7 % 13;
         let blocks = vec![
-            node(1, false, &[f(6)]),                  // 42 mod 13 = 3
-            node(2, true, &[f(1), f(2), f(3)]),       // 7 1 8
-            node(3, true, &[f(8), f(9), f(10)]),      // 4 11 5
+            node(1, false, &[f(6)]),             // 42 mod 13 = 3
+            node(2, true, &[f(1), f(2), f(3)]),  // 7 1 8
+            node(3, true, &[f(8), f(9), f(10)]), // 4 11 5
         ];
         let rec = reconstruct_shape(&blocks);
-        let truth = vec![Edge { parent: 1, child: 2 }, Edge { parent: 1, child: 3 }];
+        let truth = vec![
+            Edge {
+                parent: 1,
+                child: 2,
+            },
+            Edge {
+                parent: 1,
+                child: 3,
+            },
+        ];
         let s = score(&rec, &truth);
         assert!(
             s.recall < 1.0,

@@ -1,0 +1,121 @@
+//! Engine throughput: concurrent sessions over a partitioned enciphered
+//! tree, sweeping 1/2/4/8 threads. The total operation count is held
+//! fixed so the reported elem/s directly shows read scaling as reader
+//! threads spread across the `RwLock`ed partitions, plus a mixed
+//! read/write sweep and a WAL sync-policy comparison.
+//!
+//! Interpretation note: on a multi-core host the read curve rises with
+//! the thread count (readers never block each other, partitions shard the
+//! write locks). On a single-core container the curve is flat — the
+//! useful signal there is that it does *not collapse*, i.e. the locking
+//! adds no contention penalty as threads are added.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use sks_bench::workload::{prefill_engine, run_engine_workload, EngineWorkload};
+use sks_core::{Scheme, SchemeConfig};
+use sks_engine::{EngineConfig, SksDb};
+use sks_storage::SyncPolicy;
+
+const KEY_SPACE: u64 = 8_192;
+const TOTAL_OPS: usize = 8_192;
+const PARTITIONS: usize = 8;
+
+fn open_db(name: &str) -> std::sync::Arc<SksDb> {
+    let dir =
+        std::env::temp_dir().join(format!("sks_engine_bench_{}_{}", std::process::id(), name));
+    std::fs::remove_dir_all(&dir).ok();
+    let scheme = SchemeConfig::with_capacity(Scheme::Oval, KEY_SPACE + 64).partitions(PARTITIONS);
+    let cfg = EngineConfig::new(scheme).sync(SyncPolicy::EveryN(64));
+    SksDb::open(&dir, cfg).expect("open bench engine")
+}
+
+fn bench_read_scaling(c: &mut Criterion) {
+    let db = open_db("read");
+    prefill_engine(&db, KEY_SPACE);
+    let mut group = c.benchmark_group("engine_read_scaling");
+    for threads in [1usize, 2, 4, 8] {
+        group.throughput(Throughput::Elements(TOTAL_OPS as u64));
+        group.bench_function(BenchmarkId::from_parameter(format!("{threads}t")), |b| {
+            b.iter(|| {
+                run_engine_workload(
+                    &db,
+                    &EngineWorkload {
+                        threads,
+                        ops_per_thread: TOTAL_OPS / threads,
+                        read_pct: 100,
+                        key_space: KEY_SPACE,
+                        seed: 0xC0FFEE,
+                    },
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_mixed_scaling(c: &mut Criterion) {
+    let db = open_db("mixed");
+    prefill_engine(&db, KEY_SPACE);
+    let mut group = c.benchmark_group("engine_mixed_90r10w");
+    for threads in [1usize, 2, 4, 8] {
+        group.throughput(Throughput::Elements(TOTAL_OPS as u64));
+        group.bench_function(BenchmarkId::from_parameter(format!("{threads}t")), |b| {
+            b.iter(|| {
+                run_engine_workload(
+                    &db,
+                    &EngineWorkload {
+                        threads,
+                        ops_per_thread: TOTAL_OPS / threads,
+                        read_pct: 90,
+                        key_space: KEY_SPACE,
+                        seed: 0xBEEF,
+                    },
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sync_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_write_sync_policy");
+    for (name, sync) in [
+        ("always", SyncPolicy::Always),
+        ("group64", SyncPolicy::EveryN(64)),
+        ("never", SyncPolicy::Never),
+    ] {
+        let dir = std::env::temp_dir().join(format!(
+            "sks_engine_bench_sync_{}_{}",
+            std::process::id(),
+            name
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let scheme = SchemeConfig::with_capacity(Scheme::Oval, 4096).partitions(4);
+        let db = SksDb::open(&dir, EngineConfig::new(scheme).sync(sync)).expect("open");
+        let ops = 1_024;
+        group.throughput(Throughput::Elements(ops as u64));
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                run_engine_workload(
+                    &db,
+                    &EngineWorkload {
+                        threads: 4,
+                        ops_per_thread: ops / 4,
+                        read_pct: 0,
+                        key_space: 4096,
+                        seed: 7,
+                    },
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_read_scaling, bench_mixed_scaling, bench_sync_policies
+}
+criterion_main!(benches);

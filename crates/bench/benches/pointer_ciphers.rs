@@ -18,7 +18,9 @@ fn bench_sealers(c: &mut Criterion) {
         ("des", Box::new(BlockCipherSealer::des(0x0123456789ABCDEF))),
         (
             "speck",
-            Box::new(BlockCipherSealer::speck(0x1122334455667788_99AABBCCDDEEFF00)),
+            Box::new(BlockCipherSealer::speck(
+                0x1122334455667788_99AABBCCDDEEFF00,
+            )),
         ),
         (
             "rsa-256",

@@ -22,7 +22,10 @@ fn bench_ranges(c: &mut Criterion) {
             let label = format!("{}@w{}", scheme.name(), width);
             group.bench_function(BenchmarkId::from_parameter(label), |b| {
                 let lo = n_keys / 3;
-                b.iter(|| tree.range(std::hint::black_box(lo), lo + width - 1).unwrap());
+                b.iter(|| {
+                    tree.range(std::hint::black_box(lo), lo + width - 1)
+                        .unwrap()
+                });
             });
         }
     }

@@ -16,10 +16,8 @@ fn bench_attack(c: &mut Criterion) {
             let label = format!("{}@{}", scheme.name(), n_keys);
             group.bench_function(BenchmarkId::from_parameter(label), |b| {
                 b.iter(|| {
-                    let parsed = parse_image(
-                        std::hint::black_box(&image),
-                        &FormatKnowledge::default(),
-                    );
+                    let parsed =
+                        parse_image(std::hint::black_box(&image), &FormatKnowledge::default());
                     reconstruct_shape(&parsed)
                 });
             });

@@ -65,7 +65,11 @@ fn bench_codecs(c: &mut Criterion) {
             b.iter(|| codec.encode(std::hint::black_box(&node), &mut buf).unwrap());
         });
         group.bench_function(BenchmarkId::new("decode", &label), |b| {
-            b.iter(|| codec.decode(BlockId(3), std::hint::black_box(&page)).unwrap());
+            b.iter(|| {
+                codec
+                    .decode(BlockId(3), std::hint::black_box(&page))
+                    .unwrap()
+            });
         });
     }
     group.finish();

@@ -34,7 +34,10 @@ fn print_figure(which: &str) {
 fn run_experiment(which: &str, quick: bool) {
     let (n_small, n_mid) = if quick { (400, 800) } else { (2_000, 5_000) };
     match which {
-        "e1" => println!("{}", experiments::e1_decryptions(n_mid as u64, &[512, 1024, 4096]).0),
+        "e1" => println!(
+            "{}",
+            experiments::e1_decryptions(n_mid as u64, &[512, 1024, 4096]).0
+        ),
         "e2" => println!("{}", experiments::e2_throughput(n_mid as u64, 1024).0),
         "e3" => println!("{}", experiments::e3_layout(4096).0),
         "e4" => println!(

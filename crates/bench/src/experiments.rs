@@ -261,12 +261,7 @@ pub fn e5_shape_security(n_keys: u64, block_size: usize) -> (String, Vec<AttackR
         let tree = build_tree(scheme, n_keys, block_size, 31);
         let truth = ground_truth(&tree);
         let image = DiskImage::new(block_size, tree.raw_node_image());
-        let report = AttackReport::run(
-            scheme.name(),
-            &image,
-            &FormatKnowledge::default(),
-            &truth,
-        );
+        let report = AttackReport::run(scheme.name(), &image, &FormatKnowledge::default(), &truth);
         out.push_str(&format!("    {}\n", report.row()));
         reports.push(report);
     }
@@ -344,10 +339,15 @@ pub fn e7_pointer_ciphers() -> (String, Vec<(String, f64, usize)>) {
 
     let mut rng = StdRng::seed_from_u64(41);
     let sealers: Vec<(String, Box<dyn TripletSealer>)> = vec![
-        ("des".into(), Box::new(BlockCipherSealer::des(0x0123456789ABCDEF))),
+        (
+            "des".into(),
+            Box::new(BlockCipherSealer::des(0x0123456789ABCDEF)),
+        ),
         (
             "speck".into(),
-            Box::new(BlockCipherSealer::speck(0x0011223344556677_8899AABBCCDDEEFF)),
+            Box::new(BlockCipherSealer::speck(
+                0x0011223344556677_8899AABBCCDDEEFF,
+            )),
         ),
         (
             "rsa-256".into(),
@@ -459,7 +459,10 @@ mod tests {
     fn e4_substitution_never_reencrypts_keys() {
         let (_, rows) = e4_reorg(600, 80, 512);
         let oval = rows.iter().find(|r| r.scheme == Scheme::Oval).unwrap();
-        let bm = rows.iter().find(|r| r.scheme == Scheme::BayerMetzger).unwrap();
+        let bm = rows
+            .iter()
+            .find(|r| r.scheme == Scheme::BayerMetzger)
+            .unwrap();
         assert_eq!(oval.key_encrypts, 0);
         assert!(bm.key_encrypts > 0);
         assert!(oval.disguise_ops > 0, "keys are re-disguised instead");
@@ -473,14 +476,21 @@ mod tests {
         let sum = find("sum-of-treatments");
         let oval = find("oval");
         let bm = find("bayer-metzger");
-        assert!(plain.shape.recall > 0.6, "plaintext recall {}", plain.shape.recall);
+        assert!(
+            plain.shape.recall > 0.6,
+            "plaintext recall {}",
+            plain.shape.recall
+        );
         assert!(sum.shape.recall > 0.6, "sum recall {}", sum.shape.recall);
         assert!(
             oval.shape.recall < 0.35,
             "oval must hide shape: {}",
             oval.shape.recall
         );
-        assert_eq!(bm.shape.inferred, 0, "sealed nodes give the attacker nothing");
+        assert_eq!(
+            bm.shape.inferred, 0,
+            "sealed nodes give the attacker nothing"
+        );
         // Order leakage mirrors the same story.
         assert!(sum.order_leakage.unwrap() > 0.99);
         assert!(oval.order_leakage.unwrap().abs() < 0.35);

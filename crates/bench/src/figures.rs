@@ -123,8 +123,11 @@ mod tests {
         let tree = demo_tree(Scheme::SumOfTreatments);
         let disk = tree.render_disk_view().unwrap();
         let logical = tree.render_logical().unwrap();
-        let shape =
-            |s: &str| s.lines().map(|l| l.matches('[').count()).collect::<Vec<_>>();
+        let shape = |s: &str| {
+            s.lines()
+                .map(|l| l.matches('[').count())
+                .collect::<Vec<_>>()
+        };
         assert_eq!(shape(&disk), shape(&logical), "§4.3 preserves the shape");
         // And the disk values are the cumulative sums.
         assert!(disk.contains("13") || disk.contains("30") || disk.contains("51"));

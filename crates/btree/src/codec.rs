@@ -89,11 +89,7 @@ pub const NODE_HEADER_LEN: usize = 8;
 
 /// Writes the common header. `tag` identifies the codec that produced the
 /// page (decoding with the wrong codec fails fast).
-pub fn write_header(
-    w: &mut PageWriter<'_>,
-    tag: u8,
-    node: &Node,
-) -> Result<(), CodecError> {
+pub fn write_header(w: &mut PageWriter<'_>, tag: u8, node: &Node) -> Result<(), CodecError> {
     w.put_u8(tag)?;
     w.put_u8(node.is_leaf() as u8)?;
     w.put_u16(node.n() as u16)?;
@@ -279,7 +275,10 @@ mod tests {
         codec.encode(&node, &mut page).unwrap();
         assert!(matches!(
             codec.decode(BlockId(10), &page),
-            Err(CodecError::BindingMismatch { expected: 10, got: 9 })
+            Err(CodecError::BindingMismatch {
+                expected: 10,
+                got: 9
+            })
         ));
     }
 

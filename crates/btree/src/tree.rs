@@ -22,7 +22,10 @@ pub enum TreeError {
     Storage(StorageError),
     Codec(CodecError),
     /// The codec cannot fit even a minimal node in the store's block size.
-    PageTooSmall { page_size: usize, max_keys: usize },
+    PageTooSmall {
+        page_size: usize,
+        max_keys: usize,
+    },
     /// Structural invariant violated (returned by [`BTree::validate`]).
     Invalid(String),
 }
@@ -79,11 +82,7 @@ impl<S: BlockStore, C: NodeCodec> BTree<S, C> {
     /// Compared to repeated inserts this writes every node exactly once
     /// (one encipherment pass per block, no splits) and produces uniform
     /// fill ≥ `t − 1` everywhere.
-    pub fn bulk_load(
-        store: S,
-        codec: C,
-        items: &[(u64, RecordPtr)],
-    ) -> Result<Self, TreeError> {
+    pub fn bulk_load(store: S, codec: C, items: &[(u64, RecordPtr)]) -> Result<Self, TreeError> {
         if let Some(w) = items.windows(2).find(|w| w[0].0 >= w[1].0) {
             return Err(TreeError::Invalid(format!(
                 "bulk_load requires strictly ascending keys ({} then {})",
@@ -790,13 +789,25 @@ impl<S: BlockStore, C: NodeCodec> BTree<S, C> {
             return Ok(());
         }
         for i in 0..node.children.len() {
-            let lo = if i == 0 { lower } else { Some(node.keys[i - 1]) };
+            let lo = if i == 0 {
+                lower
+            } else {
+                Some(node.keys[i - 1])
+            };
             let hi = if i == node.n() {
                 upper
             } else {
                 Some(node.keys[i])
             };
-            self.validate_walk(node.children[i], lo, hi, depth + 1, false, counted, leaf_depth)?;
+            self.validate_walk(
+                node.children[i],
+                lo,
+                hi,
+                depth + 1,
+                false,
+                counted,
+                leaf_depth,
+            )?;
         }
         Ok(())
     }

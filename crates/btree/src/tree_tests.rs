@@ -83,7 +83,10 @@ fn upsert_at_full_node_boundary() {
         tree.insert(k, RecordPtr(k)).unwrap();
     }
     for k in 0..max * 4 {
-        assert_eq!(tree.insert(k, RecordPtr(k + 1000)).unwrap(), Some(RecordPtr(k)));
+        assert_eq!(
+            tree.insert(k, RecordPtr(k + 1000)).unwrap(),
+            Some(RecordPtr(k))
+        );
     }
     assert_eq!(tree.len(), max * 4);
     tree.validate().unwrap();
@@ -167,8 +170,22 @@ fn range_queries_match_model() {
     for &k in &keys {
         tree.insert(k, RecordPtr(k)).unwrap();
     }
-    for (lo, hi) in [(0u64, 0u64), (1, 2), (0, 897), (10, 100), (450, 460), (897, 2000), (5, 5), (6, 6)] {
-        let got: Vec<u64> = tree.range(lo, hi).unwrap().iter().map(|&(k, _)| k).collect();
+    for (lo, hi) in [
+        (0u64, 0u64),
+        (1, 2),
+        (0, 897),
+        (10, 100),
+        (450, 460),
+        (897, 2000),
+        (5, 5),
+        (6, 6),
+    ] {
+        let got: Vec<u64> = tree
+            .range(lo, hi)
+            .unwrap()
+            .iter()
+            .map(|&(k, _)| k)
+            .collect();
         let want: Vec<u64> = keys
             .iter()
             .copied()

@@ -281,7 +281,12 @@ mod tests {
         codec.encode(&node, &mut page).unwrap();
         counters.reset();
         let p = codec.probe(BlockId(7), &page, 30).unwrap();
-        assert_eq!(p, Probe::Found { data_ptr: RecordPtr(3) });
+        assert_eq!(
+            p,
+            Probe::Found {
+                data_ptr: RecordPtr(3)
+            }
+        );
         let s = counters.snapshot();
         // Midpoint found immediately: exactly 1 decryption here; worst case
         // checked below.
@@ -310,7 +315,11 @@ mod tests {
         let p = codec.probe(BlockId(7), &page, 25).unwrap();
         assert_eq!(p, Probe::Descend { child: BlockId(13) });
         let s = counters.snapshot();
-        assert!(s.key_decrypts <= 3, "memoised probe decrypted {}", s.key_decrypts);
+        assert!(
+            s.key_decrypts <= 3,
+            "memoised probe decrypted {}",
+            s.key_decrypts
+        );
     }
 
     #[test]

@@ -211,7 +211,12 @@ mod tests {
         codec.encode(&node, &mut page).unwrap();
         counters.reset();
         let p = codec.probe(BlockId(4), &page, 6).unwrap();
-        assert_eq!(p, Probe::Found { data_ptr: RecordPtr(60) });
+        assert_eq!(
+            p,
+            Probe::Found {
+                data_ptr: RecordPtr(60)
+            }
+        );
         let s = counters.snapshot();
         assert_eq!(s.page_decrypts, 256 / 8, "every cipher block of the page");
     }

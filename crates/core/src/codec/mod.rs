@@ -196,11 +196,7 @@ pub enum AnyCodec {
 }
 
 impl sks_btree_core::NodeCodec for AnyCodec {
-    fn encode(
-        &self,
-        node: &sks_btree_core::Node,
-        page: &mut [u8],
-    ) -> Result<(), CodecError> {
+    fn encode(&self, node: &sks_btree_core::Node, page: &mut [u8]) -> Result<(), CodecError> {
         match self {
             AnyCodec::Plain(c) => c.encode(node, page),
             AnyCodec::Substitution(c) => c.encode(node, page),
@@ -265,7 +261,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         vec![
             Box::new(BlockCipherSealer::des(0x0123456789ABCDEF)),
-            Box::new(BlockCipherSealer::speck(0xFEEDFACE_CAFEBEEF_00112233_44556677)),
+            Box::new(BlockCipherSealer::speck(
+                0xFEEDFACE_CAFEBEEF_00112233_44556677,
+            )),
             Box::new(RsaSealer::new(RsaKey::generate(&mut rng, 256)).unwrap()),
         ]
     }
@@ -288,7 +286,10 @@ mod tests {
         let payload = pack_payload(42, 1, 2);
         assert!(matches!(
             unpack_payload(&payload, 43),
-            Err(CodecError::BindingMismatch { expected: 43, got: 42 })
+            Err(CodecError::BindingMismatch {
+                expected: 43,
+                got: 42
+            })
         ));
     }
 

@@ -75,16 +75,14 @@ impl SubstitutionCodec {
 
     fn map_disguise_err(e: crate::disguise::DisguiseError) -> CodecError {
         match e {
-            crate::disguise::DisguiseError::OutOfDomain { key, domain } => {
-                CodecError::KeyDomain {
-                    key,
-                    limit: domain
-                        .trim_start_matches(|c| c != ',')
-                        .trim_matches(|c: char| !c.is_ascii_digit())
-                        .parse()
-                        .unwrap_or(0),
-                }
-            }
+            crate::disguise::DisguiseError::OutOfDomain { key, domain } => CodecError::KeyDomain {
+                key,
+                limit: domain
+                    .trim_start_matches(|c| c != ',')
+                    .trim_matches(|c: char| !c.is_ascii_digit())
+                    .parse()
+                    .unwrap_or(0),
+            },
             other => CodecError::Corrupt(format!("disguise failure: {other}")),
         }
     }
@@ -243,9 +241,7 @@ impl NodeCodec for SubstitutionCodec {
                 if slot == 0 {
                     let payload = self.seal_at(page, NODE_HEADER_LEN)?;
                     let (_, p0) = unpack_payload(&payload, id.0)?;
-                    Ok(Probe::Descend {
-                        child: BlockId(p0),
-                    })
+                    Ok(Probe::Descend { child: BlockId(p0) })
                 } else {
                     let off = self.key_offset(is_leaf, slot - 1) + 8;
                     let payload = self.seal_at(page, off)?;
@@ -341,7 +337,12 @@ mod tests {
 
         // Found.
         let p = codec.probe(BlockId(7), &page, 5).unwrap();
-        assert_eq!(p, Probe::Found { data_ptr: RecordPtr(50) });
+        assert_eq!(
+            p,
+            Probe::Found {
+                data_ptr: RecordPtr(50)
+            }
+        );
         assert_eq!(counters.snapshot().ptr_decrypts, 1);
 
         counters.reset();
@@ -373,8 +374,7 @@ mod tests {
 
     #[test]
     fn order_preserving_path_disguises_query_once() {
-        let (codec, counters) =
-            codec_with_shared(|c| Arc::new(SumSubstitution::paper_example(c)));
+        let (codec, counters) = codec_with_shared(|c| Arc::new(SumSubstitution::paper_example(c)));
         let mut leaf = Node::leaf(BlockId(3));
         leaf.keys = vec![1, 4, 8];
         leaf.data_ptrs = vec![RecordPtr(1), RecordPtr(2), RecordPtr(3)];
@@ -382,7 +382,12 @@ mod tests {
         codec.encode(&leaf, &mut page).unwrap();
         counters.reset();
         let p = codec.probe(BlockId(3), &page, 4).unwrap();
-        assert_eq!(p, Probe::Found { data_ptr: RecordPtr(2) });
+        assert_eq!(
+            p,
+            Probe::Found {
+                data_ptr: RecordPtr(2)
+            }
+        );
         let s = counters.snapshot();
         assert_eq!(s.disguise_ops, 1, "query disguised once");
         assert_eq!(s.recover_ops, 0, "no per-entry recovery needed");
@@ -390,8 +395,7 @@ mod tests {
 
     #[test]
     fn non_order_preserving_path_recovers_probed_entries() {
-        let (codec, counters) =
-            codec_with_shared(|c| Arc::new(OvalSubstitution::paper_example(c)));
+        let (codec, counters) = codec_with_shared(|c| Arc::new(OvalSubstitution::paper_example(c)));
         let mut leaf = Node::leaf(BlockId(3));
         leaf.keys = vec![1, 4, 8, 10, 12];
         leaf.data_ptrs = (0..5).map(RecordPtr).collect();
@@ -400,14 +404,16 @@ mod tests {
         counters.reset();
         let _ = codec.probe(BlockId(3), &page, 10).unwrap();
         let s = counters.snapshot();
-        assert!(s.recover_ops >= 1 && s.recover_ops <= 3, "~log2(5) recoveries");
+        assert!(
+            s.recover_ops >= 1 && s.recover_ops <= 3,
+            "~log2(5) recoveries"
+        );
         assert_eq!(s.disguise_ops, 0);
     }
 
     #[test]
     fn no_key_encryption_ever() {
-        let (codec, counters) =
-            codec_with_shared(|c| Arc::new(OvalSubstitution::paper_example(c)));
+        let (codec, counters) = codec_with_shared(|c| Arc::new(OvalSubstitution::paper_example(c)));
         let node = sample_internal();
         let mut page = vec![0u8; 256];
         codec.encode(&node, &mut page).unwrap();
@@ -420,8 +426,7 @@ mod tests {
 
     #[test]
     fn key_domain_violation_reported() {
-        let (codec, _) =
-            codec_with(Arc::new(OvalSubstitution::paper_example(OpCounters::new())));
+        let (codec, _) = codec_with(Arc::new(OvalSubstitution::paper_example(OpCounters::new())));
         let mut leaf = Node::leaf(BlockId(3));
         leaf.keys = vec![99]; // >= v = 13
         leaf.data_ptrs = vec![RecordPtr(1)];
@@ -436,8 +441,7 @@ mod tests {
     fn binding_detects_block_relocation() {
         // Copying a node page to a different block id must fail decode: the
         // cryptograms are bound to b.
-        let (codec, _) =
-            codec_with(Arc::new(OvalSubstitution::paper_example(OpCounters::new())));
+        let (codec, _) = codec_with(Arc::new(OvalSubstitution::paper_example(OpCounters::new())));
         let node = sample_internal();
         let mut page = vec![0u8; 256];
         codec.encode(&node, &mut page).unwrap();

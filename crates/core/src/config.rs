@@ -14,8 +14,14 @@ use sks_designs::diffset::DifferenceSet;
 use sks_designs::primes::{next_prime, primitive_root};
 use sks_storage::OpCounters;
 
-use crate::codec::{AnyCodec, BayerMetzgerCodec, BlockCipherSealer, FullPageCodec, RsaSealer, SubstitutionCodec, TripletSealer};
-use crate::disguise::{ExpSubstitution, IdentityDisguise, KeyDisguise, OvalSubstitution, PaperExpSubstitution, SumSubstitution, TableDisguise};
+use crate::codec::{
+    AnyCodec, BayerMetzgerCodec, BlockCipherSealer, FullPageCodec, RsaSealer, SubstitutionCodec,
+    TripletSealer,
+};
+use crate::disguise::{
+    ExpSubstitution, IdentityDisguise, KeyDisguise, OvalSubstitution, PaperExpSubstitution,
+    SumSubstitution, TableDisguise,
+};
 use crate::error::CoreError;
 
 /// Which encipherment scheme the tree runs.
@@ -116,6 +122,11 @@ pub struct SchemeConfig {
     pub capacity: u64,
     /// Deterministic seed for table construction / RSA keygen.
     pub rng_seed: u64,
+    /// How many independent tree partitions an engine should shard this
+    /// configuration across (each partition is a full `EncipheredBTree`
+    /// covering the whole key domain; a router hashes disguised keys to
+    /// pick one). `1` means unsharded. Ignored by the single-tree API.
+    pub partitions: usize,
 }
 
 impl SchemeConfig {
@@ -133,6 +144,7 @@ impl SchemeConfig {
             w: 0,
             capacity: 11, // w + R < v - 1 for the sum scheme
             rng_seed: 42,
+            partitions: 1,
         }
     }
 
@@ -155,7 +167,16 @@ impl SchemeConfig {
             w: 17 % (q * q),
             capacity,
             rng_seed: 42,
+            partitions: 1,
         }
+    }
+
+    /// Builder-style partition knob for the engine: shard the key space
+    /// across `n` independent trees behind one router (see `sks-engine`).
+    pub fn partitions(mut self, n: usize) -> Self {
+        assert!(n >= 1, "a tree needs at least one partition");
+        self.partitions = n;
+        self
     }
 
     /// Materialises the difference set.
@@ -199,9 +220,7 @@ impl SchemeConfig {
         counters: &OpCounters,
     ) -> Result<Option<Arc<dyn KeyDisguise>>, CoreError> {
         let disguise: Arc<dyn KeyDisguise> = match self.scheme {
-            Scheme::Plaintext | Scheme::BayerMetzger | Scheme::BayerMetzgerPage => {
-                return Ok(None)
-            }
+            Scheme::Plaintext | Scheme::BayerMetzger | Scheme::BayerMetzgerPage => return Ok(None),
             Scheme::Oval => {
                 let ds = self.build_design()?;
                 let t = self.pick_multiplier(ds.v());
@@ -332,8 +351,7 @@ mod tests {
 
     #[test]
     fn scheme_names_unique() {
-        let names: std::collections::HashSet<&str> =
-            Scheme::ALL.iter().map(|s| s.name()).collect();
+        let names: std::collections::HashSet<&str> = Scheme::ALL.iter().map(|s| s.name()).collect();
         assert_eq!(names.len(), Scheme::ALL.len());
     }
 

@@ -50,7 +50,9 @@ impl ExpSubstitution {
         counters: OpCounters,
     ) -> Result<Self, DisguiseError> {
         if !is_prime(n) {
-            return Err(DisguiseError::BadParameters(format!("N = {n} is not prime")));
+            return Err(DisguiseError::BadParameters(format!(
+                "N = {n} is not prime"
+            )));
         }
         if n < design.v() {
             return Err(DisguiseError::BadParameters(format!(
@@ -184,9 +186,18 @@ mod tests {
     #[test]
     fn zero_and_overflow_rejected() {
         let d = paper_scale();
-        assert!(matches!(d.disguise(0), Err(DisguiseError::OutOfDomain { .. })));
-        assert!(matches!(d.disguise(13), Err(DisguiseError::OutOfDomain { .. })));
-        assert!(matches!(d.recover(0), Err(DisguiseError::NotInImage { .. })));
+        assert!(matches!(
+            d.disguise(0),
+            Err(DisguiseError::OutOfDomain { .. })
+        ));
+        assert!(matches!(
+            d.disguise(13),
+            Err(DisguiseError::OutOfDomain { .. })
+        ));
+        assert!(matches!(
+            d.recover(0),
+            Err(DisguiseError::NotInImage { .. })
+        ));
     }
 
     #[test]
@@ -231,7 +242,9 @@ mod tests {
         let n = next_prime(ds.v());
         let g = sks_designs::primes::primitive_root(n);
         // Pick t coprime to n-1.
-        let t = (3..n).find(|&t| sks_designs::arith::coprime(t, n - 1)).unwrap();
+        let t = (3..n)
+            .find(|&t| sks_designs::arith::coprime(t, n - 1))
+            .unwrap();
         let d = ExpSubstitution::new(ds, g, n, t, OpCounters::new()).unwrap();
         let keys: Vec<u64> = (1..n).step_by(131).collect();
         assert_disguise_contract(&d, &keys);

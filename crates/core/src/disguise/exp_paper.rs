@@ -45,10 +45,7 @@ impl PaperExpSubstitution {
             )));
         }
         let t_inv_mod_v = inv_mod(t, design.v()).ok_or_else(|| {
-            DisguiseError::BadParameters(format!(
-                "t = {t} not invertible mod v = {}",
-                design.v()
-            ))
+            DisguiseError::BadParameters(format!("t = {t} not invertible mod v = {}", design.v()))
         })?;
         Ok(PaperExpSubstitution {
             design,
@@ -230,14 +227,9 @@ mod tests {
 
     #[test]
     fn requires_v_equals_n() {
-        let err = PaperExpSubstitution::new(
-            DifferenceSet::paper_13_4_1(),
-            7,
-            17,
-            7,
-            OpCounters::new(),
-        )
-        .unwrap_err();
+        let err =
+            PaperExpSubstitution::new(DifferenceSet::paper_13_4_1(), 7, 17, 7, OpCounters::new())
+                .unwrap_err();
         assert!(matches!(err, DisguiseError::BadParameters(_)));
     }
 

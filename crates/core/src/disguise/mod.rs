@@ -50,7 +50,10 @@ impl std::fmt::Display for DisguiseError {
                 write!(f, "key {key} outside disguise domain {domain}")
             }
             DisguiseError::NotInImage { value } => {
-                write!(f, "value {value} is not a disguised key under these parameters")
+                write!(
+                    f,
+                    "value {value} is not a disguised key under these parameters"
+                )
             }
             DisguiseError::BadParameters(msg) => write!(f, "bad disguise parameters: {msg}"),
         }

@@ -28,11 +28,7 @@ pub struct OvalSubstitution {
 impl OvalSubstitution {
     /// Builds the disguise from a design and multiplier. `t` must be a unit
     /// of `Z_v` (otherwise lines do not map to ovals bijectively).
-    pub fn new(
-        design: DifferenceSet,
-        t: u64,
-        counters: OpCounters,
-    ) -> Result<Self, DisguiseError> {
+    pub fn new(design: DifferenceSet, t: u64, counters: OpCounters) -> Result<Self, DisguiseError> {
         let v = design.v();
         let t = t % v;
         let t_inv = inv_mod(t, v).ok_or_else(|| {
@@ -142,13 +138,16 @@ mod tests {
             d.disguise(13),
             Err(DisguiseError::OutOfDomain { .. })
         ));
-        assert!(matches!(d.recover(13), Err(DisguiseError::NotInImage { .. })));
+        assert!(matches!(
+            d.recover(13),
+            Err(DisguiseError::NotInImage { .. })
+        ));
     }
 
     #[test]
     fn non_coprime_multiplier_rejected() {
-        let err =
-            OvalSubstitution::new(DifferenceSet::paper_13_4_1(), 13, OpCounters::new()).unwrap_err();
+        let err = OvalSubstitution::new(DifferenceSet::paper_13_4_1(), 13, OpCounters::new())
+            .unwrap_err();
         assert!(matches!(err, DisguiseError::BadParameters(_)));
     }
 

@@ -38,7 +38,9 @@ impl SumSubstitution {
         counters: OpCounters,
     ) -> Result<Self, DisguiseError> {
         if capacity == 0 {
-            return Err(DisguiseError::BadParameters("capacity must be positive".into()));
+            return Err(DisguiseError::BadParameters(
+                "capacity must be positive".into(),
+            ));
         }
         let v = design.v();
         if w.checked_add(capacity).is_none_or(|end| end >= v - 1) {
@@ -184,8 +186,14 @@ mod tests {
     #[test]
     fn out_of_domain_and_not_in_image() {
         let d = SumSubstitution::paper_example(OpCounters::new());
-        assert!(matches!(d.disguise(11), Err(DisguiseError::OutOfDomain { .. })));
-        assert!(matches!(d.recover(14), Err(DisguiseError::NotInImage { .. })));
+        assert!(matches!(
+            d.disguise(11),
+            Err(DisguiseError::OutOfDomain { .. })
+        ));
+        assert!(matches!(
+            d.recover(14),
+            Err(DisguiseError::NotInImage { .. })
+        ));
     }
 
     #[test]

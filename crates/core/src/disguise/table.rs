@@ -123,8 +123,7 @@ mod tests {
 
     #[test]
     fn explicit_permutation() {
-        let d =
-            TableDisguise::from_permutation(vec![2, 0, 1], OpCounters::new()).unwrap();
+        let d = TableDisguise::from_permutation(vec![2, 0, 1], OpCounters::new()).unwrap();
         assert_eq!(d.disguise(0).unwrap(), 2);
         assert_eq!(d.recover(2).unwrap(), 0);
         assert!(TableDisguise::from_permutation(vec![0, 0, 1], OpCounters::new()).is_err());
@@ -145,7 +144,13 @@ mod tests {
     fn domain_errors() {
         let mut rng = StdRng::seed_from_u64(5);
         let d = TableDisguise::random(&mut rng, 10, OpCounters::new());
-        assert!(matches!(d.disguise(10), Err(DisguiseError::OutOfDomain { .. })));
-        assert!(matches!(d.recover(10), Err(DisguiseError::NotInImage { .. })));
+        assert!(matches!(
+            d.disguise(10),
+            Err(DisguiseError::OutOfDomain { .. })
+        ));
+        assert!(matches!(
+            d.recover(10),
+            Err(DisguiseError::NotInImage { .. })
+        ));
     }
 }

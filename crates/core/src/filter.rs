@@ -235,7 +235,10 @@ mod tests {
         }
         for k in 0..100u64 {
             let got = f.get(k).unwrap().unwrap();
-            assert_eq!(got, format!("employee #{k}: salary {}", 1000 * k).into_bytes());
+            assert_eq!(
+                got,
+                format!("employee #{k}: salary {}", 1000 * k).into_bytes()
+            );
         }
         assert_eq!(f.get(149).unwrap(), None);
     }

@@ -21,7 +21,9 @@
 //!   (§5's multilevel suggestion).
 //! * [`layout`] — the storage/fanout/depth arithmetic of experiment E3.
 //!
-//! See DESIGN.md for the experiment index and EXPERIMENTS.md for results.
+//! The experiment index (E1–E8) lives in `sks-bench`'s `experiments`
+//! module; `cargo run --release -p sks-bench --bin repro` regenerates the
+//! paper's tables, figures and measurements.
 
 pub mod codec;
 pub mod config;

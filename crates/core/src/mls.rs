@@ -68,11 +68,7 @@ impl<S: BlockStore> MultilevelRecordStore<S> {
         // metadata (clearance labels usually are).
         let mut framed = Vec::with_capacity(4 + record.len());
         framed.extend_from_slice(&level.to_be_bytes());
-        framed.extend_from_slice(&sks_crypto::modes::ctr_xor(
-            &cipher,
-            level as u64,
-            record,
-        ));
+        framed.extend_from_slice(&sks_crypto::modes::ctr_xor(&cipher, level as u64, record));
         self.store.insert(&framed)
     }
 
@@ -135,7 +131,10 @@ mod tests {
         let ptrs: Vec<(Level, RecordPtr)> = (1..=4u32)
             .map(|level| {
                 let rec = format!("level-{level} contents");
-                (level, mls.insert(&authority, level, rec.as_bytes()).unwrap())
+                (
+                    level,
+                    mls.insert(&authority, level, rec.as_bytes()).unwrap(),
+                )
             })
             .collect();
 
@@ -149,7 +148,10 @@ mod tests {
                     format!("level-{level} contents").into_bytes()
                 );
             } else {
-                assert!(matches!(result, Err(CoreError::Integrity(_))), "level {level}");
+                assert!(
+                    matches!(result, Err(CoreError::Integrity(_))),
+                    "level {level}"
+                );
             }
         }
     }

@@ -220,7 +220,10 @@ mod tests {
         let ptrs: Vec<RecordPtr> = (0..10).map(|_| rs.insert(&rec).unwrap()).collect();
         let blocks: std::collections::HashSet<u32> =
             ptrs.iter().map(|p| p.block().as_u32()).collect();
-        assert!(blocks.len() >= 5, "100-byte records, 256-byte pages: ~2/page");
+        assert!(
+            blocks.len() >= 5,
+            "100-byte records, 256-byte pages: ~2/page"
+        );
         for p in ptrs {
             assert_eq!(rs.get(p).unwrap().unwrap(), rec);
         }

@@ -27,7 +27,16 @@ pub struct EncipheredBTree {
 impl EncipheredBTree {
     /// Builds the whole stack in memory from a [`SchemeConfig`].
     pub fn create_in_memory(config: SchemeConfig) -> Result<Self, CoreError> {
-        let counters = OpCounters::new();
+        Self::create_in_memory_with_counters(config, OpCounters::new())
+    }
+
+    /// [`EncipheredBTree::create_in_memory`] sharing an existing counter
+    /// set — an engine running several tree partitions aggregates them all
+    /// into one account this way.
+    pub fn create_in_memory_with_counters(
+        config: SchemeConfig,
+        counters: OpCounters,
+    ) -> Result<Self, CoreError> {
         let (codec, disguise) = config.build_codec(&counters)?;
         let node_disk = MemDisk::with_counters(config.block_size, counters.clone());
         let data_disk = MemDisk::with_counters(config.block_size, counters.clone());
@@ -46,10 +55,7 @@ impl EncipheredBTree {
     /// pairs: records stream into the data blocks, then the node tree is
     /// built bottom-up with exactly one encipherment pass per node block —
     /// the initial-load path a real deployment would use.
-    pub fn bulk_create(
-        config: SchemeConfig,
-        items: &[(u64, Vec<u8>)],
-    ) -> Result<Self, CoreError> {
+    pub fn bulk_create(config: SchemeConfig, items: &[(u64, Vec<u8>)]) -> Result<Self, CoreError> {
         let counters = OpCounters::new();
         let (codec, disguise) = config.build_codec(&counters)?;
         let node_disk = MemDisk::with_counters(config.block_size, counters.clone());
@@ -157,9 +163,10 @@ impl EncipheredBTree {
     pub fn range(&self, lo: u64, hi: u64) -> Result<Vec<(u64, Vec<u8>)>, CoreError> {
         let mut out = Vec::new();
         for (k, ptr) in self.tree.range(lo, hi)? {
-            let record = self.records.get(ptr)?.ok_or_else(|| {
-                CoreError::Record(format!("dangling data pointer for key {k}"))
-            })?;
+            let record = self
+                .records
+                .get(ptr)?
+                .ok_or_else(|| CoreError::Record(format!("dangling data pointer for key {k}")))?;
             out.push((k, record));
         }
         Ok(out)
@@ -228,6 +235,16 @@ impl EncipheredBTree {
     }
 }
 
+// The engine shares trees across threads behind `RwLock`s: every handle in
+// the stack (disguise and sealer trait objects included) must stay
+// `Send + Sync`. Compile-time assertion so a regression fails here, with a
+// readable message, instead of deep inside `sks-engine`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<EncipheredBTree>();
+    assert_send_sync::<SchemeConfig>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,13 +268,23 @@ mod tests {
             let keys = demo_keys(scheme);
             for &k in &keys {
                 let rec = format!("record-{k}").into_bytes();
-                assert_eq!(tree.insert(k, rec).unwrap(), None, "{}: insert {k}", scheme.name());
+                assert_eq!(
+                    tree.insert(k, rec).unwrap(),
+                    None,
+                    "{}: insert {k}",
+                    scheme.name()
+                );
             }
             assert_eq!(tree.len(), keys.len() as u64, "{}", scheme.name());
             tree.validate().unwrap();
             for &k in &keys {
                 let got = tree.get(k).unwrap().unwrap();
-                assert_eq!(got, format!("record-{k}").into_bytes(), "{}: get {k}", scheme.name());
+                assert_eq!(
+                    got,
+                    format!("record-{k}").into_bytes(),
+                    "{}: get {k}",
+                    scheme.name()
+                );
             }
             // Absent key.
             let absent = keys.iter().max().unwrap() + 1;
@@ -265,7 +292,9 @@ mod tests {
                 // (bounded-domain schemes may reject out-of-domain queries
                 // at the probe; in-domain misses checked below instead)
             }
-            let miss = keys.iter().find(|k| !keys.contains(&(*k + 1)) && keys.contains(k));
+            let miss = keys
+                .iter()
+                .find(|k| !keys.contains(&(*k + 1)) && keys.contains(k));
             let _ = (absent, miss);
             // Delete half.
             for &k in keys.iter().step_by(2) {
@@ -275,7 +304,12 @@ mod tests {
             tree.validate().unwrap();
             for (i, &k) in keys.iter().enumerate() {
                 let want = if i % 2 == 0 { None } else { Some(()) };
-                assert_eq!(tree.get(k).unwrap().map(|_| ()), want, "{}: after delete {k}", scheme.name());
+                assert_eq!(
+                    tree.get(k).unwrap().map(|_| ()),
+                    want,
+                    "{}: after delete {k}",
+                    scheme.name()
+                );
             }
         }
     }
@@ -284,7 +318,10 @@ mod tests {
     fn replace_returns_old_record() {
         let mut tree = EncipheredBTree::create_in_memory(SchemeConfig::demo(Scheme::Oval)).unwrap();
         assert_eq!(tree.insert(5, b"v1".to_vec()).unwrap(), None);
-        assert_eq!(tree.insert(5, b"v2".to_vec()).unwrap(), Some(b"v1".to_vec()));
+        assert_eq!(
+            tree.insert(5, b"v2".to_vec()).unwrap(),
+            Some(b"v1".to_vec())
+        );
         assert_eq!(tree.get(5).unwrap().unwrap(), b"v2");
         assert_eq!(tree.len(), 1);
     }
@@ -299,7 +336,11 @@ mod tests {
                 tree.insert(k, vec![k as u8]).unwrap();
             }
             let got: Vec<u64> = tree.range(2, 7).unwrap().iter().map(|&(k, _)| k).collect();
-            let want: Vec<u64> = keys.iter().copied().filter(|&k| (2..=7).contains(&k)).collect();
+            let want: Vec<u64> = keys
+                .iter()
+                .copied()
+                .filter(|&k| (2..=7).contains(&k))
+                .collect();
             assert_eq!(got, want, "{}", scheme.name());
         }
     }
@@ -326,7 +367,12 @@ mod tests {
         for k in (0..2000u64).step_by(191) {
             assert_eq!(tree.get(k).unwrap().unwrap(), k.to_be_bytes().to_vec());
         }
-        let mid: Vec<u64> = tree.range(500, 520).unwrap().iter().map(|&(k, _)| k).collect();
+        let mid: Vec<u64> = tree
+            .range(500, 520)
+            .unwrap()
+            .iter()
+            .map(|&(k, _)| k)
+            .collect();
         assert_eq!(mid, (500..=520).collect::<Vec<u64>>());
     }
 
@@ -352,11 +398,7 @@ mod tests {
         }
         let logical = tree.render_logical().unwrap();
         let disk = tree.render_disk_view().unwrap();
-        let shape = |s: &str| -> Vec<usize> {
-            s.lines()
-                .map(|l| l.matches('[').count())
-                .collect()
-        };
+        let shape = |s: &str| -> Vec<usize> { s.lines().map(|l| l.matches('[').count()).collect() };
         assert_eq!(shape(&logical), shape(&disk));
     }
 
@@ -365,9 +407,10 @@ mod tests {
         // One pointer decryption per node visit (substitution) vs log2(n)
         // key decryptions (Bayer–Metzger) on the same workload.
         let n_keys = 400u64;
-        let mut sub = EncipheredBTree::create_in_memory(
-            SchemeConfig::with_capacity(Scheme::Oval, n_keys + 1),
-        )
+        let mut sub = EncipheredBTree::create_in_memory(SchemeConfig::with_capacity(
+            Scheme::Oval,
+            n_keys + 1,
+        ))
         .unwrap();
         let mut bm = EncipheredBTree::create_in_memory({
             let mut c = SchemeConfig::with_capacity(Scheme::BayerMetzger, n_keys + 1);
@@ -400,7 +443,8 @@ mod tests {
     #[test]
     fn raw_images_do_not_leak_plaintext_records() {
         let mut tree = EncipheredBTree::create_in_memory(SchemeConfig::demo(Scheme::Oval)).unwrap();
-        tree.insert(5, b"EXTREMELY-SECRET-PAYLOAD".to_vec()).unwrap();
+        tree.insert(5, b"EXTREMELY-SECRET-PAYLOAD".to_vec())
+            .unwrap();
         for image in [tree.raw_node_image(), tree.raw_data_image()] {
             let leak = image
                 .iter()

@@ -239,7 +239,8 @@ impl BigUint {
 
     /// `self - other`; panics on underflow.
     pub fn sub(&self, other: &BigUint) -> BigUint {
-        self.checked_sub(other).expect("BigUint subtraction underflow")
+        self.checked_sub(other)
+            .expect("BigUint subtraction underflow")
     }
 
     pub fn mul(&self, other: &BigUint) -> BigUint {
@@ -353,9 +354,7 @@ impl BigUint {
             let top = ((un[j + n] as u64) << 32) | un[j + n - 1] as u64;
             let mut qhat = top / vn[n - 1] as u64;
             let mut rhat = top % vn[n - 1] as u64;
-            while qhat >= b
-                || qhat * vn[n - 2] as u64 > ((rhat << 32) | un[j + n - 2] as u64)
-            {
+            while qhat >= b || qhat * vn[n - 2] as u64 > ((rhat << 32) | un[j + n - 2] as u64) {
                 qhat -= 1;
                 rhat += vn[n - 1] as u64;
                 if rhat >= b {
@@ -517,7 +516,9 @@ impl BigUint {
             return false;
         }
         // Quick trial division by small primes.
-        for p in [3u64, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67] {
+        for p in [
+            3u64, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+        ] {
             if self.rem(&BigUint::from_u64(p)).is_zero() {
                 return false;
             }

@@ -199,7 +199,7 @@ mod tests {
         let b = Des::new(0x0123456789ABCDEF);
         let ct = cbc_encrypt(&a, 7, b"a secret record payload");
         match cbc_decrypt(&b, 7, &ct) {
-            Err(_) => {}                                        // padding caught it
+            Err(_) => {}                                          // padding caught it
             Ok(pt) => assert_ne!(pt, b"a secret record payload"), // or it garbled
         }
     }
@@ -219,7 +219,10 @@ mod tests {
         let c = des();
         let mac = cbc_mac(&c, b"employee=17;salary=90000");
         assert_ne!(mac, cbc_mac(&c, b"employee=17;salary=90001"));
-        assert_ne!(mac, cbc_mac(&Des::new(0x1111111111111111), b"employee=17;salary=90000"));
+        assert_ne!(
+            mac,
+            cbc_mac(&Des::new(0x1111111111111111), b"employee=17;salary=90000")
+        );
         // Deterministic.
         assert_eq!(mac, cbc_mac(&c, b"employee=17;salary=90000"));
     }

@@ -234,8 +234,14 @@ mod tests {
     #[test]
     fn bad_levels_rejected() {
         let h = hierarchy(3);
-        assert!(matches!(h.clearance(0), Err(HierarchyError::BadLevel { .. })));
-        assert!(matches!(h.clearance(4), Err(HierarchyError::BadLevel { .. })));
+        assert!(matches!(
+            h.clearance(0),
+            Err(HierarchyError::BadLevel { .. })
+        ));
+        assert!(matches!(
+            h.clearance(4),
+            Err(HierarchyError::BadLevel { .. })
+        ));
         let c = h.clearance(2).unwrap();
         assert!(matches!(c.derive(0), Err(HierarchyError::BadLevel { .. })));
         assert!(matches!(c.derive(9), Err(HierarchyError::BadLevel { .. })));

@@ -93,7 +93,10 @@ mod tests {
         assert_ne!(hash64(b""), hash64(b"\0"));
         assert_ne!(hash64(b"ab"), hash64(b"a\0b"));
         // Length-tail discrimination: same prefix, different tail lengths.
-        assert_ne!(hash64(&[1, 2, 3, 4, 5, 6, 7, 8]), hash64(&[1, 2, 3, 4, 5, 6, 7, 8, 0]));
+        assert_ne!(
+            hash64(&[1, 2, 3, 4, 5, 6, 7, 8]),
+            hash64(&[1, 2, 3, 4, 5, 6, 7, 8, 0])
+        );
         assert_eq!(hash64(b"stable"), hash64(b"stable"));
     }
 

@@ -293,9 +293,7 @@ mod tests {
             let (k, lambda) = (d.k(), d.lambda());
             for i in 0..v {
                 for j in 0..v {
-                    let dot: u64 = (0..v)
-                        .map(|c| m[i][c] as u64 * m[j][c] as u64)
-                        .sum();
+                    let dot: u64 = (0..v).map(|c| m[i][c] as u64 * m[j][c] as u64).sum();
                     let want = if i == j { k } else { lambda };
                     assert_eq!(dot, want, "v={v} entry ({i},{j})");
                 }

@@ -310,11 +310,7 @@ impl DifferenceSet {
                 self.v
             )));
         }
-        let mut img: Vec<u64> = self
-            .base
-            .iter()
-            .map(|&d| mul_mod(d, t, self.v))
-            .collect();
+        let mut img: Vec<u64> = self.base.iter().map(|&d| mul_mod(d, t, self.v)).collect();
         img.sort_unstable();
         Ok(img)
     }

@@ -208,10 +208,7 @@ impl GfCubic {
         let n = self.group_order();
         let factors = distinct_prime_factors(n);
         let is_generator = |g: &Elt| -> bool {
-            !self.is_zero(g)
-                && factors
-                    .iter()
-                    .all(|&q| self.pow(g, n / q) != self.one())
+            !self.is_zero(g) && factors.iter().all(|&q| self.pow(g, n / q) != self.one())
         };
         // α itself is often primitive; then walk simple affine candidates.
         let alpha = self.alpha();
@@ -398,7 +395,13 @@ mod tests {
         // Tr(x) = x + x^p + x^{p²} must land in GF(p) and match closed form.
         for p in [3u64, 5, 7, 13] {
             let f = GfCubic::new(p);
-            for elt in [[1u64, 0, 0], [0, 1, 0], [0, 0, 1], [2, 1, 2], [p - 1, 3 % p, 1]] {
+            for elt in [
+                [1u64, 0, 0],
+                [0, 1, 0],
+                [0, 0, 1],
+                [2, 1, 2],
+                [p - 1, 3 % p, 1],
+            ] {
                 let frob1 = f.pow(&elt, p);
                 let frob2 = f.pow(&frob1, p);
                 let s = f.add(&f.add(&elt, &frob1), &frob2);

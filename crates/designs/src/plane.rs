@@ -59,7 +59,11 @@ impl ProjectivePlane {
     /// representative; `None` for the zero vector.
     pub fn normalize(&self, coords: [u64; 3]) -> Option<Homog> {
         let f = &self.field;
-        let c = [f.reduce(coords[0]), f.reduce(coords[1]), f.reduce(coords[2])];
+        let c = [
+            f.reduce(coords[0]),
+            f.reduce(coords[1]),
+            f.reduce(coords[2]),
+        ];
         let lead = c.iter().position(|&x| x != 0)?;
         let inv = f.inv(c[lead]).expect("nonzero element has inverse");
         let mut out = [0u64; 3];
@@ -126,10 +130,7 @@ impl ProjectivePlane {
     /// order planes is such a conic).
     pub fn standard_conic(&self) -> Vec<Homog> {
         let f = &self.field;
-        let mut pts: Vec<Homog> = f
-            .elements()
-            .map(|t| Homog([1, t, f.mul(t, t)]))
-            .collect();
+        let mut pts: Vec<Homog> = f.elements().map(|t| Homog([1, t, f.mul(t, t)])).collect();
         pts.push(Homog([0, 0, 1]));
         pts
     }
@@ -198,7 +199,10 @@ mod tests {
             let plane = ProjectivePlane::new(p);
             let conic = plane.standard_conic();
             assert_eq!(conic.len() as u64, p + 1, "oval size is n+1");
-            assert!(plane.is_arc(&conic), "conic must have no 3 collinear (p={p})");
+            assert!(
+                plane.is_arc(&conic),
+                "conic must have no 3 collinear (p={p})"
+            );
         }
     }
 

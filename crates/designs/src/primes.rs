@@ -233,7 +233,10 @@ mod tests {
         let primes: Vec<u64> = (0..100).filter(|&n| is_prime(n)).collect();
         assert_eq!(
             primes,
-            vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97]
+            vec![
+                2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79,
+                83, 89, 97
+            ]
         );
     }
 
@@ -264,7 +267,10 @@ mod tests {
         assert_eq!(factorize(1), vec![]);
         assert_eq!(factorize(12), vec![(2, 2), (3, 1)]);
         assert_eq!(factorize(97), vec![(97, 1)]);
-        assert_eq!(factorize(2 * 3 * 5 * 7 * 11 * 13), vec![(2, 1), (3, 1), (5, 1), (7, 1), (11, 1), (13, 1)]);
+        assert_eq!(
+            factorize(2 * 3 * 5 * 7 * 11 * 13),
+            vec![(2, 1), (3, 1), (5, 1), (7, 1), (11, 1), (13, 1)]
+        );
         // q^3 - 1 for q = 1009 (Singer-sized input)
         let n = 1009u64.pow(3) - 1;
         let f = factorize(n);

@@ -1,0 +1,404 @@
+//! [`SksDb`] — the concurrent, WAL-backed engine over enciphered B-trees.
+//!
+//! Architecture (one paragraph): the key space is sharded across `N`
+//! independent [`EncipheredBTree`] partitions, each behind its own
+//! `RwLock`, so point reads run concurrently everywhere and writers
+//! serialize only within a partition. The router hashes the *disguised*
+//! key — the same `f(k)` the paper writes to disk — so even the
+//! partition-assignment pattern an opponent could observe carries no key
+//! order. Every mutation is appended to a shared write-ahead log (one
+//! `Mutex`, group commit per [`SyncPolicy`]) *before* it touches the tree,
+//! and recovery replays the log through the identical router path.
+//!
+//! Lock order is always `partition.write → wal.lock`, and reads take no
+//! WAL lock at all. Range scans visit partitions one at a time and merge,
+//! so they see a per-partition-consistent (not globally snapshot) view —
+//! the classic read-committed engine contract.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, RwLock};
+
+use sks_core::{EncipheredBTree, KeyDisguise, SchemeConfig};
+use sks_storage::{OpCounters, OpSnapshot, SyncPolicy};
+
+use crate::error::EngineError;
+use crate::recovery::{apply_replay, RecoveryReport};
+use crate::wal::Wal;
+
+/// Engine-level configuration wrapping the paper-level [`SchemeConfig`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Scheme, capacity and `partitions` knob for every tree partition.
+    pub scheme: SchemeConfig,
+    /// Commit durability (see [`SyncPolicy`]); default is group commit.
+    pub sync: SyncPolicy,
+    /// Block size of the WAL's backing [`sks_storage::FileDisk`].
+    pub wal_block_size: usize,
+}
+
+impl EngineConfig {
+    pub fn new(scheme: SchemeConfig) -> Self {
+        EngineConfig {
+            scheme,
+            sync: SyncPolicy::default(),
+            wal_block_size: 4096,
+        }
+    }
+
+    pub fn sync(mut self, sync: SyncPolicy) -> Self {
+        self.sync = sync;
+        self
+    }
+
+    /// Key sealing the WAL's record bodies: derived from the scheme's
+    /// independent data-block key (§5) with a domain-separation tweak, so
+    /// log and data blocks never share keystream.
+    fn wal_key(&self) -> u128 {
+        self.scheme.data_key
+            ^ 0x57414C_u128.rotate_left(96)
+            ^ ((self.scheme.tree_key as u128) << 32)
+    }
+}
+
+/// Routes keys to partitions by hashing the disguised key.
+pub(crate) struct Router {
+    disguise: Option<Arc<dyn KeyDisguise>>,
+    n: usize,
+}
+
+impl Router {
+    fn new(config: &SchemeConfig, counters: &OpCounters) -> Result<Self, EngineError> {
+        Ok(Router {
+            disguise: config.build_disguise(counters)?,
+            n: config.partitions,
+        })
+    }
+
+    /// splitmix64 finalizer — decorrelates partition choice from the
+    /// disguised value's residue structure.
+    fn mix(mut x: u64) -> u64 {
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    pub(crate) fn partition_of(&self, key: u64) -> Result<usize, EngineError> {
+        // Disguise even when unsharded: this doubles as the domain check
+        // that keeps doomed (out-of-domain) operations out of the WAL.
+        let routed = match &self.disguise {
+            Some(d) => d.disguise(key).map_err(|e| {
+                EngineError::Core(sks_core::CoreError::Config(format!(
+                    "key {key} outside configured domain: {e}"
+                )))
+            })?,
+            None => key,
+        };
+        if self.n == 1 {
+            return Ok(0);
+        }
+        Ok((Self::mix(routed) % self.n as u64) as usize)
+    }
+}
+
+/// The engine. Cheap to share (`Arc`); one instance per database
+/// directory.
+pub struct SksDb {
+    partitions: Vec<RwLock<EncipheredBTree>>,
+    router: Router,
+    wal: Mutex<Wal>,
+    counters: OpCounters,
+    recovery: RecoveryReport,
+    wal_path: PathBuf,
+    config: EngineConfig,
+}
+
+const WAL_FILE: &str = "wal.sks";
+
+impl SksDb {
+    /// Opens (or creates) the database in `dir`. If a WAL exists its
+    /// intact records are replayed; a torn tail is detected, reported via
+    /// [`SksDb::recovery_report`], and scrubbed.
+    pub fn open<P: AsRef<Path>>(dir: P, config: EngineConfig) -> Result<Arc<Self>, EngineError> {
+        if config.scheme.partitions == 0 {
+            return Err(EngineError::Config("partitions must be >= 1".into()));
+        }
+        std::fs::create_dir_all(&dir)?;
+        let wal_path = dir.as_ref().join(WAL_FILE);
+
+        let counters = OpCounters::new();
+        let router = Router::new(&config.scheme, &counters)?;
+        let mut partitions = Vec::with_capacity(config.scheme.partitions);
+        for _ in 0..config.scheme.partitions {
+            partitions.push(EncipheredBTree::create_in_memory_with_counters(
+                config.scheme.clone(),
+                counters.clone(),
+            )?);
+        }
+
+        let (wal, recovery) = if wal_path.exists() {
+            let (wal, replay) =
+                Wal::open(&wal_path, config.wal_key(), config.sync, counters.clone())?;
+            let report = apply_replay(&mut partitions, &router, replay)?;
+            (wal, report)
+        } else {
+            let wal = Wal::create(
+                &wal_path,
+                config.wal_block_size,
+                config.wal_key(),
+                config.sync,
+                counters.clone(),
+            )?;
+            // The file's directory entry must be durable too, or a crash
+            // could leave a database directory with no log at all.
+            sync_dir(dir.as_ref())?;
+            (wal, RecoveryReport::default())
+        };
+
+        Ok(Arc::new(SksDb {
+            partitions: partitions.into_iter().map(RwLock::new).collect(),
+            router,
+            wal: Mutex::new(wal),
+            counters,
+            recovery,
+            wal_path,
+            config,
+        }))
+    }
+
+    /// A session handle for one logical client. Sessions are cheap clones
+    /// of the shared engine and are `Send`, one per thread.
+    pub fn session(self: &Arc<Self>) -> Session {
+        Session {
+            db: Arc::clone(self),
+        }
+    }
+
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Aggregated operation counters across WAL and every partition.
+    pub fn snapshot(&self) -> OpSnapshot {
+        self.counters.snapshot()
+    }
+
+    pub fn counters(&self) -> &OpCounters {
+        &self.counters
+    }
+
+    pub fn len(&self) -> u64 {
+        self.partition_lens().iter().sum()
+    }
+
+    /// Per-partition key counts (router balance observability).
+    pub fn partition_lens(&self) -> Vec<u64> {
+        self.partitions
+            .iter()
+            .map(|p| p.read().expect("partition lock").len())
+            .collect()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current logical size of the WAL in bytes.
+    pub fn wal_len_bytes(&self) -> u64 {
+        self.wal.lock().expect("wal lock").len_bytes()
+    }
+
+    pub fn get(&self, key: u64) -> Result<Option<Vec<u8>>, EngineError> {
+        let p = self.router.partition_of(key)?;
+        let tree = self.partitions[p].read().expect("partition lock");
+        Ok(tree.get(key)?)
+    }
+
+    /// Inserts (or replaces) the record under `key`.
+    ///
+    /// Failure semantics: an error from the WAL *commit* step (e.g. an
+    /// fsync failure) leaves the operation's outcome indeterminate — the
+    /// record may already sit durably in the log even though the error
+    /// was returned. The WAL fail-stops on such errors (every later write
+    /// returns [`EngineError::WalPoisoned`]); reopening the database
+    /// replays the log and decides the final outcome, exactly as a crash
+    /// at commit time would.
+    pub fn insert(&self, key: u64, value: Vec<u8>) -> Result<Option<Vec<u8>>, EngineError> {
+        let p = self.router.partition_of(key)?;
+        let mut tree = self.partitions[p].write().expect("partition lock");
+        {
+            let mut wal = self.wal.lock().expect("wal lock");
+            wal.append_insert(key, &value)?;
+            wal.commit()?;
+        }
+        Ok(tree.insert(key, value)?)
+    }
+
+    /// Removes `key`. Same commit-failure semantics as [`SksDb::insert`].
+    pub fn delete(&self, key: u64) -> Result<Option<Vec<u8>>, EngineError> {
+        let p = self.router.partition_of(key)?;
+        let mut tree = self.partitions[p].write().expect("partition lock");
+        {
+            let mut wal = self.wal.lock().expect("wal lock");
+            wal.append_delete(key)?;
+            wal.commit()?;
+        }
+        Ok(tree.delete(key)?)
+    }
+
+    /// Range scan `lo..=hi` across all partitions, merged in key order.
+    pub fn range(&self, lo: u64, hi: u64) -> Result<Vec<(u64, Vec<u8>)>, EngineError> {
+        let mut out = Vec::new();
+        for part in &self.partitions {
+            let tree = part.read().expect("partition lock");
+            out.extend(tree.range(lo, hi)?);
+        }
+        out.sort_unstable_by_key(|&(k, _)| k);
+        Ok(out)
+    }
+
+    /// Forces every pending WAL byte to stable storage.
+    pub fn flush(&self) -> Result<(), EngineError> {
+        self.wal.lock().expect("wal lock").flush()
+    }
+
+    /// Structural validation of every partition.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        for part in &self.partitions {
+            part.read().expect("partition lock").validate()?;
+        }
+        Ok(())
+    }
+
+    /// Compacts the WAL: snapshots the current contents as a fresh run of
+    /// insert records in a new log, atomically renames it over the old
+    /// one, and resumes logging there. Returns the number of live records
+    /// written. After a checkpoint, recovery replays only live state.
+    pub fn checkpoint(&self) -> Result<u64, EngineError> {
+        // Write lock every partition (index order — the only multi-
+        // partition lock site, so no ordering conflicts), freezing a
+        // consistent global state.
+        let guards: Vec<_> = self
+            .partitions
+            .iter()
+            .map(|p| p.write().expect("partition lock"))
+            .collect();
+        let mut wal = self.wal.lock().expect("wal lock");
+
+        let tmp_path = self.wal_path.with_extension("tmp");
+        // Detached counters while the snapshot is written: the internal
+        // rewrite is not client traffic and must not inflate
+        // wal_appends/wal_bytes.
+        let mut fresh = Wal::create(
+            &tmp_path,
+            self.config.wal_block_size,
+            self.config.wal_key(),
+            self.config.sync,
+            OpCounters::new(),
+        )?;
+        // Stream the snapshot in bounded key windows so peak memory is one
+        // window per step, not a full-partition clone held while every
+        // write lock is stalled. Keys live in `0..=capacity` by
+        // construction (SchemeConfig's domain), so the sweep terminates.
+        const WINDOW: u64 = 4096;
+        let max_key = self.config.scheme.capacity;
+        let mut written = 0u64;
+        for guard in &guards {
+            let mut lo = 0u64;
+            loop {
+                let hi = lo.saturating_add(WINDOW - 1).min(max_key);
+                for (key, value) in guard.range(lo, hi)? {
+                    fresh.append_insert(key, &value)?;
+                    written += 1;
+                }
+                if hi >= max_key {
+                    break;
+                }
+                lo = hi + 1;
+            }
+        }
+        fresh.flush()?;
+        std::fs::rename(&tmp_path, &self.wal_path)?;
+        // fsync the directory: without it the rename itself is not
+        // durable, and a power failure could revert to the old log even
+        // though later commits fsynced the new inode's data.
+        sync_dir(self.wal_path.parent().expect("wal lives in the db dir"))?;
+        // The fresh Wal's file handle survives the rename (same inode);
+        // from here on it carries client traffic, so it re-adopts the
+        // engine's shared counters.
+        fresh.adopt_counters(self.counters.clone());
+        *wal = fresh;
+        Ok(written)
+    }
+}
+
+/// Makes directory-entry mutations (create, rename) durable.
+fn sync_dir(dir: &Path) -> Result<(), EngineError> {
+    // Opening a directory for fsync is a unix concept; on Windows
+    // directory entries are synced with the volume and File::open on a
+    // directory fails outright, so this is a no-op there.
+    #[cfg(unix)]
+    {
+        std::fs::File::open(dir)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+    }
+    Ok(())
+}
+
+impl std::fmt::Debug for SksDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SksDb")
+            .field("partitions", &self.partitions.len())
+            .field("scheme", &self.config.scheme.scheme)
+            .field("wal_path", &self.wal_path)
+            .finish()
+    }
+}
+
+/// Per-client handle: a cheap, `Send` clone of the shared engine. The
+/// unmodified-DBMS fiction of the paper maps here: a session speaks plain
+/// `get/insert/delete/range` over plaintext keys and never sees disguises,
+/// seals, partitions or the log.
+#[derive(Clone, Debug)]
+pub struct Session {
+    db: Arc<SksDb>,
+}
+
+impl Session {
+    pub fn get(&self, key: u64) -> Result<Option<Vec<u8>>, EngineError> {
+        self.db.get(key)
+    }
+
+    pub fn insert(&self, key: u64, value: Vec<u8>) -> Result<Option<Vec<u8>>, EngineError> {
+        self.db.insert(key, value)
+    }
+
+    pub fn delete(&self, key: u64) -> Result<Option<Vec<u8>>, EngineError> {
+        self.db.delete(key)
+    }
+
+    pub fn range(&self, lo: u64, hi: u64) -> Result<Vec<(u64, Vec<u8>)>, EngineError> {
+        self.db.range(lo, hi)
+    }
+
+    pub fn db(&self) -> &Arc<SksDb> {
+        &self.db
+    }
+}
+
+// Sessions are handed to worker threads; the engine is shared behind Arc.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SksDb>();
+    assert_send_sync::<Session>();
+};

@@ -1,0 +1,65 @@
+//! Engine error type.
+
+use sks_core::CoreError;
+use sks_storage::StorageError;
+
+/// Errors from the engine: WAL I/O, recovery, or the underlying tree.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Underlying enciphered-tree failure.
+    Core(CoreError),
+    /// Block-device failure (WAL segments live on a `FileDisk`).
+    Storage(StorageError),
+    /// Filesystem-level failure outside the block device (rename, stat).
+    Io(std::io::Error),
+    /// An earlier append-path I/O error left the WAL in an unknown state;
+    /// the handle fail-stops and the database must be reopened (recovery
+    /// replays the log back to a consistent prefix).
+    WalPoisoned,
+    /// Invalid engine configuration.
+    Config(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Core(e) => write!(f, "tree error: {e}"),
+            EngineError::Storage(e) => write!(f, "storage error: {e}"),
+            EngineError::Io(e) => write!(f, "io error: {e}"),
+            EngineError::WalPoisoned => write!(
+                f,
+                "wal poisoned by an earlier I/O error; reopen the database to recover"
+            ),
+            EngineError::Config(msg) => write!(f, "engine config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Core(e) => Some(e),
+            EngineError::Storage(e) => Some(e),
+            EngineError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for EngineError {
+    fn from(e: CoreError) -> Self {
+        EngineError::Core(e)
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Io(e)
+    }
+}

@@ -1,0 +1,46 @@
+//! # sks-engine — a concurrent, WAL-backed database engine over the
+//! enciphered B-tree
+//!
+//! Hardjono & Seberry's point is that search-key substitution happens
+//! *after* the B-tree's shape is fixed, so an unmodified DBMS can run on
+//! top of the enciphered index. This crate supplies that DBMS-shaped
+//! machinery around the single-threaded [`sks_core::EncipheredBTree`]:
+//!
+//! * [`db`] — [`SksDb`]: the key space sharded over N `RwLock`ed tree
+//!   partitions (concurrent readers, per-partition serialized writers)
+//!   with a router that hashes the *disguised* key, and the per-client
+//!   [`Session`] handle.
+//! * [`wal`] — the write-ahead log layered on `sks-storage`'s
+//!   [`sks_storage::FileDisk`]: CRC-framed records with sealed bodies (the
+//!   log is the only durable state, so it must leak no keys or values),
+//!   group commit under a [`sks_storage::SyncPolicy`], torn-tail detection
+//!   and scrubbing.
+//! * [`recovery`] — replay of the log into the partitions on open, with a
+//!   [`RecoveryReport`] describing what was found.
+//! * [`error`] — [`EngineError`].
+//!
+//! ```
+//! use sks_core::{Scheme, SchemeConfig};
+//! use sks_engine::{EngineConfig, SksDb};
+//!
+//! let dir = std::env::temp_dir().join(format!("sks_engine_doc_{}", std::process::id()));
+//! let scheme = SchemeConfig::with_capacity(Scheme::Oval, 4096).partitions(4);
+//! let db = SksDb::open(&dir, EngineConfig::new(scheme)).unwrap();
+//! let session = db.session();
+//! session.insert(42, b"answer".to_vec()).unwrap();
+//! assert_eq!(session.get(42).unwrap().unwrap(), b"answer");
+//! # drop(session); drop(db); std::fs::remove_dir_all(&dir).ok();
+//! ```
+//!
+//! **Security warning:** like the rest of the workspace this reproduces a
+//! 1990 paper; the ciphers are historical. Do not store real secrets.
+
+pub mod db;
+pub mod error;
+pub mod recovery;
+pub mod wal;
+
+pub use db::{EngineConfig, Session, SksDb};
+pub use error::EngineError;
+pub use recovery::RecoveryReport;
+pub use wal::{Wal, WalOp, WalRecord, WalReplay};

@@ -1,0 +1,884 @@
+//! Write-ahead log layered on an `sks-storage` [`FileDisk`].
+//!
+//! Logical model: an append-only byte stream of self-checking records,
+//! packed across fixed-size blocks of a [`FileDisk`] (records straddle
+//! block boundaries; blocks are used strictly sequentially, the free list
+//! is never touched). Each record is
+//!
+//! ```text
+//! tag(1)=0xA5 ‖ crc32(4) ‖ seq(8) ‖ nonce(8) ‖ blen(4) ‖ E(op ‖ key ‖ value)
+//! ```
+//!
+//! with the CRC covering `seq ‖ nonce ‖ blen ‖ ciphertext`. The body —
+//! operation, search key and record value — is sealed with an independent
+//! stream cipher (Speck64-CTR keyed from the engine's WAL key, fresh
+//! random per-record nonce stored in the clear so no two records ever
+//! share keystream, even across checkpoint rewrites or torn-tail
+//! rewrites). The log is the database's only durable representation, so
+//! leaving it plaintext would hand the paper's opponent everything the
+//! disguised tree withholds; sealing it keeps the §5 discipline that
+//! stored key material is never readable off the medium.
+//!
+//! Record `seq 1` is a *key-check sentinel*: a sealed constant written at
+//! creation. Opening with the wrong key decrypts the sentinel to garbage
+//! and fails closed with a configuration error — it never touches the
+//! data, so a mistyped key cannot destroy a log it cannot read.
+//!
+//! Replay accepts records while the tag, CRC and the strictly-increasing
+//! sequence number all hold, and treats the first violation as the torn
+//! tail of an interrupted write: everything before it is recovered,
+//! everything after is scrubbed back to zeros so a later replay cannot
+//! resurrect stale bytes.
+//!
+//! Durability follows a [`SyncPolicy`]: `Always` forces the device on
+//! every commit; `EveryN(n)` is group commit — the block writes happen per
+//! commit (so a process crash loses nothing) but only every `n`-th commit
+//! pays the physical fsync (so a power failure can lose at most the last
+//! `n − 1` commits). Those bounds assume the standard WAL storage model:
+//! rewriting the partially-filled tail block preserves its unchanged
+//! leading sectors (sector-level write atomicity), so a torn tail-block
+//! write can damage at most the records not yet fsynced. Any I/O error in
+//! the append path fail-stops the handle ([`EngineError::WalPoisoned`]):
+//! a half-written record must not be built upon, and reopening replays
+//! the log back to a consistent prefix.
+
+use std::path::Path;
+
+use sks_crypto::modes::ctr_xor;
+use sks_crypto::speck::Speck64;
+use sks_storage::{BlockId, BlockStore, FileDisk, OpCounters, SyncPolicy};
+
+use crate::error::EngineError;
+
+const TAG: u8 = 0xA5;
+/// `tag ‖ crc ‖ seq ‖ nonce ‖ blen`.
+const HEADER_LEN: usize = 1 + 4 + 8 + 8 + 4;
+/// `op ‖ key` inside the sealed body.
+const BODY_MIN: usize = 1 + 8;
+
+const OP_INSERT: u8 = 1;
+const OP_DELETE: u8 = 2;
+/// Internal sentinel proving the opener holds the right key (record 1).
+const OP_KEYCHECK: u8 = 3;
+const KEYCHECK_MAGIC: &[u8; 16] = b"SKSWAL-KEYCHECK1";
+
+/// A logged operation, as recovered by replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalOp {
+    Insert { key: u64, value: Vec<u8> },
+    Delete { key: u64 },
+}
+
+/// One recovered record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    pub seq: u64,
+    pub op: WalOp,
+}
+
+/// What replay found in an existing log.
+#[derive(Debug, Clone, Default)]
+pub struct WalReplay {
+    pub records: Vec<WalRecord>,
+    /// A record prefix failed its checksum (interrupted write): the valid
+    /// prefix was kept, the rest scrubbed.
+    pub torn_tail: bool,
+    /// Bytes discarded past the last valid record.
+    pub bytes_discarded: u64,
+}
+
+// IEEE CRC-32, table built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Seed for the per-record nonce sequence: time, pid and a stack address
+/// mixed together, so two log lifetimes (or two processes) draw from
+/// disjoint 64-bit regions with overwhelming probability.
+fn nonce_seed() -> u64 {
+    let t = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let addr = &t as *const _ as u64;
+    splitmix64(t ^ addr.rotate_left(32) ^ u64::from(std::process::id()))
+}
+
+/// Append/commit/replay handle over one log file.
+#[derive(Debug)]
+pub struct Wal {
+    disk: FileDisk,
+    block_size: usize,
+    /// In-memory image of the block currently being filled.
+    tail: Vec<u8>,
+    tail_used: usize,
+    /// Block the tail occupies; `None` until the first byte lands.
+    tail_id: Option<BlockId>,
+    /// Next block the stream will move into once the tail fills.
+    next_block: u32,
+    next_seq: u64,
+    nonce_state: u64,
+    policy: SyncPolicy,
+    pending_commits: u32,
+    tail_dirty: bool,
+    /// Set when an append-path I/O error leaves the stream in an unknown
+    /// state; every later operation refuses until the log is reopened.
+    poisoned: bool,
+    cipher: Speck64,
+    counters: OpCounters,
+}
+
+impl Wal {
+    /// Creates a fresh, empty log (truncating any existing file), sealed
+    /// under `wal_key`, and durably writes the key-check sentinel.
+    pub fn create<P: AsRef<Path>>(
+        path: P,
+        block_size: usize,
+        wal_key: u128,
+        policy: SyncPolicy,
+        counters: OpCounters,
+    ) -> Result<Self, EngineError> {
+        let disk = FileDisk::create_with_counters(path, block_size, counters.clone())?;
+        let mut wal = Wal {
+            disk,
+            block_size,
+            tail: vec![0u8; block_size],
+            tail_used: 0,
+            tail_id: None,
+            next_block: 0,
+            next_seq: 1,
+            nonce_state: nonce_seed(),
+            policy,
+            pending_commits: 0,
+            tail_dirty: false,
+            poisoned: false,
+            cipher: Speck64::from_u128(wal_key),
+            counters,
+        };
+        wal.append_keycheck()?;
+        Ok(wal)
+    }
+
+    /// Opens an existing log: verifies the key-check sentinel (failing
+    /// closed, without touching the data, when the key is wrong), replays
+    /// every intact record, scrubs any torn tail, and positions the
+    /// handle for further appends.
+    pub fn open<P: AsRef<Path>>(
+        path: P,
+        wal_key: u128,
+        policy: SyncPolicy,
+        counters: OpCounters,
+    ) -> Result<(Self, WalReplay), EngineError> {
+        let disk = FileDisk::open_with_counters(path, counters.clone())?;
+        let block_size = disk.block_size();
+        let num_blocks = disk.num_blocks();
+        let cipher = Speck64::from_u128(wal_key);
+
+        // Stream the device block by block: records are parsed (and their
+        // sealed bodies decrypted) incrementally, so peak memory is the
+        // recovered records plus one compaction window — not a second
+        // whole-log ciphertext copy. A physically truncated final region
+        // (torn file) reads as zeros.
+        let mut replay = WalReplay::default();
+        let mut keycheck_seen = false;
+        let mut expected_seq = 1u64;
+        let mut buf: Vec<u8> = Vec::new();
+        let mut start = 0usize; // parse cursor within `buf`
+        let mut base_abs = 0usize; // absolute stream offset of `buf[0]`
+        let mut real_end = 0usize; // absolute offset past the last non-zero byte
+        let mut parsing = true;
+        for b in 0..num_blocks {
+            let (block, _have) = disk.read_block_partial(BlockId(b))?;
+            if let Some(i) = block.iter().rposition(|&x| x != 0) {
+                real_end = b as usize * block_size + i + 1;
+            }
+            if !parsing {
+                continue; // only tracking real_end past the parse stop
+            }
+            buf.extend_from_slice(&block);
+            loop {
+                match parse_frame(&buf[start..], expected_seq) {
+                    Frame::Complete { nonce, len } => {
+                        let body = ctr_xor(&cipher, nonce, &buf[start + HEADER_LEN..start + len]);
+                        if expected_seq == 1 {
+                            // The sentinel: wrong decryption means wrong
+                            // key — refuse before anything destructive.
+                            if body[0] != OP_KEYCHECK || body[BODY_MIN..] != KEYCHECK_MAGIC[..] {
+                                return Err(EngineError::Config(
+                                    "wal key mismatch: the log was sealed under a different \
+                                     tree/data key configuration"
+                                        .into(),
+                                ));
+                            }
+                            keycheck_seen = true;
+                        } else {
+                            let key =
+                                u64::from_be_bytes(body[1..9].try_into().expect("fixed width"));
+                            let op = match body[0] {
+                                OP_INSERT => WalOp::Insert {
+                                    key,
+                                    value: body[BODY_MIN..].to_vec(),
+                                },
+                                OP_DELETE => WalOp::Delete { key },
+                                _ => {
+                                    parsing = false; // damaged body: torn
+                                    break;
+                                }
+                            };
+                            replay.records.push(WalRecord {
+                                seq: expected_seq,
+                                op,
+                            });
+                        }
+                        start += len;
+                        expected_seq += 1;
+                    }
+                    Frame::NeedMore => break, // feed the next block
+                    Frame::End => {
+                        parsing = false;
+                        break;
+                    }
+                }
+            }
+            // Compact the window so long logs don't accumulate.
+            if start > 4 * block_size {
+                buf.drain(..start);
+                base_abs += start;
+                start = 0;
+            }
+        }
+        let pos = base_abs + start;
+        replay.torn_tail = real_end > pos;
+        replay.bytes_discarded = real_end.saturating_sub(pos) as u64;
+        counters.bump_by(|c| &c.wal_replayed, replay.records.len() as u64);
+        drop(buf);
+
+        let mut wal = Wal {
+            disk,
+            block_size,
+            tail: vec![0u8; block_size],
+            tail_used: pos % block_size,
+            tail_id: None,
+            next_block: (pos / block_size) as u32 + u32::from(!pos.is_multiple_of(block_size)),
+            next_seq: expected_seq,
+            nonce_state: nonce_seed(),
+            policy,
+            pending_commits: 0,
+            tail_dirty: false,
+            poisoned: false,
+            cipher,
+            counters,
+        };
+        if wal.tail_used > 0 {
+            let tail_block = BlockId((pos / block_size) as u32);
+            let (block, _have) = wal.disk.read_block_partial(tail_block)?;
+            wal.tail[..wal.tail_used].copy_from_slice(&block[..wal.tail_used]);
+            wal.tail_id = Some(tail_block);
+        }
+        if replay.torn_tail || replay.bytes_discarded > 0 {
+            wal.scrub_after(pos)?;
+        }
+        if !keycheck_seen {
+            // Only reachable when the log start itself was destroyed (or
+            // the file is brand-new empty): restore the sentinel so the
+            // wrong-key guard holds for the next open.
+            debug_assert_eq!(pos, 0, "keycheck can only be missing at stream start");
+            wal.append_keycheck()?;
+        }
+        Ok((wal, replay))
+    }
+
+    /// Sequence number the next append will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Bytes the logical stream currently occupies.
+    pub fn len_bytes(&self) -> u64 {
+        match self.tail_id {
+            Some(id) => id.0 as u64 * self.block_size as u64 + self.tail_used as u64,
+            None => self.next_block as u64 * self.block_size as u64,
+        }
+    }
+
+    /// Whether an earlier append-path failure fail-stopped this handle.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Re-points counter accounting at a different shared set (used by
+    /// checkpointing, which writes its snapshot against detached counters
+    /// so internal rewrites don't masquerade as client traffic, then
+    /// adopts the engine's counters for subsequent appends).
+    pub(crate) fn adopt_counters(&mut self, counters: OpCounters) {
+        self.disk.set_counters(counters.clone());
+        self.counters = counters;
+    }
+
+    pub fn append_insert(&mut self, key: u64, value: &[u8]) -> Result<u64, EngineError> {
+        self.append(OP_INSERT, key, value, true)
+    }
+
+    pub fn append_delete(&mut self, key: u64) -> Result<u64, EngineError> {
+        self.append(OP_DELETE, key, &[], true)
+    }
+
+    /// Writes and fsyncs the key-check sentinel (not client traffic: no
+    /// append counters).
+    fn append_keycheck(&mut self) -> Result<(), EngineError> {
+        debug_assert_eq!(self.next_seq, 1);
+        self.append(OP_KEYCHECK, 0, KEYCHECK_MAGIC, false)?;
+        self.flush()
+    }
+
+    fn append(&mut self, op: u8, key: u64, value: &[u8], count: bool) -> Result<u64, EngineError> {
+        self.check_poison()?;
+        let seq = self.next_seq;
+        self.nonce_state = self.nonce_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let nonce = splitmix64(self.nonce_state);
+
+        let mut body = Vec::with_capacity(BODY_MIN + value.len());
+        body.push(op);
+        body.extend_from_slice(&key.to_be_bytes());
+        body.extend_from_slice(value);
+        let sealed = ctr_xor(&self.cipher, nonce, &body);
+
+        let mut rec = Vec::with_capacity(HEADER_LEN + sealed.len());
+        rec.push(TAG);
+        rec.extend_from_slice(&[0u8; 4]); // crc placeholder
+        rec.extend_from_slice(&seq.to_be_bytes());
+        rec.extend_from_slice(&nonce.to_be_bytes());
+        rec.extend_from_slice(&(sealed.len() as u32).to_be_bytes());
+        rec.extend_from_slice(&sealed);
+        let crc = crc32(&rec[5..]);
+        rec[1..5].copy_from_slice(&crc.to_be_bytes());
+
+        if let Err(e) = self.append_bytes(&rec) {
+            // A half-written record may sit in the stream; nothing after
+            // it could be replayed, so refuse all further use.
+            self.poisoned = true;
+            return Err(e);
+        }
+        self.next_seq += 1;
+        if count {
+            self.counters.bump(|c| &c.wal_appends);
+            self.counters.bump_by(|c| &c.wal_bytes, rec.len() as u64);
+        }
+        Ok(seq)
+    }
+
+    fn append_bytes(&mut self, bytes: &[u8]) -> Result<(), EngineError> {
+        let mut off = 0;
+        while off < bytes.len() {
+            if self.tail_id.is_none() {
+                let id = BlockId(self.next_block);
+                self.ensure_allocated(id)?;
+                self.tail_id = Some(id);
+                self.next_block += 1;
+                self.tail.fill(0);
+                self.tail_used = 0;
+            }
+            let n = (self.block_size - self.tail_used).min(bytes.len() - off);
+            self.tail[self.tail_used..self.tail_used + n].copy_from_slice(&bytes[off..off + n]);
+            self.tail_used += n;
+            off += n;
+            self.tail_dirty = true;
+            if self.tail_used == self.block_size {
+                self.write_tail()?;
+                self.tail_id = None;
+            }
+        }
+        Ok(())
+    }
+
+    /// Makes everything appended so far visible to the device, then
+    /// applies the [`SyncPolicy`]: returns `true` when this commit paid a
+    /// physical fsync.
+    pub fn commit(&mut self) -> Result<bool, EngineError> {
+        self.check_poison()?;
+        if self.tail_dirty {
+            if let Err(e) = self.write_tail() {
+                self.poisoned = true;
+                return Err(e);
+            }
+        }
+        self.pending_commits += 1;
+        if self.policy.should_sync(self.pending_commits) {
+            self.force_sync()?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Unconditional write-out + fsync (checkpoint/shutdown path).
+    pub fn flush(&mut self) -> Result<(), EngineError> {
+        self.check_poison()?;
+        if self.tail_dirty {
+            if let Err(e) = self.write_tail() {
+                self.poisoned = true;
+                return Err(e);
+            }
+        }
+        self.force_sync()
+    }
+
+    fn check_poison(&self) -> Result<(), EngineError> {
+        if self.poisoned {
+            return Err(EngineError::WalPoisoned);
+        }
+        Ok(())
+    }
+
+    fn force_sync(&mut self) -> Result<(), EngineError> {
+        self.counters.bump(|c| &c.wal_fsyncs);
+        if let Err(e) = self.disk.sync() {
+            // An fsync failure may have silently dropped dirty pages
+            // (Linux clears the error flag), so the durability of every
+            // unsynced commit is now unknowable from this handle: fail
+            // stop rather than ack future commits over a silent hole.
+            self.poisoned = true;
+            return Err(e.into());
+        }
+        self.pending_commits = 0;
+        Ok(())
+    }
+
+    fn write_tail(&mut self) -> Result<(), EngineError> {
+        let id = self.tail_id.expect("dirty tail always has a block");
+        self.disk.write_block(id, &self.tail)?;
+        self.tail_dirty = false;
+        Ok(())
+    }
+
+    fn ensure_allocated(&mut self, id: BlockId) -> Result<(), EngineError> {
+        while self.disk.num_blocks() <= id.0 {
+            let got = self.disk.allocate()?;
+            debug_assert!(got.0 < self.disk.num_blocks());
+        }
+        Ok(())
+    }
+
+    /// Zeroes every byte of the stream from `pos` onward (torn-tail
+    /// scrub), so stale bytes can never be re-parsed as records.
+    fn scrub_after(&mut self, pos: usize) -> Result<(), EngineError> {
+        let first_block = (pos / self.block_size) as u32;
+        let zero = vec![0u8; self.block_size];
+        for b in first_block..self.disk.num_blocks() {
+            if b == first_block && !pos.is_multiple_of(self.block_size) {
+                // Preserve the valid prefix inside the boundary block.
+                let mut buf = zero.clone();
+                buf[..self.tail_used].copy_from_slice(&self.tail[..self.tail_used]);
+                self.disk.write_block(BlockId(b), &buf)?;
+            } else {
+                self.disk.write_block(BlockId(b), &zero)?;
+            }
+        }
+        self.disk.sync()?;
+        Ok(())
+    }
+
+    #[cfg(test)]
+    fn poison_for_test(&mut self) {
+        self.poisoned = true;
+    }
+}
+
+enum Frame {
+    /// A CRC-valid frame with the expected sequence number; `len` is the
+    /// full record length including the header.
+    Complete { nonce: u64, len: usize },
+    /// The buffer ends inside this frame; feed more bytes.
+    NeedMore,
+    /// Clean end of stream, or a frame-level violation (bad tag, bad CRC,
+    /// sequence gap) — the caller distinguishes via trailing content.
+    End,
+}
+
+fn parse_frame(buf: &[u8], expected_seq: u64) -> Frame {
+    if buf.is_empty() {
+        return Frame::NeedMore;
+    }
+    if buf[0] == 0 {
+        return Frame::End;
+    }
+    if buf[0] != TAG {
+        return Frame::End;
+    }
+    if buf.len() < HEADER_LEN {
+        return Frame::NeedMore;
+    }
+    let crc_stored = u32::from_be_bytes(buf[1..5].try_into().expect("fixed width"));
+    let seq = u64::from_be_bytes(buf[5..13].try_into().expect("fixed width"));
+    let nonce = u64::from_be_bytes(buf[13..21].try_into().expect("fixed width"));
+    let blen = u32::from_be_bytes(buf[21..25].try_into().expect("fixed width")) as usize;
+    if blen < BODY_MIN || seq != expected_seq {
+        return Frame::End;
+    }
+    let total = HEADER_LEN + blen;
+    if buf.len() < total {
+        return Frame::NeedMore;
+    }
+    if crc32(&buf[5..total]) != crc_stored {
+        return Frame::End;
+    }
+    Frame::Complete { nonce, len: total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: u128 = 0x00AA_BB11_22CC_DD33_44EE_FF55_6677_8899;
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sks_wal_{}_{}", std::process::id(), name));
+        p
+    }
+
+    fn reopen(path: &std::path::Path) -> (Wal, WalReplay) {
+        Wal::open(path, KEY, SyncPolicy::Always, OpCounters::new()).unwrap()
+    }
+
+    #[test]
+    fn append_commit_replay_roundtrip() {
+        let path = tmpfile("roundtrip");
+        {
+            let mut wal =
+                Wal::create(&path, 128, KEY, SyncPolicy::Always, OpCounters::new()).unwrap();
+            for k in 0..40u64 {
+                wal.append_insert(k, format!("value-{k}").as_bytes())
+                    .unwrap();
+                wal.commit().unwrap();
+            }
+            wal.append_delete(7).unwrap();
+            wal.commit().unwrap();
+        }
+        let (_wal, replay) = reopen(&path);
+        assert!(!replay.torn_tail);
+        assert_eq!(replay.records.len(), 41);
+        assert_eq!(replay.records[0].seq, 2, "seq 1 is the key-check sentinel");
+        assert_eq!(
+            replay.records[40].op,
+            WalOp::Delete { key: 7 },
+            "last record is the delete"
+        );
+        assert_eq!(
+            replay.records[12].op,
+            WalOp::Insert {
+                key: 12,
+                value: b"value-12".to_vec()
+            }
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn records_straddle_blocks() {
+        let path = tmpfile("straddle");
+        {
+            let mut wal =
+                Wal::create(&path, 64, KEY, SyncPolicy::Always, OpCounters::new()).unwrap();
+            // 100-byte values force every record across block boundaries.
+            for k in 0..10u64 {
+                wal.append_insert(k, &[k as u8; 100]).unwrap();
+                wal.commit().unwrap();
+            }
+        }
+        let (_wal, replay) = reopen(&path);
+        assert!(!replay.torn_tail);
+        assert_eq!(replay.records.len(), 10);
+        for (k, rec) in replay.records.iter().enumerate() {
+            assert_eq!(
+                rec.op,
+                WalOp::Insert {
+                    key: k as u64,
+                    value: vec![k as u8; 100]
+                }
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn appends_continue_after_reopen() {
+        let path = tmpfile("continue");
+        {
+            let mut wal =
+                Wal::create(&path, 128, KEY, SyncPolicy::Always, OpCounters::new()).unwrap();
+            wal.append_insert(1, b"one").unwrap();
+            wal.commit().unwrap();
+        }
+        {
+            let (mut wal, replay) = reopen(&path);
+            assert_eq!(replay.records.len(), 1);
+            assert_eq!(wal.next_seq(), 3, "sentinel + one record consumed 1..=2");
+            wal.append_insert(2, b"two").unwrap();
+            wal.commit().unwrap();
+        }
+        let (_wal, replay) = reopen(&path);
+        assert_eq!(replay.records.len(), 2);
+        assert_eq!(replay.records[1].seq, 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn log_bytes_never_leak_keys_or_values() {
+        let path = tmpfile("sealed");
+        // Distinctive key values whose big-endian bytes cannot collide
+        // with the plaintext seq field or block padding.
+        let secret_key = |k: u64| 0xDEAD_BEEF_0000_0000u64 | (k * 3 + 1);
+        {
+            let mut wal =
+                Wal::create(&path, 256, KEY, SyncPolicy::Always, OpCounters::new()).unwrap();
+            for k in 0..32u64 {
+                wal.append_insert(secret_key(k), b"EXTREMELY-SECRET-PAYLOAD")
+                    .unwrap();
+                wal.commit().unwrap();
+            }
+        }
+        let raw = std::fs::read(&path).unwrap();
+        assert!(
+            !raw.windows(16).any(|w| w == &b"EXTREMELY-SECRET"[..]),
+            "record values must be sealed on the medium"
+        );
+        for k in 0..32u64 {
+            let needle = secret_key(k).to_be_bytes();
+            let hits = raw.windows(8).filter(|w| *w == needle).count();
+            assert_eq!(hits, 0, "plaintext key {k} visible in the log");
+        }
+        // But replay under the right key recovers everything.
+        let (_wal, replay) = reopen(&path);
+        assert_eq!(replay.records.len(), 32);
+        assert_eq!(
+            replay.records[5].op,
+            WalOp::Insert {
+                key: secret_key(5),
+                value: b"EXTREMELY-SECRET-PAYLOAD".to_vec()
+            }
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn same_payload_twice_yields_distinct_cryptograms() {
+        // Per-record nonces: identical plaintext must never produce
+        // identical sealed bytes (checkpoint rewrites depend on this).
+        let path = tmpfile("nonce_fresh");
+        {
+            let mut wal =
+                Wal::create(&path, 256, KEY, SyncPolicy::Always, OpCounters::new()).unwrap();
+            wal.append_insert(42, b"SAME-PAYLOAD-SAME-KEY").unwrap();
+            wal.append_insert(42, b"SAME-PAYLOAD-SAME-KEY").unwrap();
+            wal.commit().unwrap();
+        }
+        let raw = std::fs::read(&path).unwrap();
+        // Find the two sealed bodies: scan for any repeated 21-byte
+        // window (body length) outside the zero padding.
+        let body_len = BODY_MIN + b"SAME-PAYLOAD-SAME-KEY".len();
+        let mut seen = std::collections::HashSet::new();
+        let mut repeats = 0;
+        for w in raw.windows(body_len) {
+            if w.iter().any(|&b| b != 0) && !seen.insert(w.to_vec()) {
+                repeats += 1;
+            }
+        }
+        assert_eq!(
+            repeats, 0,
+            "identical plaintexts produced repeated sealed bytes"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_key_fails_closed_without_destroying_the_log() {
+        let path = tmpfile("wrong_key");
+        {
+            let mut wal =
+                Wal::create(&path, 128, KEY, SyncPolicy::Always, OpCounters::new()).unwrap();
+            for k in 0..8u64 {
+                wal.append_insert(k, b"v").unwrap();
+                wal.commit().unwrap();
+            }
+        }
+        let err = Wal::open(&path, KEY ^ 1, SyncPolicy::Always, OpCounters::new())
+            .map(|_| ())
+            .expect_err("wrong key must be rejected");
+        assert!(format!("{err}").contains("key mismatch"), "got: {err}");
+        // The failed open must not have damaged anything: the right key
+        // still recovers every record.
+        let (_wal, replay) = reopen(&path);
+        assert!(!replay.torn_tail);
+        assert_eq!(replay.records.len(), 8);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_truncated_file_recovers_prefix() {
+        let path = tmpfile("torn_truncate");
+        {
+            let mut wal =
+                Wal::create(&path, 128, KEY, SyncPolicy::Always, OpCounters::new()).unwrap();
+            for k in 0..20u64 {
+                wal.append_insert(k, &[0xCD; 50]).unwrap();
+                wal.commit().unwrap();
+            }
+        }
+        // Chop the file mid-way through the stream: a hard truncation of
+        // the physical medium, cutting the last records in half.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 300).unwrap();
+        drop(f);
+
+        let (_wal, replay) = reopen(&path);
+        assert!(replay.torn_tail, "truncation must be detected");
+        assert!(
+            !replay.records.is_empty() && replay.records.len() < 20,
+            "a strict prefix survives, got {}",
+            replay.records.len()
+        );
+        for (k, rec) in replay.records.iter().enumerate() {
+            assert_eq!(
+                rec.op,
+                WalOp::Insert {
+                    key: k as u64,
+                    value: vec![0xCD; 50]
+                }
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_corrupt_bytes_recover_prefix_and_scrub() {
+        let path = tmpfile("torn_corrupt");
+        let logical_len;
+        {
+            let mut wal =
+                Wal::create(&path, 128, KEY, SyncPolicy::Always, OpCounters::new()).unwrap();
+            for k in 0..8u64 {
+                wal.append_insert(k, &[7; 20]).unwrap();
+                wal.commit().unwrap();
+            }
+            logical_len = wal.len_bytes();
+        }
+        // Flip bytes inside the last record's sealed body: the stream
+        // starts after the FileDisk's fixed 8 KiB header, so this lands
+        // 10 bytes before the logical end — mid-payload.
+        {
+            use std::io::{Seek, SeekFrom, Write};
+            let mut f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+            f.seek(SeekFrom::Start(8192 + logical_len - 10)).unwrap();
+            f.write_all(&[0xFF; 5]).unwrap();
+        }
+        let (mut wal, replay) = reopen(&path);
+        assert!(replay.torn_tail);
+        assert_eq!(replay.records.len(), 7, "first seven records intact");
+
+        // The scrub + reopen leaves a log that keeps working.
+        wal.append_insert(99, b"after-recovery").unwrap();
+        wal.commit().unwrap();
+        drop(wal);
+        let (_wal, replay) = reopen(&path);
+        assert!(!replay.torn_tail, "scrubbed log is clean again");
+        assert_eq!(replay.records.len(), 8);
+        assert_eq!(
+            replay.records[7].op,
+            WalOp::Insert {
+                key: 99,
+                value: b"after-recovery".to_vec()
+            }
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn group_commit_amortises_fsyncs() {
+        let path = tmpfile("group_commit");
+        let counters = OpCounters::new();
+        {
+            let mut wal =
+                Wal::create(&path, 256, KEY, SyncPolicy::EveryN(8), counters.clone()).unwrap();
+            for k in 0..64u64 {
+                wal.append_insert(k, b"v").unwrap();
+                wal.commit().unwrap();
+            }
+        }
+        let s = counters.snapshot();
+        assert_eq!(
+            s.wal_appends, 64,
+            "the key-check sentinel is not client traffic"
+        );
+        assert_eq!(
+            s.wal_fsyncs,
+            8 + 1,
+            "64 commits at EveryN(8) = 8 fsyncs, +1 for the durable sentinel"
+        );
+        // Nothing is lost despite the amortisation (process exit, not
+        // power failure).
+        let (_wal, replay) = reopen(&path);
+        assert_eq!(replay.records.len(), 64);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn poisoned_wal_fail_stops() {
+        let path = tmpfile("poison");
+        let mut wal = Wal::create(&path, 128, KEY, SyncPolicy::Always, OpCounters::new()).unwrap();
+        wal.append_insert(1, b"ok").unwrap();
+        wal.commit().unwrap();
+        wal.poison_for_test();
+        assert!(wal.is_poisoned());
+        assert!(matches!(
+            wal.append_insert(2, b"no"),
+            Err(EngineError::WalPoisoned)
+        ));
+        assert!(matches!(wal.commit(), Err(EngineError::WalPoisoned)));
+        assert!(matches!(wal.flush(), Err(EngineError::WalPoisoned)));
+        // Reopen recovers the committed prefix and a fresh, usable handle.
+        drop(wal);
+        let (mut wal, replay) = reopen(&path);
+        assert_eq!(replay.records.len(), 1);
+        wal.append_insert(2, b"yes").unwrap();
+        wal.commit().unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // IEEE CRC-32 of "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+}

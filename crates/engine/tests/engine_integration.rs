@@ -1,0 +1,341 @@
+//! End-to-end engine tests: durability without checkpoints, torn-tail
+//! recovery, checkpoint compaction, and concurrent sessions over a
+//! partitioned tree.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+use sks_core::{Scheme, SchemeConfig};
+use sks_engine::{EngineConfig, SksDb};
+use sks_storage::SyncPolicy;
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sks_engine_it_{}_{}", std::process::id(), name));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn config(partitions: usize, capacity: u64) -> EngineConfig {
+    EngineConfig::new(SchemeConfig::with_capacity(Scheme::Oval, capacity).partitions(partitions))
+}
+
+fn record_for(k: u64) -> Vec<u8> {
+    format!("record-{k:06}").into_bytes()
+}
+
+#[test]
+fn recovery_reopens_everything_without_checkpoint() {
+    let dir = tmpdir("recovery");
+    const N: u64 = 500;
+    {
+        let db = SksDb::open(&dir, config(4, N + 64)).unwrap();
+        let session = db.session();
+        for k in 0..N {
+            session.insert(k, record_for(k)).unwrap();
+        }
+        assert_eq!(db.len(), N);
+        // Dropped without checkpoint or explicit flush: durability must
+        // come from the per-commit WAL writes alone.
+    }
+    {
+        let db = SksDb::open(&dir, config(4, N + 64)).unwrap();
+        let report = db.recovery_report();
+        assert!(!report.torn_tail);
+        assert_eq!(report.records_replayed, N);
+        assert_eq!(report.records_skipped, 0);
+        assert_eq!(db.len(), N);
+        db.validate().unwrap();
+        let session = db.session();
+        for k in 0..N {
+            assert_eq!(session.get(k).unwrap().unwrap(), record_for(k), "key {k}");
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recovery_replays_deletes_and_overwrites() {
+    let dir = tmpdir("replay_mutations");
+    {
+        let db = SksDb::open(&dir, config(2, 256)).unwrap();
+        let s = db.session();
+        for k in 0..100u64 {
+            s.insert(k, record_for(k)).unwrap();
+        }
+        for k in (0..100u64).step_by(2) {
+            s.delete(k).unwrap();
+        }
+        for k in (1..100u64).step_by(4) {
+            s.insert(k, b"overwritten".to_vec()).unwrap();
+        }
+    }
+    let db = SksDb::open(&dir, config(2, 256)).unwrap();
+    let s = db.session();
+    assert_eq!(db.len(), 50);
+    for k in 0..100u64 {
+        let got = s.get(k).unwrap();
+        if k % 2 == 0 {
+            assert_eq!(got, None, "deleted key {k}");
+        } else if (k - 1) % 4 == 0 {
+            assert_eq!(got.unwrap(), b"overwritten", "overwritten key {k}");
+        } else {
+            assert_eq!(got.unwrap(), record_for(k), "untouched key {k}");
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_wal_tail_recovers_prefix() {
+    let dir = tmpdir("torn");
+    const N: u64 = 300;
+    let logical_len;
+    {
+        let db = SksDb::open(&dir, config(2, N + 64)).unwrap();
+        let s = db.session();
+        for k in 0..N {
+            s.insert(k, record_for(k)).unwrap();
+        }
+        logical_len = db.wal_len_bytes();
+    }
+    // Truncate the WAL mid-record: a crash halfway through a write. The
+    // stream starts after the FileDisk's fixed 8 KiB header, and cutting
+    // 20 bytes before its logical end lands inside the last record (each
+    // record here is 46 bytes).
+    let wal_path = dir.join("wal.sks");
+    let f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&wal_path)
+        .unwrap();
+    f.set_len(8192 + logical_len - 20).unwrap();
+    drop(f);
+
+    let db = SksDb::open(&dir, config(2, N + 64)).unwrap();
+    let report = db.recovery_report();
+    assert!(report.torn_tail, "truncation must be reported");
+    let survived = report.records_replayed;
+    assert!(
+        survived < N && survived > 0,
+        "a strict, non-empty prefix survives (got {survived})"
+    );
+    assert_eq!(db.len(), survived);
+    db.validate().unwrap();
+    // The surviving records are exactly the first `survived` inserts.
+    let s = db.session();
+    for k in 0..survived {
+        assert_eq!(s.get(k).unwrap().unwrap(), record_for(k), "key {k}");
+    }
+    for k in survived..N {
+        assert_eq!(s.get(k).unwrap(), None, "torn-off key {k}");
+    }
+
+    // And the recovered engine keeps accepting writes durably.
+    for k in survived..N {
+        s.insert(k, record_for(k)).unwrap();
+    }
+    drop(s);
+    drop(db);
+    let db = SksDb::open(&dir, config(2, N + 64)).unwrap();
+    assert!(!db.recovery_report().torn_tail, "scrub left a clean log");
+    assert_eq!(db.len(), N);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_compacts_wal_and_survives_reopen() {
+    let dir = tmpdir("checkpoint");
+    {
+        let db = SksDb::open(&dir, config(4, 512)).unwrap();
+        let s = db.session();
+        // Heavy churn: every key rewritten 8 times then half deleted.
+        for round in 0..8u64 {
+            for k in 0..200u64 {
+                s.insert(k, format!("round-{round}-{k}").into_bytes())
+                    .unwrap();
+            }
+        }
+        for k in (0..200u64).step_by(2) {
+            s.delete(k).unwrap();
+        }
+        let before = db.wal_len_bytes();
+        let live = db.checkpoint().unwrap();
+        assert_eq!(live, 100);
+        let after = db.wal_len_bytes();
+        assert!(
+            after < before / 4,
+            "checkpoint must compact ({before} -> {after} bytes)"
+        );
+        // Post-checkpoint writes land in the fresh log.
+        s.insert(499, b"post-checkpoint".to_vec()).unwrap();
+    }
+    let db = SksDb::open(&dir, config(4, 512)).unwrap();
+    assert_eq!(db.len(), 101);
+    let s = db.session();
+    assert_eq!(s.get(499).unwrap().unwrap(), b"post-checkpoint");
+    for k in (1..200u64).step_by(2) {
+        assert_eq!(
+            s.get(k).unwrap().unwrap(),
+            format!("round-7-{k}").into_bytes()
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn concurrent_sessions_readers_and_writers() {
+    let dir = tmpdir("concurrent");
+    const WRITERS: usize = 4;
+    const READERS: usize = 4;
+    const PER_WRITER: u64 = 150;
+    let db = SksDb::open(&dir, config(8, WRITERS as u64 * PER_WRITER + 64)).unwrap();
+
+    // Pre-load half the key space so readers have something to find.
+    let preload = db.session();
+    for k in 0..(WRITERS as u64 * PER_WRITER) / 2 {
+        preload.insert(k, record_for(k)).unwrap();
+    }
+
+    let barrier = Arc::new(Barrier::new(WRITERS + READERS));
+    let read_hits = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for w in 0..WRITERS {
+        let session = db.session();
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let lo = w as u64 * PER_WRITER;
+            barrier.wait();
+            for k in lo..lo + PER_WRITER {
+                session.insert(k, record_for(k)).unwrap();
+            }
+        }));
+    }
+    for r in 0..READERS {
+        let session = db.session();
+        let barrier = Arc::clone(&barrier);
+        let read_hits = Arc::clone(&read_hits);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            let mut hits = 0;
+            for pass in 0..3u64 {
+                for k in 0..WRITERS as u64 * PER_WRITER {
+                    if let Some(v) = session
+                        .get((k + r as u64 + pass) % (WRITERS as u64 * PER_WRITER))
+                        .unwrap()
+                    {
+                        assert!(v.starts_with(b"record-"));
+                        hits += 1;
+                    }
+                }
+            }
+            read_hits.fetch_add(hits, Ordering::Relaxed);
+        }));
+    }
+    for h in handles {
+        h.join().expect("no thread panics");
+    }
+
+    assert_eq!(db.len(), WRITERS as u64 * PER_WRITER);
+    db.validate().unwrap();
+    assert!(
+        read_hits.load(Ordering::Relaxed) > 0,
+        "readers observed live data during the write storm"
+    );
+
+    // Everything the concurrent writers logged must be recoverable.
+    drop(preload);
+    drop(db);
+    let db = SksDb::open(&dir, config(8, WRITERS as u64 * PER_WRITER + 64)).unwrap();
+    assert_eq!(db.len(), WRITERS as u64 * PER_WRITER);
+    let s = db.session();
+    for k in 0..WRITERS as u64 * PER_WRITER {
+        assert_eq!(s.get(k).unwrap().unwrap(), record_for(k), "key {k}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn range_merges_across_partitions_in_key_order() {
+    let dir = tmpdir("range");
+    let db = SksDb::open(&dir, config(8, 1024)).unwrap();
+    let s = db.session();
+    let mut model = BTreeMap::new();
+    // Scattered inserts so every partition holds some of the range.
+    for k in (0..1000u64).step_by(3) {
+        s.insert(k, record_for(k)).unwrap();
+        model.insert(k, record_for(k));
+    }
+    let got = s.range(100, 700).unwrap();
+    let want: Vec<(u64, Vec<u8>)> = model
+        .range(100..=700)
+        .map(|(&k, v)| (k, v.clone()))
+        .collect();
+    assert_eq!(got, want, "merged range must be in key order and complete");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn group_commit_amortises_fsyncs_across_sessions() {
+    let dir = tmpdir("group");
+    let cfg = config(4, 2048).sync(SyncPolicy::EveryN(16));
+    let db = SksDb::open(&dir, cfg).unwrap();
+    let s = db.session();
+    for k in 0..320u64 {
+        s.insert(k, record_for(k)).unwrap();
+    }
+    let snap = db.snapshot();
+    assert_eq!(snap.wal_appends, 320);
+    assert_eq!(
+        snap.wal_fsyncs,
+        320 / 16 + 1,
+        "EveryN(16) group commit, +1 durable key-check sentinel"
+    );
+    // fsync-per-commit for comparison.
+    let dir2 = tmpdir("group_always");
+    let db2 = SksDb::open(&dir2, config(4, 2048).sync(SyncPolicy::Always)).unwrap();
+    let s2 = db2.session();
+    for k in 0..320u64 {
+        s2.insert(k, record_for(k)).unwrap();
+    }
+    assert_eq!(db2.snapshot().wal_fsyncs, 320 + 1);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&dir2).ok();
+}
+
+#[test]
+fn out_of_domain_key_rejected_before_logging() {
+    let dir = tmpdir("domain");
+    let db = SksDb::open(&dir, config(4, 128)).unwrap();
+    let s = db.session();
+    let err = s.insert(u64::MAX, b"way out".to_vec()).unwrap_err();
+    assert!(format!("{err}").contains("domain"), "got: {err}");
+    assert_eq!(
+        db.snapshot().wal_appends,
+        0,
+        "doomed op must not reach the WAL"
+    );
+    assert_eq!(db.len(), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn router_spreads_keys_across_partitions() {
+    let dir = tmpdir("spread");
+    let db = SksDb::open(&dir, config(8, 4096)).unwrap();
+    let s = db.session();
+    for k in 0..2000u64 {
+        s.insert(k, vec![1]).unwrap();
+    }
+    // With 2000 keys over 8 hash partitions, a partition holding fewer
+    // than 100 or more than 450 keys would mean the router is broken.
+    let lens = db.partition_lens();
+    assert_eq!(lens.len(), 8);
+    assert_eq!(lens.iter().sum::<u64>(), 2000);
+    for (i, &n) in lens.iter().enumerate() {
+        assert!(
+            (100..=450).contains(&n),
+            "partition {i} holds {n} of 2000 keys"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -92,6 +92,15 @@ counters! {
     merges,
     /// Sibling borrows during deletion.
     borrows,
+    /// Write-ahead-log records appended.
+    wal_appends,
+    /// Write-ahead-log payload bytes appended.
+    wal_bytes,
+    /// Physical fsyncs issued for WAL commits (group commit batches many
+    /// appends into one of these).
+    wal_fsyncs,
+    /// Write-ahead-log records replayed during crash recovery.
+    wal_replayed,
 }
 
 /// Cheaply cloneable handle to a shared counter set.

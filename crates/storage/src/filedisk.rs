@@ -29,6 +29,16 @@ pub struct FileDisk {
 impl FileDisk {
     /// Creates a new store file (truncating any existing content).
     pub fn create<P: AsRef<Path>>(path: P, block_size: usize) -> Result<Self, StorageError> {
+        Self::create_with_counters(path, block_size, OpCounters::new())
+    }
+
+    /// [`FileDisk::create`] sharing an existing counter set (so a WAL or an
+    /// engine aggregates its devices into one account).
+    pub fn create_with_counters<P: AsRef<Path>>(
+        path: P,
+        block_size: usize,
+        counters: OpCounters,
+    ) -> Result<Self, StorageError> {
         assert!(block_size >= 32, "blocks below 32 bytes are not useful");
         let file = OpenOptions::new()
             .read(true)
@@ -41,10 +51,25 @@ impl FileDisk {
             block_size,
             num_blocks: 0,
             free_head: NO_FREE,
-            counters: OpCounters::new(),
+            counters,
         };
         disk.write_header()?;
         Ok(disk)
+    }
+
+    /// [`FileDisk::open`] sharing an existing counter set.
+    pub fn open_with_counters<P: AsRef<Path>>(
+        path: P,
+        counters: OpCounters,
+    ) -> Result<Self, StorageError> {
+        let mut disk = Self::open(path)?;
+        disk.counters = counters;
+        Ok(disk)
+    }
+
+    /// Re-points this device at a different shared counter set.
+    pub fn set_counters(&mut self, counters: OpCounters) {
+        self.counters = counters;
     }
 
     /// Opens an existing store file.
@@ -135,6 +160,58 @@ impl FileDisk {
         (0..self.num_blocks)
             .map(|i| self.read_raw(BlockId(i)))
             .collect()
+    }
+
+    /// Best-effort block read for crash recovery: returns however many of
+    /// the block's bytes actually exist on the medium (zero-padding the
+    /// rest), instead of failing on a torn tail block whose file range was
+    /// cut short. A WAL replays through this so a truncated final block
+    /// still yields its leading records.
+    pub fn read_block_partial(&self, id: BlockId) -> Result<(Vec<u8>, usize), StorageError> {
+        self.check(id)?;
+        self.counters.bump(|c| &c.block_reads);
+        let mut buf = vec![0u8; self.block_size];
+        let offset = self.offset(id);
+        let mut have = 0usize;
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            while have < buf.len() {
+                match self.file.read_at(&mut buf[have..], offset + have as u64) {
+                    Ok(0) => break,
+                    Ok(n) => have += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        }
+        #[cfg(not(unix))]
+        {
+            let mut f = &self.file;
+            f.seek(SeekFrom::Start(offset))?;
+            loop {
+                match std::io::Read::read(&mut f, &mut buf[have..]) {
+                    Ok(0) => break,
+                    Ok(n) => {
+                        have += n;
+                        if have == buf.len() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        }
+        Ok((buf, have))
+    }
+
+    /// Forces all written blocks to stable storage. (Callers that track
+    /// fsync counts — e.g. a WAL's group-commit accounting — count at
+    /// their own layer.)
+    pub fn sync(&mut self) -> Result<(), StorageError> {
+        self.file.sync_all()?;
+        Ok(())
     }
 }
 

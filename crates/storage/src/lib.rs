@@ -14,6 +14,8 @@
 //! * [`counters`] — shared atomic [`OpCounters`]: block I/O, cache traffic,
 //!   and every class of cryptographic operation the paper's claims count.
 //! * [`pagerw`] — bounds-checked big-endian page cursors for node codecs.
+//! * [`sync`] — the commit-time durability policy ([`SyncPolicy`]) the
+//!   engine's write-ahead log honours (fsync-per-commit vs group commit).
 
 pub mod block;
 pub mod bufferpool;
@@ -22,6 +24,7 @@ pub mod counters;
 pub mod filedisk;
 pub mod memdisk;
 pub mod pagerw;
+pub mod sync;
 
 pub use block::{BlockId, BlockStore, StorageError};
 pub use bufferpool::BufferPool;
@@ -30,3 +33,4 @@ pub use counters::{OpCounters, OpCountersInner, OpSnapshot};
 pub use filedisk::FileDisk;
 pub use memdisk::MemDisk;
 pub use pagerw::{PageOverflow, PageReader, PageWriter};
+pub use sync::SyncPolicy;

@@ -214,7 +214,9 @@ mod tests {
     #[test]
     fn big_endian_on_disk() {
         let mut page = vec![0u8; 8];
-        PageWriter::new(&mut page).put_u64(0x0102030405060708).unwrap();
+        PageWriter::new(&mut page)
+            .put_u64(0x0102030405060708)
+            .unwrap();
         assert_eq!(page, [1, 2, 3, 4, 5, 6, 7, 8]);
     }
 

@@ -1,0 +1,68 @@
+//! Durability policy for commit-time fsyncs.
+//!
+//! The write-ahead log (and any other store that distinguishes *written*
+//! from *durable*) takes one of these at construction. `Always` is the
+//! classic force-log-at-commit rule; `EveryN` is group commit — several
+//! transactions share one physical fsync, trading a bounded window of
+//! recent commits for an order-of-magnitude cut in fsync traffic; `Never`
+//! leaves durability to the OS page cache (crash-consistent but not
+//! power-fail-durable).
+
+/// When commit forces data to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// fsync on every commit.
+    Always,
+    /// Group commit: fsync once per `n` commits (and on explicit flush).
+    EveryN(u32),
+    /// Never fsync from the commit path; the OS decides.
+    Never,
+}
+
+impl SyncPolicy {
+    /// Given how many commits have accumulated since the last fsync,
+    /// should this commit force one?
+    pub fn should_sync(&self, pending_commits: u32) -> bool {
+        match *self {
+            SyncPolicy::Always => true,
+            SyncPolicy::EveryN(n) => pending_commits >= n.max(1),
+            SyncPolicy::Never => false,
+        }
+    }
+}
+
+impl Default for SyncPolicy {
+    fn default() -> Self {
+        SyncPolicy::EveryN(32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_syncs_each_commit() {
+        assert!(SyncPolicy::Always.should_sync(1));
+        assert!(SyncPolicy::Always.should_sync(0));
+    }
+
+    #[test]
+    fn group_commit_syncs_on_batch_boundary() {
+        let p = SyncPolicy::EveryN(8);
+        assert!(!p.should_sync(1));
+        assert!(!p.should_sync(7));
+        assert!(p.should_sync(8));
+        assert!(p.should_sync(9));
+    }
+
+    #[test]
+    fn every_zero_degenerates_to_always() {
+        assert!(SyncPolicy::EveryN(0).should_sync(1));
+    }
+
+    #[test]
+    fn never_never_syncs() {
+        assert!(!SyncPolicy::Never.should_sync(1_000_000));
+    }
+}

@@ -48,7 +48,10 @@ fn main() {
     println!("\n== Figures 1–3: the demonstration B-tree under each scheme ==");
     for (name, scheme) in [
         ("Figure 1 (oval)", Scheme::Oval),
-        ("Figure 2 (exponentiation, literal)", Scheme::ExponentiationPaper),
+        (
+            "Figure 2 (exponentiation, literal)",
+            Scheme::ExponentiationPaper,
+        ),
         ("Figure 3 (sum of treatments)", Scheme::SumOfTreatments),
     ] {
         let cfg = SchemeConfig::demo(scheme);
@@ -58,7 +61,8 @@ fn main() {
             _ => &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
         };
         for &k in keys {
-            tree.insert(k, format!("rec{k}").into_bytes()).expect("insert");
+            tree.insert(k, format!("rec{k}").into_bytes())
+                .expect("insert");
         }
         println!("\n-- {name} --");
         println!("logical:\n{}", tree.render_logical().expect("render"));

@@ -17,8 +17,8 @@ use sks_btree::storage::OpCounters;
 fn main() {
     // Secret material (the paper: small enough for a smartcard).
     let design = DifferenceSet::singer(31).expect("Singer design, v = 993");
-    let substitution = SumSubstitution::new(design, 12, 900, OpCounters::new())
-        .expect("w + R < v - 1");
+    let substitution =
+        SumSubstitution::new(design, 12, 900, OpCounters::new()).expect("w + R < v - 1");
     println!(
         "filter secret: (v,k,λ) = ({},{},1) design + starting line w=12 — {} bytes total",
         substitution.design().v(),
@@ -45,7 +45,10 @@ fn main() {
         );
         filter.insert(emp, record.as_bytes()).expect("insert");
     }
-    println!("loaded {} personnel records through the filter\n", filter.len());
+    println!(
+        "loaded {} personnel records through the filter\n",
+        filter.len()
+    );
 
     // Exact retrieval with checksum verification.
     let rec = filter.get(123).expect("verified get").expect("present");
@@ -65,7 +68,10 @@ fn main() {
         visible.len(),
         &visible[..8]
     );
-    assert!(visible.iter().all(|&k| k > 400), "no real employee id leaks");
+    assert!(
+        visible.iter().all(|&k| k > 400),
+        "no real employee id leaks"
+    );
 
     // Tampering with a stored record is caught by the Denning-style
     // cryptographic checksum.

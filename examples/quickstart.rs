@@ -13,15 +13,23 @@ fn main() {
     let config = SchemeConfig::with_capacity(Scheme::Oval, 10_000);
     let mut tree = EncipheredBTree::create_in_memory(config).expect("build stack");
 
-    println!("scheme: {}  (block size {} bytes, fanout {})\n",
-        tree.scheme().name(), tree.block_size(), tree.max_keys_per_node());
+    println!(
+        "scheme: {}  (block size {} bytes, fanout {})\n",
+        tree.scheme().name(),
+        tree.block_size(),
+        tree.max_keys_per_node()
+    );
 
     // Insert a few thousand records.
     for key in 0..5_000u64 {
         let record = format!("customer #{key} — balance ${}", key * 7 % 9973);
         tree.insert(key, record.into_bytes()).expect("insert");
     }
-    println!("inserted {} records, tree height {}", tree.len(), tree.height());
+    println!(
+        "inserted {} records, tree height {}",
+        tree.len(),
+        tree.height()
+    );
 
     // Point lookups.
     let hit = tree.get(4242).expect("lookup").expect("present");

@@ -40,4 +40,5 @@ pub use sks_btree_core as btree;
 pub use sks_core as core;
 pub use sks_crypto as crypto;
 pub use sks_designs as designs;
+pub use sks_engine as engine;
 pub use sks_storage as storage;

@@ -66,7 +66,7 @@ fn wrong_key_cannot_read_the_file() {
         let (codec, _) = bad_cfg.build_codec(&counters).unwrap();
         let disk = FileDisk::open(&path).unwrap();
         let tree = BTree::open(disk, codec).unwrap(); // superblock is plaintext
-        // Any traversal must error out on the first sealed pointer.
+                                                      // Any traversal must error out on the first sealed pointer.
         let err = tree.get(40).unwrap_err();
         assert!(matches!(err, TreeError::Codec(_)), "got: {err}");
     }
@@ -136,7 +136,10 @@ fn corrupted_node_blocks_yield_typed_errors() {
     for k in 0..250u64 {
         match tree.get(k) {
             Err(TreeError::Codec(
-                CodecError::BindingMismatch { .. } | CodecError::Corrupt(_) | CodecError::Overflow(_) | CodecError::KeyDomain { .. },
+                CodecError::BindingMismatch { .. }
+                | CodecError::Corrupt(_)
+                | CodecError::Overflow(_)
+                | CodecError::KeyDomain { .. },
             )) => failures += 1,
             // A corrupted (but well-formed) pointer cryptogram decrypts to a
             // garbage block number; the storage layer rejects it.

@@ -76,7 +76,11 @@ fn shape_recovery_separation() {
     };
     let rp = report(&plain, "plaintext");
     let ro = report(&oval, "oval");
-    assert!(rp.shape.recall > 0.8, "plaintext recall {}", rp.shape.recall);
+    assert!(
+        rp.shape.recall > 0.8,
+        "plaintext recall {}",
+        rp.shape.recall
+    );
     assert!(ro.shape.recall < 0.2, "oval recall {}", ro.shape.recall);
 }
 
@@ -125,7 +129,9 @@ fn block_relocation_detected() {
     // An adversary copies the page to block 9 and fixes up the visible
     // header; the sealed binding still snitches.
     page[4..8].copy_from_slice(&9u32.to_be_bytes());
-    let err = codec.decode(sks_btree::storage::BlockId(9), &page).unwrap_err();
+    let err = codec
+        .decode(sks_btree::storage::BlockId(9), &page)
+        .unwrap_err();
     assert!(matches!(
         err,
         sks_btree::btree::CodecError::BindingMismatch { .. }
@@ -137,9 +143,8 @@ fn block_relocation_detected() {
 fn order_leakage_dial() {
     let oval = build(Scheme::Oval, 300, 512);
     let sum = build(Scheme::SumOfTreatments, 300, 512);
-    let tau = |tree: &EncipheredBTree| {
-        sks_btree::attack::kendall_tau(&truth_of(tree).key_pairs).unwrap()
-    };
+    let tau =
+        |tree: &EncipheredBTree| sks_btree::attack::kendall_tau(&truth_of(tree).key_pairs).unwrap();
     assert!(tau(&oval).abs() < 0.2, "oval tau {}", tau(&oval));
     assert!((tau(&sum) - 1.0).abs() < 1e-9, "sum tau {}", tau(&sum));
 }

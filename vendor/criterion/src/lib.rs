@@ -1,0 +1,282 @@
+//! Offline shim implementing the subset of the `criterion` 0.5 API this
+//! workspace uses. The build environment has no registry access, so the
+//! real harness is replaced by a small timing loop: per benchmark it warms
+//! up, runs `sample_size` samples sized to fit the configured measurement
+//! time, and prints mean/min per-iteration wall-clock (plus throughput when
+//! configured). There are no statistical comparisons, plots or saved
+//! baselines.
+//!
+//! Covered surface: `criterion_group!` (both forms), `criterion_main!`,
+//! `Criterion::{default, sample_size, measurement_time, warm_up_time,
+//! benchmark_group}`, `BenchmarkGroup::{bench_function, throughput,
+//! finish}`, `Bencher::iter`, `BenchmarkId`, `Throughput`, `black_box`.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Hard ceiling per benchmark so shim runs stay interactive even when a
+/// caller configures multi-second measurement windows. Override with the
+/// `SKS_BENCH_MEASURE_MS` environment variable.
+fn measurement_cap() -> Duration {
+    std::env::var("SKS_BENCH_MEASURE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_millis(300))
+}
+
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(300),
+            warm_up_time: Duration::from_millis(50),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2);
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Accepted for CLI compatibility; the shim has no CLI.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+}
+
+/// Benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_id}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warm-up: discover a per-iteration estimate.
+        let warmup_deadline = Instant::now() + self.criterion.warm_up_time.min(measurement_cap());
+        let mut warm_iters = 0u64;
+        let warm_start = Instant::now();
+        while Instant::now() < warmup_deadline {
+            bencher.iters = 1;
+            f(&mut bencher);
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / warm_iters.max(1) as u128;
+
+        // Measurement: `sample_size` samples filling the measurement window.
+        let budget = self
+            .criterion
+            .measurement_time
+            .min(measurement_cap())
+            .as_nanos();
+        let samples = self.criterion.sample_size as u128;
+        let iters_per_sample = (budget / samples / per_iter.max(1)).clamp(1, 1_000_000) as u64;
+
+        let mut means: Vec<f64> = Vec::with_capacity(samples as usize);
+        for _ in 0..samples {
+            bencher.iters = iters_per_sample;
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            means.push(bencher.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        means.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let best = means[0];
+        let median = means[means.len() / 2];
+
+        let mut line = String::new();
+        let _ = write!(
+            line,
+            "  {:<40} median {:>12}  best {:>12}",
+            format!("{}/{}", self.name, id.label),
+            format_ns(median),
+            format_ns(best),
+        );
+        if let Some(tp) = self.throughput {
+            let (count, unit) = match tp {
+                Throughput::Elements(n) => (n, "elem/s"),
+                Throughput::Bytes(n) => (n, "B/s"),
+            };
+            let rate = count as f64 / (median / 1e9);
+            let _ = write!(line, "  thrpt {:>12.0} {unit}", rate);
+        }
+        println!("{line}");
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim_smoke");
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(BenchmarkId::from_parameter("add"), |b| {
+            b.iter(|| black_box(2u64) + black_box(3u64))
+        });
+        group.bench_function(BenchmarkId::new("named", 7), |b| b.iter(|| ()));
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_quickly() {
+        std::env::set_var("SKS_BENCH_MEASURE_MS", "20");
+        let start = Instant::now();
+        let mut c = Criterion::default().sample_size(3);
+        trivial_bench(&mut c);
+        assert!(start.elapsed() < Duration::from_secs(10));
+    }
+
+    criterion_group!(smoke, trivial_bench);
+
+    #[test]
+    fn group_macro_produces_runner() {
+        std::env::set_var("SKS_BENCH_MEASURE_MS", "20");
+        smoke();
+    }
+}

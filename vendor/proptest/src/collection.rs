@@ -1,0 +1,60 @@
+//! Collection strategies: `vec` and `btree_set` with a size range.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Vector of `element` samples with a length drawn from `sizes`.
+pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, sizes }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    sizes: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let len = sample_size(rng, &self.sizes);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Ordered set of `element` samples; duplicates collapse, so the resulting
+/// set can be smaller than the drawn size (same contract as the real
+/// crate's post-dedup behaviour).
+pub fn btree_set<S>(element: S, sizes: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, sizes }
+}
+
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    sizes: Range<usize>,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let len = sample_size(rng, &self.sizes);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+fn sample_size(rng: &mut TestRng, sizes: &Range<usize>) -> usize {
+    assert!(sizes.start < sizes.end, "empty size range");
+    sizes.start + rng.below((sizes.end - sizes.start) as u64) as usize
+}

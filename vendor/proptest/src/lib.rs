@@ -1,0 +1,157 @@
+//! Offline shim implementing the subset of the `proptest` 1.x API this
+//! workspace uses. The build environment has no registry access, so the
+//! real crate is replaced by this vendored stand-in: deterministic seeded
+//! random sampling without shrinking (a failing case prints its inputs via
+//! the panic message; there is no minimisation pass).
+//!
+//! Covered surface: the `proptest!` macro (with optional
+//! `#![proptest_config(...)]`), `any::<T>()`, integer range strategies,
+//! tuple strategies, `Just`, `prop_oneof!`, `proptest::collection::{vec,
+//! btree_set}`, `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, and
+//! `ProptestConfig::with_cases`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Property-test harness macro. Each generated `#[test]` runs
+/// `config.cases` deterministic cases; the case body runs inside a closure
+/// so `prop_assume!` can skip a case with an early return.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($cfg) $($rest)*);
+    };
+    (@funcs ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for __case in 0..__config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                    )+
+                    let __body = || {
+                        $body
+                    };
+                    __body();
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @funcs ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when the assumption does not hold. Only valid
+/// inside a `proptest!` body (it returns from the per-case closure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let __choices: Vec<Box<dyn $crate::strategy::Strategy<Value = _>>> =
+            vec![$(Box::new($strat)),+];
+        $crate::strategy::OneOf::new(__choices)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respected(a in 3u64..17, b in 0u8..4, c in 1u128..) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!(b < 4);
+            prop_assert!(c >= 1);
+        }
+
+        #[test]
+        fn tuples_and_collections(
+            ops in crate::collection::vec((any::<bool>(), 0u64..50), 1..40),
+            keys in crate::collection::btree_set(0u64..100, 0..20),
+        ) {
+            prop_assert!(!ops.is_empty() && ops.len() < 40);
+            prop_assert!(ops.iter().all(|&(_, k)| k < 50));
+            prop_assert!(keys.len() < 20);
+            prop_assert!(keys.iter().all(|&k| k < 100));
+        }
+
+        #[test]
+        fn oneof_and_just(size in prop_oneof![Just(128usize), Just(256), Just(512)]) {
+            prop_assert!([128, 256, 512].contains(&size));
+        }
+
+        #[test]
+        fn assume_skips(v in 0u64..10) {
+            prop_assume!(v != 3);
+            prop_assert!(v != 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_form_compiles(x in 0u64..2) {
+            prop_assert!(x < 2);
+        }
+    }
+
+    #[test]
+    fn any_covers_value_space_roughly() {
+        let mut rng = crate::test_runner::TestRng::deterministic("coverage");
+        let mut seen_true = false;
+        let mut seen_false = false;
+        for _ in 0..64 {
+            match Strategy::sample(&any::<bool>(), &mut rng) {
+                true => seen_true = true,
+                false => seen_false = true,
+            }
+        }
+        assert!(seen_true && seen_false);
+    }
+}

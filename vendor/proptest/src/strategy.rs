@@ -1,0 +1,164 @@
+//! The [`Strategy`] trait and the primitive strategies.
+//!
+//! Unlike the real crate there is no value tree and no shrinking: a
+//! strategy is just a deterministic sampler over the case RNG.
+
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A sampler of test-case values. Object safe so `prop_oneof!` can erase
+/// heterogeneous strategy types.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed strategies (`prop_oneof!`).
+pub struct OneOf<T> {
+    choices: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> OneOf<T> {
+    pub fn new(choices: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!choices.is_empty(), "prop_oneof! needs at least one choice");
+        OneOf { choices }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.choices.len() as u64) as usize;
+        self.choices[i].sample(rng)
+    }
+}
+
+/// Integer types samplable from range strategies.
+pub trait RangeValue: Copy {
+    const MIN: Self;
+    const MAX: Self;
+
+    fn from_offset(lo: Self, offset: u128) -> Self;
+
+    /// `hi - lo` as a width, `None` when the span covers the whole domain
+    /// (so a raw draw is uniform already).
+    fn span(lo: Self, hi_inclusive: Self) -> Option<u128>;
+}
+
+macro_rules! range_value {
+    ($($t:ty),+) => {$(
+        impl RangeValue for $t {
+            const MIN: Self = <$t>::MIN;
+            const MAX: Self = <$t>::MAX;
+
+            fn from_offset(lo: Self, offset: u128) -> Self {
+                ((lo as i128) + offset as i128) as $t
+            }
+
+            fn span(lo: Self, hi_inclusive: Self) -> Option<u128> {
+                let w = (hi_inclusive as i128).wrapping_sub(lo as i128) as u128;
+                w.checked_add(1)
+            }
+        }
+    )+};
+}
+range_value!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl RangeValue for u128 {
+    const MIN: Self = u128::MIN;
+    const MAX: Self = u128::MAX;
+
+    fn from_offset(lo: Self, offset: u128) -> Self {
+        lo.wrapping_add(offset)
+    }
+
+    fn span(lo: Self, hi_inclusive: Self) -> Option<u128> {
+        (hi_inclusive - lo).checked_add(1)
+    }
+}
+
+fn sample_inclusive<T: RangeValue>(rng: &mut TestRng, lo: T, hi: T) -> T {
+    match T::span(lo, hi) {
+        None => T::from_offset(T::MIN, rng.next_u128()),
+        Some(span) => {
+            // Double-width reduction keeps u128 spans uniform enough.
+            let draw = rng.next_u128() % span;
+            T::from_offset(lo, draw)
+        }
+    }
+}
+
+impl<T: RangeValue> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let span = T::span(self.start, self.end).expect("non-degenerate range");
+        assert!(span > 1, "empty range strategy");
+        T::from_offset(self.start, rng.next_u128() % (span - 1))
+    }
+}
+
+impl<T: RangeValue> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+impl<T: RangeValue> Strategy for RangeFrom<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        sample_inclusive(rng, self.start, T::MAX)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!(
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);

@@ -1,0 +1,179 @@
+//! Offline shim implementing the subset of the `rand` 0.8 API this
+//! workspace uses. The build environment has no registry access, so the
+//! real crate is replaced by this vendored, deterministic stand-in:
+//! xoshiro256** seeded via splitmix64, the same generator family the real
+//! `rand::rngs::SmallRng` uses.
+//!
+//! Covered surface: `rngs::StdRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::{gen, gen_range, gen_bool, fill_bytes}`, `seq::SliceRandom`.
+//! Anything else the real crate offers is intentionally absent so that new
+//! uses fail loudly at compile time rather than silently diverging.
+
+pub mod rngs;
+pub mod seq;
+
+/// Core entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Types producible uniformly over their whole value range (the shim's
+/// analogue of sampling from `rand::distributions::Standard`).
+pub trait SampleStandard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_ints {
+    ($($t:ty),+) => {$(
+        impl SampleStandard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+standard_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleStandard for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl SampleStandard for i128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        u128::sample(rng) as i128
+    }
+}
+
+impl SampleStandard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types samplable uniformly from a half-open range.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! uniform_ints {
+    ($($t:ty),+) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range requires a non-empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                // Widening-multiply range reduction; bias is < 2^-64 per
+                // draw, irrelevant for test workloads.
+                let x = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (lo as i128 + x) as $t
+            }
+        }
+    )+};
+}
+uniform_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for u128 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range requires a non-empty range");
+        lo + u128::sample(rng) % (hi - lo)
+    }
+}
+
+/// The user-facing convenience trait, blanket-implemented for every
+/// [`RngCore`] just like the real crate.
+pub trait Rng: RngCore {
+    fn gen<T: SampleStandard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn gen_range<T: SampleUniform>(&mut self, range: core::ops::Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool needs p in [0, 1]");
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seeding; only the `seed_from_u64` entry point the workspace uses.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: u64 = rng.gen_range(10..20);
+            assert!((10..20).contains(&x));
+            let y: u8 = rng.gen_range(0..3);
+            assert!(y < 3);
+            let z: u128 = rng.gen_range(5..1 << 100);
+            assert!((5..1 << 100).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_ranges() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = [false; 3];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..3)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn fill_bytes_fills_oddly_sized_buffers() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert_ne!(buf, [0u8; 13]);
+    }
+}

@@ -1,28 +1,35 @@
 //! Ablation: buffer-pool capacity under an enciphered point-lookup
-//! workload. The cache sits *below* the crypto boundary (Bayer–Metzger's
-//! hardware-unit placement), so it removes physical I/O but not
-//! decryptions — this bench quantifies how much of the lookup cost is I/O
-//! versus cryptography at each capacity.
+//! workload, on the real file backend. The cache sits *below* the crypto
+//! boundary (Bayer–Metzger's hardware-unit placement), so it removes
+//! physical I/O but not decryptions — this bench quantifies how much of
+//! the lookup cost is I/O versus cryptography at each capacity.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use sks_btree_core::{BTree, RecordPtr};
 use sks_core::{Scheme, SchemeConfig};
-use sks_storage::{CachedStore, MemDisk, OpCounters};
+use sks_storage::{OpCounters, PagedFileStore};
 
 fn bench_cache_sizes(c: &mut Criterion) {
     let n_keys = 2_000u64;
     let cfg = SchemeConfig::with_capacity(Scheme::Oval, n_keys + 2);
     let mut group = c.benchmark_group("ablation_cache_capacity");
     for capacity in [2usize, 8, 32, 128] {
+        let path = std::env::temp_dir().join(format!(
+            "sks_bench_cache_ablation_{}_{capacity}.sks",
+            std::process::id()
+        ));
         let counters = OpCounters::new();
         let (codec, _) = cfg.build_codec(&counters).unwrap();
-        let disk = MemDisk::with_counters(cfg.block_size, counters.clone());
-        let cached = CachedStore::new(disk, capacity);
-        let mut tree = BTree::create(cached, codec).unwrap();
+        let store =
+            PagedFileStore::create(&path, cfg.block_size, capacity, counters.clone()).unwrap();
+        let mut tree = BTree::create(store, codec).unwrap();
         for k in 0..n_keys {
             tree.insert(k, RecordPtr(k)).unwrap();
         }
+        // Checkpoint: pages reach the file and become clean (evictable), so
+        // the measured loop exercises the pool's capacity for real.
+        tree.flush().unwrap();
         group.bench_function(BenchmarkId::from_parameter(capacity), |b| {
             let mut k = 0u64;
             b.iter(|| {
@@ -30,6 +37,8 @@ fn bench_cache_sizes(c: &mut Criterion) {
                 tree.get(std::hint::black_box(k)).unwrap()
             });
         });
+        drop(tree);
+        std::fs::remove_file(&path).ok();
     }
     group.finish();
 }

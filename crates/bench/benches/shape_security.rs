@@ -12,7 +12,7 @@ fn bench_attack(c: &mut Criterion) {
     for n_keys in [200u64, 1_000] {
         for scheme in [Scheme::Oval, Scheme::SumOfTreatments] {
             let tree = build_tree(scheme, n_keys, 512, 15);
-            let image = DiskImage::new(512, tree.raw_node_image());
+            let image = DiskImage::new(512, tree.raw_node_image().expect("raw image"));
             let label = format!("{}@{}", scheme.name(), n_keys);
             group.bench_function(BenchmarkId::from_parameter(label), |b| {
                 b.iter(|| {

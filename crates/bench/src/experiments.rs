@@ -260,7 +260,7 @@ pub fn e5_shape_security(n_keys: u64, block_size: usize) -> (String, Vec<AttackR
     for &scheme in &schemes {
         let tree = build_tree(scheme, n_keys, block_size, 31);
         let truth = ground_truth(&tree);
-        let image = DiskImage::new(block_size, tree.raw_node_image());
+        let image = DiskImage::new(block_size, tree.raw_node_image().expect("raw image"));
         let report = AttackReport::run(scheme.name(), &image, &FormatKnowledge::default(), &truth);
         out.push_str(&format!("    {}\n", report.row()));
         reports.push(report);

@@ -101,6 +101,47 @@ pub enum SealerKind {
     Rsa(usize),
 }
 
+/// Where the enciphered node/record blocks live.
+///
+/// The paper's threat model is an opponent holding the *storage medium*;
+/// `Memory` simulates that medium in RAM (every byte lost on restart,
+/// durability only via an engine's WAL), while `File` puts the same
+/// enciphered blocks on an actual on-disk device behind a no-steal buffer
+/// pool with journaled checkpoints — datasets larger than RAM, restarts
+/// that replay only the WAL tail. Only enciphered bytes ever reach the
+/// file either way; the backend changes *where* the opponent's view
+/// lives, never *what* it contains.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageBackend {
+    /// Simulated in-RAM device (the paper's experimental setup).
+    Memory,
+    /// File-backed device under `dir` (`nodes.sks` + `data.sks` + a sealed
+    /// manifest), cached by a buffer pool of `pool_pages` frames per
+    /// store.
+    File {
+        dir: std::path::PathBuf,
+        pool_pages: usize,
+    },
+}
+
+impl StorageBackend {
+    /// Default pool size: enough to keep a hot tree's upper levels
+    /// resident without hiding the I/O cost of leaf traffic.
+    pub const DEFAULT_POOL_PAGES: usize = 256;
+
+    /// Convenience constructor for the file backend with the default pool.
+    pub fn file<P: Into<std::path::PathBuf>>(dir: P) -> Self {
+        StorageBackend::File {
+            dir: dir.into(),
+            pool_pages: Self::DEFAULT_POOL_PAGES,
+        }
+    }
+
+    pub fn is_file(&self) -> bool {
+        matches!(self, StorageBackend::File { .. })
+    }
+}
+
 /// Full configuration for an [`crate::EncipheredBTree`].
 #[derive(Debug, Clone)]
 pub struct SchemeConfig {
@@ -127,6 +168,10 @@ pub struct SchemeConfig {
     /// covering the whole key domain; a router hashes disguised keys to
     /// pick one). `1` means unsharded. Ignored by the single-tree API.
     pub partitions: usize,
+    /// Where the enciphered blocks live (see [`StorageBackend`]). The
+    /// `create_in_memory*` constructors ignore this; the backend-aware
+    /// [`crate::EncipheredBTree::create`]/`open` and the engine honour it.
+    pub backend: StorageBackend,
 }
 
 impl SchemeConfig {
@@ -145,6 +190,7 @@ impl SchemeConfig {
             capacity: 11, // w + R < v - 1 for the sum scheme
             rng_seed: 42,
             partitions: 1,
+            backend: StorageBackend::Memory,
         }
     }
 
@@ -168,6 +214,7 @@ impl SchemeConfig {
             capacity,
             rng_seed: 42,
             partitions: 1,
+            backend: StorageBackend::Memory,
         }
     }
 
@@ -177,6 +224,18 @@ impl SchemeConfig {
         assert!(n >= 1, "a tree needs at least one partition");
         self.partitions = n;
         self
+    }
+
+    /// Builder-style backend knob: where the enciphered blocks live.
+    pub fn backend(mut self, backend: StorageBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Shorthand for [`SchemeConfig::backend`] with the file backend and
+    /// default pool size.
+    pub fn on_disk<P: Into<std::path::PathBuf>>(self, dir: P) -> Self {
+        self.backend(StorageBackend::file(dir))
     }
 
     /// Materialises the difference set.

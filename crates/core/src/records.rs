@@ -52,6 +52,11 @@ impl<S: BlockStore> RecordStore<S> {
         self.store
     }
 
+    /// Flushes the underlying store (a checkpoint on buffered backends).
+    pub fn flush(&mut self) -> Result<(), CoreError> {
+        Ok(self.store.flush()?)
+    }
+
     fn nonce(block: BlockId, slot: u16) -> u64 {
         ((block.as_u64()) << 16) | slot as u64
     }

@@ -1,31 +1,176 @@
 //! [`EncipheredBTree`] — the end-to-end system of the paper: an enciphered
-//! node-block B-tree over one simulated device, enciphered data blocks (with
+//! node-block B-tree over one block device, enciphered data blocks (with
 //! an independent cipher, §5) over another, a single configuration switch
 //! between the paper's scheme and both Bayer–Metzger baselines, and exact
 //! operation accounting throughout.
+//!
+//! The devices are pluggable ([`crate::config::StorageBackend`]): the
+//! paper's simulated in-RAM medium, or an on-disk [`PagedFileStore`] pair
+//! under a directory — `nodes.sks`, `data.sks` and a sealed `manifest.sks`
+//! whose key-check lets a reopen with the wrong keys fail closed *before*
+//! any page is touched. Either way only enciphered bytes reach the store.
 
+use std::path::Path;
 use std::sync::Arc;
 
 use sks_btree_core::{render_with, BTree, RecordPtr};
-use sks_storage::{MemDisk, OpCounters, OpSnapshot};
+use sks_crypto::modes::ctr_xor;
+use sks_crypto::speck::Speck64;
+use sks_storage::{BlockStore, DynBlockStore, MemDisk, OpCounters, OpSnapshot, PagedFileStore};
 
 use crate::codec::AnyCodec;
-use crate::config::{Scheme, SchemeConfig};
+use crate::config::{Scheme, SchemeConfig, StorageBackend};
 use crate::disguise::KeyDisguise;
 use crate::error::CoreError;
 use crate::records::RecordStore;
 
-/// An enciphered B-tree with attached data blocks.
+const NODES_FILE: &str = "nodes.sks";
+const DATA_FILE: &str = "data.sks";
+const MANIFEST_FILE: &str = "manifest.sks";
+
+const MANIFEST_MAGIC: &[u8; 8] = b"SKSMANF1";
+const MANIFEST_VERSION: u32 = 1;
+/// Sealed under the manifest key at create; a wrong-key open deciphers it
+/// to garbage and is refused before any tree page is read or written.
+const KEYCHECK_PLAIN: &[u8; 16] = b"SKS-BACKEND-KEY1";
+const KEYCHECK_NONCE: u64 = 0x4B45_5943_4845_434B; // "KEYCHECK"
+
+/// Domain-separated key for the manifest's key-check sentinel: binds both
+/// the tree key and the independent data key, so changing either fails the
+/// check.
+fn manifest_key(config: &SchemeConfig) -> u128 {
+    config.data_key
+        ^ (((config.tree_key as u128) << 64) | config.tree_key as u128)
+        ^ 0x4D41_4E49_4645_5354_u128 // "MANIFEST"
+}
+
+fn scheme_id(scheme: Scheme) -> u8 {
+    Scheme::ALL
+        .iter()
+        .position(|&s| s == scheme)
+        .expect("every scheme is in ALL") as u8
+}
+
+fn write_manifest(dir: &Path, config: &SchemeConfig) -> Result<(), CoreError> {
+    let cipher = Speck64::from_u128(manifest_key(config));
+    let sealed = ctr_xor(&cipher, KEYCHECK_NONCE, KEYCHECK_PLAIN);
+    let mut buf = Vec::with_capacity(8 + 4 + 8 + 1 + sealed.len());
+    buf.extend_from_slice(MANIFEST_MAGIC);
+    buf.extend_from_slice(&MANIFEST_VERSION.to_be_bytes());
+    buf.extend_from_slice(&(config.block_size as u64).to_be_bytes());
+    buf.push(scheme_id(config.scheme));
+    buf.extend_from_slice(&sealed);
+    let path = dir.join(MANIFEST_FILE);
+    let io = |e: std::io::Error| CoreError::Config(format!("write {}: {e}", path.display()));
+    use std::io::Write;
+    let mut file = std::fs::File::create(&path).map_err(io)?;
+    file.write_all(&buf).map_err(io)?;
+    file.sync_all().map_err(io)?;
+    drop(file);
+    Ok(sks_storage::sync_dir(dir)?)
+}
+
+fn verify_manifest(dir: &Path, config: &SchemeConfig) -> Result<(), CoreError> {
+    let path = dir.join(MANIFEST_FILE);
+    let buf = std::fs::read(&path)
+        .map_err(|e| CoreError::Config(format!("no enciphered tree at {}: {e}", dir.display())))?;
+    if buf.len() != 8 + 4 + 8 + 1 + 16 || &buf[0..8] != MANIFEST_MAGIC {
+        return Err(CoreError::Config(format!(
+            "{} is not an sks-tree manifest",
+            path.display()
+        )));
+    }
+    let version = u32::from_be_bytes(buf[8..12].try_into().expect("fixed width"));
+    if version != MANIFEST_VERSION {
+        return Err(CoreError::Config(format!(
+            "unknown manifest version {version}"
+        )));
+    }
+    let block_size = u64::from_be_bytes(buf[12..20].try_into().expect("fixed width")) as usize;
+    if block_size != config.block_size {
+        return Err(CoreError::Config(format!(
+            "directory holds {block_size}-byte blocks, config wants {}",
+            config.block_size
+        )));
+    }
+    if buf[20] != scheme_id(config.scheme) {
+        return Err(CoreError::Config(format!(
+            "directory holds a different scheme (id {}) than the configured {}",
+            buf[20],
+            config.scheme.name()
+        )));
+    }
+    let cipher = Speck64::from_u128(manifest_key(config));
+    if ctr_xor(&cipher, KEYCHECK_NONCE, &buf[21..37]) != KEYCHECK_PLAIN[..] {
+        return Err(CoreError::Config(
+            "key mismatch: the stored tree was enciphered under different tree/data keys".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// An enciphered B-tree with attached data blocks, over any block backend.
 pub struct EncipheredBTree {
     config: SchemeConfig,
     counters: OpCounters,
-    tree: BTree<MemDisk, AnyCodec>,
-    records: RecordStore<MemDisk>,
+    tree: BTree<DynBlockStore, AnyCodec>,
+    records: RecordStore<DynBlockStore>,
     disguise: Option<Arc<dyn KeyDisguise>>,
 }
 
+/// One node-store/data-store pair, built per the configured backend.
+fn build_stores(
+    config: &SchemeConfig,
+    counters: &OpCounters,
+    create: bool,
+) -> Result<(DynBlockStore, DynBlockStore), CoreError> {
+    match &config.backend {
+        StorageBackend::Memory => {
+            if !create {
+                return Err(CoreError::Config(
+                    "the memory backend has no persisted tree to open".into(),
+                ));
+            }
+            Ok((
+                Box::new(MemDisk::with_counters(config.block_size, counters.clone())),
+                Box::new(MemDisk::with_counters(config.block_size, counters.clone())),
+            ))
+        }
+        StorageBackend::File { dir, pool_pages } => {
+            let pool_pages = (*pool_pages).max(1);
+            if create {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| CoreError::Config(format!("create {}: {e}", dir.display())))?;
+                // A stale manifest from an older incarnation must not make
+                // a later open trust half-truncated stores.
+                std::fs::remove_file(dir.join(MANIFEST_FILE)).ok();
+                let nodes = PagedFileStore::create(
+                    dir.join(NODES_FILE),
+                    config.block_size,
+                    pool_pages,
+                    counters.clone(),
+                )?;
+                let data = PagedFileStore::create(
+                    dir.join(DATA_FILE),
+                    config.block_size,
+                    pool_pages,
+                    counters.clone(),
+                )?;
+                Ok((Box::new(nodes), Box::new(data)))
+            } else {
+                verify_manifest(dir, config)?;
+                let nodes =
+                    PagedFileStore::open(dir.join(NODES_FILE), pool_pages, counters.clone())?;
+                let data = PagedFileStore::open(dir.join(DATA_FILE), pool_pages, counters.clone())?;
+                Ok((Box::new(nodes), Box::new(data)))
+            }
+        }
+    }
+}
+
 impl EncipheredBTree {
-    /// Builds the whole stack in memory from a [`SchemeConfig`].
+    /// Builds the whole stack in memory from a [`SchemeConfig`] (the
+    /// paper's simulated-device setup; ignores `config.backend`).
     pub fn create_in_memory(config: SchemeConfig) -> Result<Self, CoreError> {
         Self::create_in_memory_with_counters(config, OpCounters::new())
     }
@@ -37,11 +182,55 @@ impl EncipheredBTree {
         config: SchemeConfig,
         counters: OpCounters,
     ) -> Result<Self, CoreError> {
+        let config = SchemeConfig {
+            backend: StorageBackend::Memory,
+            ..config
+        };
+        Self::create_with_counters(config, counters)
+    }
+
+    /// Builds a fresh stack on whatever backend `config.backend` names
+    /// (truncating any previous on-disk state for the file backend).
+    pub fn create(config: SchemeConfig) -> Result<Self, CoreError> {
+        Self::create_with_counters(config, OpCounters::new())
+    }
+
+    /// [`EncipheredBTree::create`] sharing an existing counter set.
+    pub fn create_with_counters(
+        config: SchemeConfig,
+        counters: OpCounters,
+    ) -> Result<Self, CoreError> {
         let (codec, disguise) = config.build_codec(&counters)?;
-        let node_disk = MemDisk::with_counters(config.block_size, counters.clone());
-        let data_disk = MemDisk::with_counters(config.block_size, counters.clone());
-        let tree = BTree::create(node_disk, codec)?;
-        let records = RecordStore::new(data_disk, config.data_key);
+        let (node_store, data_store) = build_stores(&config, &counters, true)?;
+        let tree = BTree::create(node_store, codec)?;
+        let records = RecordStore::new(data_store, config.data_key);
+        let mut this = EncipheredBTree {
+            config,
+            counters,
+            tree,
+            records,
+            disguise,
+        };
+        this.seal_backend()?;
+        Ok(this)
+    }
+
+    /// Reopens a tree persisted by the file backend. Fails closed — before
+    /// any page is read — when the directory was sealed under different
+    /// keys, a different scheme, or a different block size.
+    pub fn open(config: SchemeConfig) -> Result<Self, CoreError> {
+        Self::open_with_counters(config, OpCounters::new())
+    }
+
+    /// [`EncipheredBTree::open`] sharing an existing counter set.
+    pub fn open_with_counters(
+        config: SchemeConfig,
+        counters: OpCounters,
+    ) -> Result<Self, CoreError> {
+        let (codec, disguise) = config.build_codec(&counters)?;
+        let (node_store, data_store) = build_stores(&config, &counters, false)?;
+        let tree = BTree::open(node_store, codec)?;
+        let records = RecordStore::new(data_store, config.data_key);
         Ok(EncipheredBTree {
             config,
             counters,
@@ -51,28 +240,56 @@ impl EncipheredBTree {
         })
     }
 
+    /// Whether `dir` holds a persisted enciphered tree (its manifest).
+    pub fn exists_on_disk<P: AsRef<Path>>(dir: P) -> bool {
+        dir.as_ref().join(MANIFEST_FILE).exists()
+    }
+
     /// Bulk-builds the stack from *strictly ascending* `(key, record)`
     /// pairs: records stream into the data blocks, then the node tree is
     /// built bottom-up with exactly one encipherment pass per node block —
-    /// the initial-load path a real deployment would use.
+    /// the initial-load path a real deployment would use. Honours
+    /// `config.backend` like [`EncipheredBTree::create`].
     pub fn bulk_create(config: SchemeConfig, items: &[(u64, Vec<u8>)]) -> Result<Self, CoreError> {
         let counters = OpCounters::new();
         let (codec, disguise) = config.build_codec(&counters)?;
-        let node_disk = MemDisk::with_counters(config.block_size, counters.clone());
-        let data_disk = MemDisk::with_counters(config.block_size, counters.clone());
-        let mut records = RecordStore::new(data_disk, config.data_key);
+        let (node_store, data_store) = build_stores(&config, &counters, true)?;
+        let mut records = RecordStore::new(data_store, config.data_key);
         let mut pairs = Vec::with_capacity(items.len());
         for (key, record) in items {
             pairs.push((*key, records.insert(record)?));
         }
-        let tree = BTree::bulk_load(node_disk, codec, &pairs)?;
-        Ok(EncipheredBTree {
+        let tree = BTree::bulk_load(node_store, codec, &pairs)?;
+        let mut this = EncipheredBTree {
             config,
             counters,
             tree,
             records,
             disguise,
-        })
+        };
+        this.seal_backend()?;
+        Ok(this)
+    }
+
+    /// File backend: checkpoint the fresh stores and only then write the
+    /// manifest, so a crash mid-create can never leave a manifest pointing
+    /// at torn stores. Memory backend: nothing to do.
+    fn seal_backend(&mut self) -> Result<(), CoreError> {
+        if let StorageBackend::File { dir, .. } = &self.config.backend {
+            let dir = dir.clone();
+            self.flush()?;
+            write_manifest(&dir, &self.config)?;
+        }
+        Ok(())
+    }
+
+    /// Checkpoints both stores: the node superblock plus every dirty page
+    /// reaches the backing medium atomically (journal-protected on the
+    /// file backend). A no-op memory-backend flush is free.
+    pub fn flush(&mut self) -> Result<(), CoreError> {
+        self.tree.flush()?;
+        self.records.flush()?;
+        Ok(())
     }
 
     pub fn scheme(&self) -> Scheme {
@@ -178,13 +395,15 @@ impl EncipheredBTree {
     }
 
     /// The raw node-block image — the opponent's view of the index medium.
-    pub fn raw_node_image(&self) -> Vec<Vec<u8>> {
-        self.tree.store().raw_image()
+    /// On the file backend this is what is physically in `nodes.sks`
+    /// (unflushed cached pages live in RAM, not on the stolen disk).
+    pub fn raw_node_image(&self) -> Result<Vec<Vec<u8>>, CoreError> {
+        Ok(self.tree.store().raw_image()?)
     }
 
     /// The raw data-block image.
-    pub fn raw_data_image(&self) -> Vec<Vec<u8>> {
-        self.records.store().raw_image()
+    pub fn raw_data_image(&self) -> Result<Vec<Vec<u8>>, CoreError> {
+        Ok(self.records.store().raw_image()?)
     }
 
     /// Node block size.
@@ -230,8 +449,18 @@ impl EncipheredBTree {
     }
 
     /// Access to the underlying tree (benches and the attack harness).
-    pub fn tree(&self) -> &BTree<MemDisk, AnyCodec> {
+    pub fn tree(&self) -> &BTree<DynBlockStore, AnyCodec> {
         &self.tree
+    }
+}
+
+impl std::fmt::Debug for EncipheredBTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EncipheredBTree")
+            .field("scheme", &self.config.scheme)
+            .field("backend", &self.config.backend)
+            .field("len", &self.len())
+            .finish()
     }
 }
 
@@ -440,12 +669,105 @@ mod tests {
         assert_eq!(s_sub.key_decrypts, 0, "substitution never decrypts keys");
     }
 
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sks_core_tree_{}_{}", std::process::id(), name));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn file_backend_round_trips_across_reopen() {
+        let dir = tmpdir("roundtrip");
+        let cfg = SchemeConfig::with_capacity(Scheme::Oval, 600).on_disk(&dir);
+        {
+            let mut tree = EncipheredBTree::create(cfg.clone()).unwrap();
+            for k in 0..500u64 {
+                tree.insert(k, format!("record-{k}").into_bytes()).unwrap();
+            }
+            for k in (0..500u64).step_by(3) {
+                tree.delete(k).unwrap();
+            }
+            tree.flush().unwrap();
+        }
+        {
+            let tree = EncipheredBTree::open(cfg).unwrap();
+            assert_eq!(tree.len(), 500 - 500u64.div_ceil(3));
+            tree.validate().unwrap();
+            for k in 0..500u64 {
+                let got = tree.get(k).unwrap();
+                if k % 3 == 0 {
+                    assert_eq!(got, None, "deleted key {k}");
+                } else {
+                    assert_eq!(got.unwrap(), format!("record-{k}").into_bytes());
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_backend_wrong_key_fails_closed() {
+        let dir = tmpdir("wrong_key");
+        let cfg = SchemeConfig::with_capacity(Scheme::Oval, 200).on_disk(&dir);
+        {
+            let mut tree = EncipheredBTree::create(cfg.clone()).unwrap();
+            tree.insert(7, b"sealed".to_vec()).unwrap();
+            tree.flush().unwrap();
+        }
+        let mut bad = cfg.clone();
+        bad.data_key ^= 1;
+        let err = EncipheredBTree::open(bad).unwrap_err();
+        assert!(
+            err.to_string().contains("key mismatch"),
+            "wrong data key must fail closed, got: {err}"
+        );
+        let mut bad = cfg.clone();
+        bad.tree_key ^= 1;
+        assert!(EncipheredBTree::open(bad).is_err(), "wrong tree key");
+        let mut bad = cfg.clone();
+        bad.scheme = Scheme::SumOfTreatments;
+        assert!(EncipheredBTree::open(bad).is_err(), "wrong scheme");
+        // The failed opens destroyed nothing.
+        let tree = EncipheredBTree::open(cfg).unwrap();
+        assert_eq!(tree.get(7).unwrap().unwrap(), b"sealed");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_backend_images_stay_enciphered_on_the_medium() {
+        let dir = tmpdir("sealed_medium");
+        let cfg = SchemeConfig::with_capacity(Scheme::Oval, 200).on_disk(&dir);
+        let mut tree = EncipheredBTree::create(cfg).unwrap();
+        tree.insert(5, b"EXTREMELY-SECRET-PAYLOAD".to_vec())
+            .unwrap();
+        tree.flush().unwrap();
+        for path in [dir.join("nodes.sks"), dir.join("data.sks")] {
+            let raw = std::fs::read(&path).unwrap();
+            assert!(
+                !raw.windows(16).any(|w| w == &b"EXTREMELY-SECRET"[..]),
+                "plaintext record leaked into {}",
+                path.display()
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn memory_backend_refuses_open() {
+        let err = EncipheredBTree::open(SchemeConfig::demo(Scheme::Oval)).unwrap_err();
+        assert!(matches!(err, CoreError::Config(_)), "got {err}");
+    }
+
     #[test]
     fn raw_images_do_not_leak_plaintext_records() {
         let mut tree = EncipheredBTree::create_in_memory(SchemeConfig::demo(Scheme::Oval)).unwrap();
         tree.insert(5, b"EXTREMELY-SECRET-PAYLOAD".to_vec())
             .unwrap();
-        for image in [tree.raw_node_image(), tree.raw_data_image()] {
+        for image in [
+            tree.raw_node_image().unwrap(),
+            tree.raw_data_image().unwrap(),
+        ] {
             let leak = image
                 .iter()
                 .any(|b| b.windows(16).any(|w| w == &b"EXTREMELY-SECRET"[..]));

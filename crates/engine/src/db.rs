@@ -18,11 +18,11 @@
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, RwLock};
 
-use sks_core::{EncipheredBTree, KeyDisguise, SchemeConfig};
+use sks_core::{EncipheredBTree, KeyDisguise, SchemeConfig, StorageBackend};
 use sks_storage::{OpCounters, OpSnapshot, SyncPolicy};
 
 use crate::error::EngineError;
-use crate::recovery::{apply_replay, RecoveryReport};
+use crate::recovery::{apply_replay, RecoveryPath, RecoveryReport};
 use crate::wal::Wal;
 
 /// Engine-level configuration wrapping the paper-level [`SchemeConfig`].
@@ -113,32 +113,177 @@ pub struct SksDb {
 }
 
 const WAL_FILE: &str = "wal.sks";
+const META_FILE: &str = "engine.sks";
+const META_MAGIC: &[u8; 8] = b"SKSENGN1";
+const META_VERSION: u32 = 1;
+
+/// Persisted engine layout: the facts a reopen must agree on. On the file
+/// backend the partition count is baked into the on-disk routing (each
+/// partition holds the keys its hash slot routed there), so reopening
+/// with a different count — or with the memory backend, which would
+/// ignore the checkpointed pages entirely — must fail closed instead of
+/// silently losing data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct EngineMeta {
+    partitions: u32,
+    file_backend: bool,
+}
+
+impl EngineMeta {
+    fn of(config: &EngineConfig) -> Self {
+        EngineMeta {
+            partitions: config.scheme.partitions as u32,
+            file_backend: config.scheme.backend.is_file(),
+        }
+    }
+
+    fn write(&self, db_dir: &Path) -> Result<(), EngineError> {
+        let mut buf = Vec::with_capacity(8 + 4 + 4 + 1);
+        buf.extend_from_slice(META_MAGIC);
+        buf.extend_from_slice(&META_VERSION.to_be_bytes());
+        buf.extend_from_slice(&self.partitions.to_be_bytes());
+        buf.push(self.file_backend as u8);
+        let path = db_dir.join(META_FILE);
+        use std::io::Write;
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(&buf)?;
+        file.sync_all()?;
+        drop(file);
+        sync_dir(db_dir)
+    }
+
+    fn read(db_dir: &Path) -> Result<Option<Self>, EngineError> {
+        let path = db_dir.join(META_FILE);
+        let buf = match std::fs::read(&path) {
+            Ok(buf) => buf,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        if buf.len() != 8 + 4 + 4 + 1 || &buf[0..8] != META_MAGIC {
+            return Err(EngineError::Config(format!(
+                "{} is not an sks-engine metadata file",
+                path.display()
+            )));
+        }
+        let version = u32::from_be_bytes(buf[8..12].try_into().expect("fixed width"));
+        if version != META_VERSION {
+            return Err(EngineError::Config(format!(
+                "unknown engine metadata version {version}"
+            )));
+        }
+        Ok(Some(EngineMeta {
+            partitions: u32::from_be_bytes(buf[12..16].try_into().expect("fixed width")),
+            file_backend: buf[16] != 0,
+        }))
+    }
+
+    /// Refuses configurations that would silently orphan persisted data.
+    fn check_compatible(&self, config: &EngineConfig) -> Result<(), EngineError> {
+        if !self.file_backend {
+            // Memory-backend databases carry their whole state in the WAL,
+            // which replays through the router per key — any partition
+            // count (and an upgrade to the file backend) is safe.
+            return Ok(());
+        }
+        if !config.scheme.backend.is_file() {
+            return Err(EngineError::Config(
+                "this database was created on the file backend; reopening with the \
+                 memory backend would ignore the checkpointed pages and silently drop \
+                 data — configure StorageBackend::File"
+                    .into(),
+            ));
+        }
+        if self.partitions as usize != config.scheme.partitions {
+            return Err(EngineError::Config(format!(
+                "this database was created with {} partitions; the on-disk layout is \
+                 fixed, but the config asks for {} — reopen with partitions({})",
+                self.partitions, config.scheme.partitions, self.partitions
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Directory of partition `i`'s on-disk stores (file backend only).
+fn partition_dir(db_dir: &Path, i: usize) -> PathBuf {
+    db_dir.join(format!("part-{i:03}"))
+}
+
+/// The per-partition scheme config: on the file backend each partition's
+/// stores are re-rooted under the database directory (whatever directory
+/// the caller put in `StorageBackend::File.dir` is only used when the
+/// config drives a standalone tree).
+fn partition_config(scheme: &SchemeConfig, db_dir: &Path, i: usize) -> SchemeConfig {
+    let mut config = scheme.clone();
+    if let StorageBackend::File { pool_pages, .. } = &scheme.backend {
+        config.backend = StorageBackend::File {
+            dir: partition_dir(db_dir, i),
+            pool_pages: *pool_pages,
+        };
+    }
+    config
+}
 
 impl SksDb {
     /// Opens (or creates) the database in `dir`. If a WAL exists its
     /// intact records are replayed; a torn tail is detected, reported via
     /// [`SksDb::recovery_report`], and scrubbed.
+    ///
+    /// On the memory backend every tree is rebuilt from the full log
+    /// ([`RecoveryPath::FullReplay`]). On the file backend persisted
+    /// partitions are reopened from their checkpointed pages and only the
+    /// log tail is replayed ([`RecoveryPath::TailReplay`]) — an O(tail)
+    /// restart instead of an O(dataset) one.
     pub fn open<P: AsRef<Path>>(dir: P, config: EngineConfig) -> Result<Arc<Self>, EngineError> {
         if config.scheme.partitions == 0 {
             return Err(EngineError::Config("partitions must be >= 1".into()));
         }
         std::fs::create_dir_all(&dir)?;
-        let wal_path = dir.as_ref().join(WAL_FILE);
+        let db_dir = dir.as_ref();
+        let wal_path = db_dir.join(WAL_FILE);
+
+        let stored_meta = EngineMeta::read(db_dir)?;
+        if let Some(meta) = &stored_meta {
+            meta.check_compatible(&config)?;
+        }
 
         let counters = OpCounters::new();
         let router = Router::new(&config.scheme, &counters)?;
-        let mut partitions = Vec::with_capacity(config.scheme.partitions);
-        for _ in 0..config.scheme.partitions {
-            partitions.push(EncipheredBTree::create_in_memory_with_counters(
-                config.scheme.clone(),
-                counters.clone(),
-            )?);
+        let n = config.scheme.partitions;
+        // Reopen persisted partitions only when *all* of them are present.
+        let persisted = config.scheme.backend.is_file()
+            && (0..n).all(|i| EncipheredBTree::exists_on_disk(partition_dir(db_dir, i)));
+        // A database the metadata says is file-backed but whose partition
+        // stores are (partially) missing is damaged: creating fresh trees
+        // would truncate the survivors and "recover" from a WAL that a
+        // checkpoint may already have emptied. Fail instead of losing
+        // data silently.
+        if !persisted && stored_meta.map(|m| m.file_backend).unwrap_or(false) {
+            return Err(EngineError::Config(
+                "partition stores are missing or damaged (engine metadata says this \
+                 database is file-backed); refusing to rebuild over them"
+                    .into(),
+            ));
+        }
+        let mut partitions = Vec::with_capacity(n);
+        for i in 0..n {
+            let part_config = partition_config(&config.scheme, db_dir, i);
+            partitions.push(if persisted {
+                EncipheredBTree::open_with_counters(part_config, counters.clone())?
+            } else {
+                EncipheredBTree::create_with_counters(part_config, counters.clone())?
+            });
         }
 
         let (wal, recovery) = if wal_path.exists() {
             let (wal, replay) =
                 Wal::open(&wal_path, config.wal_key(), config.sync, counters.clone())?;
-            let report = apply_replay(&mut partitions, &router, replay)?;
+            let mut report = apply_replay(&mut partitions, &router, replay)?;
+            report.path = if persisted {
+                RecoveryPath::TailReplay
+            } else {
+                RecoveryPath::FullReplay
+            };
             (wal, report)
         } else {
             let wal = Wal::create(
@@ -150,9 +295,16 @@ impl SksDb {
             )?;
             // The file's directory entry must be durable too, or a crash
             // could leave a database directory with no log at all.
-            sync_dir(dir.as_ref())?;
+            sync_dir(db_dir)?;
             (wal, RecoveryReport::default())
         };
+
+        // Persist the layout facts (last, once stores + log exist) so the
+        // next open can refuse incompatible configurations.
+        let meta = EngineMeta::of(&config);
+        if stored_meta != Some(meta) {
+            meta.write(db_dir)?;
+        }
 
         Ok(Arc::new(SksDb {
             partitions: partitions.into_iter().map(RwLock::new).collect(),
@@ -277,15 +429,30 @@ impl SksDb {
         Ok(())
     }
 
-    /// Compacts the WAL: snapshots the current contents as a fresh run of
-    /// insert records in a new log, atomically renames it over the old
-    /// one, and resumes logging there. Returns the number of live records
-    /// written. After a checkpoint, recovery replays only live state.
+    /// Checkpoint: truncates the replay work a reopen must do, then
+    /// resumes logging in a fresh WAL.
+    ///
+    /// * **Memory backend** — the log *is* the durable state, so the
+    ///   current contents are snapshotted as a fresh run of insert records
+    ///   in a new log (returned count = live records written).
+    /// * **File backend** — the trees themselves are durable: every
+    ///   partition's dirty pages are flushed through the journaled
+    ///   page-store checkpoint, after which the log holds nothing the
+    ///   disk image doesn't; the WAL is simply truncated to empty
+    ///   (returned count = 0). Recovery then replays only the tail of
+    ///   writes that arrive after this call.
+    ///
+    /// Crash safety: the old WAL is replaced only *after* the new durable
+    /// state (snapshot log or flushed pages) is on disk, via an atomic
+    /// rename + directory fsync. A crash anywhere in between recovers
+    /// from the old log; replaying it over already-flushed pages
+    /// converges because record pointers are never reused and logged
+    /// operations are last-writer-wins per key.
     pub fn checkpoint(&self) -> Result<u64, EngineError> {
         // Write lock every partition (index order — the only multi-
         // partition lock site, so no ordering conflicts), freezing a
         // consistent global state.
-        let guards: Vec<_> = self
+        let mut guards: Vec<_> = self
             .partitions
             .iter()
             .map(|p| p.write().expect("partition lock"))
@@ -303,25 +470,33 @@ impl SksDb {
             self.config.sync,
             OpCounters::new(),
         )?;
-        // Stream the snapshot in bounded key windows so peak memory is one
-        // window per step, not a full-partition clone held while every
-        // write lock is stalled. Keys live in `0..=capacity` by
-        // construction (SchemeConfig's domain), so the sweep terminates.
-        const WINDOW: u64 = 4096;
-        let max_key = self.config.scheme.capacity;
         let mut written = 0u64;
-        for guard in &guards {
-            let mut lo = 0u64;
-            loop {
-                let hi = lo.saturating_add(WINDOW - 1).min(max_key);
-                for (key, value) in guard.range(lo, hi)? {
-                    fresh.append_insert(key, &value)?;
-                    written += 1;
+        if self.config.scheme.backend.is_file() {
+            // Durability lives in the tree pages: make them so.
+            for guard in &mut guards {
+                guard.flush()?;
+            }
+        } else {
+            // Stream the snapshot in bounded key windows so peak memory is
+            // one window per step, not a full-partition clone held while
+            // every write lock is stalled. Keys live in `0..=capacity` by
+            // construction (SchemeConfig's domain), so the sweep
+            // terminates.
+            const WINDOW: u64 = 4096;
+            let max_key = self.config.scheme.capacity;
+            for guard in &guards {
+                let mut lo = 0u64;
+                loop {
+                    let hi = lo.saturating_add(WINDOW - 1).min(max_key);
+                    for (key, value) in guard.range(lo, hi)? {
+                        fresh.append_insert(key, &value)?;
+                        written += 1;
+                    }
+                    if hi >= max_key {
+                        break;
+                    }
+                    lo = hi + 1;
                 }
-                if hi >= max_key {
-                    break;
-                }
-                lo = hi + 1;
             }
         }
         fresh.flush()?;
@@ -337,22 +512,27 @@ impl SksDb {
         *wal = fresh;
         Ok(written)
     }
+
+    /// Flushes every partition's pages and the WAL to stable storage
+    /// without truncating the log — a graceful-shutdown helper for the
+    /// file backend (the next open still tail-replays, but the page
+    /// stores are current).
+    pub fn flush_pages(&self) -> Result<(), EngineError> {
+        let mut guards: Vec<_> = self
+            .partitions
+            .iter()
+            .map(|p| p.write().expect("partition lock"))
+            .collect();
+        for guard in &mut guards {
+            guard.flush()?;
+        }
+        self.wal.lock().expect("wal lock").flush()
+    }
 }
 
 /// Makes directory-entry mutations (create, rename) durable.
 fn sync_dir(dir: &Path) -> Result<(), EngineError> {
-    // Opening a directory for fsync is a unix concept; on Windows
-    // directory entries are synced with the volume and File::open on a
-    // directory fails outright, so this is a no-op there.
-    #[cfg(unix)]
-    {
-        std::fs::File::open(dir)?.sync_all()?;
-    }
-    #[cfg(not(unix))]
-    {
-        let _ = dir;
-    }
-    Ok(())
+    Ok(sks_storage::sync_dir(dir)?)
 }
 
 impl std::fmt::Debug for SksDb {

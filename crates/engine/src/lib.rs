@@ -16,8 +16,17 @@
 //!   group commit under a [`sks_storage::SyncPolicy`], torn-tail detection
 //!   and scrubbing.
 //! * [`recovery`] — replay of the log into the partitions on open, with a
-//!   [`RecoveryReport`] describing what was found.
+//!   [`RecoveryReport`] describing what was found and which
+//!   [`RecoveryPath`] was taken (full replay for memory-backed trees,
+//!   tail-only replay for checkpointed file-backed trees).
 //! * [`error`] — [`EngineError`].
+//!
+//! The backing store for the trees themselves is pluggable through
+//! [`sks_core::StorageBackend`]: `Memory` reproduces the paper's
+//! simulated-device experiments (durability via full log replay), while
+//! `File` puts the enciphered node/record pages on disk behind a no-steal
+//! buffer pool, turning checkpoints into page flushes + log truncation
+//! and restarts into O(tail) instead of O(dataset).
 //!
 //! ```
 //! use sks_core::{Scheme, SchemeConfig};
@@ -42,5 +51,5 @@ pub mod wal;
 
 pub use db::{EngineConfig, Session, SksDb};
 pub use error::EngineError;
-pub use recovery::RecoveryReport;
+pub use recovery::{RecoveryPath, RecoveryReport};
 pub use wal::{Wal, WalOp, WalRecord, WalReplay};

@@ -1,10 +1,21 @@
 //! Crash recovery: replaying a WAL into the partitioned tree on open.
 //!
-//! The engine's trees live in memory (the enciphered node/data blocks are
-//! `MemDisk`-backed, as in the paper's experiments); durability comes from
-//! the log. On open the engine replays every intact record through the
-//! same router/partition path a live write takes, so the recovered state
-//! is bit-for-bit the state a non-crashed process would hold.
+//! What replay costs depends on the backend. With memory-backed trees
+//! (the paper's experimental setup) the log is the *only* durable state,
+//! so the entire history since the last checkpoint rewrite is replayed —
+//! [`RecoveryPath::FullReplay`]. With the file backend the checkpointed
+//! tree pages are already on disk; the persisted partitions are opened
+//! and only the WAL *tail* (writes since the last checkpoint) is
+//! replayed — [`RecoveryPath::TailReplay`], an O(tail) restart. Either
+//! way records go through the same router/partition path a live write
+//! takes, so the recovered state is bit-for-bit the state a non-crashed
+//! process would hold.
+//!
+//! Tail replay is sound against a checkpoint that was interrupted
+//! half-way: re-applying a log whose effects are partially present
+//! converges, because record pointers are never reused (the data store
+//! only ever appends) and every logged operation has last-writer-wins
+//! semantics on its key.
 
 use sks_core::EncipheredBTree;
 
@@ -12,9 +23,25 @@ use crate::db::Router;
 use crate::error::EngineError;
 use crate::wal::{WalOp, WalRecord, WalReplay};
 
+/// Which recovery path [`crate::SksDb::open`] took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryPath {
+    /// Fresh database: no log existed, nothing to recover.
+    #[default]
+    ColdStart,
+    /// Memory backend (or missing on-disk partitions): the whole state
+    /// was rebuilt by replaying the entire log.
+    FullReplay,
+    /// File backend: persisted partitions were opened from their
+    /// checkpointed pages and only the log tail was replayed.
+    TailReplay,
+}
+
 /// What recovery did at open time.
 #[derive(Debug, Clone, Default)]
 pub struct RecoveryReport {
+    /// Which path recovery took (see [`RecoveryPath`]).
+    pub path: RecoveryPath,
     /// Intact records replayed into the tree.
     pub records_replayed: u64,
     /// Records whose re-application failed (e.g. a logged key that no

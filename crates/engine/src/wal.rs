@@ -46,7 +46,7 @@ use std::path::Path;
 
 use sks_crypto::modes::ctr_xor;
 use sks_crypto::speck::Speck64;
-use sks_storage::{BlockId, BlockStore, FileDisk, OpCounters, SyncPolicy};
+use sks_storage::{crc32, BlockId, BlockStore, FileDisk, OpCounters, SyncPolicy};
 
 use crate::error::EngineError;
 
@@ -85,35 +85,6 @@ pub struct WalReplay {
     pub torn_tail: bool,
     /// Bytes discarded past the last valid record.
     pub bytes_discarded: u64,
-}
-
-// IEEE CRC-32, table built at compile time.
-const CRC_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            c = if c & 1 != 0 {
-                0xEDB8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
-            bit += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-};
-
-fn crc32(data: &[u8]) -> u32 {
-    let mut c = 0xFFFF_FFFFu32;
-    for &b in data {
-        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
-    }
-    !c
 }
 
 fn splitmix64(mut x: u64) -> u64 {
@@ -874,11 +845,5 @@ mod tests {
         wal.append_insert(2, b"yes").unwrap();
         wal.commit().unwrap();
         std::fs::remove_file(&path).ok();
-    }
-
-    #[test]
-    fn crc32_known_vector() {
-        // IEEE CRC-32 of "123456789".
-        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
     }
 }

@@ -6,8 +6,8 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 
-use sks_core::{Scheme, SchemeConfig};
-use sks_engine::{EngineConfig, SksDb};
+use sks_core::{Scheme, SchemeConfig, StorageBackend};
+use sks_engine::{EngineConfig, RecoveryPath, SksDb};
 use sks_storage::SyncPolicy;
 
 fn tmpdir(name: &str) -> std::path::PathBuf {
@@ -18,6 +18,19 @@ fn tmpdir(name: &str) -> std::path::PathBuf {
 
 fn config(partitions: usize, capacity: u64) -> EngineConfig {
     EngineConfig::new(SchemeConfig::with_capacity(Scheme::Oval, capacity).partitions(partitions))
+}
+
+/// File-backend config: the engine re-roots each partition's stores under
+/// the database directory, so the backend's own `dir` is a placeholder.
+fn file_config(dir: &std::path::Path, partitions: usize, capacity: u64) -> EngineConfig {
+    EngineConfig::new(
+        SchemeConfig::with_capacity(Scheme::Oval, capacity)
+            .partitions(partitions)
+            .backend(StorageBackend::File {
+                dir: dir.to_path_buf(),
+                pool_pages: 64,
+            }),
+    )
 }
 
 fn record_for(k: u64) -> Vec<u8> {
@@ -315,6 +328,346 @@ fn out_of_domain_key_rejected_before_logging() {
         "doomed op must not reach the WAL"
     );
     assert_eq!(db.len(), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn file_backend_recovers_tail_only_after_checkpoint() {
+    let dir = tmpdir("file_tail");
+    const N: u64 = 300;
+    const TAIL: u64 = 40;
+    {
+        let db = SksDb::open(&dir, file_config(&dir, 4, 4096)).unwrap();
+        assert_eq!(
+            db.recovery_report().path,
+            RecoveryPath::ColdStart,
+            "fresh database"
+        );
+        let s = db.session();
+        for k in 0..N {
+            s.insert(k, record_for(k)).unwrap();
+        }
+        for k in (0..N).step_by(5) {
+            s.delete(k).unwrap();
+        }
+        // Checkpoint flushes the tree pages and truncates the WAL.
+        assert_eq!(
+            db.checkpoint().unwrap(),
+            0,
+            "file backend writes no snapshot log"
+        );
+        // Post-checkpoint tail: some fresh keys, one overwrite, one delete.
+        for k in N..N + TAIL {
+            s.insert(k, record_for(k)).unwrap();
+        }
+        s.insert(1, b"overwritten-after-checkpoint".to_vec())
+            .unwrap();
+        s.delete(2).unwrap();
+        // Dropped without flush: the tree pages on disk are still the
+        // checkpoint image; the tail lives only in the WAL.
+    }
+    let total_writes = N + N / 5 + TAIL + 2;
+    {
+        let db = SksDb::open(&dir, file_config(&dir, 4, 4096)).unwrap();
+        let report = db.recovery_report();
+        assert_eq!(report.path, RecoveryPath::TailReplay);
+        assert_eq!(
+            report.records_replayed,
+            TAIL + 2,
+            "only the post-checkpoint tail is replayed"
+        );
+        assert!(
+            report.records_replayed < total_writes,
+            "tail replay must be cheaper than the full history"
+        );
+        assert_eq!(report.records_skipped, 0);
+        db.validate().unwrap();
+        let s = db.session();
+        assert_eq!(s.get(1).unwrap().unwrap(), b"overwritten-after-checkpoint");
+        assert_eq!(s.get(2).unwrap(), None, "tail delete applied");
+        for k in 3..N {
+            let got = s.get(k).unwrap();
+            if k % 5 == 0 {
+                assert_eq!(got, None, "pre-checkpoint delete {k}");
+            } else {
+                assert_eq!(got.unwrap(), record_for(k), "checkpointed key {k}");
+            }
+        }
+        for k in N..N + TAIL {
+            assert_eq!(s.get(k).unwrap().unwrap(), record_for(k), "tail key {k}");
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn memory_backend_reports_full_replay() {
+    let dir = tmpdir("memory_path");
+    {
+        let db = SksDb::open(&dir, config(2, 256)).unwrap();
+        assert_eq!(db.recovery_report().path, RecoveryPath::ColdStart);
+        db.session().insert(1, b"x".to_vec()).unwrap();
+    }
+    let db = SksDb::open(&dir, config(2, 256)).unwrap();
+    assert_eq!(db.recovery_report().path, RecoveryPath::FullReplay);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn replaying_full_log_over_flushed_pages_converges() {
+    // A crash *between* "pages flushed" and "WAL truncated" (or a
+    // graceful flush with no checkpoint) leaves new pages + the full old
+    // log. Re-applying the whole history over its own effects must
+    // converge to the same state.
+    let dir = tmpdir("file_converge");
+    const N: u64 = 150;
+    {
+        let db = SksDb::open(&dir, file_config(&dir, 2, 2048)).unwrap();
+        let s = db.session();
+        for k in 0..N {
+            s.insert(k, record_for(k)).unwrap();
+        }
+        for k in (0..N).step_by(3) {
+            s.delete(k).unwrap();
+        }
+        // Pages durable, WAL *not* truncated.
+        db.flush_pages().unwrap();
+        for k in 0..20u64 {
+            s.insert(1000 + k, record_for(1000 + k)).unwrap();
+        }
+    }
+    let db = SksDb::open(&dir, file_config(&dir, 2, 2048)).unwrap();
+    let report = db.recovery_report();
+    assert_eq!(report.path, RecoveryPath::TailReplay);
+    assert_eq!(
+        report.records_replayed,
+        N + N.div_ceil(3) + 20,
+        "the whole (untruncated) log is re-applied"
+    );
+    db.validate().unwrap();
+    let s = db.session();
+    assert_eq!(db.len(), N - N.div_ceil(3) + 20);
+    for k in 0..N {
+        let got = s.get(k).unwrap();
+        if k % 3 == 0 {
+            assert_eq!(got, None, "deleted key {k}");
+        } else {
+            assert_eq!(got.unwrap(), record_for(k), "key {k}");
+        }
+    }
+    for k in 0..20u64 {
+        assert_eq!(s.get(1000 + k).unwrap().unwrap(), record_for(1000 + k));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn file_backend_writes_no_plaintext_to_any_disk_file() {
+    let dir = tmpdir("file_sealed");
+    // Keys with distinctive big-endian byte patterns inside the domain.
+    let secret_keys: Vec<u64> = vec![0xBEEF, 0xCAFE, 0xF00D, 0xFACE, 0xD00D, 0xB00B];
+    {
+        let db = SksDb::open(&dir, file_config(&dir, 2, 70_000)).unwrap();
+        let s = db.session();
+        for (i, &k) in secret_keys.iter().enumerate() {
+            s.insert(k, format!("ENGINE-TOP-SECRET-RECORD-{i:04}").into_bytes())
+                .unwrap();
+        }
+        // Both halves of the lifecycle write to disk: checkpointed pages
+        // and a fresh WAL tail.
+        db.checkpoint().unwrap();
+        for (i, &k) in secret_keys.iter().enumerate() {
+            s.insert(k, format!("ENGINE-TOP-SECRET-AGAIN-{i:04}").into_bytes())
+                .unwrap();
+        }
+    }
+    let mut scanned = 0usize;
+    let mut stack = vec![dir.clone()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                stack.push(path);
+                continue;
+            }
+            scanned += 1;
+            let raw = std::fs::read(&path).unwrap();
+            assert!(
+                !raw.windows(17).any(|w| w == &b"ENGINE-TOP-SECRET"[..]),
+                "plaintext record bytes leaked into {}",
+                path.display()
+            );
+            for &k in &secret_keys {
+                let needle = k.to_be_bytes();
+                assert!(
+                    !raw.windows(8).any(|w| w == needle),
+                    "plaintext key {k:#x} leaked into {}",
+                    path.display()
+                );
+            }
+        }
+    }
+    assert!(
+        scanned >= 7,
+        "expected wal + 2 partitions x (nodes, data, manifest), scanned {scanned}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn file_backend_wrong_key_fails_closed() {
+    let dir = tmpdir("file_wrong_key");
+    {
+        let db = SksDb::open(&dir, file_config(&dir, 2, 1024)).unwrap();
+        db.session().insert(3, b"sealed".to_vec()).unwrap();
+        db.checkpoint().unwrap();
+    }
+    let mut bad = file_config(&dir, 2, 1024);
+    bad.scheme.data_key ^= 0x100;
+    let err = SksDb::open(&dir, bad).map(|_| ()).unwrap_err();
+    assert!(
+        format!("{err}").contains("key mismatch"),
+        "wrong key must fail closed before touching pages, got: {err}"
+    );
+    // Nothing was damaged: the right key still opens and reads.
+    let db = SksDb::open(&dir, file_config(&dir, 2, 1024)).unwrap();
+    assert_eq!(db.session().get(3).unwrap().unwrap(), b"sealed");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn file_backend_survives_checkpoint_cycles_with_churn() {
+    let dir = tmpdir("file_churn");
+    let mut model = BTreeMap::new();
+    {
+        let db = SksDb::open(&dir, file_config(&dir, 4, 2048)).unwrap();
+        let s = db.session();
+        for round in 0..4u64 {
+            for k in 0..250u64 {
+                let v = format!("round-{round}-key-{k}").into_bytes();
+                s.insert(k, v.clone()).unwrap();
+                model.insert(k, v);
+            }
+            for k in (round..250u64).step_by(4) {
+                s.delete(k).unwrap();
+                model.remove(&k);
+            }
+            db.checkpoint().unwrap();
+        }
+        for k in 500..540u64 {
+            let v = record_for(k);
+            s.insert(k, v.clone()).unwrap();
+            model.insert(k, v);
+        }
+    }
+    let db = SksDb::open(&dir, file_config(&dir, 4, 2048)).unwrap();
+    assert_eq!(db.recovery_report().path, RecoveryPath::TailReplay);
+    assert_eq!(
+        db.recovery_report().records_replayed,
+        40,
+        "only the last round's tail"
+    );
+    db.validate().unwrap();
+    assert_eq!(db.len(), model.len() as u64);
+    let s = db.session();
+    for (&k, v) in &model {
+        assert_eq!(s.get(k).unwrap().as_ref(), Some(v), "key {k}");
+    }
+    let got = s.range(0, 2048).unwrap();
+    let want: Vec<(u64, Vec<u8>)> = model.iter().map(|(&k, v)| (k, v.clone())).collect();
+    assert_eq!(got, want, "full range matches the model after recovery");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn file_backend_refuses_incompatible_layouts() {
+    let dir = tmpdir("file_layout_guard");
+    {
+        let db = SksDb::open(&dir, file_config(&dir, 4, 1024)).unwrap();
+        let s = db.session();
+        for k in 0..100u64 {
+            s.insert(k, record_for(k)).unwrap();
+        }
+        db.checkpoint().unwrap(); // WAL now empty: the pages are the data
+    }
+    // Different partition count: the on-disk routing no longer matches.
+    let err = SksDb::open(&dir, file_config(&dir, 2, 1024))
+        .map(|_| ())
+        .unwrap_err();
+    assert!(format!("{err}").contains("partitions"), "got: {err}");
+    let err = SksDb::open(&dir, file_config(&dir, 8, 1024))
+        .map(|_| ())
+        .unwrap_err();
+    assert!(format!("{err}").contains("partitions"), "got: {err}");
+    // Memory backend over a file-backed database: would ignore the pages.
+    let err = SksDb::open(&dir, config(4, 1024)).map(|_| ()).unwrap_err();
+    assert!(format!("{err}").contains("file backend"), "got: {err}");
+    // A damaged partition set must not be silently truncated and rebuilt.
+    std::fs::remove_dir_all(dir.join("part-002")).unwrap();
+    let err = SksDb::open(&dir, file_config(&dir, 4, 1024))
+        .map(|_| ())
+        .unwrap_err();
+    assert!(
+        format!("{err}").contains("missing or damaged"),
+        "got: {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn memory_database_upgrades_to_file_backend() {
+    // A memory-backend database carries its whole state in the WAL, so
+    // reopening the same directory with the file backend is a lossless
+    // migration: full replay into fresh on-disk trees, tail replay after.
+    let dir = tmpdir("upgrade");
+    {
+        let db = SksDb::open(&dir, config(4, 512)).unwrap();
+        let s = db.session();
+        for k in 0..200u64 {
+            s.insert(k, record_for(k)).unwrap();
+        }
+    }
+    {
+        let db = SksDb::open(&dir, file_config(&dir, 4, 512)).unwrap();
+        assert_eq!(db.recovery_report().path, RecoveryPath::FullReplay);
+        assert_eq!(db.len(), 200);
+        db.checkpoint().unwrap();
+    }
+    {
+        let db = SksDb::open(&dir, file_config(&dir, 4, 512)).unwrap();
+        assert_eq!(db.recovery_report().path, RecoveryPath::TailReplay);
+        assert_eq!(db.len(), 200);
+        let s = db.session();
+        for k in 0..200u64 {
+            assert_eq!(s.get(k).unwrap().unwrap(), record_for(k), "key {k}");
+        }
+        // And the migrated database is now locked to the file backend.
+        drop(s);
+    }
+    let err = SksDb::open(&dir, config(4, 512)).map(|_| ()).unwrap_err();
+    assert!(format!("{err}").contains("file backend"), "got: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn memory_backend_still_reopens_with_different_partition_count() {
+    // The WAL replays per key through the router, so the memory backend
+    // keeps its layout independence.
+    let dir = tmpdir("memory_repartition");
+    {
+        let db = SksDb::open(&dir, config(2, 512)).unwrap();
+        let s = db.session();
+        for k in 0..150u64 {
+            s.insert(k, record_for(k)).unwrap();
+        }
+    }
+    let db = SksDb::open(&dir, config(6, 512)).unwrap();
+    assert_eq!(db.len(), 150);
+    db.validate().unwrap();
+    let s = db.session();
+    for k in 0..150u64 {
+        assert_eq!(s.get(k).unwrap().unwrap(), record_for(k), "key {k}");
+    }
     std::fs::remove_dir_all(&dir).ok();
 }
 

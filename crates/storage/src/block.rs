@@ -107,7 +107,69 @@ pub trait BlockStore {
     fn flush(&mut self) -> Result<(), StorageError> {
         Ok(())
     }
+
+    /// The opponent's view of the medium: every block's raw bytes in block
+    /// order, freed blocks included. For buffered stores this is what is
+    /// physically *on the device*, not what the cache holds. The default
+    /// reads through the legal path and renders freed blocks as zeros;
+    /// concrete devices override with the true stolen-disk image.
+    fn raw_image(&self) -> Result<Vec<Vec<u8>>, StorageError> {
+        (0..self.num_blocks())
+            .map(|i| match self.read_block_vec(BlockId(i)) {
+                Ok(b) => Ok(b),
+                Err(StorageError::FreedBlock { .. }) => Ok(vec![0u8; self.block_size()]),
+                Err(e) => Err(e),
+            })
+            .collect()
+    }
 }
+
+/// A boxed store is a store — this is what lets the enciphered tree hold a
+/// `Box<dyn BlockStore + Send + Sync>` and stay backend-agnostic.
+impl<S: BlockStore + ?Sized> BlockStore for Box<S> {
+    fn block_size(&self) -> usize {
+        (**self).block_size()
+    }
+
+    fn num_blocks(&self) -> u32 {
+        (**self).num_blocks()
+    }
+
+    fn allocate(&mut self) -> Result<BlockId, StorageError> {
+        (**self).allocate()
+    }
+
+    fn free(&mut self, id: BlockId) -> Result<(), StorageError> {
+        (**self).free(id)
+    }
+
+    fn read_block(&self, id: BlockId, buf: &mut [u8]) -> Result<(), StorageError> {
+        (**self).read_block(id, buf)
+    }
+
+    fn write_block(&mut self, id: BlockId, data: &[u8]) -> Result<(), StorageError> {
+        (**self).write_block(id, data)
+    }
+
+    fn counters(&self) -> &crate::OpCounters {
+        (**self).counters()
+    }
+
+    fn read_block_vec(&self, id: BlockId) -> Result<Vec<u8>, StorageError> {
+        (**self).read_block_vec(id)
+    }
+
+    fn flush(&mut self) -> Result<(), StorageError> {
+        (**self).flush()
+    }
+
+    fn raw_image(&self) -> Result<Vec<Vec<u8>>, StorageError> {
+        (**self).raw_image()
+    }
+}
+
+/// The boxed-store type the backend-agnostic layers above hold.
+pub type DynBlockStore = Box<dyn BlockStore + Send + Sync>;
 
 #[cfg(test)]
 mod tests {

@@ -19,6 +19,11 @@ pub struct BufferPool<S: BlockStore> {
     /// LRU order: front = least recently used. Small capacities only, so a
     /// Vec scan is fine (and keeps the structure obviously correct).
     lru: Vec<BlockId>,
+    /// No-steal policy: dirty frames are pinned and never written back by
+    /// eviction. The pool then exceeds `capacity` rather than flush — the
+    /// discipline checkpointed file backends need, where the on-disk image
+    /// must stay a consistent snapshot between explicit checkpoints.
+    no_steal: bool,
 }
 
 #[derive(Debug)]
@@ -35,7 +40,17 @@ impl<S: BlockStore> BufferPool<S> {
             capacity,
             frames: HashMap::with_capacity(capacity),
             lru: Vec::with_capacity(capacity),
+            no_steal: false,
         }
+    }
+
+    /// A pool that pins dirty frames (see the `no_steal` field): eviction
+    /// only ever drops clean frames, so the backing store is mutated
+    /// exclusively by [`BufferPool::flush`]-time write-back.
+    pub fn new_no_steal(store: S, capacity: usize) -> Self {
+        let mut pool = Self::new(store, capacity);
+        pool.no_steal = true;
+        pool
     }
 
     fn touch(&mut self, id: BlockId) {
@@ -47,7 +62,20 @@ impl<S: BlockStore> BufferPool<S> {
 
     fn evict_if_needed(&mut self) -> Result<(), StorageError> {
         while self.frames.len() > self.capacity {
-            let victim = self.lru.remove(0);
+            let victim = if self.no_steal {
+                // Least-recently-used *clean* frame — excluding the MRU
+                // slot, which is the frame the caller is in the middle of
+                // handing out (a just-missed read) and must stay resident.
+                // With no other clean frame the pool grows past capacity
+                // until the next checkpoint.
+                let candidates = &self.lru[..self.lru.len() - 1];
+                match candidates.iter().position(|id| !self.frames[id].dirty) {
+                    Some(pos) => self.lru.remove(pos),
+                    None => return Ok(()),
+                }
+            } else {
+                self.lru.remove(0)
+            };
             if let Some(frame) = self.frames.remove(&victim) {
                 if frame.dirty {
                     self.store.write_block(victim, &frame.data)?;
@@ -115,6 +143,36 @@ impl<S: BlockStore> BufferPool<S> {
         if let Some(pos) = self.lru.iter().position(|&x| x == id) {
             self.lru.remove(pos);
         }
+    }
+
+    /// Snapshot of every dirty frame, in block order — the write set a
+    /// journaled checkpoint must make durable.
+    pub fn dirty_frames(&self) -> Vec<(BlockId, Vec<u8>)> {
+        let mut dirty: Vec<(BlockId, Vec<u8>)> = self
+            .frames
+            .iter()
+            .filter(|(_, f)| f.dirty)
+            .map(|(&id, f)| (id, f.data.clone()))
+            .collect();
+        dirty.sort_unstable_by_key(|&(id, _)| id);
+        dirty
+    }
+
+    /// Declares every cached frame clean *without* writing anything — the
+    /// checkpoint already persisted the dirty set through its own path.
+    pub fn mark_all_clean(&mut self) {
+        for frame in self.frames.values_mut() {
+            frame.dirty = false;
+        }
+    }
+
+    /// Number of cached frames (may exceed `capacity` under no-steal).
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
     }
 
     pub fn capacity(&self) -> usize {
@@ -229,6 +287,58 @@ mod tests {
         pool.write(BlockId(0), &[0xEE; 64]).unwrap();
         let store = pool.into_store().unwrap();
         assert_eq!(store.read_block_vec(BlockId(0)).unwrap(), vec![0xEE; 64]);
+    }
+
+    #[test]
+    fn no_steal_pins_dirty_frames_past_capacity() {
+        let disk = disk_with_blocks(4);
+        let mut pool = BufferPool::new_no_steal(disk, 2);
+        pool.write(BlockId(0), &[0xA0; 64]).unwrap();
+        pool.write(BlockId(1), &[0xA1; 64]).unwrap();
+        pool.write(BlockId(2), &[0xA2; 64]).unwrap();
+        assert_eq!(pool.len(), 3, "dirty frames must not be evicted");
+        let s = pool.store().counters().snapshot();
+        assert_eq!(s.block_writes, 4, "only the fixture writes hit the disk");
+        // Clean frames are still evictable: mark clean and trigger eviction.
+        pool.mark_all_clean();
+        let _ = pool.read(BlockId(3)).unwrap();
+        assert!(pool.len() <= 2, "clean frames shrink back to capacity");
+        // Nothing was ever written back.
+        assert_eq!(
+            pool.store().read_block_vec(BlockId(0)).unwrap(),
+            vec![0u8; 64]
+        );
+    }
+
+    #[test]
+    fn no_steal_read_miss_with_all_dirty_pool_survives() {
+        // Regression: with the pool full of pinned dirty frames, a read
+        // miss inserts a clean frame that is the *only* eviction
+        // candidate; it must not be evicted out from under the caller.
+        let disk = disk_with_blocks(4);
+        let mut pool = BufferPool::new_no_steal(disk, 2);
+        pool.write(BlockId(0), &[0xA0; 64]).unwrap();
+        pool.write(BlockId(1), &[0xA1; 64]).unwrap();
+        assert_eq!(pool.read(BlockId(2)).unwrap(), &[2u8; 64][..]);
+        assert_eq!(pool.read(BlockId(3)).unwrap(), &[3u8; 64][..]);
+        // Dirty frames never hit the store.
+        assert_eq!(
+            pool.store().read_block_vec(BlockId(0)).unwrap(),
+            vec![0u8; 64]
+        );
+    }
+
+    #[test]
+    fn dirty_frames_reports_the_write_set() {
+        let disk = disk_with_blocks(3);
+        let mut pool = BufferPool::new_no_steal(disk, 4);
+        pool.write(BlockId(2), &[2; 64]).unwrap();
+        pool.write(BlockId(0), &[0; 64]).unwrap();
+        let _ = pool.read(BlockId(1)).unwrap();
+        let dirty: Vec<u32> = pool.dirty_frames().iter().map(|(id, _)| id.0).collect();
+        assert_eq!(dirty, vec![0, 2], "sorted, clean read frame excluded");
+        pool.mark_all_clean();
+        assert!(pool.dirty_frames().is_empty());
     }
 
     #[test]

@@ -16,6 +16,53 @@ const MAGIC: &[u8; 8] = b"SKSBTRE1";
 const HEADER_LEN: u64 = 8192;
 const NO_FREE: u32 = u32::MAX;
 
+/// Makes directory-entry mutations (create, remove, rename) durable.
+/// Opening a directory for fsync is a unix concept; on Windows directory
+/// entries are synced with the volume and `File::open` on a directory
+/// fails outright, so this is a no-op there.
+pub fn sync_dir(dir: &Path) -> Result<(), StorageError> {
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+    }
+    Ok(())
+}
+
+// IEEE CRC-32, table built at compile time. Shared by the paged store's
+// checkpoint journal and the engine's WAL framing.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC-32 over `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
 /// File-backed block device.
 #[derive(Debug)]
 pub struct FileDisk {
@@ -213,6 +260,61 @@ impl FileDisk {
         self.file.sync_all()?;
         Ok(())
     }
+
+    /// Walks the persisted free chain into pop order: `result.last()` is
+    /// the next block [`FileDisk::allocate`] would hand out. A layer that
+    /// shadows allocation in memory (the paged store) reads its free stack
+    /// from here on open.
+    pub fn free_list_chain(&self) -> Result<Vec<u32>, StorageError> {
+        let mut chain = Vec::new();
+        let mut cur = self.free_head;
+        while cur != NO_FREE {
+            if cur >= self.num_blocks || chain.len() as u32 >= self.num_blocks {
+                return Err(StorageError::Corrupt(format!(
+                    "free chain escapes the device at block {cur}"
+                )));
+            }
+            chain.push(cur);
+            let block = self.read_raw(BlockId(cur))?;
+            cur = u32::from_be_bytes(block[0..4].try_into().expect("4-byte link"));
+        }
+        chain.reverse();
+        Ok(chain)
+    }
+
+    /// Imposes a complete allocation state: grows the device to
+    /// `num_blocks` (never shrinks) and rebuilds the intrusive free chain
+    /// so that pops come off the *end* of `free_stack`. Idempotent for
+    /// fixed arguments — a checkpoint journal can re-apply it after a
+    /// crash mid-way through a previous application. The header is left to
+    /// the caller's [`BlockStore::flush`].
+    pub fn restore_allocation(
+        &mut self,
+        num_blocks: u32,
+        free_stack: &[u32],
+    ) -> Result<(), StorageError> {
+        while self.num_blocks < num_blocks {
+            let id = BlockId(self.num_blocks);
+            self.write_raw(id, &vec![0u8; self.block_size])?;
+            self.num_blocks += 1;
+        }
+        let mut next = NO_FREE;
+        for &id in free_stack {
+            if id >= num_blocks {
+                return Err(StorageError::OutOfRange {
+                    id,
+                    len: num_blocks,
+                });
+            }
+            let mut block = vec![0u8; self.block_size];
+            block[0..4].copy_from_slice(&next.to_be_bytes());
+            self.write_raw(BlockId(id), &block)?;
+            next = id;
+        }
+        self.free_head = next;
+        self.write_header()?;
+        Ok(())
+    }
 }
 
 impl BlockStore for FileDisk {
@@ -286,6 +388,10 @@ impl BlockStore for FileDisk {
         self.file.sync_all()?;
         Ok(())
     }
+
+    fn raw_image(&self) -> Result<Vec<Vec<u8>>, StorageError> {
+        FileDisk::raw_image(self)
+    }
 }
 
 #[cfg(test)]
@@ -335,6 +441,33 @@ mod tests {
             assert_eq!(again, BlockId(0), "freed block is reused after reopen");
             assert_eq!(disk.num_blocks(), 2);
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // IEEE CRC-32 of "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn restore_allocation_round_trips_the_free_chain() {
+        let path = tmpfile("restore_alloc");
+        let mut disk = FileDisk::create(&path, 64).unwrap();
+        disk.restore_allocation(5, &[3, 1, 4]).unwrap();
+        disk.flush().unwrap();
+        assert_eq!(disk.num_blocks(), 5);
+        assert_eq!(disk.free_list_chain().unwrap(), vec![3, 1, 4]);
+        // Idempotent: applying the same end state again changes nothing.
+        disk.restore_allocation(5, &[3, 1, 4]).unwrap();
+        assert_eq!(disk.free_list_chain().unwrap(), vec![3, 1, 4]);
+        drop(disk);
+        let mut disk = FileDisk::open(&path).unwrap();
+        assert_eq!(disk.free_list_chain().unwrap(), vec![3, 1, 4]);
+        // Pop order: 4 first (end of the stack).
+        assert_eq!(disk.allocate().unwrap(), BlockId(4));
+        assert_eq!(disk.allocate().unwrap(), BlockId(1));
+        assert_eq!(disk.allocate().unwrap(), BlockId(3));
         std::fs::remove_file(&path).ok();
     }
 

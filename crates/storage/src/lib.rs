@@ -5,12 +5,16 @@
 //! Bayer & Metzger place the encryption module at the memory↔disk boundary;
 //! this crate provides that boundary with exact accounting:
 //!
-//! * [`block`] — the [`BlockStore`] trait and error types.
+//! * [`block`] — the [`BlockStore`] trait, the boxed [`DynBlockStore`]
+//!   alias the backend-agnostic layers hold, and error types.
 //! * [`memdisk`] — in-memory device; [`MemDisk::raw_image`] is the
 //!   opponent's view of the stolen medium.
 //! * [`filedisk`] — file-backed device with a persistent free list.
-//! * [`bufferpool`] — write-back LRU cache at the memory↔disk boundary.
-//! * [`cached`] — [`CachedStore`]: the pool wrapped back into a [`BlockStore`].
+//! * [`bufferpool`] — write-back LRU cache at the memory↔disk boundary,
+//!   with an optional no-steal (pin-dirty) policy.
+//! * [`paged`] — [`PagedFileStore`]: the file backend's store — the pool
+//!   over a [`FileDisk`] with shadowed allocation and journaled, crash-
+//!   atomic checkpoints.
 //! * [`counters`] — shared atomic [`OpCounters`]: block I/O, cache traffic,
 //!   and every class of cryptographic operation the paper's claims count.
 //! * [`pagerw`] — bounds-checked big-endian page cursors for node codecs.
@@ -19,18 +23,18 @@
 
 pub mod block;
 pub mod bufferpool;
-pub mod cached;
 pub mod counters;
 pub mod filedisk;
 pub mod memdisk;
+pub mod paged;
 pub mod pagerw;
 pub mod sync;
 
-pub use block::{BlockId, BlockStore, StorageError};
+pub use block::{BlockId, BlockStore, DynBlockStore, StorageError};
 pub use bufferpool::BufferPool;
-pub use cached::CachedStore;
 pub use counters::{OpCounters, OpCountersInner, OpSnapshot};
-pub use filedisk::FileDisk;
+pub use filedisk::{crc32, sync_dir, FileDisk};
 pub use memdisk::MemDisk;
+pub use paged::PagedFileStore;
 pub use pagerw::{PageOverflow, PageReader, PageWriter};
 pub use sync::SyncPolicy;

@@ -121,6 +121,10 @@ impl BlockStore for MemDisk {
     fn counters(&self) -> &OpCounters {
         &self.counters
     }
+
+    fn raw_image(&self) -> Result<Vec<Vec<u8>>, StorageError> {
+        Ok(MemDisk::raw_image(self))
+    }
 }
 
 #[cfg(test)]

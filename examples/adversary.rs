@@ -64,7 +64,7 @@ fn main() {
     ] {
         let tree = build(scheme, n);
         let truth = truth_of(&tree);
-        let image = DiskImage::new(tree.block_size(), tree.raw_node_image());
+        let image = DiskImage::new(tree.block_size(), tree.raw_node_image().expect("raw image"));
         let report = AttackReport::run(scheme.name(), &image, &FormatKnowledge::default(), &truth);
         println!("{}", report.row());
     }

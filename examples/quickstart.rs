@@ -58,7 +58,7 @@ fn main() {
     tree.validate().expect("structurally sound");
 
     // What the opponent sees: the first node block of the raw image.
-    let image = tree.raw_node_image();
+    let image = tree.raw_node_image().expect("raw image");
     let first = image.iter().find(|b| b.iter().any(|&x| x != 0)).unwrap();
     println!("\nfirst non-empty raw node block (opponent's view, truncated):");
     for chunk in first.chunks(16).take(4) {

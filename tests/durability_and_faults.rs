@@ -4,7 +4,7 @@
 
 use sks_btree::btree::{BTree, CodecError, RecordPtr, TreeError};
 use sks_btree::core::{Scheme, SchemeConfig};
-use sks_btree::storage::{BlockId, BlockStore, CachedStore, FileDisk, MemDisk, OpCounters};
+use sks_btree::storage::{BlockId, BlockStore, FileDisk, MemDisk, OpCounters, PagedFileStore};
 
 fn tmpfile(name: &str) -> std::path::PathBuf {
     let mut p = std::env::temp_dir();
@@ -73,21 +73,22 @@ fn wrong_key_cannot_read_the_file() {
     std::fs::remove_file(&path).ok();
 }
 
-/// The same enciphered tree works unchanged behind the LRU block cache, and
-/// repeated lookups stop hitting the physical device while still paying
-/// decryptions (the cache sits *below* the crypto, like the paper's
-/// hardware unit).
+/// The same enciphered tree works unchanged behind the checkpointing
+/// paged file store, and repeated lookups stop hitting the physical
+/// device while still paying decryptions (the cache sits *below* the
+/// crypto, like the paper's hardware unit).
 #[test]
-fn enciphered_tree_behind_block_cache() {
+fn enciphered_tree_behind_paged_file_store() {
+    let path = tmpfile("paged_cache");
     let cfg = SchemeConfig::with_capacity(Scheme::Oval, 600);
     let counters = OpCounters::new();
     let (codec, _) = cfg.build_codec(&counters).unwrap();
-    let disk = MemDisk::with_counters(cfg.block_size, counters.clone());
-    let cached = CachedStore::new(disk, 64);
-    let mut tree = BTree::create(cached, codec).unwrap();
+    let store = PagedFileStore::create(&path, cfg.block_size, 64, counters.clone()).unwrap();
+    let mut tree = BTree::create(store, codec).unwrap();
     for k in 0..500u64 {
         tree.insert(k, RecordPtr(k)).unwrap();
     }
+    tree.flush().unwrap(); // checkpoint: pages reach the file, frames go clean
     counters.reset();
     for _ in 0..50 {
         assert_eq!(tree.get(123).unwrap(), Some(RecordPtr(123)));
@@ -105,6 +106,7 @@ fn enciphered_tree_behind_block_cache() {
         s.ptr_decrypts
     );
     tree.validate().unwrap();
+    std::fs::remove_file(&path).ok();
 }
 
 /// Flipping bytes anywhere in a node block is detected as a typed error on

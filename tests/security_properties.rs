@@ -54,7 +54,10 @@ fn raw_images_never_contain_plaintext() {
     ] {
         let tree = build(scheme, 200, 512);
         let needle = b"secret-";
-        for image in [tree.raw_node_image(), tree.raw_data_image()] {
+        for image in [
+            tree.raw_node_image().expect("raw image"),
+            tree.raw_data_image().expect("raw image"),
+        ] {
             let hit = image
                 .iter()
                 .any(|b| b.windows(needle.len()).any(|w| w == needle));
@@ -71,7 +74,7 @@ fn shape_recovery_separation() {
     let oval = build(Scheme::Oval, 250, 512);
     let report = |tree: &EncipheredBTree, name: &str| {
         let truth = truth_of(tree);
-        let image = DiskImage::new(tree.block_size(), tree.raw_node_image());
+        let image = DiskImage::new(tree.block_size(), tree.raw_node_image().expect("raw image"));
         AttackReport::run(name, &image, &FormatKnowledge::default(), &truth)
     };
     let rp = report(&plain, "plaintext");
@@ -91,7 +94,7 @@ fn shape_recovery_separation() {
 fn no_repeated_cryptograms_across_blocks() {
     for scheme in [Scheme::BayerMetzger, Scheme::BayerMetzgerPage, Scheme::Oval] {
         let tree = build(scheme, 400, 512);
-        let image = DiskImage::new(512, tree.raw_node_image());
+        let image = DiskImage::new(512, tree.raw_node_image().expect("raw image"));
         let (distinct, _) = sks_btree::attack::repeated_chunks(&image, 16);
         // The paper's point is that the *sealed* material never repeats. A
         // handful of collisions can occur in plaintext header areas for the

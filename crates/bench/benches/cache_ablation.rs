@@ -1,13 +1,18 @@
-//! Ablation: buffer-pool capacity under an enciphered point-lookup
-//! workload, on the real file backend. The cache sits *below* the crypto
-//! boundary (Bayer–Metzger's hardware-unit placement), so it removes
-//! physical I/O but not decryptions — this bench quantifies how much of
-//! the lookup cost is I/O versus cryptography at each capacity.
+//! Ablation over both cache layers on the real file backend.
+//!
+//! * **Buffer pool** (below the crypto boundary — Bayer–Metzger's
+//!   hardware-unit placement): removes physical I/O but not decryptions.
+//! * **Plaintext node cache** (above the crypto boundary): removes the
+//!   decipherments too, while the logical counters keep reporting the
+//!   paper's cost.
+//!
+//! Together the two axes quantify how much of an enciphered point lookup
+//! is I/O versus cryptography, and what each layer buys back.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use sks_btree_core::{BTree, RecordPtr};
-use sks_core::{Scheme, SchemeConfig};
+use sks_core::{EncipheredBTree, Scheme, SchemeConfig};
 use sks_storage::{OpCounters, PagedFileStore};
 
 fn bench_cache_sizes(c: &mut Criterion) {
@@ -43,9 +48,39 @@ fn bench_cache_sizes(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_node_cache_sizes(c: &mut Criterion) {
+    let n_keys = 2_000u64;
+    let mut group = c.benchmark_group("ablation_node_cache_capacity");
+    for node_cache in [0usize, 16, 128, 2048] {
+        let dir = std::env::temp_dir().join(format!(
+            "sks_bench_node_cache_ablation_{}_{node_cache}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = SchemeConfig::with_capacity(Scheme::Oval, n_keys + 2)
+            .on_disk(&dir)
+            .node_cache(node_cache);
+        let mut tree = EncipheredBTree::create(cfg).unwrap();
+        for k in 0..n_keys {
+            tree.insert(k, k.to_be_bytes().to_vec()).unwrap();
+        }
+        tree.flush().unwrap();
+        group.bench_function(BenchmarkId::from_parameter(node_cache), |b| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = (k + 37) % n_keys;
+                tree.get_pointer(std::hint::black_box(k)).unwrap()
+            });
+        });
+        drop(tree);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_cache_sizes
+    targets = bench_cache_sizes, bench_node_cache_sizes
 }
 criterion_main!(benches);

@@ -1,0 +1,191 @@
+//! `bench_report` — emits a `BENCH_*.json` snapshot of the headline
+//! performance numbers so the trajectory is tracked per PR:
+//!
+//! * **insert throughput** (engine, memory + file backend, group commit),
+//! * **recovery time** (full replay vs checkpointed tail replay),
+//! * **read-hot point reads** (plaintext node cache off vs on, file
+//!   backend) with the measured speedup.
+//!
+//! ```text
+//! bench_report [OUTPUT.json]        default: BENCH_current.json
+//! ```
+//!
+//! Numbers are medians of several short timed runs — stable enough to
+//! trend, cheap enough for CI.
+
+use std::time::Instant;
+
+use sks_core::{EncipheredBTree, Scheme, SchemeConfig, StorageBackend};
+use sks_engine::{EngineConfig, RecoveryPath, SksDb};
+use sks_storage::SyncPolicy;
+
+const KEY_SPACE: u64 = 8_192;
+const INSERTS: u64 = 2_000;
+const DATASET: u64 = 2_000;
+const TAIL: u64 = 64;
+const HOT_SET: u64 = 512;
+const HOT_PROBES: u64 = 20_000;
+const RUNS: usize = 5;
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("sks_bench_report_{}_{}", std::process::id(), name));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn record_for(k: u64) -> Vec<u8> {
+    format!("bench-report-record-{k:08}").into_bytes()
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    xs[xs.len() / 2]
+}
+
+fn engine_config(dir: &std::path::Path, file_backend: bool) -> EngineConfig {
+    let mut scheme = SchemeConfig::with_capacity(Scheme::Oval, KEY_SPACE + 64).partitions(4);
+    if file_backend {
+        scheme = scheme.backend(StorageBackend::File {
+            dir: dir.to_path_buf(),
+            pool_pages: 128,
+        });
+    }
+    EngineConfig::new(scheme).sync(SyncPolicy::EveryN(32))
+}
+
+/// Inserts/second on a fresh engine (median over RUNS).
+fn insert_throughput(file_backend: bool) -> f64 {
+    let label = if file_backend { "ins_file" } else { "ins_mem" };
+    let mut per_run = Vec::with_capacity(RUNS);
+    for run in 0..RUNS {
+        let dir = tmpdir(&format!("{label}_{run}"));
+        let db = SksDb::open(&dir, engine_config(&dir, file_backend)).expect("open");
+        let session = db.session();
+        let start = Instant::now();
+        for k in 0..INSERTS {
+            session.insert(k, record_for(k)).expect("insert");
+        }
+        let secs = start.elapsed().as_secs_f64();
+        per_run.push(INSERTS as f64 / secs);
+        drop(session);
+        drop(db);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    median(per_run)
+}
+
+/// Reopen latency in milliseconds (median over RUNS) after DATASET
+/// records, a checkpoint, and a TAIL-record tail.
+fn recovery_ms(file_backend: bool) -> f64 {
+    let label = if file_backend { "rec_file" } else { "rec_mem" };
+    let dir = tmpdir(label);
+    let cfg = engine_config(&dir, file_backend);
+    {
+        let db = SksDb::open(&dir, cfg.clone()).expect("open");
+        let session = db.session();
+        for k in 0..DATASET {
+            session.insert(k, record_for(k)).expect("prefill");
+        }
+        db.checkpoint().expect("checkpoint");
+        for k in 0..TAIL {
+            session.insert(k, record_for(k)).expect("tail");
+        }
+    }
+    let mut per_run = Vec::with_capacity(RUNS);
+    for _ in 0..RUNS {
+        let start = Instant::now();
+        let db = SksDb::open(&dir, cfg.clone()).expect("reopen");
+        per_run.push(start.elapsed().as_secs_f64() * 1e3);
+        let want = if file_backend {
+            RecoveryPath::TailReplay
+        } else {
+            RecoveryPath::FullReplay
+        };
+        assert_eq!(db.recovery_report().path, want);
+        assert_eq!(db.len(), DATASET);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    median(per_run)
+}
+
+/// Nanoseconds per re-probe-heavy point read on the file backend
+/// (median over RUNS), node cache off or on.
+fn read_hot_ns(node_cache: usize) -> f64 {
+    let dir = tmpdir(&format!("hot_{node_cache}"));
+    let cfg = SchemeConfig::with_capacity(Scheme::Oval, KEY_SPACE + 2)
+        .on_disk(&dir)
+        .node_cache(node_cache);
+    let items: Vec<(u64, Vec<u8>)> = (0..KEY_SPACE).map(|k| (k, record_for(k))).collect();
+    let mut tree = EncipheredBTree::bulk_create(cfg, &items).expect("bulk create");
+    tree.flush().expect("checkpoint");
+    // Warm buffer pool and node cache to the steady re-probe state.
+    for k in 0..HOT_SET {
+        assert!(tree.get_pointer(k * 7 % KEY_SPACE).unwrap().is_some());
+    }
+    let mut per_run = Vec::with_capacity(RUNS);
+    for _ in 0..RUNS {
+        let start = Instant::now();
+        for i in 0..HOT_PROBES {
+            let k = (i % HOT_SET) * 7 % KEY_SPACE;
+            std::hint::black_box(tree.get_pointer(std::hint::black_box(k)).unwrap());
+        }
+        per_run.push(start.elapsed().as_secs_f64() * 1e9 / HOT_PROBES as f64);
+    }
+    drop(tree);
+    std::fs::remove_dir_all(&dir).ok();
+    median(per_run)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_current.json".into());
+
+    eprintln!("bench_report: insert throughput…");
+    let ins_mem = insert_throughput(false);
+    let ins_file = insert_throughput(true);
+    eprintln!("bench_report: recovery…");
+    let rec_mem = recovery_ms(false);
+    let rec_file = recovery_ms(true);
+    eprintln!("bench_report: read-hot…");
+    let hot_off = read_hot_ns(0);
+    let hot_on = read_hot_ns(4_096);
+    let speedup = hot_off / hot_on;
+
+    let json = format!(
+        r#"{{
+  "suite": "sks-btree perf trajectory",
+  "config": {{
+    "scheme": "oval",
+    "partitions": 4,
+    "sync": "group-commit-32",
+    "inserts": {INSERTS},
+    "recovery_dataset": {DATASET},
+    "recovery_tail": {TAIL},
+    "read_hot_set": {HOT_SET}
+  }},
+  "insert_throughput_ops_per_s": {{
+    "memory_backend": {ins_mem:.1},
+    "file_backend": {ins_file:.1}
+  }},
+  "recovery_ms": {{
+    "memory_full_replay": {rec_mem:.2},
+    "file_tail_replay": {rec_file:.2}
+  }},
+  "read_hot_ns_per_op": {{
+    "file_cache_off": {hot_off:.1},
+    "file_cache_on": {hot_on:.1},
+    "cache_speedup": {speedup:.2}
+  }}
+}}
+"#
+    );
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("{json}");
+    eprintln!("bench_report: wrote {out_path}");
+    assert!(
+        speedup >= 2.0,
+        "read-hot cache speedup regressed below 2x: {speedup:.2}"
+    );
+}

@@ -10,6 +10,7 @@
 
 use sks_storage::{BlockId, OpCounters, PageOverflow, PageReader, PageWriter};
 
+use crate::cache::CachedNode;
 use crate::node::{Node, RecordPtr};
 
 /// Errors from node encoding/decoding.
@@ -81,6 +82,34 @@ pub trait NodeCodec {
 
     /// Human-readable scheme name for reports.
     fn name(&self) -> &'static str;
+
+    /// Whether this codec implements the plaintext-node-cache hooks
+    /// ([`NodeCodec::decode_for_cache`] / [`NodeCodec::probe_cached`]).
+    /// Codecs that do not opt in are simply never cached.
+    fn supports_node_cache(&self) -> bool {
+        false
+    }
+
+    /// Decodes a page into a cacheable plaintext entry *without bumping
+    /// any operation counters*: cache maintenance is physical work outside
+    /// the paper's cost model, which charges only the probes themselves.
+    fn decode_for_cache(&self, id: BlockId, page: &[u8]) -> Result<CachedNode, CodecError> {
+        let _ = (id, page);
+        Err(CodecError::Corrupt(
+            "codec does not support the node cache".into(),
+        ))
+    }
+
+    /// Searches a cached plaintext node, bumping *exactly* the counters a
+    /// raw-page [`NodeCodec::probe`] of the same page would bump — the
+    /// logical paper cost — while skipping the cryptographic work. The
+    /// returned [`Probe`] must be identical to the raw probe's.
+    fn probe_cached(&self, entry: &CachedNode, key: u64) -> Result<Probe, CodecError> {
+        let _ = (entry, key);
+        Err(CodecError::Corrupt(
+            "codec does not support the node cache".into(),
+        ))
+    }
 }
 
 /// Header layout shared by the provided codecs:
@@ -229,6 +258,47 @@ impl NodeCodec for PlainCodec {
 
     fn name(&self) -> &'static str {
         "plaintext"
+    }
+
+    fn supports_node_cache(&self) -> bool {
+        true
+    }
+
+    fn decode_for_cache(&self, id: BlockId, page: &[u8]) -> Result<CachedNode, CodecError> {
+        // Plain decoding touches no counters, so the normal path is
+        // already silent.
+        let page_len = page.len();
+        Ok(CachedNode {
+            node: self.decode(id, page)?,
+            raw_keys: Vec::new(),
+            page_len,
+        })
+    }
+
+    fn probe_cached(&self, entry: &CachedNode, key: u64) -> Result<Probe, CodecError> {
+        // The same binary search as `probe`, compare for compare.
+        let node = &entry.node;
+        let (mut lo, mut hi) = (0usize, node.n());
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            self.counters.bump(|c| &c.key_compares);
+            let k = node.keys[mid];
+            if k == key {
+                return Ok(Probe::Found {
+                    data_ptr: node.data_ptrs[mid],
+                });
+            } else if k < key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if node.is_leaf() {
+            return Ok(Probe::Missing);
+        }
+        Ok(Probe::Descend {
+            child: node.children[lo],
+        })
     }
 }
 

@@ -13,6 +13,7 @@
 
 use sks_storage::{BlockId, BlockStore, OpCounters, PageReader, PageWriter, StorageError};
 
+use crate::cache::NodeCache;
 use crate::codec::{CodecError, NodeCodec, Probe};
 use crate::node::{Node, NodeSearch, RecordPtr};
 
@@ -74,6 +75,10 @@ pub struct BTree<S: BlockStore, C: NodeCodec> {
     height: u32,
     /// CLRS minimum degree: nodes hold `t-1 ..= 2t-1` keys (root exempt).
     t: usize,
+    /// Plaintext node cache for the probe path (None = disabled). Entries
+    /// are invalidated on every node re-encode/free, so a cached decoding
+    /// always matches the page's current content.
+    cache: Option<NodeCache>,
 }
 
 impl<S: BlockStore, C: NodeCodec> BTree<S, C> {
@@ -203,6 +208,7 @@ impl<S: BlockStore, C: NodeCodec> BTree<S, C> {
             count: 0,
             height: 1,
             t,
+            cache: None,
         };
         let root = Node::leaf(root_id);
         tree.write_node(&root)?;
@@ -240,7 +246,25 @@ impl<S: BlockStore, C: NodeCodec> BTree<S, C> {
             count,
             height,
             t,
+            cache: None,
         })
+    }
+
+    /// Enables the plaintext node cache with room for `capacity` decoded
+    /// nodes (0 disables it). Only effective for codecs that implement the
+    /// cache hooks ([`NodeCodec::supports_node_cache`]); the logical
+    /// operation counters are unaffected either way.
+    pub fn enable_node_cache(&mut self, capacity: usize) {
+        self.cache = if capacity > 0 && self.codec.supports_node_cache() {
+            Some(NodeCache::new(capacity))
+        } else {
+            None
+        };
+    }
+
+    /// Nodes currently held decoded in the plaintext cache.
+    pub fn cached_nodes(&self) -> usize {
+        self.cache.as_ref().map(NodeCache::len).unwrap_or(0)
     }
 
     fn write_superblock(&mut self) -> Result<(), TreeError> {
@@ -274,6 +298,11 @@ impl<S: BlockStore, C: NodeCodec> BTree<S, C> {
     }
 
     fn write_node(&mut self, node: &Node) -> Result<(), TreeError> {
+        if let Some(cache) = &self.cache {
+            // Re-encoding changes the page's version: the old decoding
+            // must never serve another probe.
+            cache.invalidate(node.id);
+        }
         let mut page = vec![0u8; self.store.block_size()];
         self.codec.encode(node, &mut page)?;
         self.store.write_block(node.id, &page)?;
@@ -282,6 +311,13 @@ impl<S: BlockStore, C: NodeCodec> BTree<S, C> {
 
     fn allocate_node(&mut self) -> Result<BlockId, TreeError> {
         Ok(self.store.allocate()?)
+    }
+
+    fn free_node(&mut self, id: BlockId) -> Result<(), TreeError> {
+        if let Some(cache) = &self.cache {
+            cache.invalidate(id);
+        }
+        Ok(self.store.free(id)?)
     }
 
     // ---- accessors -----------------------------------------------------
@@ -335,18 +371,43 @@ impl<S: BlockStore, C: NodeCodec> BTree<S, C> {
     // ---- search --------------------------------------------------------
 
     /// Point lookup via raw-page probes — the paper's search path. Costs
-    /// exactly the decryptions the codec's scheme requires per node.
+    /// exactly the decryptions the codec's scheme requires per node
+    /// *logically*; with the plaintext node cache enabled, a cached node
+    /// serves the probe from RAM (zero physical decipherments) while the
+    /// counters still record the same logical cost.
     pub fn get(&self, key: u64) -> Result<Option<RecordPtr>, TreeError> {
         let mut cur = self.root;
         loop {
             self.counters().bump(|c| &c.node_visits);
-            let page = self.store.read_block_vec(cur)?;
-            match self.codec.probe(cur, &page, key)? {
+            match self.probe_node(cur, key)? {
                 Probe::Found { data_ptr } => return Ok(Some(data_ptr)),
                 Probe::Missing => return Ok(None),
                 Probe::Descend { child } => cur = child,
             }
         }
+    }
+
+    /// One node visit of the search path: served from the plaintext cache
+    /// on a hit, otherwise a raw-page probe that also fills the cache.
+    fn probe_node(&self, id: BlockId, key: u64) -> Result<Probe, TreeError> {
+        let Some(cache) = &self.cache else {
+            let page = self.store.read_block_vec(id)?;
+            return Ok(self.codec.probe(id, &page, key)?);
+        };
+        if let Some(entry) = cache.get(id) {
+            self.counters().bump(|c| &c.node_cache_hits);
+            return Ok(self.codec.probe_cached(&entry, key)?);
+        }
+        self.counters().bump(|c| &c.node_cache_misses);
+        let page = self.store.read_block_vec(id)?;
+        let probe = self.codec.probe(id, &page, key)?;
+        // Fill for the next probe. Decoding is counter-silent (physical
+        // work, not a logical operation); a decode failure — e.g. a
+        // corrupt entry the probe never crossed — just skips the fill.
+        if let Ok(entry) = self.codec.decode_for_cache(id, &page) {
+            cache.insert(id, entry);
+        }
+        Ok(probe)
     }
 
     /// `true` iff the key is present.
@@ -471,7 +532,7 @@ impl<S: BlockStore, C: NodeCodec> BTree<S, C> {
         if root_node.n() == 0 && !root_node.is_leaf() {
             let old_root = self.root;
             self.root = root_node.children[0];
-            self.store.free(old_root)?;
+            self.free_node(old_root)?;
             self.height -= 1;
         }
         self.write_superblock()?;
@@ -606,7 +667,7 @@ impl<S: BlockStore, C: NodeCodec> BTree<S, C> {
         parent.children.remove(i + 1);
         self.write_node(&left)?;
         self.write_node(parent)?;
-        self.store.free(right.id)?;
+        self.free_node(right.id)?;
         self.counters().bump(|c| &c.merges);
         Ok(())
     }

@@ -9,7 +9,7 @@
 
 use std::cell::RefCell;
 
-use sks_btree_core::{CodecError, Node, NodeCodec, Probe, RecordPtr, NODE_HEADER_LEN};
+use sks_btree_core::{CachedNode, CodecError, Node, NodeCodec, Probe, RecordPtr, NODE_HEADER_LEN};
 use sks_crypto::cipher::BlockCipher64;
 use sks_crypto::pagekey::PageKeyScheme;
 use sks_storage::{BlockId, OpCounters, PageReader, PageWriter};
@@ -222,6 +222,89 @@ impl NodeCodec for BayerMetzgerCodec {
 
     fn name(&self) -> &'static str {
         "bayer-metzger"
+    }
+
+    fn supports_node_cache(&self) -> bool {
+        true
+    }
+
+    fn decode_for_cache(&self, id: BlockId, page: &[u8]) -> Result<CachedNode, CodecError> {
+        // `decode`, counter-silent. No raw-key sidecar: the probe replay
+        // needs only the plaintext keys (the search compares decrypted
+        // keys, and their positions are plaintext order).
+        let cipher = self.pages.page_cipher(id.as_u64());
+        let mut r = PageReader::new(page);
+        let (is_leaf, n) = sks_btree_core::codec::read_header(&mut r, TAG, id)?;
+        let mut keys = Vec::with_capacity(n);
+        let mut data_ptrs = Vec::with_capacity(n);
+        let mut children = Vec::new();
+        if !is_leaf {
+            let ct = r.get_bytes(SEALED_TRIPLET_LEN)?;
+            let (_, _, p0) = self.unseal_triplet(cipher.as_ref(), ct, id.0)?;
+            children.push(BlockId(p0));
+        }
+        for _ in 0..n {
+            let ct = r.get_bytes(SEALED_TRIPLET_LEN)?;
+            let (k, a, p) = self.unseal_triplet(cipher.as_ref(), ct, id.0)?;
+            keys.push(k);
+            data_ptrs.push(RecordPtr(a));
+            if !is_leaf {
+                children.push(BlockId(p));
+            }
+        }
+        let node = Node {
+            id,
+            keys,
+            data_ptrs,
+            children,
+        };
+        node.check_shape().map_err(CodecError::Corrupt)?;
+        Ok(CachedNode {
+            node,
+            raw_keys: Vec::new(),
+            page_len: page.len(),
+        })
+    }
+
+    fn probe_cached(&self, entry: &CachedNode, key: u64) -> Result<Probe, CodecError> {
+        let node = &entry.node;
+        let n = node.n();
+        // The probe's memoised binary search-and-decrypt: each triplet
+        // charged one key decryption the first time it is touched.
+        let mut probed = vec![false; n];
+        let mut charge = |i: usize, counters: &OpCounters| {
+            if !probed[i] {
+                probed[i] = true;
+                counters.bump(|c| &c.key_decrypts);
+            }
+        };
+        let mut lo = 0usize;
+        let mut hi = n;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            self.counters.bump(|c| &c.key_compares);
+            charge(mid, &self.counters);
+            match node.keys[mid].cmp(&key) {
+                std::cmp::Ordering::Equal => {
+                    return Ok(Probe::Found {
+                        data_ptr: node.data_ptrs[mid],
+                    })
+                }
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+            }
+        }
+        if node.is_leaf() {
+            return Ok(Probe::Missing);
+        }
+        if lo == 0 {
+            self.counters.bump(|c| &c.ptr_decrypts);
+        } else {
+            charge(lo - 1, &self.counters);
+        }
+        Ok(Probe::Descend {
+            child: node.children[lo],
+        })
     }
 }
 

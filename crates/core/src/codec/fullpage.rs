@@ -7,7 +7,7 @@
 //! each probe pays `B/8` block decryptions versus `log₂ n` triplets
 //! (Bayer–Metzger refined) versus one pointer seal (the paper's scheme).
 
-use sks_btree_core::{CodecError, Node, NodeCodec, Probe, RecordPtr};
+use sks_btree_core::{CachedNode, CodecError, Node, NodeCodec, Probe, RecordPtr};
 use sks_crypto::cipher::BlockCipher64;
 use sks_crypto::pagekey::PageKeyScheme;
 use sks_storage::{BlockId, OpCounters, PageReader, PageWriter};
@@ -44,6 +44,13 @@ impl FullPageCodec {
     }
 
     fn decrypt_page(&self, cipher: &dyn BlockCipher64, page: &[u8]) -> Vec<u8> {
+        let out = Self::decrypt_page_silent(cipher, page);
+        self.counters
+            .bump_by(|c| &c.page_decrypts, Self::cipher_blocks(page.len()));
+        out
+    }
+
+    fn decrypt_page_silent(cipher: &dyn BlockCipher64, page: &[u8]) -> Vec<u8> {
         let mut out = vec![0u8; page.len()];
         let mut prev = 0u64;
         for (i, chunk) in page.chunks_exact(8).enumerate() {
@@ -52,8 +59,6 @@ impl FullPageCodec {
             out[i * 8..(i + 1) * 8].copy_from_slice(&b.to_be_bytes());
             prev = c;
         }
-        self.counters
-            .bump_by(|c| &c.page_decrypts, Self::cipher_blocks(page.len()));
         out
     }
 
@@ -153,6 +158,48 @@ impl NodeCodec for FullPageCodec {
 
     fn name(&self) -> &'static str {
         "bm-full-page"
+    }
+
+    fn supports_node_cache(&self) -> bool {
+        true
+    }
+
+    fn decode_for_cache(&self, id: BlockId, page: &[u8]) -> Result<CachedNode, CodecError> {
+        if !page.len().is_multiple_of(8) {
+            return Err(CodecError::Corrupt(
+                "page size must be a multiple of the cipher block (8)".into(),
+            ));
+        }
+        let cipher = self.pages.page_cipher(id.as_u64());
+        let plain = Self::decrypt_page_silent(cipher.as_ref(), page);
+        Ok(CachedNode {
+            node: self.decode_plain(id, &plain)?,
+            raw_keys: Vec::new(),
+            page_len: page.len(),
+        })
+    }
+
+    fn probe_cached(&self, entry: &CachedNode, key: u64) -> Result<Probe, CodecError> {
+        // A raw probe has no partial access: it always charges the whole
+        // page's worth of block decryptions before searching.
+        self.counters
+            .bump_by(|c| &c.page_decrypts, Self::cipher_blocks(entry.page_len));
+        let node = &entry.node;
+        match node.search(key) {
+            sks_btree_core::NodeSearch::Here(i) => Ok(Probe::Found {
+                data_ptr: node.data_ptrs[i],
+            }),
+            sks_btree_core::NodeSearch::Child(i) => {
+                self.counters.bump(|c| &c.key_compares);
+                if node.is_leaf() {
+                    Ok(Probe::Missing)
+                } else {
+                    Ok(Probe::Descend {
+                        child: node.children[i],
+                    })
+                }
+            }
+        }
     }
 }
 

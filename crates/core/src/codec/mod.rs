@@ -249,6 +249,41 @@ impl sks_btree_core::NodeCodec for AnyCodec {
             AnyCodec::FullPage(c) => c.name(),
         }
     }
+
+    fn supports_node_cache(&self) -> bool {
+        match self {
+            AnyCodec::Plain(c) => c.supports_node_cache(),
+            AnyCodec::Substitution(c) => c.supports_node_cache(),
+            AnyCodec::BayerMetzger(c) => c.supports_node_cache(),
+            AnyCodec::FullPage(c) => c.supports_node_cache(),
+        }
+    }
+
+    fn decode_for_cache(
+        &self,
+        id: sks_storage::BlockId,
+        page: &[u8],
+    ) -> Result<sks_btree_core::CachedNode, CodecError> {
+        match self {
+            AnyCodec::Plain(c) => c.decode_for_cache(id, page),
+            AnyCodec::Substitution(c) => c.decode_for_cache(id, page),
+            AnyCodec::BayerMetzger(c) => c.decode_for_cache(id, page),
+            AnyCodec::FullPage(c) => c.decode_for_cache(id, page),
+        }
+    }
+
+    fn probe_cached(
+        &self,
+        entry: &sks_btree_core::CachedNode,
+        key: u64,
+    ) -> Result<sks_btree_core::Probe, CodecError> {
+        match self {
+            AnyCodec::Plain(c) => c.probe_cached(entry, key),
+            AnyCodec::Substitution(c) => c.probe_cached(entry, key),
+            AnyCodec::BayerMetzger(c) => c.probe_cached(entry, key),
+            AnyCodec::FullPage(c) => c.probe_cached(entry, key),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@
 
 use std::sync::Arc;
 
-use sks_btree_core::{CodecError, Node, NodeCodec, Probe, RecordPtr, NODE_HEADER_LEN};
+use sks_btree_core::{CachedNode, CodecError, Node, NodeCodec, Probe, RecordPtr, NODE_HEADER_LEN};
 use sks_storage::{BlockId, OpCounters, PageReader, PageWriter};
 
 use crate::codec::{pack_payload, unpack_payload, TripletSealer, SEAL_PAYLOAD_LEN};
@@ -263,6 +263,138 @@ impl NodeCodec for SubstitutionCodec {
 
     fn name(&self) -> &'static str {
         "substitution"
+    }
+
+    fn supports_node_cache(&self) -> bool {
+        true
+    }
+
+    fn decode_for_cache(&self, id: BlockId, page: &[u8]) -> Result<CachedNode, CodecError> {
+        // `decode`, counter-silent, additionally retaining the raw
+        // disguised key fields so `probe_cached` can replay the probe's
+        // exact recover/compare sequence.
+        let mut r = PageReader::new(page);
+        let (is_leaf, n) = sks_btree_core::codec::read_header(&mut r, TAG, id)?;
+        let mut keys = Vec::with_capacity(n);
+        let mut raw_keys = Vec::with_capacity(n);
+        let mut data_ptrs = Vec::with_capacity(n);
+        let mut children = Vec::new();
+        if !is_leaf {
+            let ct = r.get_bytes(self.sealer.sealed_len())?;
+            let payload = self.sealer.unseal(ct)?;
+            let (_, p0) = unpack_payload(&payload, id.0)?;
+            children.push(BlockId(p0));
+        }
+        for _ in 0..n {
+            let disguised = r.get_u64()?;
+            let key = self
+                .disguise
+                .recover_uncounted(disguised)
+                .map_err(|e| CodecError::Corrupt(format!("recover failed: {e}")))?;
+            raw_keys.push(disguised);
+            keys.push(key);
+            let ct = r.get_bytes(self.sealer.sealed_len())?;
+            let payload = self.sealer.unseal(ct)?;
+            let (a, p) = unpack_payload(&payload, id.0)?;
+            data_ptrs.push(RecordPtr(a));
+            if !is_leaf {
+                children.push(BlockId(p));
+            }
+        }
+        let node = Node {
+            id,
+            keys,
+            data_ptrs,
+            children,
+        };
+        node.check_shape().map_err(CodecError::Corrupt)?;
+        Ok(CachedNode {
+            node,
+            raw_keys,
+            page_len: page.len(),
+        })
+    }
+
+    fn probe_cached(&self, entry: &CachedNode, key: u64) -> Result<Probe, CodecError> {
+        let node = &entry.node;
+        let n = node.n();
+        let is_leaf = node.is_leaf();
+
+        // The same in-node search as `probe`, over the retained raw key
+        // fields — including the real disguise/recover calls, so their
+        // counter profile (disguise_ops, recover_ops, dlog_ops …) is
+        // identical step for step. Only the pointer unseals are skipped.
+        let found: Result<usize, usize> = if self.disguise.order_preserving() {
+            match self.disguise.disguise(key) {
+                Ok(dq) => {
+                    let mut lo = 0usize;
+                    let mut hi = n;
+                    let mut hit = None;
+                    while lo < hi {
+                        let mid = (lo + hi) / 2;
+                        self.counters.bump(|c| &c.key_compares);
+                        match entry.raw_keys[mid].cmp(&dq) {
+                            std::cmp::Ordering::Equal => {
+                                hit = Some(mid);
+                                break;
+                            }
+                            std::cmp::Ordering::Less => lo = mid + 1,
+                            std::cmp::Ordering::Greater => hi = mid,
+                        }
+                    }
+                    match hit {
+                        Some(i) => Ok(i),
+                        None => Err(lo),
+                    }
+                }
+                Err(_) => Err(if n == 0 { 0 } else { n }),
+            }
+        } else {
+            let mut lo = 0usize;
+            let mut hi = n;
+            let mut hit = None;
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                self.counters.bump(|c| &c.key_compares);
+                let recovered = self
+                    .disguise
+                    .recover(entry.raw_keys[mid])
+                    .map_err(|e| CodecError::Corrupt(format!("recover failed: {e}")))?;
+                match recovered.cmp(&key) {
+                    std::cmp::Ordering::Equal => {
+                        hit = Some(mid);
+                        break;
+                    }
+                    std::cmp::Ordering::Less => lo = mid + 1,
+                    std::cmp::Ordering::Greater => hi = mid,
+                }
+            }
+            match hit {
+                Some(i) => Ok(i),
+                None => Err(lo),
+            }
+        };
+
+        match found {
+            Ok(i) => {
+                // The probe would unseal exactly entry i's pointer.
+                self.counters.bump(|c| &c.ptr_decrypts);
+                Ok(Probe::Found {
+                    data_ptr: node.data_ptrs[i],
+                })
+            }
+            Err(slot) => {
+                if is_leaf {
+                    return Ok(Probe::Missing);
+                }
+                // One pointer decryption either way (leftmost seal for
+                // slot 0, entry slot-1's seal otherwise).
+                self.counters.bump(|c| &c.ptr_decrypts);
+                Ok(Probe::Descend {
+                    child: node.children[slot],
+                })
+            }
+        }
     }
 }
 

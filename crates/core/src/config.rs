@@ -172,6 +172,19 @@ pub struct SchemeConfig {
     /// `create_in_memory*` constructors ignore this; the backend-aware
     /// [`crate::EncipheredBTree::create`]/`open` and the engine honour it.
     pub backend: StorageBackend,
+    /// Capacity (in nodes) of the plaintext node cache serving the probe
+    /// path: repeated point reads of a cached node pay zero *physical*
+    /// decipherments, while the logical operation counters keep reporting
+    /// the paper's per-scheme cost. Entries are RAM-only and zeroized on
+    /// eviction; the medium still holds only enciphered bytes. `0`
+    /// disables the cache.
+    pub node_cache: usize,
+    /// Dirty-page high-water mark per tree partition (file backend): when
+    /// a mutation leaves more dirty pages than this buffered in the
+    /// no-steal pool, the engine kicks a background checkpoint so memory
+    /// stays bounded under sustained writes. `0` disables the trigger;
+    /// standalone (non-engine) trees ignore it.
+    pub dirty_high_water: usize,
 }
 
 impl SchemeConfig {
@@ -191,6 +204,8 @@ impl SchemeConfig {
             rng_seed: 42,
             partitions: 1,
             backend: StorageBackend::Memory,
+            node_cache: Self::DEFAULT_NODE_CACHE,
+            dirty_high_water: 0,
         }
     }
 
@@ -215,7 +230,26 @@ impl SchemeConfig {
             rng_seed: 42,
             partitions: 1,
             backend: StorageBackend::Memory,
+            node_cache: Self::DEFAULT_NODE_CACHE,
+            dirty_high_water: 0,
         }
+    }
+
+    /// Default plaintext node-cache capacity: enough to keep the hot upper
+    /// levels of a large tree decoded without unbounded memory.
+    pub const DEFAULT_NODE_CACHE: usize = 1024;
+
+    /// Builder-style node-cache knob (capacity in nodes; 0 disables).
+    pub fn node_cache(mut self, capacity: usize) -> Self {
+        self.node_cache = capacity;
+        self
+    }
+
+    /// Builder-style dirty high-water knob (dirty pages per partition; 0
+    /// disables the automatic background checkpoint).
+    pub fn dirty_high_water(mut self, pages: usize) -> Self {
+        self.dirty_high_water = pages;
+        self
     }
 
     /// Builder-style partition knob for the engine: shard the key space

@@ -202,7 +202,8 @@ impl EncipheredBTree {
     ) -> Result<Self, CoreError> {
         let (codec, disguise) = config.build_codec(&counters)?;
         let (node_store, data_store) = build_stores(&config, &counters, true)?;
-        let tree = BTree::create(node_store, codec)?;
+        let mut tree = BTree::create(node_store, codec)?;
+        tree.enable_node_cache(config.node_cache);
         let records = RecordStore::new(data_store, config.data_key);
         let mut this = EncipheredBTree {
             config,
@@ -229,7 +230,8 @@ impl EncipheredBTree {
     ) -> Result<Self, CoreError> {
         let (codec, disguise) = config.build_codec(&counters)?;
         let (node_store, data_store) = build_stores(&config, &counters, false)?;
-        let tree = BTree::open(node_store, codec)?;
+        let mut tree = BTree::open(node_store, codec)?;
+        tree.enable_node_cache(config.node_cache);
         let records = RecordStore::new(data_store, config.data_key);
         Ok(EncipheredBTree {
             config,
@@ -259,7 +261,8 @@ impl EncipheredBTree {
         for (key, record) in items {
             pairs.push((*key, records.insert(record)?));
         }
-        let tree = BTree::bulk_load(node_store, codec, &pairs)?;
+        let mut tree = BTree::bulk_load(node_store, codec, &pairs)?;
+        tree.enable_node_cache(config.node_cache);
         let mut this = EncipheredBTree {
             config,
             counters,
@@ -409,6 +412,19 @@ impl EncipheredBTree {
     /// Node block size.
     pub fn block_size(&self) -> usize {
         self.config.block_size
+    }
+
+    /// Dirty pages currently buffered across both stores (file backend:
+    /// the no-steal pool's pinned set awaiting the next checkpoint; 0 for
+    /// unbuffered backends). The engine's dirty high-water trigger watches
+    /// this.
+    pub fn dirty_pages(&self) -> usize {
+        self.tree.store().dirty_pages() + self.records.store().dirty_pages()
+    }
+
+    /// Nodes currently held decoded in the plaintext node cache.
+    pub fn cached_nodes(&self) -> usize {
+        self.tree.cached_nodes()
     }
 
     /// ASCII rendering of the logical (plaintext) tree — what the legal
@@ -667,6 +683,121 @@ mod tests {
             "substitution ({sub_per:.2}/lookup) must beat search-and-decrypt ({bm_per:.2}/lookup)"
         );
         assert_eq!(s_sub.key_decrypts, 0, "substitution never decrypts keys");
+    }
+
+    /// The cache's load-bearing invariant: with the plaintext node cache
+    /// on, every logical operation counter reads *exactly* as it does
+    /// with the cache off, for every scheme, across hits and misses.
+    #[test]
+    fn node_cache_preserves_logical_counters_exactly() {
+        for scheme in Scheme::MEASURED {
+            let n = 300u64;
+            let mut cfg = SchemeConfig::with_capacity(scheme, n + 2);
+            cfg.block_size = 512;
+            let keys: Vec<u64> = (1..n).collect();
+            let run = |node_cache: usize| {
+                let mut cfg = cfg.clone();
+                cfg.node_cache = node_cache;
+                let mut tree = EncipheredBTree::create_in_memory(cfg).unwrap();
+                for &k in &keys {
+                    tree.insert(k, vec![k as u8]).unwrap();
+                }
+                tree.counters().reset();
+                // Re-probe-heavy mix: repeated hits, misses, absent keys.
+                for _ in 0..3 {
+                    for &k in keys.iter().step_by(7) {
+                        let _ = tree.get_pointer(k).unwrap();
+                    }
+                }
+                let _ = tree.get_pointer(n + 1);
+                (tree.snapshot(), tree.cached_nodes())
+            };
+            let (off, off_cached) = run(0);
+            let (on, on_cached) = run(4096);
+            assert_eq!(off_cached, 0);
+            assert!(on_cached > 0, "{}: cache never filled", scheme.name());
+            // Compare every *logical* field; the physical-I/O telemetry
+            // (block reads, pool and node-cache hit/miss counts) is
+            // allowed — and expected — to differ: that is the saving.
+            let mut on_masked = on;
+            on_masked.block_reads = off.block_reads;
+            on_masked.cache_hits = off.cache_hits;
+            on_masked.cache_misses = off.cache_misses;
+            on_masked.node_cache_hits = off.node_cache_hits;
+            on_masked.node_cache_misses = off.node_cache_misses;
+            assert_eq!(
+                on_masked,
+                off,
+                "{}: cache changed the logical cost model",
+                scheme.name()
+            );
+            assert!(on.node_cache_hits > 0, "{}", scheme.name());
+        }
+    }
+
+    /// Mutations invalidate cached decodings: a probe after an update or
+    /// delete must never serve stale plaintext.
+    #[test]
+    fn node_cache_invalidated_on_mutation() {
+        let mut cfg = SchemeConfig::with_capacity(Scheme::Oval, 500);
+        cfg.block_size = 512;
+        let mut tree = EncipheredBTree::create_in_memory(cfg).unwrap();
+        for k in 0..400u64 {
+            tree.insert(k, format!("v1-{k}").into_bytes()).unwrap();
+        }
+        // Warm the cache on every probed path.
+        for k in 0..400u64 {
+            assert_eq!(
+                tree.get(k).unwrap().unwrap(),
+                format!("v1-{k}").into_bytes()
+            );
+        }
+        assert!(tree.cached_nodes() > 0);
+        // Overwrite half, delete a quarter; structure shifts too.
+        for k in (0..400u64).step_by(2) {
+            tree.insert(k, format!("v2-{k}").into_bytes()).unwrap();
+        }
+        for k in (0..400u64).step_by(4) {
+            tree.delete(k).unwrap();
+        }
+        tree.validate().unwrap();
+        for k in 0..400u64 {
+            let want = if k % 4 == 0 {
+                None
+            } else if k % 2 == 0 {
+                Some(format!("v2-{k}").into_bytes())
+            } else {
+                Some(format!("v1-{k}").into_bytes())
+            };
+            assert_eq!(tree.get(k).unwrap(), want, "key {k}");
+        }
+    }
+
+    /// Cache hits skip the physical pointer decipherments: with the whole
+    /// probed path cached, repeated lookups stop touching the store at
+    /// all while the logical decrypt counters keep climbing.
+    #[test]
+    fn node_cache_hits_bypass_physical_reads() {
+        let mut cfg = SchemeConfig::with_capacity(Scheme::Oval, 500);
+        cfg.block_size = 512;
+        let mut tree = EncipheredBTree::create_in_memory(cfg).unwrap();
+        for k in 0..400u64 {
+            tree.insert(k, vec![1]).unwrap();
+        }
+        let _ = tree.get_pointer(123).unwrap(); // fill the path
+        tree.counters().reset();
+        for _ in 0..50 {
+            assert!(tree.get_pointer(123).unwrap().is_some());
+        }
+        let s = tree.snapshot();
+        assert_eq!(s.node_cache_misses, 0, "path fully cached");
+        assert!(s.node_cache_hits >= 50);
+        assert_eq!(s.block_reads, 0, "no store reads on hits");
+        assert!(
+            s.ptr_decrypts >= 50,
+            "logical decrypts still reported: {}",
+            s.ptr_decrypts
+        );
     }
 
     fn tmpdir(name: &str) -> std::path::PathBuf {

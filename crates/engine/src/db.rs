@@ -16,14 +16,15 @@
 //! the classic read-committed engine contract.
 
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock, Weak};
 
 use sks_core::{EncipheredBTree, KeyDisguise, SchemeConfig, StorageBackend};
 use sks_storage::{OpCounters, OpSnapshot, SyncPolicy};
 
 use crate::error::EngineError;
 use crate::recovery::{apply_replay, RecoveryPath, RecoveryReport};
-use crate::wal::Wal;
+use crate::wal::{Wal, WalOp};
 
 /// Engine-level configuration wrapping the paper-level [`SchemeConfig`].
 #[derive(Debug, Clone)]
@@ -110,10 +111,27 @@ pub struct SksDb {
     recovery: RecoveryReport,
     wal_path: PathBuf,
     config: EngineConfig,
+    /// Serialises whole checkpoints against each other (manual and
+    /// background); readers and writers are *not* behind this lock.
+    checkpoint_serial: Mutex<()>,
+    /// Handle back to the owning `Arc`, so a dirty high-water breach can
+    /// hand a background thread its own reference to the engine.
+    self_ref: Weak<SksDb>,
+    /// At most one background checkpoint in flight.
+    auto_ckpt_running: AtomicBool,
+    auto_ckpt_handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+    auto_ckpt_error: Mutex<Option<String>>,
+    /// Exclusive advisory lock on the database directory, held for the
+    /// engine's lifetime. A second engine opening the same directory
+    /// would checkpoint over this one's WAL and page stores by path and
+    /// silently corrupt it; the kernel lock (released automatically even
+    /// on SIGKILL) makes that a clean open-time error instead.
+    _dir_lock: std::fs::File,
 }
 
 const WAL_FILE: &str = "wal.sks";
 const META_FILE: &str = "engine.sks";
+const LOCK_FILE: &str = "engine.lock";
 const META_MAGIC: &[u8; 8] = b"SKSENGN1";
 const META_VERSION: u32 = 1;
 
@@ -242,6 +260,20 @@ impl SksDb {
         let db_dir = dir.as_ref();
         let wal_path = db_dir.join(WAL_FILE);
 
+        // One engine per directory, enforced before anything is touched:
+        // a second instance would checkpoint over this one's log and
+        // stores by path. The flock dies with the process, so a crashed
+        // engine never wedges its directory.
+        let dir_lock = std::fs::File::create(db_dir.join(LOCK_FILE))?;
+        if let Err(e) = dir_lock.try_lock() {
+            return Err(EngineError::Config(format!(
+                "database directory {} is already open in another engine \
+                 instance (lock unavailable: {e}); two engines on one \
+                 directory would corrupt it",
+                db_dir.display()
+            )));
+        }
+
         let stored_meta = EngineMeta::read(db_dir)?;
         if let Some(meta) = &stored_meta {
             meta.check_compatible(&config)?;
@@ -306,7 +338,7 @@ impl SksDb {
             meta.write(db_dir)?;
         }
 
-        Ok(Arc::new(SksDb {
+        Ok(Arc::new_cyclic(|self_ref| SksDb {
             partitions: partitions.into_iter().map(RwLock::new).collect(),
             router,
             wal: Mutex::new(wal),
@@ -314,6 +346,12 @@ impl SksDb {
             recovery,
             wal_path,
             config,
+            checkpoint_serial: Mutex::new(()),
+            self_ref: self_ref.clone(),
+            auto_ckpt_running: AtomicBool::new(false),
+            auto_ckpt_handle: Mutex::new(None),
+            auto_ckpt_error: Mutex::new(None),
+            _dir_lock: dir_lock,
         }))
     }
 
@@ -384,25 +422,132 @@ impl SksDb {
     /// at commit time would.
     pub fn insert(&self, key: u64, value: Vec<u8>) -> Result<Option<Vec<u8>>, EngineError> {
         let p = self.router.partition_of(key)?;
-        let mut tree = self.partitions[p].write().expect("partition lock");
-        {
-            let mut wal = self.wal.lock().expect("wal lock");
-            wal.append_insert(key, &value)?;
-            wal.commit()?;
+        let (result, over_high_water) = {
+            let mut tree = self.partitions[p].write().expect("partition lock");
+            {
+                let mut wal = self.wal.lock().expect("wal lock");
+                wal.append_insert(key, &value)?;
+                wal.commit()?;
+            }
+            let result = tree.insert(key, value)?;
+            (result, self.over_high_water(&tree))
+        };
+        if over_high_water {
+            self.kick_auto_checkpoint();
         }
-        Ok(tree.insert(key, value)?)
+        Ok(result)
     }
 
     /// Removes `key`. Same commit-failure semantics as [`SksDb::insert`].
     pub fn delete(&self, key: u64) -> Result<Option<Vec<u8>>, EngineError> {
         let p = self.router.partition_of(key)?;
-        let mut tree = self.partitions[p].write().expect("partition lock");
-        {
-            let mut wal = self.wal.lock().expect("wal lock");
-            wal.append_delete(key)?;
-            wal.commit()?;
+        let (result, over_high_water) = {
+            let mut tree = self.partitions[p].write().expect("partition lock");
+            {
+                let mut wal = self.wal.lock().expect("wal lock");
+                wal.append_delete(key)?;
+                wal.commit()?;
+            }
+            let result = tree.delete(key)?;
+            (result, self.over_high_water(&tree))
+        };
+        if over_high_water {
+            self.kick_auto_checkpoint();
         }
-        Ok(tree.delete(key)?)
+        Ok(result)
+    }
+
+    /// Whether this partition's buffered dirty set breached the configured
+    /// high-water mark (0 = trigger disabled). Checked while the caller
+    /// still holds the partition lock — the query is a cheap counter read.
+    fn over_high_water(&self, tree: &EncipheredBTree) -> bool {
+        let hw = self.config.scheme.dirty_high_water;
+        hw > 0 && tree.dirty_pages() > hw
+    }
+
+    /// Kicks one background checkpoint (no-op when one is already in
+    /// flight). Called after the partition lock is released so the
+    /// checkpoint never waits on its own trigger.
+    fn kick_auto_checkpoint(&self) {
+        // The handle-slot mutex is held across the running-flag swap,
+        // the spawn and the parking, so two racing kicks cannot
+        // interleave — without it, a kick could park its own finished
+        // thread over a *running* one and then block joining it.
+        let mut slot = self.auto_ckpt_handle.lock().expect("auto ckpt handle");
+        if self.auto_ckpt_running.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let Some(db) = self.self_ref.upgrade() else {
+            self.auto_ckpt_running.store(false, Ordering::Release);
+            return;
+        };
+        let handle = std::thread::spawn(move || {
+            if let Err(e) = db.checkpoint() {
+                *db.auto_ckpt_error.lock().expect("auto ckpt error slot") = Some(e.to_string());
+            }
+            db.auto_ckpt_running.store(false, Ordering::Release);
+        });
+        // Park the handle, reaping the previous worker — it stored
+        // `running = false` before we won the swap, so its thread is at
+        // (or within an instant of) exit and the join cannot stall.
+        if let Some(prev) = slot.replace(handle) {
+            let _ = prev.join();
+        }
+    }
+
+    /// Blocks until any in-flight background checkpoint has finished.
+    /// Call before dropping the last engine handle when the database
+    /// directory must be immediately reopenable: a background checkpoint
+    /// holds its own reference to the engine, so until it completes the
+    /// directory lock stays held (a racing reopen fails closed with
+    /// "already open" rather than corrupting anything) and any error it
+    /// hits is only observable via
+    /// [`SksDb::take_auto_checkpoint_error`].
+    pub fn wait_for_auto_checkpoint(&self) {
+        loop {
+            let handle = self
+                .auto_ckpt_handle
+                .lock()
+                .expect("auto ckpt handle")
+                .take();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => {
+                    if !self.auto_ckpt_running.load(Ordering::Acquire) {
+                        return;
+                    }
+                    // A kick raced us between swap(true) and parking its
+                    // handle; yield and re-check.
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// The first error a background checkpoint hit, if any (sticky until
+    /// read).
+    pub fn take_auto_checkpoint_error(&self) -> Option<String> {
+        self.auto_ckpt_error
+            .lock()
+            .expect("auto ckpt error slot")
+            .take()
+    }
+
+    /// Which partition `key` routes to (observability; the assignment
+    /// pattern carries no key order — it hashes the disguised key).
+    pub fn partition_of(&self, key: u64) -> Result<usize, EngineError> {
+        self.router.partition_of(key)
+    }
+
+    /// Dirty pages currently buffered per partition (file backend; all
+    /// zeros on the memory backend).
+    pub fn dirty_pages_per_partition(&self) -> Vec<usize> {
+        self.partitions
+            .iter()
+            .map(|p| p.read().expect("partition lock").dirty_pages())
+            .collect()
     }
 
     /// Range scan `lo..=hi` across all partitions, merged in key order.
@@ -429,35 +574,63 @@ impl SksDb {
         Ok(())
     }
 
-    /// Checkpoint: truncates the replay work a reopen must do, then
-    /// resumes logging in a fresh WAL.
+    /// Fuzzy checkpoint: truncates the replay work a reopen must do, then
+    /// resumes logging in a fresh WAL — *without* stalling the engine.
+    /// Clients keep reading and writing throughout; a writer blocks only
+    /// while its own partition is being flushed/snapshotted, and readers
+    /// only on a file-backend partition mid-flush.
     ///
-    /// * **Memory backend** — the log *is* the durable state, so the
-    ///   current contents are snapshotted as a fresh run of insert records
-    ///   in a new log (returned count = live records written).
-    /// * **File backend** — the trees themselves are durable: every
-    ///   partition's dirty pages are flushed through the journaled
-    ///   page-store checkpoint, after which the log holds nothing the
-    ///   disk image doesn't; the WAL is simply truncated to empty
-    ///   (returned count = 0). Recovery then replays only the tail of
-    ///   writes that arrive after this call.
+    /// Three phases:
     ///
-    /// Crash safety: the old WAL is replaced only *after* the new durable
-    /// state (snapshot log or flushed pages) is on disk, via an atomic
-    /// rename + directory fsync. A crash anywhere in between recovers
-    /// from the old log; replaying it over already-flushed pages
-    /// converges because record pointers are never reused and logged
-    /// operations are last-writer-wins per key.
+    /// 1. **Mark** the dirty epoch: note the WAL sequence number; every
+    ///    record from it onward will survive the cut.
+    /// 2. **Flush/snapshot partitions** — file backend: each partition's
+    ///    dirty pages go through the journaled page-store checkpoint, all
+    ///    partitions *in parallel* (one thread each, write-locking only
+    ///    that partition); memory backend: each partition is streamed as
+    ///    insert records into the fresh log under its *read* lock, one
+    ///    partition at a time.
+    /// 3. **Cut the WAL** — only after every partition committed: the
+    ///    records appended since the mark (the fuzzy tail) are carried
+    ///    into the fresh log, which atomically renames over the old one.
+    ///
+    /// Convergence: an operation between the mark and its partition's
+    /// flush is captured twice (flushed image *and* retained tail) and
+    /// replays idempotently — record pointers are never reused and logged
+    /// operations are last-writer-wins per key, applied in log order. An
+    /// operation after its partition's flush lives in the retained tail
+    /// only. An operation before the mark is in every flushed image (the
+    /// tree update happens under the same partition write lock as its WAL
+    /// append, and the flush queues behind that lock).
+    ///
+    /// Crash safety: the old WAL stands until the rename + directory
+    /// fsync; a crash anywhere earlier recovers from the old log over the
+    /// (possibly partially newer) images, which converges as above.
+    ///
+    /// Returns the number of snapshot records written (memory backend;
+    /// the file backend's durability lives in the pages, so 0). Whole
+    /// checkpoints are serialised against each other.
     pub fn checkpoint(&self) -> Result<u64, EngineError> {
-        // Write lock every partition (index order — the only multi-
-        // partition lock site, so no ordering conflicts), freezing a
-        // consistent global state.
-        let mut guards: Vec<_> = self
-            .partitions
-            .iter()
-            .map(|p| p.write().expect("partition lock"))
-            .collect();
-        let mut wal = self.wal.lock().expect("wal lock");
+        self.checkpoint_with_hook(|| {})
+    }
+
+    /// [`SksDb::checkpoint`] with a test hook invoked mid-checkpoint —
+    /// after the epoch mark, while partition flushing is in flight (file
+    /// backend) or between partition snapshots (memory backend), with no
+    /// partition lock held by the calling thread. Concurrency tests use
+    /// it to *require* reader/writer progress before the checkpoint may
+    /// complete.
+    #[doc(hidden)]
+    pub fn checkpoint_with_hook(&self, mid: impl FnOnce()) -> Result<u64, EngineError> {
+        let _serial = self.checkpoint_serial.lock().expect("checkpoint serial");
+
+        // Phase 1: mark the fuzzy epoch — the sequence number and byte
+        // offset where the retained tail will begin, so the cut scans
+        // O(tail) instead of re-reading the whole log.
+        let (mark_seq, mark_offset) = {
+            let wal = self.wal.lock().expect("wal lock");
+            (wal.next_seq(), wal.len_bytes())
+        };
 
         let tmp_path = self.wal_path.with_extension("tmp");
         // Detached counters while the snapshot is written: the internal
@@ -471,20 +644,42 @@ impl SksDb {
             OpCounters::new(),
         )?;
         let mut written = 0u64;
+
+        // Phase 2.
         if self.config.scheme.backend.is_file() {
-            // Durability lives in the tree pages: make them so.
-            for guard in &mut guards {
-                guard.flush()?;
+            // Durability lives in the tree pages: journal every
+            // partition's dirty set, partitions in parallel.
+            let mut results: Vec<Result<(), EngineError>> = std::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .partitions
+                    .iter()
+                    .map(|p| {
+                        s.spawn(move || -> Result<(), EngineError> {
+                            let mut guard = p.write().expect("partition lock");
+                            Ok(guard.flush()?)
+                        })
+                    })
+                    .collect();
+                mid();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("partition flush thread"))
+                    .collect()
+            });
+            for r in results.drain(..) {
+                r?;
             }
         } else {
-            // Stream the snapshot in bounded key windows so peak memory is
-            // one window per step, not a full-partition clone held while
-            // every write lock is stalled. Keys live in `0..=capacity` by
-            // construction (SchemeConfig's domain), so the sweep
-            // terminates.
+            // Stream each partition's snapshot in bounded key windows
+            // under its read lock — readers run freely, writers stall
+            // only on the partition currently being streamed. Keys live
+            // in `0..=capacity` by construction (SchemeConfig's domain),
+            // so the sweep terminates.
             const WINDOW: u64 = 4096;
             let max_key = self.config.scheme.capacity;
-            for guard in &guards {
+            let mut mid = Some(mid);
+            for part in &self.partitions {
+                let guard = part.read().expect("partition lock");
                 let mut lo = 0u64;
                 loop {
                     let hi = lo.saturating_add(WINDOW - 1).min(max_key);
@@ -496,6 +691,27 @@ impl SksDb {
                         break;
                     }
                     lo = hi + 1;
+                }
+                drop(guard);
+                if let Some(mid) = mid.take() {
+                    mid();
+                }
+            }
+            if let Some(mid) = mid.take() {
+                mid(); // zero-partition case cannot occur, but be total
+            }
+        }
+
+        // Phase 3: cut the log, carrying the fuzzy tail. Writers are
+        // blocked only for this re-append + rename.
+        let mut wal = self.wal.lock().expect("wal lock");
+        for rec in wal.records_since(mark_seq, mark_offset)? {
+            match rec.op {
+                WalOp::Insert { key, value } => {
+                    fresh.append_insert(key, &value)?;
+                }
+                WalOp::Delete { key } => {
+                    fresh.append_delete(key)?;
                 }
             }
         }
@@ -533,6 +749,26 @@ impl SksDb {
 /// Makes directory-entry mutations (create, rename) durable.
 fn sync_dir(dir: &Path) -> Result<(), EngineError> {
     Ok(sks_storage::sync_dir(dir)?)
+}
+
+impl Drop for SksDb {
+    fn drop(&mut self) {
+        // Reap the parked background-checkpoint worker. When the worker
+        // itself holds the final engine reference, this drop runs *on*
+        // that thread — joining yourself deadlocks, so skip (the thread
+        // is at exit anyway).
+        // Tolerate a poisoned slot: panicking inside drop-during-panic
+        // would abort.
+        let handle = match self.auto_ckpt_handle.get_mut() {
+            Ok(slot) => slot.take(),
+            Err(poisoned) => poisoned.into_inner().take(),
+        };
+        if let Some(h) = handle {
+            if h.thread().id() != std::thread::current().id() {
+                let _ = h.join();
+            }
+        }
+    }
 }
 
 impl std::fmt::Debug for SksDb {

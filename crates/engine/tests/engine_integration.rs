@@ -672,6 +672,30 @@ fn memory_backend_still_reopens_with_different_partition_count() {
 }
 
 #[test]
+fn second_engine_on_same_directory_fails_closed() {
+    // Two live engines on one directory would checkpoint over each
+    // other's WAL and page stores by path; the directory flock turns
+    // that into a clean open-time error — and releases with the holder,
+    // so the directory is never wedged.
+    let dir = tmpdir("dir_lock");
+    let db = SksDb::open(&dir, config(2, 512)).unwrap();
+    db.session().insert(1, b"one".to_vec()).unwrap();
+    let err = SksDb::open(&dir, config(2, 512)).unwrap_err();
+    assert!(
+        err.to_string().contains("already open"),
+        "second open must fail with the lock error, got: {err}"
+    );
+    // The failed open must not have damaged the live engine.
+    assert_eq!(db.get(1).unwrap().unwrap(), b"one");
+    drop(db);
+    // Lock released with the holder: reopen works and data survives.
+    let db = SksDb::open(&dir, config(2, 512)).unwrap();
+    assert_eq!(db.get(1).unwrap().unwrap(), b"one");
+    drop(db);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn router_spreads_keys_across_partitions() {
     let dir = tmpdir("spread");
     let db = SksDb::open(&dir, config(8, 4096)).unwrap();

@@ -108,6 +108,15 @@ pub trait BlockStore {
         Ok(())
     }
 
+    /// Number of dirty pages buffered in memory awaiting the next flush.
+    /// Unbuffered stores (where every write hits the medium) report 0; the
+    /// no-steal [`crate::PagedFileStore`] reports its pinned dirty set,
+    /// which is what an engine's dirty high-water checkpoint trigger
+    /// watches.
+    fn dirty_pages(&self) -> usize {
+        0
+    }
+
     /// The opponent's view of the medium: every block's raw bytes in block
     /// order, freed blocks included. For buffered stores this is what is
     /// physically *on the device*, not what the cache holds. The default
@@ -161,6 +170,10 @@ impl<S: BlockStore + ?Sized> BlockStore for Box<S> {
 
     fn flush(&mut self) -> Result<(), StorageError> {
         (**self).flush()
+    }
+
+    fn dirty_pages(&self) -> usize {
+        (**self).dirty_pages()
     }
 
     fn raw_image(&self) -> Result<Vec<Vec<u8>>, StorageError> {

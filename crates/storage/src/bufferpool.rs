@@ -158,6 +158,12 @@ impl<S: BlockStore> BufferPool<S> {
         dirty
     }
 
+    /// Number of dirty frames, without cloning their contents (the cheap
+    /// form of [`BufferPool::dirty_frames`] for high-water checks).
+    pub fn dirty_count(&self) -> usize {
+        self.frames.values().filter(|f| f.dirty).count()
+    }
+
     /// Declares every cached frame clean *without* writing anything — the
     /// checkpoint already persisted the dirty set through its own path.
     pub fn mark_all_clean(&mut self) {

@@ -60,6 +60,12 @@ counters! {
     cache_hits,
     /// Buffer-pool misses.
     cache_misses,
+    /// Plaintext node-cache hits (probes that paid zero physical
+    /// decipherments; the *logical* decrypt counters are still bumped).
+    node_cache_hits,
+    /// Plaintext node-cache misses (probes that read and deciphered the
+    /// raw page, then filled the cache).
+    node_cache_misses,
     /// Cipher-block (or RSA-block) encryptions of *search-key* material.
     key_encrypts,
     /// Cipher-block (or RSA-block) decryptions of *search-key* material.

@@ -189,8 +189,7 @@ impl PagedFileStore {
             .lock()
             .expect("paged store lock")
             .pool
-            .dirty_frames()
-            .len()
+            .dirty_count()
     }
 }
 
@@ -257,6 +256,10 @@ impl BlockStore for PagedFileStore {
 
     fn counters(&self) -> &OpCounters {
         &self.counters
+    }
+
+    fn dirty_pages(&self) -> usize {
+        self.dirty_frames()
     }
 
     /// The checkpoint: journal → apply in place → clear the journal.

@@ -1,0 +1,152 @@
+//! Backend sweep for the attack harness: the opponent's view of the
+//! medium must be *the same medium* whether the enciphered blocks live in
+//! simulated RAM or in `nodes.sks` on disk — and the plaintext node cache
+//! must leak nothing into either. Leakage metrics computed from the file
+//! backend's raw image must match the MemDisk image's.
+
+use sks_btree::attack::{AttackReport, DiskImage, Edge, FormatKnowledge, GroundTruth};
+use sks_btree::core::{EncipheredBTree, Scheme, SchemeConfig};
+
+const N_KEYS: u64 = 250;
+const BLOCK: usize = 512;
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sks_atk_sweep_{}_{}", std::process::id(), name));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn build(scheme: Scheme, dir: Option<&std::path::Path>) -> EncipheredBTree {
+    let mut cfg = SchemeConfig::with_capacity(scheme, N_KEYS + 2);
+    cfg.block_size = BLOCK;
+    if let Some(dir) = dir {
+        cfg = cfg.on_disk(dir);
+    }
+    let mut tree = if dir.is_some() {
+        EncipheredBTree::create(cfg).unwrap()
+    } else {
+        EncipheredBTree::create_in_memory(cfg).unwrap()
+    };
+    let start = matches!(scheme, Scheme::Exponentiation) as u64;
+    for k in start..start + N_KEYS {
+        tree.insert(k, format!("secret-{k}").into_bytes()).unwrap();
+    }
+    // Exercise the plaintext node cache so its (RAM-only) entries exist
+    // while the images are taken.
+    for k in (start..start + N_KEYS).step_by(3) {
+        assert!(tree.get(k).unwrap().is_some());
+    }
+    // The stolen disk holds the *flushed* state: checkpoint the file
+    // backend so both images describe the same dataset.
+    tree.flush().unwrap();
+    tree
+}
+
+fn truth_of(tree: &EncipheredBTree) -> GroundTruth {
+    let mut edges = Vec::new();
+    let mut keys = Vec::new();
+    let mut stack = vec![tree.tree().root_id()];
+    while let Some(id) = stack.pop() {
+        let node = tree.tree().inspect_node(id).unwrap();
+        keys.extend_from_slice(&node.keys);
+        for &c in &node.children {
+            edges.push(Edge {
+                parent: id.as_u32(),
+                child: c.as_u32(),
+            });
+            stack.push(c);
+        }
+    }
+    let key_pairs = tree
+        .disguise()
+        .map(|d| {
+            keys.iter()
+                .filter_map(|&k| d.disguise(k).ok().map(|dk| (k, dk)))
+                .collect()
+        })
+        .unwrap_or_default();
+    GroundTruth { edges, key_pairs }
+}
+
+/// The file backend's `nodes.sks` image is block-for-block the MemDisk
+/// image: identical insertion order drives identical allocation and
+/// deterministic encipherment, and nothing RAM-side (buffer pool frames,
+/// plaintext node cache) dribbles extra state onto either medium.
+#[test]
+fn file_backend_node_image_matches_memdisk() {
+    for scheme in [Scheme::Oval, Scheme::SumOfTreatments, Scheme::BayerMetzger] {
+        let dir = tmpdir(scheme.name());
+        let mem = build(scheme, None);
+        let file = build(scheme, Some(&dir));
+        let mem_img = mem.raw_node_image().unwrap();
+        let file_img = file.raw_node_image().unwrap();
+        assert_eq!(
+            mem_img.len(),
+            file_img.len(),
+            "{}: device lengths differ",
+            scheme.name()
+        );
+        for (i, (m, f)) in mem_img.iter().zip(&file_img).enumerate() {
+            assert_eq!(m, f, "{}: block {i} differs across backends", scheme.name());
+        }
+        drop(file);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Full attack run against both backends: every leakage metric the
+/// harness computes must agree — the backend changes *where* the
+/// opponent's view lives, never what it contains (ROADMAP PR-2 open
+/// item).
+#[test]
+fn leakage_metrics_agree_across_backends() {
+    for scheme in [Scheme::Oval, Scheme::SumOfTreatments] {
+        let dir = tmpdir(&format!("metrics_{}", scheme.name()));
+        let mem = build(scheme, None);
+        let file = build(scheme, Some(&dir));
+        let report = |tree: &EncipheredBTree, name: &str| {
+            let image = DiskImage::new(BLOCK, tree.raw_node_image().unwrap());
+            AttackReport::run(name, &image, &FormatKnowledge::default(), &truth_of(tree))
+        };
+        let rm = report(&mem, "memory");
+        let rf = report(&file, "file");
+        assert_eq!(
+            rm.shape.recall,
+            rf.shape.recall,
+            "{}: shape recall diverged",
+            scheme.name()
+        );
+        assert_eq!(
+            rm.shape.precision,
+            rf.shape.precision,
+            "{}: shape precision diverged",
+            scheme.name()
+        );
+        // The paper's scheme resists shape recovery on disk exactly as it
+        // does in RAM.
+        if scheme == Scheme::Oval {
+            assert!(rf.shape.recall < 0.2, "oval recall {}", rf.shape.recall);
+        }
+        drop(file);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// No plaintext record bytes or raw key-field plaintext in the on-disk
+/// files, with the node cache enabled and warm — cached plaintext is
+/// RAM-only.
+#[test]
+fn warm_cache_leaks_nothing_to_the_files() {
+    let dir = tmpdir("warm_cache_files");
+    let tree = build(Scheme::Oval, Some(&dir));
+    assert!(tree.cached_nodes() > 0, "cache should be warm");
+    for name in ["nodes.sks", "data.sks", "manifest.sks"] {
+        let raw = std::fs::read(dir.join(name)).unwrap();
+        assert!(
+            !raw.windows(7).any(|w| w == b"secret-"),
+            "record plaintext leaked into {name}"
+        );
+    }
+    drop(tree);
+    std::fs::remove_dir_all(&dir).ok();
+}

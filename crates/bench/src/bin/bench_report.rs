@@ -4,11 +4,18 @@
 //! * **insert throughput** (engine, memory + file backend, group commit),
 //! * **recovery time** (full replay vs checkpointed tail replay),
 //! * **read-hot point reads** (plaintext node cache off vs on, file
-//!   backend) with the measured speedup.
+//!   backend) with the measured speedup,
+//! * **range scans** (streamed, node cache off vs on),
+//! * **record-cache reads** (decoded-record LRU off vs on),
+//! * **compaction** (delete-heavy churn: blocks reclaimed and pass time).
 //!
 //! ```text
-//! bench_report [OUTPUT.json]        default: BENCH_current.json
+//! bench_report [OUTPUT.json] [--baseline BASELINE.json]
 //! ```
+//!
+//! With `--baseline`, the run doubles as the CI perf-regression gate: it
+//! exits non-zero when insert throughput or the cache speedups fall below
+//! half the committed baseline, or recovery time more than doubles.
 //!
 //! Numbers are medians of several short timed runs — stable enough to
 //! trend, cheap enough for CI.
@@ -25,6 +32,10 @@ const DATASET: u64 = 2_000;
 const TAIL: u64 = 64;
 const HOT_SET: u64 = 512;
 const HOT_PROBES: u64 = 20_000;
+const RANGE_WIDTH: u64 = 1_024;
+const RANGE_SCANS: u64 = 200;
+const RECORD_GETS: u64 = 20_000;
+const CHURN_KEYS: u64 = 4_096;
 const RUNS: usize = 5;
 
 fn tmpdir(name: &str) -> std::path::PathBuf {
@@ -109,16 +120,27 @@ fn recovery_ms(file_backend: bool) -> f64 {
     median(per_run)
 }
 
-/// Nanoseconds per re-probe-heavy point read on the file backend
-/// (median over RUNS), node cache off or on.
-fn read_hot_ns(node_cache: usize) -> f64 {
-    let dir = tmpdir(&format!("hot_{node_cache}"));
+/// A bulk-built file-backend tree for the read-path benches.
+fn hot_tree(
+    name: &str,
+    node_cache: usize,
+    record_cache: usize,
+) -> (EncipheredBTree, std::path::PathBuf) {
+    let dir = tmpdir(name);
     let cfg = SchemeConfig::with_capacity(Scheme::Oval, KEY_SPACE + 2)
         .on_disk(&dir)
-        .node_cache(node_cache);
+        .node_cache(node_cache)
+        .record_cache(record_cache);
     let items: Vec<(u64, Vec<u8>)> = (0..KEY_SPACE).map(|k| (k, record_for(k))).collect();
     let mut tree = EncipheredBTree::bulk_create(cfg, &items).expect("bulk create");
     tree.flush().expect("checkpoint");
+    (tree, dir)
+}
+
+/// Nanoseconds per re-probe-heavy point read on the file backend
+/// (median over RUNS), node cache off or on.
+fn read_hot_ns(node_cache: usize) -> f64 {
+    let (tree, dir) = hot_tree(&format!("hot_{node_cache}"), node_cache, 0);
     // Warm buffer pool and node cache to the steady re-probe state.
     for k in 0..HOT_SET {
         assert!(tree.get_pointer(k * 7 % KEY_SPACE).unwrap().is_some());
@@ -137,10 +159,159 @@ fn read_hot_ns(node_cache: usize) -> f64 {
     median(per_run)
 }
 
+/// Nanoseconds per record streamed by repeated range scans (median over
+/// RUNS), node cache off or on — the PR 4 cached range walk.
+fn range_scan_ns(node_cache: usize) -> f64 {
+    let (tree, dir) = hot_tree(&format!("range_{node_cache}"), node_cache, 0);
+    let mut per_run = Vec::with_capacity(RUNS);
+    for _ in 0..RUNS {
+        let mut streamed = 0u64;
+        let start = Instant::now();
+        for s in 0..RANGE_SCANS {
+            let lo = (s * 37) % (KEY_SPACE - RANGE_WIDTH);
+            for item in tree.iter_range(lo, lo + RANGE_WIDTH - 1) {
+                std::hint::black_box(item.unwrap());
+                streamed += 1;
+            }
+        }
+        per_run.push(start.elapsed().as_secs_f64() * 1e9 / streamed as f64);
+    }
+    drop(tree);
+    std::fs::remove_dir_all(&dir).ok();
+    median(per_run)
+}
+
+/// Nanoseconds per hot record `get` over ~2 KiB records (median over
+/// RUNS), decoded-record cache off or on — the PR 4 record cache above
+/// the CTR unseal pays off proportionally to record size.
+fn record_get_ns(record_cache: usize) -> f64 {
+    let dir = tmpdir(&format!("rec_{record_cache}"));
+    let cfg = SchemeConfig::with_capacity(Scheme::Oval, KEY_SPACE + 2)
+        .on_disk(&dir)
+        .node_cache(4_096)
+        .record_cache(record_cache);
+    let items: Vec<(u64, Vec<u8>)> = (0..KEY_SPACE / 4)
+        .map(|k| (k, vec![k as u8; 2_000]))
+        .collect();
+    let mut tree = EncipheredBTree::bulk_create(cfg, &items).expect("bulk create");
+    tree.flush().expect("checkpoint");
+    let keyspace = KEY_SPACE / 4;
+    for k in 0..HOT_SET {
+        assert!(tree.get(k * 5 % keyspace).unwrap().is_some());
+    }
+    let mut per_run = Vec::with_capacity(RUNS);
+    for _ in 0..RUNS {
+        let start = Instant::now();
+        for i in 0..RECORD_GETS {
+            let k = (i % HOT_SET) * 5 % keyspace;
+            std::hint::black_box(tree.get(std::hint::black_box(k)).unwrap());
+        }
+        per_run.push(start.elapsed().as_secs_f64() * 1e9 / RECORD_GETS as f64);
+    }
+    drop(tree);
+    std::fs::remove_dir_all(&dir).ok();
+    median(per_run)
+}
+
+/// Delete-heavy churn on the file backend: deletes two thirds of the
+/// dataset, compacts to quiescence, and reports
+/// `(blocks reclaimed, compaction ms, used-block ratio after/before)`.
+fn compaction_metrics() -> (u64, f64, f64) {
+    let dir = tmpdir("compaction");
+    let cfg = SchemeConfig::with_capacity(Scheme::Oval, CHURN_KEYS + 2)
+        .on_disk(&dir)
+        .compaction(64);
+    let items: Vec<(u64, Vec<u8>)> = (0..CHURN_KEYS).map(|k| (k, vec![k as u8; 96])).collect();
+    let mut tree = EncipheredBTree::bulk_create(cfg, &items).expect("bulk create");
+    tree.flush().expect("checkpoint");
+    for k in (0..CHURN_KEYS).filter(|k| k % 3 != 0) {
+        tree.delete(k).expect("delete");
+    }
+    let (total_before, free_before) = tree.data_block_usage();
+    let used_before = (total_before - free_before) as f64;
+    let start = Instant::now();
+    let mut freed = 0u64;
+    loop {
+        let r = tree.compact_step(64).expect("compact");
+        if r.freed_blocks == 0 {
+            break;
+        }
+        freed += r.freed_blocks;
+    }
+    tree.flush().expect("checkpoint");
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    let (total_after, free_after) = tree.data_block_usage();
+    let used_after = (total_after - free_after) as f64;
+    drop(tree);
+    std::fs::remove_dir_all(&dir).ok();
+    (freed, ms, used_after / used_before)
+}
+
+/// Extracts the first `"key": <number>` occurrence from a JSON document
+/// (the BENCH_*.json schema keeps every metric key unique, so a full
+/// parser is unnecessary — and the container has no serde).
+fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\"");
+    let at = doc.find(&pat)?;
+    let rest = doc[at + pat.len()..].trim_start().strip_prefix(':')?;
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The CI gate: compares this run against a committed baseline and
+/// returns the human-readable failures (empty = pass). Throughputs and
+/// speedups may not fall below half the baseline; latencies may not more
+/// than double. Metrics absent from an older baseline are skipped.
+fn regression_failures(current: &str, baseline: &str) -> Vec<String> {
+    let mut failures = Vec::new();
+    let higher_is_better = [
+        "memory_backend",
+        "file_backend",
+        "cache_speedup",
+        "range_cache_speedup",
+        "record_cache_speedup",
+    ];
+    let lower_is_better = ["memory_full_replay", "file_tail_replay"];
+    for key in higher_is_better {
+        let (Some(new), Some(old)) = (json_number(current, key), json_number(baseline, key)) else {
+            continue;
+        };
+        if new < old / 2.0 {
+            failures.push(format!(
+                "{key} regressed >2x: {new:.2} vs baseline {old:.2}"
+            ));
+        }
+    }
+    for key in lower_is_better {
+        let (Some(new), Some(old)) = (json_number(current, key), json_number(baseline, key)) else {
+            continue;
+        };
+        if new > old * 2.0 {
+            failures.push(format!(
+                "{key} regressed >2x: {new:.2}ms vs baseline {old:.2}ms"
+            ));
+        }
+    }
+    failures
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_current.json".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_current.json".to_string();
+    let mut baseline_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--baseline" {
+            baseline_path = Some(args.get(i + 1).expect("--baseline needs a file").clone());
+            i += 2;
+        } else {
+            out_path = args[i].clone();
+            i += 1;
+        }
+    }
 
     eprintln!("bench_report: insert throughput…");
     let ins_mem = insert_throughput(false);
@@ -152,6 +323,16 @@ fn main() {
     let hot_off = read_hot_ns(0);
     let hot_on = read_hot_ns(4_096);
     let speedup = hot_off / hot_on;
+    eprintln!("bench_report: range scans…");
+    let range_off = range_scan_ns(0);
+    let range_on = range_scan_ns(4_096);
+    let range_speedup = range_off / range_on;
+    eprintln!("bench_report: record cache…");
+    let rec_get_off = record_get_ns(0);
+    let rec_get_on = record_get_ns(8_192);
+    let record_speedup = rec_get_off / rec_get_on;
+    eprintln!("bench_report: compaction…");
+    let (reclaimed, compact_ms, used_ratio) = compaction_metrics();
 
     let json = format!(
         r#"{{
@@ -163,7 +344,9 @@ fn main() {
     "inserts": {INSERTS},
     "recovery_dataset": {DATASET},
     "recovery_tail": {TAIL},
-    "read_hot_set": {HOT_SET}
+    "read_hot_set": {HOT_SET},
+    "range_width": {RANGE_WIDTH},
+    "churn_keys": {CHURN_KEYS}
   }},
   "insert_throughput_ops_per_s": {{
     "memory_backend": {ins_mem:.1},
@@ -177,6 +360,21 @@ fn main() {
     "file_cache_off": {hot_off:.1},
     "file_cache_on": {hot_on:.1},
     "cache_speedup": {speedup:.2}
+  }},
+  "range_scan_ns_per_record": {{
+    "node_cache_off": {range_off:.1},
+    "node_cache_on": {range_on:.1},
+    "range_cache_speedup": {range_speedup:.2}
+  }},
+  "record_get_ns_per_op": {{
+    "record_cache_off": {rec_get_off:.1},
+    "record_cache_on": {rec_get_on:.1},
+    "record_cache_speedup": {record_speedup:.2}
+  }},
+  "compaction": {{
+    "blocks_reclaimed": {reclaimed},
+    "pass_ms": {compact_ms:.2},
+    "used_blocks_ratio": {used_ratio:.3}
   }}
 }}
 "#
@@ -188,4 +386,25 @@ fn main() {
         speedup >= 2.0,
         "read-hot cache speedup regressed below 2x: {speedup:.2}"
     );
+    assert!(
+        reclaimed > 0,
+        "compaction reclaimed nothing on a delete-heavy workload"
+    );
+    assert!(
+        used_ratio < 0.75,
+        "compaction left {used_ratio:.3} of the used blocks after deleting 2/3 of the data"
+    );
+
+    if let Some(baseline_path) = baseline_path {
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        let failures = regression_failures(&json, &baseline);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("bench_report: REGRESSION — {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("bench_report: no >2x regressions against {baseline_path}");
+    }
 }

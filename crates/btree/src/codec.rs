@@ -110,6 +110,19 @@ pub trait NodeCodec {
             "codec does not support the node cache".into(),
         ))
     }
+
+    /// Materialises the plaintext node from a cached entry, bumping
+    /// *exactly* the counters a raw-page [`NodeCodec::decode`] of the same
+    /// page would bump — so range scans and update-path descents served
+    /// from the cache report the identical logical cost — while skipping
+    /// the cryptographic work. The returned node must equal the raw
+    /// decode's.
+    fn decode_cached(&self, entry: &CachedNode) -> Result<Node, CodecError> {
+        let _ = entry;
+        Err(CodecError::Corrupt(
+            "codec does not support the node cache".into(),
+        ))
+    }
 }
 
 /// Header layout shared by the provided codecs:
@@ -299,6 +312,11 @@ impl NodeCodec for PlainCodec {
         Ok(Probe::Descend {
             child: node.children[lo],
         })
+    }
+
+    fn decode_cached(&self, entry: &CachedNode) -> Result<Node, CodecError> {
+        // A raw plaintext decode touches no counters either.
+        Ok(entry.node.clone())
     }
 }
 

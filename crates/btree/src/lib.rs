@@ -34,4 +34,4 @@ pub use cache::{CachedNode, NodeCache};
 pub use codec::{CodecError, NodeCodec, PlainCodec, Probe, NODE_HEADER_LEN};
 pub use node::{Node, NodeSearch, RecordPtr};
 pub use render::{render_logical, render_with};
-pub use tree::{BTree, TreeError};
+pub use tree::{BTree, RangeIter, TreeError};

@@ -291,10 +291,35 @@ impl<S: BlockStore, C: NodeCodec> BTree<S, C> {
 
     // ---- node I/O ------------------------------------------------------
 
+    /// Reads and fully materialises a node. With the plaintext cache
+    /// enabled, a hit serves the decoded node from RAM while the codec
+    /// replays a raw decode's exact logical counter profile
+    /// ([`NodeCodec::decode_cached`]); a miss decodes the page once,
+    /// counter-silently, fills the cache and replays the same profile —
+    /// so range scans, update-path descents and validation walks report
+    /// identical logical costs with the cache on or off.
     fn read_node(&self, id: BlockId) -> Result<Node, TreeError> {
         self.counters().bump(|c| &c.node_visits);
+        let Some(cache) = &self.cache else {
+            let page = self.store.read_block_vec(id)?;
+            return Ok(self.codec.decode(id, &page)?);
+        };
+        if let Some(entry) = cache.get(id) {
+            self.counters().bump(|c| &c.node_cache_hits);
+            return Ok(self.codec.decode_cached(&entry)?);
+        }
+        self.counters().bump(|c| &c.node_cache_misses);
         let page = self.store.read_block_vec(id)?;
-        Ok(self.codec.decode(id, &page)?)
+        match self.codec.decode_for_cache(id, &page) {
+            Ok(entry) => {
+                let node = self.codec.decode_cached(&entry)?;
+                cache.insert(id, entry);
+                Ok(node)
+            }
+            // E.g. a page the cache hooks cannot represent: fall back to
+            // the plain (counted) decode.
+            Err(_) => Ok(self.codec.decode(id, &page)?),
+        }
     }
 
     fn write_node(&mut self, node: &Node) -> Result<(), TreeError> {
@@ -521,6 +546,35 @@ impl<S: BlockStore, C: NodeCodec> BTree<S, C> {
         }
     }
 
+    /// Repoints an *existing* key at a new data pointer without touching
+    /// the tree structure (no splits, no balancing) — the record-store
+    /// compactor uses this after rewriting a record into a fresh block.
+    /// Returns the previous pointer, or `None` (and changes nothing) when
+    /// the key is absent.
+    pub fn replace_ptr(
+        &mut self,
+        key: u64,
+        ptr: RecordPtr,
+    ) -> Result<Option<RecordPtr>, TreeError> {
+        let mut node = self.read_node(self.root)?;
+        loop {
+            match node.search(key) {
+                NodeSearch::Here(i) => {
+                    let old = node.data_ptrs[i];
+                    node.data_ptrs[i] = ptr;
+                    self.write_node(&node)?;
+                    return Ok(Some(old));
+                }
+                NodeSearch::Child(i) => {
+                    if node.is_leaf() {
+                        return Ok(None);
+                    }
+                    node = self.read_node(node.children[i])?;
+                }
+            }
+        }
+    }
+
     // ---- delete --------------------------------------------------------
 
     /// Removes `key`, returning its data pointer if it was present.
@@ -714,46 +768,36 @@ impl<S: BlockStore, C: NodeCodec> BTree<S, C> {
 
     // ---- range scans ---------------------------------------------------
 
+    /// Streaming range scan: yields every `(key, ptr)` pair with
+    /// `lo <= key <= hi` in key order *without* materialising the result —
+    /// memory stays O(tree height) however wide the range. This is the
+    /// operation §1 motivates and §4.3 preserves: whole-subtree access
+    /// works because triplet *positions* are never based on disguised
+    /// values. Node visits go through the plaintext node cache when
+    /// enabled (identical logical counters either way).
+    pub fn iter_range(&self, lo: u64, hi: u64) -> RangeIter<'_, S, C> {
+        let mut iter = RangeIter {
+            tree: self,
+            stack: Vec::new(),
+            lo,
+            hi,
+            pending_err: None,
+        };
+        if lo <= hi && !self.is_empty() {
+            iter.push_node(self.root);
+        }
+        iter
+    }
+
     /// Collects all `(key, ptr)` pairs with `lo <= key <= hi`, in key
-    /// order. This is the operation §1 motivates and §4.3 preserves:
-    /// whole-subtree access works because triplet *positions* are never
-    /// based on disguised values.
+    /// order. Convenience over [`BTree::iter_range`] for small ranges;
+    /// large scans should iterate.
     pub fn range(&self, lo: u64, hi: u64) -> Result<Vec<(u64, RecordPtr)>, TreeError> {
-        let mut out = Vec::new();
-        if lo > hi || self.is_empty() {
-            return Ok(out);
-        }
-        self.range_walk(self.root, lo, hi, &mut out)?;
-        Ok(out)
+        self.iter_range(lo, hi).collect()
     }
 
-    fn range_walk(
-        &self,
-        id: BlockId,
-        lo: u64,
-        hi: u64,
-        out: &mut Vec<(u64, RecordPtr)>,
-    ) -> Result<(), TreeError> {
-        let node = self.read_node(id)?;
-        let n = node.n();
-        for i in 0..=n {
-            if !node.is_leaf() {
-                // Child i spans the open interval (keys[i-1], keys[i]);
-                // descend only if that interval intersects [lo, hi].
-                let below_hi = i == 0 || node.keys[i - 1] < hi;
-                let above_lo = i == n || node.keys[i] > lo;
-                if below_hi && above_lo {
-                    self.range_walk(node.children[i], lo, hi, out)?;
-                }
-            }
-            if i < n && node.keys[i] >= lo && node.keys[i] <= hi {
-                out.push((node.keys[i], node.data_ptrs[i]));
-            }
-        }
-        Ok(())
-    }
-
-    /// Full ordered scan.
+    /// Full ordered scan (see [`BTree::iter_range`] for the streaming
+    /// form).
     pub fn scan_all(&self) -> Result<Vec<(u64, RecordPtr)>, TreeError> {
         self.range(0, u64::MAX)
     }
@@ -877,5 +921,104 @@ impl<S: BlockStore, C: NodeCodec> BTree<S, C> {
     /// not part of the data-path API.
     pub fn inspect_node(&self, id: BlockId) -> Result<Node, TreeError> {
         self.read_node(id)
+    }
+}
+
+/// One in-flight node of a [`RangeIter`]: the decoded node plus the next
+/// event index. For an internal node with `n` keys the events are
+/// `child₀, key₀, child₁, key₁, …, childₙ` (event `2i` = descend child
+/// `i`, event `2i+1` = yield key `i`); a leaf's events are just its keys.
+struct RangeFrame {
+    node: Node,
+    event: usize,
+}
+
+/// Streaming in-order range iterator over a [`BTree`] (see
+/// [`BTree::iter_range`]). Holds at most one decoded node per tree level;
+/// errors are yielded once and end the iteration.
+pub struct RangeIter<'a, S: BlockStore, C: NodeCodec> {
+    tree: &'a BTree<S, C>,
+    stack: Vec<RangeFrame>,
+    lo: u64,
+    hi: u64,
+    /// A node-read failure, yielded exactly once before iteration ends —
+    /// including one hit while positioning on the root, so `range()` and
+    /// `scan_all()` surface it instead of returning an empty result.
+    pending_err: Option<TreeError>,
+}
+
+impl<S: BlockStore, C: NodeCodec> RangeIter<'_, S, C> {
+    /// Reads `id` and pushes it positioned at its first in-range event.
+    fn push_node(&mut self, id: BlockId) {
+        match self.tree.read_node(id) {
+            Ok(node) => {
+                // First key index i with keys[i] >= lo. Child i (spanning
+                // strictly below keys[i]) can hold in-range entries only
+                // when keys[i] > lo, matching the recursive walk's
+                // `i == n || keys[i] > lo` descend predicate exactly.
+                let i = node.keys.partition_point(|&k| k < self.lo);
+                let event = if node.is_leaf() {
+                    i
+                } else if i < node.n() && node.keys[i] == self.lo {
+                    2 * i + 1
+                } else {
+                    2 * i
+                };
+                self.stack.push(RangeFrame { node, event });
+            }
+            Err(e) => {
+                self.stack.clear();
+                self.pending_err = Some(e);
+            }
+        }
+    }
+}
+
+impl<S: BlockStore, C: NodeCodec> Iterator for RangeIter<'_, S, C> {
+    type Item = Result<(u64, RecordPtr), TreeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(e) = self.pending_err.take() {
+                return Some(Err(e));
+            }
+            let frame = self.stack.last_mut()?;
+            let node = &frame.node;
+            let n = node.n();
+            if node.is_leaf() {
+                let i = frame.event;
+                if i < n && node.keys[i] <= self.hi {
+                    frame.event += 1;
+                    return Some(Ok((node.keys[i], node.data_ptrs[i])));
+                }
+                self.stack.pop();
+                continue;
+            }
+            let e = frame.event;
+            if e > 2 * n {
+                self.stack.pop();
+                continue;
+            }
+            frame.event += 1;
+            if e % 2 == 1 {
+                // Key event.
+                let i = (e - 1) / 2;
+                if node.keys[i] > self.hi {
+                    self.stack.pop();
+                    continue;
+                }
+                return Some(Ok((node.keys[i], node.data_ptrs[i])));
+            }
+            // Child event: child i spans the open interval
+            // (keys[i-1], keys[i]); descend only if it intersects [lo, hi].
+            let i = e / 2;
+            if i > 0 && node.keys[i - 1] >= self.hi {
+                self.stack.pop();
+                continue;
+            }
+            let child = node.children[i];
+            self.push_node(child);
+            // A failed push left pending_err set; the loop head yields it.
+        }
     }
 }

@@ -225,6 +225,28 @@ fn persistence_across_reopen() {
 }
 
 #[test]
+fn range_scan_surfaces_unreadable_pages_as_errors() {
+    // A corrupt page anywhere on the scan path — the root included —
+    // must yield an Err, never a silently shortened (or empty) result:
+    // the engine's checkpoint snapshot and the compactor's reverse map
+    // both trust this scan.
+    let counters = OpCounters::new();
+    let disk = MemDisk::with_counters(256, counters.clone());
+    let mut tree = BTree::create(disk, PlainCodec::new(counters.clone())).unwrap();
+    for k in 0..300u64 {
+        tree.insert(k, RecordPtr(k)).unwrap();
+    }
+    let root = tree.root_id();
+    let mut store = tree.into_store().unwrap();
+    store.write_block(root, &[0xEE; 256]).unwrap();
+    let tree = BTree::open(store, PlainCodec::new(counters)).unwrap();
+    assert!(tree.range(0, u64::MAX).is_err(), "corrupt root must error");
+    let items: Vec<_> = tree.iter_range(0, u64::MAX).collect();
+    assert_eq!(items.len(), 1, "exactly one error item, then termination");
+    assert!(items[0].is_err());
+}
+
+#[test]
 fn open_rejects_garbage_superblock() {
     let mut disk = MemDisk::new(256);
     let b = disk.allocate().unwrap();

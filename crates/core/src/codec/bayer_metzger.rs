@@ -306,6 +306,17 @@ impl NodeCodec for BayerMetzgerCodec {
             child: node.children[lo],
         })
     }
+
+    fn decode_cached(&self, entry: &CachedNode) -> Result<Node, CodecError> {
+        // A raw decode decrypts every keyed triplet (one key_decrypt each)
+        // plus the keyless leftmost-pointer seal on internal nodes.
+        let node = &entry.node;
+        if !node.is_leaf() {
+            self.counters.bump(|c| &c.ptr_decrypts);
+        }
+        self.counters.bump_by(|c| &c.key_decrypts, node.n() as u64);
+        Ok(node.clone())
+    }
 }
 
 #[cfg(test)]

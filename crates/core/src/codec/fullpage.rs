@@ -179,6 +179,13 @@ impl NodeCodec for FullPageCodec {
         })
     }
 
+    fn decode_cached(&self, entry: &CachedNode) -> Result<Node, CodecError> {
+        // A raw decode deciphers the whole page.
+        self.counters
+            .bump_by(|c| &c.page_decrypts, Self::cipher_blocks(entry.page_len));
+        Ok(entry.node.clone())
+    }
+
     fn probe_cached(&self, entry: &CachedNode, key: u64) -> Result<Probe, CodecError> {
         // A raw probe has no partial access: it always charges the whole
         // page's worth of block decryptions before searching.

@@ -284,6 +284,18 @@ impl sks_btree_core::NodeCodec for AnyCodec {
             AnyCodec::FullPage(c) => c.probe_cached(entry, key),
         }
     }
+
+    fn decode_cached(
+        &self,
+        entry: &sks_btree_core::CachedNode,
+    ) -> Result<sks_btree_core::Node, CodecError> {
+        match self {
+            AnyCodec::Plain(c) => c.decode_cached(entry),
+            AnyCodec::Substitution(c) => c.decode_cached(entry),
+            AnyCodec::BayerMetzger(c) => c.decode_cached(entry),
+            AnyCodec::FullPage(c) => c.decode_cached(entry),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -396,6 +396,23 @@ impl NodeCodec for SubstitutionCodec {
             }
         }
     }
+
+    fn decode_cached(&self, entry: &CachedNode) -> Result<Node, CodecError> {
+        // A raw decode unseals every pointer cryptogram (plus the lone
+        // leftmost one on internal nodes) and runs the *real* disguise
+        // recovery per key — replay the recoveries against the retained
+        // raw key fields so their counter profile (recover_ops, dlog_ops
+        // …) is identical step for step, and charge the pointer unseals.
+        let node = &entry.node;
+        let seals = node.n() + usize::from(!node.is_leaf());
+        self.counters.bump_by(|c| &c.ptr_decrypts, seals as u64);
+        for &raw in &entry.raw_keys {
+            self.disguise
+                .recover(raw)
+                .map_err(|e| CodecError::Corrupt(format!("recover failed: {e}")))?;
+        }
+        Ok(node.clone())
+    }
 }
 
 #[cfg(test)]

@@ -185,6 +185,19 @@ pub struct SchemeConfig {
     /// stays bounded under sustained writes. `0` disables the trigger;
     /// standalone (non-engine) trees ignore it.
     pub dirty_high_water: usize,
+    /// Capacity (in records) of the decoded-record LRU above the data
+    /// blocks' CTR unseal: repeated `get`s of a hot record pay zero
+    /// *physical* unseals while the logical `data_decrypts` counter keeps
+    /// reporting the paper's per-get cost. Entries are RAM-only,
+    /// invalidated on delete/compaction, zeroized on drop. `0` disables.
+    pub record_cache: usize,
+    /// Record-store compaction budget: how many tombstoned data blocks
+    /// each checkpoint may rewrite per partition
+    /// ([`crate::EncipheredBTree::compact_step`]); live records move into
+    /// fresh blocks and dead blocks return to the storage free list, so
+    /// delete-heavy workloads stop leaking space. `0` disables online
+    /// compaction.
+    pub compaction: usize,
 }
 
 impl SchemeConfig {
@@ -206,6 +219,8 @@ impl SchemeConfig {
             backend: StorageBackend::Memory,
             node_cache: Self::DEFAULT_NODE_CACHE,
             dirty_high_water: 0,
+            record_cache: Self::DEFAULT_RECORD_CACHE,
+            compaction: Self::DEFAULT_COMPACTION,
         }
     }
 
@@ -232,6 +247,8 @@ impl SchemeConfig {
             backend: StorageBackend::Memory,
             node_cache: Self::DEFAULT_NODE_CACHE,
             dirty_high_water: 0,
+            record_cache: Self::DEFAULT_RECORD_CACHE,
+            compaction: Self::DEFAULT_COMPACTION,
         }
     }
 
@@ -239,9 +256,30 @@ impl SchemeConfig {
     /// levels of a large tree decoded without unbounded memory.
     pub const DEFAULT_NODE_CACHE: usize = 1024;
 
+    /// Default decoded-record cache capacity (records).
+    pub const DEFAULT_RECORD_CACHE: usize = 1024;
+
+    /// Default per-checkpoint compaction budget (data blocks per
+    /// partition). Small enough that a checkpoint's latency stays bounded,
+    /// large enough that sustained delete churn converges.
+    pub const DEFAULT_COMPACTION: usize = 32;
+
     /// Builder-style node-cache knob (capacity in nodes; 0 disables).
     pub fn node_cache(mut self, capacity: usize) -> Self {
         self.node_cache = capacity;
+        self
+    }
+
+    /// Builder-style record-cache knob (capacity in records; 0 disables).
+    pub fn record_cache(mut self, capacity: usize) -> Self {
+        self.record_cache = capacity;
+        self
+    }
+
+    /// Builder-style compaction knob (tombstoned data blocks rewritten per
+    /// checkpoint per partition; 0 disables online compaction).
+    pub fn compaction(mut self, blocks_per_checkpoint: usize) -> Self {
+        self.compaction = blocks_per_checkpoint;
         self
     }
 

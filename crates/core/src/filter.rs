@@ -48,10 +48,13 @@ impl SecurityFilter {
         let counters = OpCounters::new();
         let disk = MemDisk::with_counters(block_size, counters.clone());
         let dbms = BTree::create(disk, PlainCodec::new(counters.clone()))?;
-        let store = RecordStore::new(
+        // No record cache: the filter seals record bodies itself above
+        // this layer, so cached plaintext here would only hold ciphertext.
+        let store = RecordStore::create(
             MemDisk::with_counters(block_size, counters.clone()),
             secrets.record_key,
-        );
+            0,
+        )?;
         Ok(SecurityFilter {
             substitution: secrets.substitution,
             record_cipher: Speck64::from_u128(secrets.record_key ^ 0x5157),

@@ -49,4 +49,4 @@ pub use filter::{FilterSecrets, SecurityFilter};
 pub use layout::{layouts_at, SchemeLayout};
 pub use mls::MultilevelRecordStore;
 pub use records::RecordStore;
-pub use tree::EncipheredBTree;
+pub use tree::{CompactionReport, EncipheredBTree};

@@ -36,7 +36,7 @@ impl<S: BlockStore> MultilevelRecordStore<S> {
         // secrecy here; all protection comes from the per-level cipher
         // applied to the frame body below.
         MultilevelRecordStore {
-            store: RecordStore::new(store, 0),
+            store: RecordStore::create(store, 0, 0).expect("fresh store for the MLS layer"),
             hierarchy,
         }
     }

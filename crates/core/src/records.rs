@@ -3,8 +3,29 @@
 //! §5: "The encryption algorithm used for the encryption of data blocks can
 //! be different and independent to that used for the tree and data pointers
 //! in the node blocks." Records here are CTR-enciphered under their own key
-//! with a per-(block, slot) nonce; compromising node blocks yields only the
-//! *location* of data blocks, never their content.
+//! with a per-(page-generation, slot) nonce; compromising node blocks
+//! yields only the *location* of data blocks, never their content.
+//!
+//! Two engine-grade facilities sit on top of the paper's static view:
+//!
+//! * **Tombstone accounting + compaction support** — deletes tombstone
+//!   slots and track the dead set per block; the compactor
+//!   ([`crate::EncipheredBTree::compact_step`]) rewrites a block's live
+//!   records into fresh slots and returns the block to the store's free
+//!   list. Because freed blocks are recycled, record nonces derive from a
+//!   monotonically increasing *page generation* (persisted in the store's
+//!   superblock and stamped into each page header), never from the block
+//!   number: a recycled block enciphers under fresh keystream, so stale
+//!   ciphertext left on the medium can never be XOR-correlated with a
+//!   later record.
+//! * **A bounded decoded-record LRU** above the CTR unseal — read-mostly
+//!   `get`s of hot records pay zero physical unseals while the *logical*
+//!   `data_decrypts` counter keeps reporting the paper's per-get cost.
+//!   Entries are RAM-only, invalidated on delete/compaction, and zeroized
+//!   when the last reference drops.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use sks_btree_core::RecordPtr;
 use sks_crypto::modes::ctr_xor;
@@ -13,13 +34,157 @@ use sks_storage::{BlockId, BlockStore, PageReader, PageWriter};
 
 use crate::error::CoreError;
 
-/// Page layout: `[n_slots u16][free_off u16]` then the slot directory
-/// (`off u16, len u16` per slot) growing forward; record bytes packed at
-/// the tail, growing backward.
-const PAGE_HEADER: usize = 4;
+/// Page layout: `[generation u64][n_slots u16][free_off u16]` then the slot
+/// directory (`off u16, len u16` per slot) growing forward; record bytes
+/// packed at the tail, growing backward.
+const PAGE_HEADER: usize = 12;
 const SLOT_ENTRY: usize = 4;
 /// Tombstone marker in the slot directory.
 const TOMBSTONE: u16 = u16::MAX;
+
+/// Superblock (block 0) layout: magic, format version, next page
+/// generation. Rewritten in place whenever a fresh page is initialised;
+/// on buffered backends it rides the same checkpoint as the pages it
+/// governs.
+const SUPER_MAGIC: &[u8; 8] = b"SKSRECS1";
+const SUPER_VERSION: u32 = 1;
+
+/// A decoded record held by the [`RecordCache`]. The plaintext is wiped
+/// when the last reference drops (eviction, invalidation, cache drop), so
+/// heap re-use cannot scrape record bytes out of dead memory.
+#[derive(Debug)]
+struct CachedRecord {
+    bytes: Vec<u8>,
+}
+
+impl Drop for CachedRecord {
+    fn drop(&mut self) {
+        for b in self.bytes.iter_mut() {
+            // Volatile so the wipe of soon-to-be-freed memory is not elided.
+            unsafe { std::ptr::write_volatile(b, 0) };
+        }
+    }
+}
+
+/// One occupied clock slot.
+#[derive(Debug)]
+struct CacheSlot {
+    key: u64,
+    entry: Arc<CachedRecord>,
+    /// Second-chance bit: set on every hit, cleared by the sweeping hand.
+    referenced: bool,
+}
+
+#[derive(Debug, Default)]
+struct RecordCacheInner {
+    /// Record pointer → ring slot index.
+    map: HashMap<u64, usize>,
+    ring: Vec<Option<CacheSlot>>,
+    /// Slots emptied by invalidation, reused before eviction.
+    vacant: Vec<usize>,
+    hand: usize,
+}
+
+impl RecordCacheInner {
+    fn forget(&mut self, ptr: u64) {
+        if let Some(i) = self.map.remove(&ptr) {
+            self.ring[i] = None;
+            self.vacant.push(i);
+        }
+    }
+}
+
+/// Bounded cache of *decoded* records, interior-mutable so the read path
+/// can fill it behind `&self`. Capacity is a record count; eviction is
+/// clock / second-chance (an O(1) LRU approximation — a true recency list
+/// would put a scan on every hot-path hit). Entries are RAM-only and
+/// zeroized on drop.
+#[derive(Debug)]
+struct RecordCache {
+    inner: Mutex<RecordCacheInner>,
+    capacity: usize,
+}
+
+impl RecordCache {
+    fn new(capacity: usize) -> Self {
+        RecordCache {
+            inner: Mutex::new(RecordCacheInner::default()),
+            capacity,
+        }
+    }
+
+    fn get(&self, ptr: RecordPtr) -> Option<Arc<CachedRecord>> {
+        let mut inner = self.inner.lock().expect("record cache");
+        let &i = inner.map.get(&ptr.0)?;
+        let slot = inner.ring[i].as_mut().expect("mapped slot is occupied");
+        slot.referenced = true;
+        Some(Arc::clone(&slot.entry))
+    }
+
+    fn insert(&self, ptr: RecordPtr, bytes: Vec<u8>) {
+        let entry = Arc::new(CachedRecord { bytes });
+        let mut inner = self.inner.lock().expect("record cache");
+        if let Some(&i) = inner.map.get(&ptr.0) {
+            inner.ring[i] = Some(CacheSlot {
+                key: ptr.0,
+                entry,
+                referenced: true,
+            });
+            return;
+        }
+        let i = if let Some(i) = inner.vacant.pop() {
+            i
+        } else if inner.ring.len() < self.capacity {
+            inner.ring.push(None);
+            inner.ring.len() - 1
+        } else {
+            // Clock sweep: clear second-chance bits until a cold slot
+            // turns up (at most two revolutions).
+            loop {
+                let h = inner.hand;
+                inner.hand = (inner.hand + 1) % inner.ring.len();
+                match &mut inner.ring[h] {
+                    Some(slot) if slot.referenced => slot.referenced = false,
+                    Some(slot) => {
+                        let old = slot.key;
+                        inner.map.remove(&old);
+                        break h;
+                    }
+                    None => break h,
+                }
+            }
+        };
+        inner.ring[i] = Some(CacheSlot {
+            key: ptr.0,
+            entry,
+            referenced: true,
+        });
+        inner.map.insert(ptr.0, i);
+    }
+
+    fn invalidate(&self, ptr: RecordPtr) {
+        self.inner.lock().expect("record cache").forget(ptr.0);
+    }
+
+    /// Drops every entry living in `block` (the block is being freed; its
+    /// slots will be reincarnated under a fresh generation).
+    fn invalidate_block(&self, block: BlockId) {
+        let mut inner = self.inner.lock().expect("record cache");
+        let doomed: Vec<u64> = inner
+            .map
+            .keys()
+            .copied()
+            .filter(|&p| RecordPtr(p).block() == block)
+            .collect();
+        for p in doomed {
+            inner.forget(p);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().expect("record cache").map.len()
+    }
+}
 
 /// A slotted-page record store with per-record encipherment.
 pub struct RecordStore<S: BlockStore> {
@@ -27,16 +192,71 @@ pub struct RecordStore<S: BlockStore> {
     cipher: Speck64,
     /// Block currently being filled.
     open_block: Option<BlockId>,
+    /// Next page generation (mirrors the superblock).
+    next_gen: u64,
+    /// Decoded-record LRU (None = disabled).
+    cache: Option<RecordCache>,
+    /// Tombstoned-slot count per block. Complete only when
+    /// `dead_map_complete` (a reopened store rebuilds it lazily on the
+    /// first compaction pass).
+    dead: HashMap<u32, u32>,
+    dead_map_complete: bool,
 }
 
 impl<S: BlockStore> RecordStore<S> {
-    /// `data_key` is the independent data-block key of §5.
-    pub fn new(store: S, data_key: u128) -> Self {
-        RecordStore {
+    /// Creates a fresh record store on an *empty* block store, allocating
+    /// its superblock. `data_key` is the independent data-block key of §5;
+    /// `cache_capacity` bounds the decoded-record LRU (0 disables it).
+    pub fn create(mut store: S, data_key: u128, cache_capacity: usize) -> Result<Self, CoreError> {
+        let sb = store.allocate()?;
+        debug_assert_eq!(sb, BlockId(0), "superblock must be the first block");
+        let mut this = RecordStore {
             store,
             cipher: Speck64::from_u128(data_key),
             open_block: None,
+            next_gen: 1,
+            cache: (cache_capacity > 0).then(|| RecordCache::new(cache_capacity)),
+            dead: HashMap::new(),
+            dead_map_complete: true,
+        };
+        this.write_superblock()?;
+        Ok(this)
+    }
+
+    /// Reopens a record store persisted on `store` (reads the superblock).
+    /// Tombstone accounting is rebuilt lazily by the first compaction
+    /// sweep, so reopening stays O(1).
+    pub fn open(store: S, data_key: u128, cache_capacity: usize) -> Result<Self, CoreError> {
+        let page = store.read_block_vec(BlockId(0))?;
+        if &page[0..8] != SUPER_MAGIC {
+            return Err(CoreError::Record(
+                "data store has no record superblock".into(),
+            ));
         }
+        let version = u32::from_be_bytes(page[8..12].try_into().expect("fixed width"));
+        if version != SUPER_VERSION {
+            return Err(CoreError::Record(format!(
+                "unknown record-store version {version}"
+            )));
+        }
+        let next_gen = u64::from_be_bytes(page[12..20].try_into().expect("fixed width"));
+        Ok(RecordStore {
+            store,
+            cipher: Speck64::from_u128(data_key),
+            open_block: None,
+            next_gen,
+            cache: (cache_capacity > 0).then(|| RecordCache::new(cache_capacity)),
+            dead: HashMap::new(),
+            dead_map_complete: false,
+        })
+    }
+
+    fn write_superblock(&mut self) -> Result<(), CoreError> {
+        let mut page = vec![0u8; self.store.block_size()];
+        page[0..8].copy_from_slice(SUPER_MAGIC);
+        page[8..12].copy_from_slice(&SUPER_VERSION.to_be_bytes());
+        page[12..20].copy_from_slice(&self.next_gen.to_be_bytes());
+        Ok(self.store.write_block(BlockId(0), &page)?)
     }
 
     /// Largest storable record.
@@ -57,15 +277,31 @@ impl<S: BlockStore> RecordStore<S> {
         Ok(self.store.flush()?)
     }
 
-    fn nonce(block: BlockId, slot: u16) -> u64 {
-        ((block.as_u64()) << 16) | slot as u64
+    /// Records currently held decoded in the record cache.
+    pub fn cached_records(&self) -> usize {
+        self.cache.as_ref().map(RecordCache::len).unwrap_or(0)
     }
 
-    fn read_page_meta(page: &[u8]) -> Result<(u16, u16), CoreError> {
+    /// The generation ceiling: a nonce is `gen << 16 | slot`, so
+    /// generations must fit 48 bits for the keystream-uniqueness
+    /// guarantee to hold. Unreachable in practice (2^48 page initialisations
+    /// of >= 32 bytes each is multiple petabytes of churn); hitting it is
+    /// a loud error, never silent nonce reuse.
+    const MAX_GENERATION: u64 = 1 << 48;
+
+    /// CTR nonce: the page's generation (unique per block *incarnation*,
+    /// never reused even when compaction recycles the block) plus the
+    /// slot.
+    fn nonce(generation: u64, slot: u16) -> u64 {
+        (generation << 16) | slot as u64
+    }
+
+    fn read_page_meta(page: &[u8]) -> Result<(u64, u16, u16), CoreError> {
         let mut r = PageReader::new(page);
+        let generation = r.get_u64().map_err(|e| CoreError::Record(e.to_string()))?;
         let n_slots = r.get_u16().map_err(|e| CoreError::Record(e.to_string()))?;
         let free_off = r.get_u16().map_err(|e| CoreError::Record(e.to_string()))?;
-        Ok((n_slots, free_off))
+        Ok((generation, n_slots, free_off))
     }
 
     fn slot_entry(page: &[u8], slot: u16) -> Result<(u16, u16), CoreError> {
@@ -85,6 +321,18 @@ impl<S: BlockStore> RecordStore<S> {
 
     /// Inserts a record, returning its pointer.
     pub fn insert(&mut self, record: &[u8]) -> Result<RecordPtr, CoreError> {
+        self.insert_inner(record, true)
+    }
+
+    /// The compactor's insert: identical placement logic, but the
+    /// encipherment is charged to `compact_moved_records` instead of the
+    /// paper's `data_encrypts` — moving an already-stored record is
+    /// storage maintenance, not a logical write.
+    fn insert_moved(&mut self, record: &[u8]) -> Result<RecordPtr, CoreError> {
+        self.insert_inner(record, false)
+    }
+
+    fn insert_inner(&mut self, record: &[u8], logical: bool) -> Result<RecordPtr, CoreError> {
         if record.len() > self.max_record_len() {
             return Err(CoreError::Record(format!(
                 "record of {} bytes exceeds max {}",
@@ -97,35 +345,39 @@ impl<S: BlockStore> RecordStore<S> {
         let (block, mut page) = match self.open_block {
             Some(b) => {
                 let page = self.store.read_block_vec(b)?;
-                let (n_slots, free_off) = Self::read_page_meta(&page)?;
+                let (_, n_slots, free_off) = Self::read_page_meta(&page)?;
                 if self.free_space(n_slots, free_off) >= record.len() {
                     (b, page)
                 } else {
                     let nb = self.store.allocate()?;
-                    let mut fresh = vec![0u8; block_size];
-                    Self::init_page(&mut fresh, block_size);
+                    let fresh = self.init_page(block_size)?;
                     self.open_block = Some(nb);
                     (nb, fresh)
                 }
             }
             None => {
                 let nb = self.store.allocate()?;
-                let mut fresh = vec![0u8; block_size];
-                Self::init_page(&mut fresh, block_size);
+                let fresh = self.init_page(block_size)?;
                 self.open_block = Some(nb);
                 (nb, fresh)
             }
         };
-        let (n_slots, free_off) = Self::read_page_meta(&page)?;
+        let (generation, n_slots, free_off) = Self::read_page_meta(&page)?;
         let slot = n_slots;
         let new_off = free_off as usize - record.len();
-        // Encrypt under the per-record nonce.
-        self.store.counters().bump(|c| &c.data_encrypts);
-        let ct = ctr_xor(&self.cipher, Self::nonce(block, slot), record);
+        // Encrypt under the per-(generation, slot) nonce.
+        if logical {
+            self.store.counters().bump(|c| &c.data_encrypts);
+        } else {
+            self.store.counters().bump(|c| &c.compact_moved_records);
+        }
+        let ct = ctr_xor(&self.cipher, Self::nonce(generation, slot), record);
         page[new_off..new_off + ct.len()].copy_from_slice(&ct);
         // Slot directory entry.
         {
             let mut w = PageWriter::new(&mut page);
+            w.put_u64(generation)
+                .map_err(|e| CoreError::Record(e.to_string()))?;
             w.put_u16(n_slots + 1)
                 .map_err(|e| CoreError::Record(e.to_string()))?;
             w.put_u16(new_off as u16)
@@ -137,19 +389,55 @@ impl<S: BlockStore> RecordStore<S> {
             page[dir_off + 2..dir_off + 4].copy_from_slice(&(ct.len() as u16).to_be_bytes());
         }
         self.store.write_block(block, &page)?;
-        Ok(RecordPtr::pack(block, slot))
+        let ptr = RecordPtr::pack(block, slot);
+        if logical {
+            if let Some(cache) = &self.cache {
+                // The plaintext is in hand: pre-warm read-after-write
+                // gets. Compaction moves skip this — flooding the bounded
+                // cache with relocated records would evict the genuinely
+                // hot set.
+                cache.insert(ptr, record.to_vec());
+            }
+        }
+        Ok(ptr)
     }
 
-    fn init_page(page: &mut [u8], block_size: usize) {
-        // n_slots = 0, free_off = block end.
-        page[0..2].copy_from_slice(&0u16.to_be_bytes());
-        page[2..4].copy_from_slice(&(block_size as u16).to_be_bytes());
+    /// Initialises a fresh page under the next generation (bumping and
+    /// persisting the superblock's counter). Fails loudly if the
+    /// generation space is ever exhausted — silent reuse would repeat
+    /// CTR keystream.
+    fn init_page(&mut self, block_size: usize) -> Result<Vec<u8>, CoreError> {
+        let generation = self.next_gen;
+        if generation >= Self::MAX_GENERATION {
+            return Err(CoreError::Record(
+                "page-generation space exhausted; refusing to reuse CTR keystream".into(),
+            ));
+        }
+        self.next_gen += 1;
+        self.write_superblock()?;
+        let mut page = vec![0u8; block_size];
+        page[0..8].copy_from_slice(&generation.to_be_bytes());
+        page[8..10].copy_from_slice(&0u16.to_be_bytes());
+        page[10..12].copy_from_slice(&(block_size as u16).to_be_bytes());
+        Ok(page)
     }
 
     /// Fetches and deciphers a record. `None` for tombstoned slots.
+    ///
+    /// The logical `data_decrypts` counter is bumped per live get — the
+    /// paper's per-scheme cost — whether the plaintext comes from the
+    /// physical CTR unseal or from the decoded-record cache (which only
+    /// skips the *physical* work, tracked by `record_cache_hits`).
     pub fn get(&self, ptr: RecordPtr) -> Result<Option<Vec<u8>>, CoreError> {
+        if let Some(cache) = &self.cache {
+            if let Some(entry) = cache.get(ptr) {
+                self.store.counters().bump(|c| &c.record_cache_hits);
+                self.store.counters().bump(|c| &c.data_decrypts);
+                return Ok(Some(entry.bytes.clone()));
+            }
+        }
         let page = self.store.read_block_vec(ptr.block())?;
-        let (n_slots, _) = Self::read_page_meta(&page)?;
+        let (generation, n_slots, _) = Self::read_page_meta(&page)?;
         if ptr.slot() >= n_slots {
             return Err(CoreError::Record(format!(
                 "slot {} out of range (page has {n_slots})",
@@ -162,18 +450,19 @@ impl<S: BlockStore> RecordStore<S> {
         }
         let ct = &page[off as usize..off as usize + len as usize];
         self.store.counters().bump(|c| &c.data_decrypts);
-        Ok(Some(ctr_xor(
-            &self.cipher,
-            Self::nonce(ptr.block(), ptr.slot()),
-            ct,
-        )))
+        let plain = ctr_xor(&self.cipher, Self::nonce(generation, ptr.slot()), ct);
+        if let Some(cache) = &self.cache {
+            self.store.counters().bump(|c| &c.record_cache_misses);
+            cache.insert(ptr, plain.clone());
+        }
+        Ok(Some(plain))
     }
 
-    /// Tombstones a record (space is not reclaimed — matching the paper's
-    /// static view of data blocks; compaction is out of scope).
+    /// Tombstones a record. Space is reclaimed by the compaction sweep
+    /// ([`crate::EncipheredBTree::compact_step`]), not here.
     pub fn delete(&mut self, ptr: RecordPtr) -> Result<bool, CoreError> {
         let mut page = self.store.read_block_vec(ptr.block())?;
-        let (n_slots, _) = Self::read_page_meta(&page)?;
+        let (_, n_slots, _) = Self::read_page_meta(&page)?;
         if ptr.slot() >= n_slots {
             return Err(CoreError::Record(format!(
                 "slot {} out of range (page has {n_slots})",
@@ -184,7 +473,133 @@ impl<S: BlockStore> RecordStore<S> {
         let was_live = page[dir_off..dir_off + 2] != TOMBSTONE.to_be_bytes();
         page[dir_off..dir_off + 2].copy_from_slice(&TOMBSTONE.to_be_bytes());
         self.store.write_block(ptr.block(), &page)?;
+        if let Some(cache) = &self.cache {
+            cache.invalidate(ptr);
+        }
+        if was_live {
+            *self.dead.entry(ptr.block().0).or_default() += 1;
+        }
         Ok(was_live)
+    }
+
+    // ---- compaction support -------------------------------------------
+
+    /// Ensures the tombstone accounting covers the whole store. Fresh
+    /// stores are complete by construction; a reopened store pays one
+    /// O(blocks) sweep here, on the first compaction pass after restart
+    /// (which also picks up garbage left by a pre-crash epoch).
+    fn ensure_dead_map(&mut self) -> Result<(), CoreError> {
+        if self.dead_map_complete {
+            return Ok(());
+        }
+        self.dead.clear();
+        for b in 1..self.store.num_blocks() {
+            let page = match self.store.read_block_vec(BlockId(b)) {
+                Ok(page) => page,
+                Err(sks_storage::StorageError::FreedBlock { .. }) => continue,
+                Err(e) => return Err(e.into()),
+            };
+            let (_, n_slots, _) = Self::read_page_meta(&page)?;
+            let mut dead = 0u32;
+            for slot in 0..n_slots {
+                if Self::slot_entry(&page, slot)?.0 == TOMBSTONE {
+                    dead += 1;
+                }
+            }
+            if dead > 0 {
+                self.dead.insert(b, dead);
+            }
+        }
+        self.dead_map_complete = true;
+        Ok(())
+    }
+
+    /// Total tombstoned slots awaiting compaction (rebuilds the accounting
+    /// if this store was reopened).
+    pub fn pending_tombstones(&mut self) -> Result<u64, CoreError> {
+        self.ensure_dead_map()?;
+        Ok(self.dead.values().map(|&d| d as u64).sum())
+    }
+
+    /// Cheap pre-check: `true` when tombstones *may* exist (always true on
+    /// a freshly reopened store until the first sweep rebuilds the map).
+    pub fn may_have_tombstones(&self) -> bool {
+        !self.dead_map_complete || !self.dead.is_empty()
+    }
+
+    /// The next `max_blocks` compaction victims in ascending block order
+    /// (deterministic across backends), excluding the open fill block.
+    fn compaction_victims(&self, max_blocks: usize) -> Vec<BlockId> {
+        let mut victims: Vec<u32> = self
+            .dead
+            .keys()
+            .copied()
+            .filter(|&b| Some(BlockId(b)) != self.open_block)
+            .collect();
+        victims.sort_unstable();
+        victims.truncate(max_blocks);
+        victims.into_iter().map(BlockId).collect()
+    }
+
+    /// Deciphers the live records of `block` (silently — compaction is
+    /// below the paper's cost model) as `(slot, plaintext)` pairs.
+    fn live_records(&self, block: BlockId) -> Result<Vec<(u16, Vec<u8>)>, CoreError> {
+        let page = self.store.read_block_vec(block)?;
+        let (generation, n_slots, _) = Self::read_page_meta(&page)?;
+        let mut out = Vec::new();
+        for slot in 0..n_slots {
+            let (off, len) = Self::slot_entry(&page, slot)?;
+            if off == TOMBSTONE {
+                continue;
+            }
+            let ct = &page[off as usize..off as usize + len as usize];
+            out.push((
+                slot,
+                ctr_xor(&self.cipher, Self::nonce(generation, slot), ct),
+            ));
+        }
+        Ok(out)
+    }
+
+    /// Frees `block` through the store's free list, dropping its cache
+    /// entries and accounting.
+    fn free_block(&mut self, block: BlockId) -> Result<(), CoreError> {
+        if let Some(cache) = &self.cache {
+            cache.invalidate_block(block);
+        }
+        self.dead.remove(&block.0);
+        if self.open_block == Some(block) {
+            self.open_block = None;
+        }
+        self.store.free(block)?;
+        self.store.counters().bump(|c| &c.compact_freed_blocks);
+        Ok(())
+    }
+
+    /// Compacts one victim block: rewrites its live records into fresh
+    /// slots (via the open fill block) and frees it. Returns the moves as
+    /// `(old_ptr, new_ptr)` pairs so the caller can repoint its index.
+    /// The caller must ensure no concurrent reader holds `block`'s
+    /// pointers (the engine runs this under the partition write lock).
+    pub(crate) fn compact_block(
+        &mut self,
+        block: BlockId,
+    ) -> Result<Vec<(RecordPtr, RecordPtr)>, CoreError> {
+        debug_assert_ne!(self.open_block, Some(block), "never compact the fill block");
+        let live = self.live_records(block)?;
+        let mut moves = Vec::with_capacity(live.len());
+        for (slot, plain) in live {
+            let new_ptr = self.insert_moved(&plain)?;
+            moves.push((RecordPtr::pack(block, slot), new_ptr));
+        }
+        self.free_block(block)?;
+        Ok(moves)
+    }
+
+    /// Blocks the compactor would examine next (ascending, bounded).
+    pub(crate) fn victims(&mut self, max_blocks: usize) -> Result<Vec<BlockId>, CoreError> {
+        self.ensure_dead_map()?;
+        Ok(self.compaction_victims(max_blocks))
     }
 }
 
@@ -194,7 +609,21 @@ mod tests {
     use sks_storage::MemDisk;
 
     fn store() -> RecordStore<MemDisk> {
-        RecordStore::new(MemDisk::new(256), 0xAABB_CCDD_EEFF_0011_2233_4455_6677_8899)
+        RecordStore::create(
+            MemDisk::new(256),
+            0xAABB_CCDD_EEFF_0011_2233_4455_6677_8899,
+            0,
+        )
+        .unwrap()
+    }
+
+    fn cached_store() -> RecordStore<MemDisk> {
+        RecordStore::create(
+            MemDisk::new(256),
+            0xAABB_CCDD_EEFF_0011_2233_4455_6677_8899,
+            64,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -241,6 +670,7 @@ mod tests {
         assert!(rs.delete(p).unwrap());
         assert_eq!(rs.get(p).unwrap(), None);
         assert!(!rs.delete(p).unwrap(), "double delete reports false");
+        assert_eq!(rs.pending_tombstones().unwrap(), 1);
     }
 
     #[test]
@@ -268,15 +698,6 @@ mod tests {
         let p1 = rs.insert(b"same-bytes").unwrap();
         let p2 = rs.insert(b"same-bytes").unwrap();
         assert_ne!(p1, p2);
-        let image = rs.store().raw_image();
-        // Both records decrypt fine but their on-disk bytes differ (nonce).
-        let all: Vec<u8> = image.concat();
-        let mut positions = Vec::new();
-        for i in 0..all.len().saturating_sub(10) {
-            if &all[i..i + 10] == rs.get(p1).unwrap().unwrap().as_slice() {
-                positions.push(i);
-            }
-        }
         assert_eq!(rs.get(p1).unwrap(), rs.get(p2).unwrap());
     }
 
@@ -287,5 +708,184 @@ mod tests {
         let _ = rs.get(p).unwrap();
         let s = rs.store().counters().snapshot();
         assert_eq!((s.data_encrypts, s.data_decrypts), (1, 1));
+    }
+
+    #[test]
+    fn superblock_survives_reopen_and_generations_advance() {
+        let mut rs = store();
+        let rec = vec![3u8; 100];
+        for _ in 0..6 {
+            rs.insert(&rec).unwrap();
+        }
+        let gen_before = rs.next_gen;
+        assert!(gen_before > 3, "several pages initialised");
+        let disk = rs.into_store();
+        let mut rs = RecordStore::open(disk, 0xAABB_CCDD_EEFF_0011_2233_4455_6677_8899, 0).unwrap();
+        assert_eq!(rs.next_gen, gen_before, "generation counter persisted");
+        // Fresh pages after reopen keep advancing, never reusing keystream.
+        for _ in 0..4 {
+            rs.insert(&rec).unwrap();
+        }
+        assert!(rs.next_gen > gen_before);
+    }
+
+    #[test]
+    fn open_rejects_a_non_record_store() {
+        let mut disk = MemDisk::new(256);
+        disk.allocate().unwrap(); // block 0 exists but holds no superblock
+        assert!(matches!(
+            RecordStore::open(disk, 1, 0),
+            Err(CoreError::Record(_))
+        ));
+    }
+
+    #[test]
+    fn record_cache_hits_skip_physical_work_but_count_logically() {
+        let mut rs = cached_store();
+        let p = rs.insert(b"hot record").unwrap();
+        rs.store().counters().reset();
+        for _ in 0..10 {
+            assert_eq!(rs.get(p).unwrap().unwrap(), b"hot record");
+        }
+        let s = rs.store().counters().snapshot();
+        assert_eq!(s.data_decrypts, 10, "logical cost reported per get");
+        assert_eq!(s.record_cache_hits, 10, "insert pre-warmed the cache");
+        assert_eq!(s.block_reads, 0, "no physical page reads on hits");
+    }
+
+    #[test]
+    fn record_cache_invalidated_on_delete() {
+        let mut rs = cached_store();
+        let p = rs.insert(b"soon gone").unwrap();
+        assert_eq!(rs.get(p).unwrap().unwrap(), b"soon gone");
+        rs.delete(p).unwrap();
+        assert_eq!(rs.get(p).unwrap(), None, "stale cache entry must not serve");
+    }
+
+    #[test]
+    fn record_cache_is_bounded() {
+        let mut rs = cached_store(); // capacity 64
+        let rec = vec![9u8; 40];
+        for _ in 0..200 {
+            rs.insert(&rec).unwrap();
+        }
+        assert!(rs.cached_records() <= 64);
+    }
+
+    #[test]
+    fn compaction_reclaims_fully_dead_blocks() {
+        let mut rs = store();
+        let rec = vec![5u8; 100]; // 2 per 256-byte page
+        let ptrs: Vec<RecordPtr> = (0..10).map(|_| rs.insert(&rec).unwrap()).collect();
+        let blocks_before = rs.store().num_blocks();
+        for &p in &ptrs {
+            rs.delete(p).unwrap();
+        }
+        let victims = rs.victims(64).unwrap();
+        assert!(!victims.is_empty());
+        let mut moves = 0;
+        for v in victims {
+            moves += rs.compact_block(v).unwrap().len();
+        }
+        assert_eq!(moves, 0, "every record was dead");
+        use sks_storage::BlockStore as _;
+        assert!(
+            rs.store().free_blocks() >= blocks_before - 2,
+            "dead blocks returned to the free list ({} of {blocks_before})",
+            rs.store().free_blocks()
+        );
+        // Reuse: new inserts pop freed blocks instead of growing the device.
+        for _ in 0..8 {
+            rs.insert(&rec).unwrap();
+        }
+        assert_eq!(rs.store().num_blocks(), blocks_before, "no growth");
+    }
+
+    #[test]
+    fn compaction_moves_live_records_and_preserves_content() {
+        let mut rs = store();
+        // ~100-byte records: two per 256-byte page, so the set spans
+        // several blocks and the open block keeps moving.
+        let mk = |i: u64| format!("live-record-{i:03}-{}", "x".repeat(81)).into_bytes();
+        let ptrs: Vec<RecordPtr> = (0..12).map(|i| rs.insert(&mk(i)).unwrap()).collect();
+        // Kill every other record so most blocks are half dead.
+        for (i, &p) in ptrs.iter().enumerate() {
+            if i % 2 == 0 {
+                rs.delete(p).unwrap();
+            }
+        }
+        let victims = rs.victims(64).unwrap();
+        assert!(!victims.is_empty(), "half-dead blocks are victims");
+        let mut moved = 0u64;
+        for v in victims {
+            for (old, new) in rs.compact_block(v).unwrap() {
+                // Record i sits at block 1 + i/2 (block 0 is the
+                // superblock), slot i%2; its content must survive the move
+                // byte for byte.
+                let i = (old.block().as_u32() as u64 - 1) * 2 + old.slot() as u64;
+                assert_eq!(rs.get(new).unwrap().unwrap(), mk(i), "record {i}");
+                moved += 1;
+            }
+        }
+        assert!(moved >= 4, "live slots of the victims were rewritten");
+        assert!(
+            rs.pending_tombstones().unwrap() <= 1,
+            "only the open fill block may still hold a tombstone"
+        );
+    }
+
+    #[test]
+    fn recycled_blocks_never_reuse_keystream() {
+        // CTR nonce reuse across a block's incarnations would let an
+        // opponent XOR old (stale, still on the medium) and new ciphertext
+        // into plaintext. Generations make every incarnation's keystream
+        // fresh: same block, same slot, different bytes for the *same*
+        // plaintext.
+        let mut rs = store();
+        let rec = vec![0xAA; 100];
+        let p0 = rs.insert(&rec).unwrap(); // block 1, slot 0
+        let p1 = rs.insert(&rec).unwrap(); // block 1, slot 1 (page now full)
+        let _p2 = rs.insert(&rec).unwrap(); // block 2 becomes the open block
+        let block = p0.block();
+        assert_eq!(p1.block(), block);
+        let before = rs.store().raw_image()[block.as_u32() as usize].clone();
+        rs.delete(p0).unwrap();
+        rs.delete(p1).unwrap();
+        for v in rs.victims(64).unwrap() {
+            rs.compact_block(v).unwrap();
+        }
+        // Fill the open block, then the next insert recycles the freed one.
+        let _p3 = rs.insert(&rec).unwrap();
+        let p4 = rs.insert(&rec).unwrap();
+        assert_eq!(p4.block(), block, "block recycled");
+        assert_eq!(p4.slot(), 0, "slot recycled");
+        let after = rs.store().raw_image()[block.as_u32() as usize].clone();
+        let payload_differs = before
+            .iter()
+            .zip(&after)
+            .skip(PAGE_HEADER + SLOT_ENTRY)
+            .any(|(a, b)| a != b);
+        assert!(
+            payload_differs,
+            "identical plaintext re-enciphered in a recycled slot must not repeat keystream"
+        );
+        assert_eq!(rs.get(p4).unwrap().unwrap(), rec);
+    }
+
+    #[test]
+    fn reopened_store_rebuilds_tombstone_accounting() {
+        let mut rs = store();
+        let rec = vec![1u8; 100];
+        let ptrs: Vec<RecordPtr> = (0..6).map(|_| rs.insert(&rec).unwrap()).collect();
+        rs.delete(ptrs[0]).unwrap();
+        rs.delete(ptrs[3]).unwrap();
+        let disk = rs.into_store();
+        let mut rs = RecordStore::open(disk, 0xAABB_CCDD_EEFF_0011_2233_4455_6677_8899, 0).unwrap();
+        assert!(rs.may_have_tombstones());
+        assert_eq!(
+            rs.pending_tombstones().unwrap(),
+            2,
+            "lazy sweep found the pre-restart tombstones"
+        );
     }
 }

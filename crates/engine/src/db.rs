@@ -19,7 +19,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, RwLock, Weak};
 
-use sks_core::{EncipheredBTree, KeyDisguise, SchemeConfig, StorageBackend};
+use sks_core::{CompactionReport, EncipheredBTree, KeyDisguise, SchemeConfig, StorageBackend};
 use sks_storage::{OpCounters, OpSnapshot, SyncPolicy};
 
 use crate::error::EngineError;
@@ -114,6 +114,8 @@ pub struct SksDb {
     /// Serialises whole checkpoints against each other (manual and
     /// background); readers and writers are *not* behind this lock.
     checkpoint_serial: Mutex<()>,
+    /// What the most recent checkpoint's compaction passes reclaimed.
+    last_compaction: Mutex<CompactionReport>,
     /// Handle back to the owning `Arc`, so a dirty high-water breach can
     /// hand a background thread its own reference to the engine.
     self_ref: Weak<SksDb>,
@@ -347,6 +349,7 @@ impl SksDb {
             wal_path,
             config,
             checkpoint_serial: Mutex::new(()),
+            last_compaction: Mutex::new(CompactionReport::default()),
             self_ref: self_ref.clone(),
             auto_ckpt_running: AtomicBool::new(false),
             auto_ckpt_handle: Mutex::new(None),
@@ -645,18 +648,26 @@ impl SksDb {
         )?;
         let mut written = 0u64;
 
-        // Phase 2.
+        // Phase 2. Each partition first runs its bounded record-store
+        // compaction pass (under the write lock; crash-safe because on the
+        // file backend nothing reaches the medium until the journaled
+        // page-store checkpoint below commits, and on the memory backend
+        // state is reconstructed from the WAL anyway).
+        let compaction_budget = self.config.scheme.compaction;
+        let mut compacted = CompactionReport::default();
         if self.config.scheme.backend.is_file() {
             // Durability lives in the tree pages: journal every
             // partition's dirty set, partitions in parallel.
-            let mut results: Vec<Result<(), EngineError>> = std::thread::scope(|s| {
+            let mut results: Vec<Result<CompactionReport, EngineError>> = std::thread::scope(|s| {
                 let handles: Vec<_> = self
                     .partitions
                     .iter()
                     .map(|p| {
-                        s.spawn(move || -> Result<(), EngineError> {
+                        s.spawn(move || -> Result<CompactionReport, EngineError> {
                             let mut guard = p.write().expect("partition lock");
-                            Ok(guard.flush()?)
+                            let report = guard.compact_step(compaction_budget)?;
+                            guard.flush()?;
+                            Ok(report)
                         })
                     })
                     .collect();
@@ -667,30 +678,27 @@ impl SksDb {
                     .collect()
             });
             for r in results.drain(..) {
-                r?;
+                compacted.absorb(r?);
             }
         } else {
-            // Stream each partition's snapshot in bounded key windows
-            // under its read lock — readers run freely, writers stall
-            // only on the partition currently being streamed. Keys live
-            // in `0..=capacity` by construction (SchemeConfig's domain),
-            // so the sweep terminates.
-            const WINDOW: u64 = 4096;
+            // Compact under the write lock, then stream the partition's
+            // snapshot under its *read* lock — readers run freely, writers
+            // stall only on the partition currently being worked on.
             let max_key = self.config.scheme.capacity;
             let mut mid = Some(mid);
             for part in &self.partitions {
+                {
+                    let mut guard = part.write().expect("partition lock");
+                    compacted.absorb(guard.compact_step(compaction_budget)?);
+                }
                 let guard = part.read().expect("partition lock");
-                let mut lo = 0u64;
-                loop {
-                    let hi = lo.saturating_add(WINDOW - 1).min(max_key);
-                    for (key, value) in guard.range(lo, hi)? {
-                        fresh.append_insert(key, &value)?;
-                        written += 1;
-                    }
-                    if hi >= max_key {
-                        break;
-                    }
-                    lo = hi + 1;
+                // Stream without materialising: memory stays O(height +
+                // one record) regardless of partition size. Keys live in
+                // `0..=capacity` by construction (SchemeConfig's domain).
+                for item in guard.iter_range(0, max_key) {
+                    let (key, value) = item?;
+                    fresh.append_insert(key, &value)?;
+                    written += 1;
                 }
                 drop(guard);
                 if let Some(mid) = mid.take() {
@@ -701,6 +709,7 @@ impl SksDb {
                 mid(); // zero-partition case cannot occur, but be total
             }
         }
+        *self.last_compaction.lock().expect("compaction report") = compacted;
 
         // Phase 3: cut the log, carrying the fuzzy tail. Writers are
         // blocked only for this re-append + rename.
@@ -727,6 +736,39 @@ impl SksDb {
         fresh.adopt_counters(self.counters.clone());
         *wal = fresh;
         Ok(written)
+    }
+
+    /// One manual record-store compaction pass over every partition
+    /// (up to `max_blocks_per_partition` tombstoned data blocks each,
+    /// under the partition write locks, one partition at a time). The
+    /// reclaimed blocks become durable at the next checkpoint; calling
+    /// [`SksDb::checkpoint`] runs this automatically with the configured
+    /// [`SchemeConfig::compaction`] budget.
+    pub fn compact(
+        &self,
+        max_blocks_per_partition: usize,
+    ) -> Result<CompactionReport, EngineError> {
+        let mut total = CompactionReport::default();
+        for part in &self.partitions {
+            let mut guard = part.write().expect("partition lock");
+            total.absorb(guard.compact_step(max_blocks_per_partition)?);
+        }
+        Ok(total)
+    }
+
+    /// What the most recent checkpoint's compaction passes reclaimed.
+    pub fn last_compaction_report(&self) -> CompactionReport {
+        *self.last_compaction.lock().expect("compaction report")
+    }
+
+    /// Per-partition data-store footprint as `(total blocks, free
+    /// blocks)` — compaction keeps `total - free` bounded by the live
+    /// dataset.
+    pub fn data_block_usage_per_partition(&self) -> Vec<(u32, u32)> {
+        self.partitions
+            .iter()
+            .map(|p| p.read().expect("partition lock").data_block_usage())
+            .collect()
     }
 
     /// Flushes every partition's pages and the WAL to stable storage

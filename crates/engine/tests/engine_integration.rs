@@ -16,7 +16,39 @@ fn tmpdir(name: &str) -> std::path::PathBuf {
     dir
 }
 
+/// Whether the CI matrix pinned a backend for the generic tests
+/// (`SKS_TEST_BACKEND=memory|file`; unset = memory). The engine re-roots
+/// each partition's stores under the database directory, so the file
+/// backend's own `dir` is a placeholder.
+fn env_backend() -> Option<StorageBackend> {
+    match std::env::var("SKS_TEST_BACKEND").as_deref() {
+        Ok("file") => Some(StorageBackend::File {
+            dir: std::env::temp_dir(),
+            pool_pages: 64,
+        }),
+        Ok("memory") | Err(_) => None,
+        Ok(other) => panic!("SKS_TEST_BACKEND must be 'memory' or 'file', got {other:?}"),
+    }
+}
+
+fn env_is_file_backend() -> bool {
+    env_backend().is_some()
+}
+
+/// Backend-generic config: runs on the memory backend by default and on
+/// whatever the `SKS_TEST_BACKEND` matrix axis selects in CI.
 fn config(partitions: usize, capacity: u64) -> EngineConfig {
+    let mut scheme = SchemeConfig::with_capacity(Scheme::Oval, capacity).partitions(partitions);
+    if let Some(backend) = env_backend() {
+        scheme = scheme.backend(backend);
+    }
+    EngineConfig::new(scheme)
+}
+
+/// Memory-backend config for tests that assert memory-specific semantics
+/// (full WAL replay, snapshot checkpoints, repartitioning) regardless of
+/// the matrix axis.
+fn memory_config(partitions: usize, capacity: u64) -> EngineConfig {
     EngineConfig::new(SchemeConfig::with_capacity(Scheme::Oval, capacity).partitions(partitions))
 }
 
@@ -173,7 +205,10 @@ fn checkpoint_compacts_wal_and_survives_reopen() {
         }
         let before = db.wal_len_bytes();
         let live = db.checkpoint().unwrap();
-        assert_eq!(live, 100);
+        // Memory backend: the snapshot streams the live set into the
+        // fresh log. File backend: durability lives in the pages.
+        let want_snapshot = if env_is_file_backend() { 0 } else { 100 };
+        assert_eq!(live, want_snapshot);
         let after = db.wal_len_bytes();
         assert!(
             after < before / 4,
@@ -404,11 +439,11 @@ fn file_backend_recovers_tail_only_after_checkpoint() {
 fn memory_backend_reports_full_replay() {
     let dir = tmpdir("memory_path");
     {
-        let db = SksDb::open(&dir, config(2, 256)).unwrap();
+        let db = SksDb::open(&dir, memory_config(2, 256)).unwrap();
         assert_eq!(db.recovery_report().path, RecoveryPath::ColdStart);
         db.session().insert(1, b"x".to_vec()).unwrap();
     }
-    let db = SksDb::open(&dir, config(2, 256)).unwrap();
+    let db = SksDb::open(&dir, memory_config(2, 256)).unwrap();
     assert_eq!(db.recovery_report().path, RecoveryPath::FullReplay);
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -600,7 +635,9 @@ fn file_backend_refuses_incompatible_layouts() {
         .unwrap_err();
     assert!(format!("{err}").contains("partitions"), "got: {err}");
     // Memory backend over a file-backed database: would ignore the pages.
-    let err = SksDb::open(&dir, config(4, 1024)).map(|_| ()).unwrap_err();
+    let err = SksDb::open(&dir, memory_config(4, 1024))
+        .map(|_| ())
+        .unwrap_err();
     assert!(format!("{err}").contains("file backend"), "got: {err}");
     // A damaged partition set must not be silently truncated and rebuilt.
     std::fs::remove_dir_all(dir.join("part-002")).unwrap();
@@ -621,7 +658,7 @@ fn memory_database_upgrades_to_file_backend() {
     // migration: full replay into fresh on-disk trees, tail replay after.
     let dir = tmpdir("upgrade");
     {
-        let db = SksDb::open(&dir, config(4, 512)).unwrap();
+        let db = SksDb::open(&dir, memory_config(4, 512)).unwrap();
         let s = db.session();
         for k in 0..200u64 {
             s.insert(k, record_for(k)).unwrap();
@@ -644,7 +681,9 @@ fn memory_database_upgrades_to_file_backend() {
         // And the migrated database is now locked to the file backend.
         drop(s);
     }
-    let err = SksDb::open(&dir, config(4, 512)).map(|_| ()).unwrap_err();
+    let err = SksDb::open(&dir, memory_config(4, 512))
+        .map(|_| ())
+        .unwrap_err();
     assert!(format!("{err}").contains("file backend"), "got: {err}");
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -655,13 +694,13 @@ fn memory_backend_still_reopens_with_different_partition_count() {
     // keeps its layout independence.
     let dir = tmpdir("memory_repartition");
     {
-        let db = SksDb::open(&dir, config(2, 512)).unwrap();
+        let db = SksDb::open(&dir, memory_config(2, 512)).unwrap();
         let s = db.session();
         for k in 0..150u64 {
             s.insert(k, record_for(k)).unwrap();
         }
     }
-    let db = SksDb::open(&dir, config(6, 512)).unwrap();
+    let db = SksDb::open(&dir, memory_config(6, 512)).unwrap();
     assert_eq!(db.len(), 150);
     db.validate().unwrap();
     let s = db.session();
@@ -692,6 +731,117 @@ fn second_engine_on_same_directory_fails_closed() {
     let db = SksDb::open(&dir, config(2, 512)).unwrap();
     assert_eq!(db.get(1).unwrap().unwrap(), b"one");
     drop(db);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_runs_record_compaction_and_reclaims_space() {
+    let dir = tmpdir("ckpt_compaction");
+    const N: u64 = 400;
+    // ~1 KiB records: a 4 KiB data page holds only a few, so the set
+    // spans many blocks and delete churn leaves real garbage behind.
+    let record_for = |k: u64| {
+        let mut v = format!("big-record-{k:06}-").into_bytes();
+        v.resize(1000, 0x5A);
+        v
+    };
+    {
+        let cfg = file_config(&dir, 2, N + 64);
+        let db = SksDb::open(&dir, cfg).unwrap();
+        let s = db.session();
+        for k in 0..N {
+            s.insert(k, record_for(k)).unwrap();
+        }
+        db.checkpoint().unwrap();
+        // Delete-heavy churn leaves tombstoned data blocks behind.
+        for k in (0..N).filter(|k| k % 4 != 0) {
+            s.delete(k).unwrap();
+        }
+        let used_before: u32 = db
+            .data_block_usage_per_partition()
+            .iter()
+            .map(|&(total, free)| total - free)
+            .sum();
+        // Checkpoints run the configured compaction budget per partition;
+        // repeat until the garbage is gone.
+        let mut freed = 0u64;
+        for _ in 0..32 {
+            db.checkpoint().unwrap();
+            let r = db.last_compaction_report();
+            assert_eq!(r.orphaned_records, 0);
+            if r.freed_blocks == 0 && freed > 0 {
+                break;
+            }
+            freed += r.freed_blocks;
+        }
+        assert!(
+            freed > 0,
+            "checkpoint-integrated compaction reclaimed blocks"
+        );
+        let used_after: u32 = db
+            .data_block_usage_per_partition()
+            .iter()
+            .map(|&(total, free)| total - free)
+            .sum();
+        assert!(
+            used_after < used_before,
+            "live data-block footprint must shrink ({used_before} -> {used_after})"
+        );
+        db.validate().unwrap();
+    }
+    // The compacted image recovers: every live record survives, every
+    // deleted one stays dead.
+    let db = SksDb::open(&dir, file_config(&dir, 2, N + 64)).unwrap();
+    db.validate().unwrap();
+    let s = db.session();
+    for k in 0..N {
+        let got = s.get(k).unwrap();
+        if k % 4 == 0 {
+            assert_eq!(got.unwrap(), record_for(k), "live key {k}");
+        } else {
+            assert_eq!(got, None, "deleted key {k}");
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn manual_compact_reclaims_between_checkpoints() {
+    let dir = tmpdir("manual_compact");
+    let record_for = |k: u64| {
+        let mut v = format!("manual-{k:06}-").into_bytes();
+        v.resize(1000, 0x3C);
+        v
+    };
+    let db = SksDb::open(&dir, config(2, 1024)).unwrap();
+    let s = db.session();
+    for k in 0..300u64 {
+        s.insert(k, record_for(k)).unwrap();
+    }
+    for k in 0..300u64 {
+        if k % 2 == 1 {
+            s.delete(k).unwrap();
+        }
+    }
+    let mut total = sks_core::CompactionReport::default();
+    loop {
+        let r = db.compact(64).unwrap();
+        if r.freed_blocks == 0 {
+            break;
+        }
+        total.absorb(r);
+    }
+    assert!(total.freed_blocks > 0);
+    assert_eq!(total.orphaned_records, 0);
+    db.validate().unwrap();
+    for k in 0..300u64 {
+        let got = s.get(k).unwrap();
+        if k % 2 == 0 {
+            assert_eq!(got.unwrap(), record_for(k), "key {k}");
+        } else {
+            assert_eq!(got, None, "key {k}");
+        }
+    }
     std::fs::remove_dir_all(&dir).ok();
 }
 

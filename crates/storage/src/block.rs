@@ -117,6 +117,21 @@ pub trait BlockStore {
         0
     }
 
+    /// Number of blocks currently on the free list (space reclaimed and
+    /// awaiting reuse). Observability for compaction: `num_blocks() -
+    /// free_blocks()` is the live footprint of the device.
+    fn free_blocks(&self) -> u32 {
+        0
+    }
+
+    /// The ids currently on the free list (unspecified order). Free-list
+    /// membership is not a secret — the file backend's intrusive chain is
+    /// plainly visible on the stolen medium — so exposing it costs
+    /// nothing and lets tests compare the *live* images across backends.
+    fn free_block_ids(&self) -> Vec<u32> {
+        Vec::new()
+    }
+
     /// The opponent's view of the medium: every block's raw bytes in block
     /// order, freed blocks included. For buffered stores this is what is
     /// physically *on the device*, not what the cache holds. The default
@@ -174,6 +189,14 @@ impl<S: BlockStore + ?Sized> BlockStore for Box<S> {
 
     fn dirty_pages(&self) -> usize {
         (**self).dirty_pages()
+    }
+
+    fn free_blocks(&self) -> u32 {
+        (**self).free_blocks()
+    }
+
+    fn free_block_ids(&self) -> Vec<u32> {
+        (**self).free_block_ids()
     }
 
     fn raw_image(&self) -> Result<Vec<Vec<u8>>, StorageError> {

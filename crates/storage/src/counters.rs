@@ -66,6 +66,18 @@ counters! {
     /// Plaintext node-cache misses (probes that read and deciphered the
     /// raw page, then filled the cache).
     node_cache_misses,
+    /// Decoded-record cache hits (gets that paid zero physical unseals;
+    /// the *logical* data_decrypts counter is still bumped).
+    record_cache_hits,
+    /// Decoded-record cache misses (gets that unsealed the record from its
+    /// data block, then filled the cache).
+    record_cache_misses,
+    /// Live records rewritten into fresh blocks by record-store compaction
+    /// (maintenance work below the paper's cost model — the data_* crypto
+    /// counters are not charged for the move itself).
+    compact_moved_records,
+    /// Data blocks reclaimed through the free list by compaction.
+    compact_freed_blocks,
     /// Cipher-block (or RSA-block) encryptions of *search-key* material.
     key_encrypts,
     /// Cipher-block (or RSA-block) decryptions of *search-key* material.

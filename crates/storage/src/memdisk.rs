@@ -122,6 +122,14 @@ impl BlockStore for MemDisk {
         &self.counters
     }
 
+    fn free_blocks(&self) -> u32 {
+        self.freed.len() as u32
+    }
+
+    fn free_block_ids(&self) -> Vec<u32> {
+        self.freed.clone()
+    }
+
     fn raw_image(&self) -> Result<Vec<Vec<u8>>, StorageError> {
         Ok(MemDisk::raw_image(self))
     }

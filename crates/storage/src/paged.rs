@@ -262,6 +262,14 @@ impl BlockStore for PagedFileStore {
         self.dirty_frames()
     }
 
+    fn free_blocks(&self) -> u32 {
+        self.inner.lock().expect("paged store lock").free.len() as u32
+    }
+
+    fn free_block_ids(&self) -> Vec<u32> {
+        self.inner.lock().expect("paged store lock").free.clone()
+    }
+
     /// The checkpoint: journal → apply in place → clear the journal.
     fn flush(&mut self) -> Result<(), StorageError> {
         let inner = self.inner.get_mut().expect("paged store lock");

@@ -213,10 +213,26 @@ fn record_get_ns(record_cache: usize) -> f64 {
     median(per_run)
 }
 
+/// Everything the delete-heavy churn run measures.
+struct ChurnMetrics {
+    /// Data blocks reclaimed, total.
+    reclaimed: u64,
+    /// Wall time of the compaction-to-quiescence loop.
+    pass_ms: f64,
+    /// Used data blocks after / before (lower = more reclaimed).
+    used_ratio: f64,
+    /// Data blocks reclaimed per budget unit spent — the dead-ratio
+    /// victim heap's payoff (1.0 = every budgeted rewrite freed a block).
+    space_reclaimed_per_budget: f64,
+    /// Node-device blocks after governance / before deletion (lower =
+    /// the node store sheds its high-water mark as the dataset shrinks).
+    node_device_high_water: f64,
+}
+
 /// Delete-heavy churn on the file backend: deletes two thirds of the
-/// dataset, compacts to quiescence, and reports
-/// `(blocks reclaimed, compaction ms, used-block ratio after/before)`.
-fn compaction_metrics() -> (u64, f64, f64) {
+/// dataset, then runs the full governance suite (dead-ratio record
+/// compaction, node-device sliding, tail truncation) to quiescence.
+fn compaction_metrics() -> ChurnMetrics {
     let dir = tmpdir("compaction");
     let cfg = SchemeConfig::with_capacity(Scheme::Oval, CHURN_KEYS + 2)
         .on_disk(&dir)
@@ -224,6 +240,7 @@ fn compaction_metrics() -> (u64, f64, f64) {
     let items: Vec<(u64, Vec<u8>)> = (0..CHURN_KEYS).map(|k| (k, vec![k as u8; 96])).collect();
     let mut tree = EncipheredBTree::bulk_create(cfg, &items).expect("bulk create");
     tree.flush().expect("checkpoint");
+    let (node_total_before, _) = tree.node_block_usage();
     for k in (0..CHURN_KEYS).filter(|k| k % 3 != 0) {
         tree.delete(k).expect("delete");
     }
@@ -231,20 +248,30 @@ fn compaction_metrics() -> (u64, f64, f64) {
     let used_before = (total_before - free_before) as f64;
     let start = Instant::now();
     let mut freed = 0u64;
+    let mut budget_spent = 0u64;
     loop {
         let r = tree.compact_step(64).expect("compact");
         if r.freed_blocks == 0 {
             break;
         }
+        budget_spent += 64;
         freed += r.freed_blocks;
     }
+    while tree.compact_nodes(64).expect("node compact").moved_nodes > 0 {}
     tree.flush().expect("checkpoint");
     let ms = start.elapsed().as_secs_f64() * 1e3;
     let (total_after, free_after) = tree.data_block_usage();
     let used_after = (total_after - free_after) as f64;
+    let (node_total_after, _) = tree.node_block_usage();
     drop(tree);
     std::fs::remove_dir_all(&dir).ok();
-    (freed, ms, used_after / used_before)
+    ChurnMetrics {
+        reclaimed: freed,
+        pass_ms: ms,
+        used_ratio: used_after / used_before,
+        space_reclaimed_per_budget: freed as f64 / budget_spent.max(1) as f64,
+        node_device_high_water: node_total_after as f64 / node_total_before.max(1) as f64,
+    }
 }
 
 /// Extracts the first `"key": <number>` occurrence from a JSON document
@@ -273,8 +300,13 @@ fn regression_failures(current: &str, baseline: &str) -> Vec<String> {
         "cache_speedup",
         "range_cache_speedup",
         "record_cache_speedup",
+        "space_reclaimed_per_budget",
     ];
-    let lower_is_better = ["memory_full_replay", "file_tail_replay"];
+    let lower_is_better = [
+        "memory_full_replay",
+        "file_tail_replay",
+        "node_device_high_water",
+    ];
     for key in higher_is_better {
         let (Some(new), Some(old)) = (json_number(current, key), json_number(baseline, key)) else {
             continue;
@@ -332,7 +364,8 @@ fn main() {
     let rec_get_on = record_get_ns(8_192);
     let record_speedup = rec_get_off / rec_get_on;
     eprintln!("bench_report: compaction…");
-    let (reclaimed, compact_ms, used_ratio) = compaction_metrics();
+    let churn = compaction_metrics();
+    let (reclaimed, compact_ms, used_ratio) = (churn.reclaimed, churn.pass_ms, churn.used_ratio);
 
     let json = format!(
         r#"{{
@@ -374,10 +407,14 @@ fn main() {
   "compaction": {{
     "blocks_reclaimed": {reclaimed},
     "pass_ms": {compact_ms:.2},
-    "used_blocks_ratio": {used_ratio:.3}
+    "used_blocks_ratio": {used_ratio:.3},
+    "space_reclaimed_per_budget": {space_per_budget:.3},
+    "node_device_high_water": {node_high_water:.3}
   }}
 }}
-"#
+"#,
+        space_per_budget = churn.space_reclaimed_per_budget,
+        node_high_water = churn.node_device_high_water,
     );
     std::fs::write(&out_path, &json).expect("write report");
     println!("{json}");
@@ -393,6 +430,11 @@ fn main() {
     assert!(
         used_ratio < 0.75,
         "compaction left {used_ratio:.3} of the used blocks after deleting 2/3 of the data"
+    );
+    assert!(
+        churn.node_device_high_water < 1.0,
+        "node device still at its high-water mark after a 2/3 shrink: {:.3}",
+        churn.node_device_high_water
     );
 
     if let Some(baseline_path) = baseline_path {

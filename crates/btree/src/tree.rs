@@ -75,6 +75,11 @@ pub struct BTree<S: BlockStore, C: NodeCodec> {
     height: u32,
     /// CLRS minimum degree: nodes hold `t-1 ..= 2t-1` keys (root exempt).
     t: usize,
+    /// Opaque application stamp persisted in the superblock. The
+    /// enciphered-tree layer records the data device's index epoch here
+    /// at each flush, so a reopen can tell whether the two devices
+    /// committed in step.
+    stamp: u64,
     /// Plaintext node cache for the probe path (None = disabled). Entries
     /// are invalidated on every node re-encode/free, so a cached decoding
     /// always matches the page's current content.
@@ -208,6 +213,7 @@ impl<S: BlockStore, C: NodeCodec> BTree<S, C> {
             count: 0,
             height: 1,
             t,
+            stamp: 0,
             cache: None,
         };
         let root = Node::leaf(root_id);
@@ -233,6 +239,7 @@ impl<S: BlockStore, C: NodeCodec> BTree<S, C> {
         let count = r.get_u64().map_err(CodecError::from)?;
         let height = r.get_u32().map_err(CodecError::from)?;
         let t = r.get_u32().map_err(CodecError::from)? as usize;
+        let stamp = r.get_u64().map_err(CodecError::from)?;
         if t < 2 || 2 * t - 1 > max_keys {
             return Err(TreeError::Codec(CodecError::Corrupt(format!(
                 "superblock degree t={t} incompatible with codec fanout {max_keys}"
@@ -246,6 +253,7 @@ impl<S: BlockStore, C: NodeCodec> BTree<S, C> {
             count,
             height,
             t,
+            stamp,
             cache: None,
         })
     }
@@ -276,10 +284,22 @@ impl<S: BlockStore, C: NodeCodec> BTree<S, C> {
             w.put_u64(self.count).map_err(CodecError::from)?;
             w.put_u32(self.height).map_err(CodecError::from)?;
             w.put_u32(self.t as u32).map_err(CodecError::from)?;
+            w.put_u64(self.stamp).map_err(CodecError::from)?;
             w.pad_remaining();
         }
         self.store.write_block(self.superblock, &page)?;
         Ok(())
+    }
+
+    /// The persisted application stamp (see the field docs).
+    pub fn stamp(&self) -> u64 {
+        self.stamp
+    }
+
+    /// Sets the application stamp; persisted by the next superblock
+    /// write ([`BTree::flush`] always writes one).
+    pub fn set_stamp(&mut self, stamp: u64) {
+        self.stamp = stamp;
     }
 
     /// Persists metadata and flushes the store.
@@ -335,7 +355,9 @@ impl<S: BlockStore, C: NodeCodec> BTree<S, C> {
     }
 
     fn allocate_node(&mut self) -> Result<BlockId, TreeError> {
-        Ok(self.store.allocate()?)
+        // Min-first allocation packs new nodes toward the front of the
+        // device, keeping the tail reclaimable by the compaction pass.
+        Ok(self.store.allocate_min()?)
     }
 
     fn free_node(&mut self, id: BlockId) -> Result<(), TreeError> {
@@ -573,6 +595,108 @@ impl<S: BlockStore, C: NodeCodec> BTree<S, C> {
                 }
             }
         }
+    }
+
+    // ---- node-device compaction ----------------------------------------
+
+    /// Moves the live node at `from` into the free block `to` (claimed off
+    /// the store's free list), repointing its parent — or the tree root —
+    /// and freeing `from`. The node is re-encoded at its new id by the
+    /// normal write path, so position-keyed codecs re-seal it under the
+    /// destination page's key material. O(height): the parent is found by
+    /// descending from the root toward one of the moved node's own keys
+    /// (keys are unique across the tree, so the descent cannot stray).
+    pub fn relocate_node(&mut self, from: BlockId, to: BlockId) -> Result<(), TreeError> {
+        if from == self.superblock {
+            return Err(TreeError::Invalid("cannot relocate the superblock".into()));
+        }
+        let mut node = self.read_node(from)?;
+        if from == self.root {
+            self.store.claim_free(to)?;
+            node.id = to;
+            self.write_node(&node)?;
+            self.root = to;
+            self.free_node(from)?;
+            self.write_superblock()?;
+            self.counters().bump(|c| &c.compact_moved_nodes);
+            return Ok(());
+        }
+        let Some(&guide) = node.keys.first() else {
+            return Err(TreeError::Invalid(format!(
+                "non-root node {from} has no keys"
+            )));
+        };
+        // Locate the parent before mutating anything.
+        let mut cur = self.read_node(self.root)?;
+        loop {
+            let i = match cur.search(guide) {
+                NodeSearch::Child(i) => i,
+                NodeSearch::Here(_) => {
+                    return Err(TreeError::Invalid(format!(
+                        "key {guide} of node {from} duplicated in ancestor {}",
+                        cur.id
+                    )))
+                }
+            };
+            if cur.is_leaf() {
+                return Err(TreeError::Invalid(format!(
+                    "node {from} is unreachable from the root"
+                )));
+            }
+            if cur.children[i] == from {
+                self.store.claim_free(to)?;
+                node.id = to;
+                self.write_node(&node)?;
+                cur.children[i] = to;
+                self.write_node(&cur)?;
+                self.free_node(from)?;
+                self.counters().bump(|c| &c.compact_moved_nodes);
+                return Ok(());
+            }
+            cur = self.read_node(cur.children[i])?;
+        }
+    }
+
+    /// One bounded sliding pass of node-device compaction: up to
+    /// `max_moves` times, the highest-numbered live node slides into the
+    /// lowest free slot, then every freed block at the device tail is
+    /// released ([`BlockStore::truncate_free_tail`]) so a shrunken dataset
+    /// stops pinning the node device at its high-water mark. Returns
+    /// `(nodes moved, tail blocks released)`.
+    pub fn compact_nodes(&mut self, max_moves: usize) -> Result<(u64, u32), TreeError> {
+        // One snapshot of the free set, updated incrementally per move
+        // (each move frees `hi` and claims `min_free`), so the pass costs
+        // O(num_blocks + free + moves) instead of re-scanning the device
+        // per move — this runs under the partition write lock.
+        let mut free: std::collections::BTreeSet<u32> =
+            self.store.free_block_ids().into_iter().collect();
+        let mut hi = self.store.num_blocks();
+        let mut moved = 0u64;
+        while (moved as usize) < max_moves {
+            let Some(&min_free) = free.first() else {
+                break;
+            };
+            let hi_live = loop {
+                if hi == 0 {
+                    break None;
+                }
+                hi -= 1;
+                if !free.contains(&hi) {
+                    break Some(hi);
+                }
+            };
+            let Some(hi_live) = hi_live else { break };
+            // Packed already (or only the superblock remains): done.
+            if min_free >= hi_live || BlockId(hi_live) == self.superblock {
+                break;
+            }
+            self.relocate_node(BlockId(hi_live), BlockId(min_free))?;
+            free.remove(&min_free);
+            free.insert(hi_live);
+            moved += 1;
+        }
+        let truncated = self.store.truncate_free_tail()?;
+        Ok((moved, truncated))
     }
 
     // ---- delete --------------------------------------------------------

@@ -506,3 +506,119 @@ fn bulk_load_supports_mutation_afterwards() {
     tree.validate().unwrap();
     assert_eq!(tree.len(), 800 + 200 - 160);
 }
+
+#[test]
+fn relocate_node_moves_root_and_interior_nodes() {
+    let mut tree = make_tree(256);
+    for k in 0..400u64 {
+        tree.insert(k, RecordPtr(k)).unwrap();
+    }
+    // Free some blocks by deleting (merges return node blocks).
+    for k in 0..300u64 {
+        tree.delete(k).unwrap();
+    }
+    let free = tree.store().free_block_ids();
+    assert!(!free.is_empty(), "merges freed node blocks");
+    // Relocate the root into a chosen free slot.
+    let root = tree.root_id();
+    let target = BlockId(free[0]);
+    tree.relocate_node(root, target).unwrap();
+    assert_eq!(tree.root_id(), target);
+    tree.validate().unwrap();
+    // Relocate a non-root node.
+    let free = tree.store().free_block_ids();
+    if let Some(&slot) = free.first() {
+        let victim = (0..tree.store().num_blocks())
+            .map(BlockId)
+            .find(|&b| {
+                b.0 != 0 && b != tree.root_id() && !tree.store().free_block_ids().contains(&b.0)
+            })
+            .unwrap();
+        tree.relocate_node(victim, BlockId(slot)).unwrap();
+        tree.validate().unwrap();
+    }
+    for k in 300..400u64 {
+        assert_eq!(tree.get(k).unwrap(), Some(RecordPtr(k)), "key {k}");
+    }
+}
+
+#[test]
+fn compact_nodes_packs_and_truncates_the_device() {
+    let mut tree = make_tree(256);
+    for k in 0..2_000u64 {
+        tree.insert(k, RecordPtr(k)).unwrap();
+    }
+    let grown = tree.store().num_blocks();
+    // Shrink to 5% of the dataset.
+    for k in 0..1_900u64 {
+        tree.delete(k).unwrap();
+    }
+    let mut moved_total = 0u64;
+    loop {
+        let (moved, _) = tree.compact_nodes(64).unwrap();
+        if moved == 0 {
+            break;
+        }
+        moved_total += moved;
+    }
+    assert!(moved_total > 0, "sliding pass moved live nodes down");
+    let packed = tree.store().num_blocks();
+    assert!(
+        packed < grown / 4,
+        "device should shrink well below the high-water mark: {packed} vs {grown}"
+    );
+    assert_eq!(
+        tree.store().free_blocks(),
+        0,
+        "a fully packed device has no interior free blocks"
+    );
+    tree.validate().unwrap();
+    for k in 1_900..2_000u64 {
+        assert_eq!(tree.get(k).unwrap(), Some(RecordPtr(k)), "key {k}");
+    }
+    let s = tree.counters().snapshot();
+    assert_eq!(s.compact_moved_nodes, moved_total);
+    assert!(s.device_truncated_blocks > 0);
+}
+
+#[test]
+fn compact_nodes_is_a_noop_on_a_packed_device() {
+    let mut tree = make_tree(256);
+    for k in 0..500u64 {
+        tree.insert(k, RecordPtr(k)).unwrap();
+    }
+    // A freshly grown device may already be packed (no frees yet).
+    let before = tree.store().num_blocks();
+    let (moved, truncated) = tree.compact_nodes(1_000).unwrap();
+    assert_eq!((moved, truncated), (0, 0));
+    assert_eq!(tree.store().num_blocks(), before);
+    tree.validate().unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn prop_compact_nodes_preserves_content(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tree = make_tree(256);
+        let mut model = std::collections::BTreeMap::new();
+        for _ in 0..600 {
+            let k = rng.gen_range(0..800u64);
+            if rng.gen_bool(0.6) {
+                tree.insert(k, RecordPtr(k)).unwrap();
+                model.insert(k, RecordPtr(k));
+            } else {
+                let got = tree.delete(k).unwrap();
+                prop_assert_eq!(got, model.remove(&k));
+            }
+            if rng.gen_bool(0.05) {
+                tree.compact_nodes(8).unwrap();
+            }
+        }
+        while tree.compact_nodes(64).unwrap().0 > 0 {}
+        tree.validate().unwrap();
+        let got: Vec<(u64, RecordPtr)> = tree.scan_all().unwrap();
+        let want: Vec<(u64, RecordPtr)> = model.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -195,9 +195,27 @@ pub struct SchemeConfig {
     /// each checkpoint may rewrite per partition
     /// ([`crate::EncipheredBTree::compact_step`]); live records move into
     /// fresh blocks and dead blocks return to the storage free list, so
-    /// delete-heavy workloads stop leaking space. `0` disables online
+    /// delete-heavy workloads stop leaking space. Victims are chosen
+    /// dead-ratio first, and the same budget bounds the checkpoint's
+    /// node-device sliding pass
+    /// ([`crate::EncipheredBTree::compact_nodes`]). `0` disables online
     /// compaction.
     pub compaction: usize,
+    /// Process-wide dirty-page budget across *all* engine partitions
+    /// (file backend): when the sum of every partition's pinned dirty set
+    /// exceeds this, the engine flushes the dirtiest partition in the
+    /// background, bounding total checkpoint-buffered RAM for the whole
+    /// process (the per-partition [`SchemeConfig::dirty_high_water`]
+    /// trigger still applies independently). `0` disables the global
+    /// budget; standalone trees ignore it.
+    pub global_dirty_budget: usize,
+    /// Process-wide decoded-record cache capacity shared across *all*
+    /// engine partitions: one clock, one budget, so total plaintext-record
+    /// RAM is bounded for the process instead of per partition. When
+    /// non-zero the engine replaces each partition's per-tree
+    /// [`SchemeConfig::record_cache`] with the shared one. `0` keeps
+    /// per-partition caches; standalone trees ignore it.
+    pub global_record_cache: usize,
 }
 
 impl SchemeConfig {
@@ -221,6 +239,8 @@ impl SchemeConfig {
             dirty_high_water: 0,
             record_cache: Self::DEFAULT_RECORD_CACHE,
             compaction: Self::DEFAULT_COMPACTION,
+            global_dirty_budget: 0,
+            global_record_cache: 0,
         }
     }
 
@@ -249,6 +269,8 @@ impl SchemeConfig {
             dirty_high_water: 0,
             record_cache: Self::DEFAULT_RECORD_CACHE,
             compaction: Self::DEFAULT_COMPACTION,
+            global_dirty_budget: 0,
+            global_record_cache: 0,
         }
     }
 
@@ -287,6 +309,20 @@ impl SchemeConfig {
     /// disables the automatic background checkpoint).
     pub fn dirty_high_water(mut self, pages: usize) -> Self {
         self.dirty_high_water = pages;
+        self
+    }
+
+    /// Builder-style process-wide dirty budget (dirty pages summed across
+    /// all engine partitions; 0 disables the global trigger).
+    pub fn global_dirty_budget(mut self, pages: usize) -> Self {
+        self.global_dirty_budget = pages;
+        self
+    }
+
+    /// Builder-style process-wide record-cache knob (decoded records
+    /// shared across all engine partitions; 0 keeps per-partition caches).
+    pub fn global_record_cache(mut self, records: usize) -> Self {
+        self.global_record_cache = records;
         self
     }
 

@@ -48,5 +48,5 @@ pub use error::CoreError;
 pub use filter::{FilterSecrets, SecurityFilter};
 pub use layout::{layouts_at, SchemeLayout};
 pub use mls::MultilevelRecordStore;
-pub use records::RecordStore;
+pub use records::{RecordStore, SharedRecordCache};
 pub use tree::{CompactionReport, EncipheredBTree};

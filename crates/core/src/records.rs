@@ -22,7 +22,23 @@
 //!   `get`s of hot records pay zero physical unseals while the *logical*
 //!   `data_decrypts` counter keeps reporting the paper's per-get cost.
 //!   Entries are RAM-only, invalidated on delete/compaction, and zeroized
-//!   when the last reference drops.
+//!   when the last reference drops. The cache can be process-wide: a
+//!   [`SharedRecordCache`] hands several stores (engine partitions) one
+//!   clock, each keyed under its own namespace, so total plaintext-record
+//!   RAM is bounded for the whole process.
+//! * **A persistent `block → (slot, key)` reverse index** — maintained
+//!   incrementally on every keyed insert/delete/compaction move, persisted
+//!   at flush as a chain of *sealed* index pages hanging off the
+//!   superblock, and reloaded on open. A compaction pass repoints the tree
+//!   for exactly the victims' live slots — O(victims), never a full tree
+//!   scan — and victim choice is *dead-ratio first* (deadest blocks
+//!   reclaim the most space per budget unit). Staleness is impossible by
+//!   construction: the first mutation after a flush bumps a persisted
+//!   `mut_epoch` past the index's `index_epoch`, so an index that does not
+//!   exactly describe the pages (a crash between flushes on an unbuffered
+//!   medium) is detected on open and rebuilt instead of trusted; on the
+//!   journaled no-steal backend the index and the pages commit atomically
+//!   and the epochs always match.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -43,11 +59,31 @@ const SLOT_ENTRY: usize = 4;
 const TOMBSTONE: u16 = u16::MAX;
 
 /// Superblock (block 0) layout: magic, format version, next page
-/// generation. Rewritten in place whenever a fresh page is initialised;
-/// on buffered backends it rides the same checkpoint as the pages it
-/// governs.
+/// generation, reverse-index chain head, and the index/mutation epoch
+/// pair that detects a stale index. Rewritten in place whenever a fresh
+/// page is initialised; on buffered backends it rides the same checkpoint
+/// as the pages it governs.
 const SUPER_MAGIC: &[u8; 8] = b"SKSRECS1";
-const SUPER_VERSION: u32 = 1;
+const SUPER_VERSION: u32 = 2;
+const SUPER_LEN: usize = 8 + 4 + 8 + 4 + 8 + 8 + 1;
+
+/// "No block" sentinel for the index chain head / next links.
+const NO_BLOCK: u32 = u32::MAX;
+
+/// Index pages carry this marker where record pages store their slot
+/// count. Record pages can never collide: a slot directory of 0xFFFF
+/// entries would need a 256 KiB page, far past the u16 offsets the layout
+/// runs on.
+const INDEX_MARKER: u16 = u16::MAX;
+
+/// Index page layout: `[generation u64][marker u16][chunk_len u16]
+/// [next u32]` then `chunk_len` sealed bytes of the index stream.
+const INDEX_HEADER: usize = 16;
+
+/// CTR nonce slot for index-page payloads. Record slots are bounded far
+/// below this by the u16 page offsets, so `(generation, INDEX_SLOT)`
+/// never collides with a record nonce.
+const INDEX_SLOT: u16 = u16::MAX;
 
 /// A decoded record held by the [`RecordCache`]. The plaintext is wiped
 /// when the last reference drops (eviction, invalidation, cache drop), so
@@ -99,6 +135,11 @@ impl RecordCacheInner {
 /// clock / second-chance (an O(1) LRU approximation — a true recency list
 /// would put a scan on every hot-path hit). Entries are RAM-only and
 /// zeroized on drop.
+///
+/// Entries are keyed by `(namespace << 48) | record pointer` — a
+/// [`RecordPtr`] packs a `u32` block and `u16` slot into 48 bits — so one
+/// cache (and one eviction clock) can serve several stores at once; see
+/// [`SharedRecordCache`].
 #[derive(Debug)]
 struct RecordCache {
     inner: Mutex<RecordCacheInner>,
@@ -113,20 +154,28 @@ impl RecordCache {
         }
     }
 
-    fn get(&self, ptr: RecordPtr) -> Option<Arc<CachedRecord>> {
+    fn key_of(ns: u64, ptr: RecordPtr) -> u64 {
+        debug_assert!(ns < (1 << 16), "namespace must fit 16 bits");
+        debug_assert!(ptr.0 < (1 << 48), "record pointers pack into 48 bits");
+        (ns << 48) | ptr.0
+    }
+
+    fn get(&self, ns: u64, ptr: RecordPtr) -> Option<Arc<CachedRecord>> {
+        let key = Self::key_of(ns, ptr);
         let mut inner = self.inner.lock().expect("record cache");
-        let &i = inner.map.get(&ptr.0)?;
+        let &i = inner.map.get(&key)?;
         let slot = inner.ring[i].as_mut().expect("mapped slot is occupied");
         slot.referenced = true;
         Some(Arc::clone(&slot.entry))
     }
 
-    fn insert(&self, ptr: RecordPtr, bytes: Vec<u8>) {
+    fn insert(&self, ns: u64, ptr: RecordPtr, bytes: Vec<u8>) {
+        let key = Self::key_of(ns, ptr);
         let entry = Arc::new(CachedRecord { bytes });
         let mut inner = self.inner.lock().expect("record cache");
-        if let Some(&i) = inner.map.get(&ptr.0) {
+        if let Some(&i) = inner.map.get(&key) {
             inner.ring[i] = Some(CacheSlot {
-                key: ptr.0,
+                key,
                 entry,
                 referenced: true,
             });
@@ -155,34 +204,78 @@ impl RecordCache {
             }
         };
         inner.ring[i] = Some(CacheSlot {
-            key: ptr.0,
+            key,
             entry,
             referenced: true,
         });
-        inner.map.insert(ptr.0, i);
+        inner.map.insert(key, i);
     }
 
-    fn invalidate(&self, ptr: RecordPtr) {
-        self.inner.lock().expect("record cache").forget(ptr.0);
+    fn invalidate(&self, ns: u64, ptr: RecordPtr) {
+        self.inner
+            .lock()
+            .expect("record cache")
+            .forget(Self::key_of(ns, ptr));
     }
 
-    /// Drops every entry living in `block` (the block is being freed; its
-    /// slots will be reincarnated under a fresh generation).
-    fn invalidate_block(&self, block: BlockId) {
+    /// Drops every entry of namespace `ns` living in `block` (the block is
+    /// being freed; its slots will be reincarnated under a fresh
+    /// generation).
+    fn invalidate_block(&self, ns: u64, block: BlockId) {
         let mut inner = self.inner.lock().expect("record cache");
         let doomed: Vec<u64> = inner
             .map
             .keys()
             .copied()
-            .filter(|&p| RecordPtr(p).block() == block)
+            .filter(|&k| k >> 48 == ns && RecordPtr(k & ((1 << 48) - 1)).block() == block)
             .collect();
-        for p in doomed {
-            inner.forget(p);
+        for k in doomed {
+            inner.forget(k);
         }
+    }
+
+    /// Entries currently held for namespace `ns` (observability; O(cache)).
+    fn len_of(&self, ns: u64) -> usize {
+        self.inner
+            .lock()
+            .expect("record cache")
+            .map
+            .keys()
+            .filter(|&&k| k >> 48 == ns)
+            .count()
     }
 
     fn len(&self) -> usize {
         self.inner.lock().expect("record cache").map.len()
+    }
+}
+
+/// A process-wide decoded-record cache: one bounded clock shared by every
+/// store (engine partition) that adopts it, so the *total* plaintext
+/// record RAM of the process is capped by a single budget instead of one
+/// budget per partition. Cheap to clone; entries are RAM-only and
+/// zeroized on drop exactly like the per-store cache.
+#[derive(Debug, Clone)]
+pub struct SharedRecordCache {
+    cache: Arc<RecordCache>,
+}
+
+impl SharedRecordCache {
+    /// A shared cache bounded at `capacity` decoded records *in total*
+    /// across every adopting store.
+    pub fn new(capacity: usize) -> Self {
+        SharedRecordCache {
+            cache: Arc::new(RecordCache::new(capacity.max(1))),
+        }
+    }
+
+    /// Total decoded records currently held, across all namespaces.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -194,13 +287,52 @@ pub struct RecordStore<S: BlockStore> {
     open_block: Option<BlockId>,
     /// Next page generation (mirrors the superblock).
     next_gen: u64,
-    /// Decoded-record LRU (None = disabled).
-    cache: Option<RecordCache>,
+    /// Decoded-record LRU (None = disabled) and the namespace this store's
+    /// entries live under (non-zero only for engine-shared caches).
+    cache: Option<Arc<RecordCache>>,
+    cache_ns: u64,
     /// Tombstoned-slot count per block. Complete only when
-    /// `dead_map_complete` (a reopened store rebuilds it lazily on the
-    /// first compaction pass).
+    /// `accounting_complete`.
     dead: HashMap<u32, u32>,
-    dead_map_complete: bool,
+    /// Live-record count per block (drives dead-ratio victim choice).
+    /// Complete only when `accounting_complete`.
+    live: HashMap<u32, u32>,
+    /// Whether `dead`/`live` cover the whole store (a reopened store
+    /// without a trusted index rebuilds them lazily on the first
+    /// compaction pass).
+    accounting_complete: bool,
+    /// The reverse index: block → slot → owning tree key, live slots only.
+    /// Complete only when `rindex_complete`; kept incrementally by the
+    /// keyed mutation paths and persisted at flush.
+    rindex: HashMap<u32, HashMap<u16, u64>>,
+    rindex_complete: bool,
+    /// Head of the persisted index chain (`NO_BLOCK` = none — which a
+    /// *complete* empty index legitimately has: zero live records need
+    /// zero chain pages).
+    index_root: u32,
+    /// Whether the persisted index was complete when written (an
+    /// incomplete one is recorded as such so a reopen rebuilds instead of
+    /// trusting a partial map).
+    index_persisted_complete: bool,
+    /// Epoch of the persisted index chain.
+    index_epoch: u64,
+    /// Persisted mutation epoch: equals `index_epoch` exactly when the
+    /// on-medium pages match the on-medium index.
+    mut_epoch: u64,
+    /// Whether anything mutated since the last index persist (drives the
+    /// one-time `mut_epoch` bump per epoch and skips no-op persists).
+    index_dirty: bool,
+    /// Chain blocks of the currently loaded/persisted index (used by
+    /// [`RecordStore::reconcile_unreferenced_blocks`]).
+    chain_blocks: Vec<u32>,
+    /// Blocks compaction reclaimed but whose free-list push is deferred
+    /// until the caller's *node* device has committed its repointed
+    /// image ([`RecordStore::apply_pending_frees`]). While quarantined a
+    /// block is neither allocatable nor a compaction candidate, and the
+    /// committed data image keeps it allocated — so a crash between the
+    /// two device checkpoints leaves the old tree pointers aimed at
+    /// intact victim content, never at a freed or recycled block.
+    pending_free: Vec<u32>,
 }
 
 impl<S: BlockStore> RecordStore<S> {
@@ -208,6 +340,12 @@ impl<S: BlockStore> RecordStore<S> {
     /// its superblock. `data_key` is the independent data-block key of §5;
     /// `cache_capacity` bounds the decoded-record LRU (0 disables it).
     pub fn create(mut store: S, data_key: u128, cache_capacity: usize) -> Result<Self, CoreError> {
+        if store.block_size() < SUPER_LEN.max(INDEX_HEADER + 18) {
+            return Err(CoreError::Record(format!(
+                "record store needs blocks of at least {} bytes",
+                SUPER_LEN.max(INDEX_HEADER + 18)
+            )));
+        }
         let sb = store.allocate()?;
         debug_assert_eq!(sb, BlockId(0), "superblock must be the first block");
         let mut this = RecordStore {
@@ -215,17 +353,30 @@ impl<S: BlockStore> RecordStore<S> {
             cipher: Speck64::from_u128(data_key),
             open_block: None,
             next_gen: 1,
-            cache: (cache_capacity > 0).then(|| RecordCache::new(cache_capacity)),
+            cache: (cache_capacity > 0).then(|| Arc::new(RecordCache::new(cache_capacity))),
+            cache_ns: 0,
             dead: HashMap::new(),
-            dead_map_complete: true,
+            live: HashMap::new(),
+            accounting_complete: true,
+            rindex: HashMap::new(),
+            rindex_complete: true,
+            index_root: NO_BLOCK,
+            index_persisted_complete: true,
+            index_epoch: 0,
+            mut_epoch: 0,
+            index_dirty: false,
+            chain_blocks: Vec::new(),
+            pending_free: Vec::new(),
         };
         this.write_superblock()?;
         Ok(this)
     }
 
     /// Reopens a record store persisted on `store` (reads the superblock).
-    /// Tombstone accounting is rebuilt lazily by the first compaction
-    /// sweep, so reopening stays O(1).
+    /// When the persisted reverse index matches the pages (its epoch pair
+    /// agrees — always true after a clean flush or a journaled-checkpoint
+    /// recovery), accounting and the reverse index load in O(index);
+    /// otherwise both are rebuilt lazily, so reopening stays O(1).
     pub fn open(store: S, data_key: u128, cache_capacity: usize) -> Result<Self, CoreError> {
         let page = store.read_block_vec(BlockId(0))?;
         if &page[0..8] != SUPER_MAGIC {
@@ -240,15 +391,50 @@ impl<S: BlockStore> RecordStore<S> {
             )));
         }
         let next_gen = u64::from_be_bytes(page[12..20].try_into().expect("fixed width"));
-        Ok(RecordStore {
+        let index_root = u32::from_be_bytes(page[20..24].try_into().expect("fixed width"));
+        let index_epoch = u64::from_be_bytes(page[24..32].try_into().expect("fixed width"));
+        let mut_epoch = u64::from_be_bytes(page[32..40].try_into().expect("fixed width"));
+        let index_persisted_complete = page[40] != 0;
+        let mut this = RecordStore {
             store,
             cipher: Speck64::from_u128(data_key),
             open_block: None,
             next_gen,
-            cache: (cache_capacity > 0).then(|| RecordCache::new(cache_capacity)),
+            cache: (cache_capacity > 0).then(|| Arc::new(RecordCache::new(cache_capacity))),
+            cache_ns: 0,
             dead: HashMap::new(),
-            dead_map_complete: false,
-        })
+            live: HashMap::new(),
+            accounting_complete: false,
+            rindex: HashMap::new(),
+            rindex_complete: false,
+            index_root,
+            index_persisted_complete,
+            index_epoch,
+            mut_epoch,
+            index_dirty: false,
+            chain_blocks: Vec::new(),
+            pending_free: Vec::new(),
+        };
+        // Trust the persisted index only when it was written complete and
+        // the epochs prove the pages have not mutated past it; a parse
+        // failure (impossible short of medium corruption) degrades to the
+        // lazy rebuild, never to trusting garbage.
+        let trusted_chain = (mut_epoch == index_epoch && index_persisted_complete)
+            .then(|| this.load_index().ok())
+            .flatten();
+        match trusted_chain {
+            Some(chain) => {
+                this.accounting_complete = true;
+                this.rindex_complete = true;
+                this.chain_blocks = chain;
+            }
+            None => {
+                this.rindex.clear();
+                this.live.clear();
+                this.dead.clear();
+            }
+        }
+        Ok(this)
     }
 
     fn write_superblock(&mut self) -> Result<(), CoreError> {
@@ -256,7 +442,39 @@ impl<S: BlockStore> RecordStore<S> {
         page[0..8].copy_from_slice(SUPER_MAGIC);
         page[8..12].copy_from_slice(&SUPER_VERSION.to_be_bytes());
         page[12..20].copy_from_slice(&self.next_gen.to_be_bytes());
+        page[20..24].copy_from_slice(&self.index_root.to_be_bytes());
+        page[24..32].copy_from_slice(&self.index_epoch.to_be_bytes());
+        page[32..40].copy_from_slice(&self.mut_epoch.to_be_bytes());
+        page[40] = self.index_persisted_complete as u8;
         Ok(self.store.write_block(BlockId(0), &page)?)
+    }
+
+    /// First mutation of an epoch: advance the persisted `mut_epoch` past
+    /// the index epoch *before* the mutation lands, so an index that no
+    /// longer describes the pages can never be mistaken for current. One
+    /// superblock write per epoch; a crash between the bump and the
+    /// mutation is safe (the index is merely distrusted and rebuilt).
+    fn note_mutation(&mut self) -> Result<(), CoreError> {
+        if !self.index_dirty {
+            self.index_dirty = true;
+            self.mut_epoch = self.index_epoch + 1;
+            self.write_superblock()?;
+        }
+        Ok(())
+    }
+
+    /// Adopts a process-wide decoded-record cache (replacing any per-store
+    /// cache), keying this store's entries under namespace `ns`. The
+    /// namespace must fit 16 bits — cache keys pack `(ns << 48) | ptr`,
+    /// and a wider value would alias another store's entries (wrong
+    /// plaintext served across stores), so it is rejected loudly.
+    pub fn use_shared_cache(&mut self, shared: &SharedRecordCache, ns: u64) {
+        assert!(
+            ns < (1 << 16),
+            "shared record-cache namespace {ns} does not fit 16 bits"
+        );
+        self.cache = Some(Arc::clone(&shared.cache));
+        self.cache_ns = ns;
     }
 
     /// Largest storable record.
@@ -272,14 +490,20 @@ impl<S: BlockStore> RecordStore<S> {
         self.store
     }
 
-    /// Flushes the underlying store (a checkpoint on buffered backends).
+    /// Persists the reverse index (sealed chain + matched epoch pair) and
+    /// flushes the underlying store (a checkpoint on buffered backends).
     pub fn flush(&mut self) -> Result<(), CoreError> {
+        self.persist_index()?;
         Ok(self.store.flush()?)
     }
 
-    /// Records currently held decoded in the record cache.
+    /// Records currently held decoded in the record cache (this store's
+    /// namespace only, when the cache is shared).
     pub fn cached_records(&self) -> usize {
-        self.cache.as_ref().map(RecordCache::len).unwrap_or(0)
+        self.cache
+            .as_ref()
+            .map(|c| c.len_of(self.cache_ns))
+            .unwrap_or(0)
     }
 
     /// The generation ceiling: a nonce is `gen << 16 | slot`, so
@@ -319,20 +543,44 @@ impl<S: BlockStore> RecordStore<S> {
         (free_off as usize).saturating_sub(dir_end + SLOT_ENTRY)
     }
 
-    /// Inserts a record, returning its pointer.
+    /// Inserts a record with no owning key, returning its pointer. The
+    /// reverse index cannot cover such a record, so the store falls back
+    /// to scan-rebuilt maintenance; prefer [`RecordStore::insert_keyed`]
+    /// wherever the tree key is in hand.
     pub fn insert(&mut self, record: &[u8]) -> Result<RecordPtr, CoreError> {
-        self.insert_inner(record, true)
+        let ptr = self.insert_inner(record, true, None)?;
+        // Downgrade only once the record actually landed — a rejected
+        // insert (oversized, generation space exhausted) must not cost
+        // the keyed hot path its O(victims) guarantee.
+        self.rindex_complete = false;
+        Ok(ptr)
+    }
+
+    /// Inserts a record owned by tree key `key`, maintaining the reverse
+    /// index incrementally.
+    pub fn insert_keyed(&mut self, key: u64, record: &[u8]) -> Result<RecordPtr, CoreError> {
+        self.insert_inner(record, true, Some(key))
     }
 
     /// The compactor's insert: identical placement logic, but the
     /// encipherment is charged to `compact_moved_records` instead of the
     /// paper's `data_encrypts` — moving an already-stored record is
     /// storage maintenance, not a logical write.
-    fn insert_moved(&mut self, record: &[u8]) -> Result<RecordPtr, CoreError> {
-        self.insert_inner(record, false)
+    fn insert_moved(&mut self, record: &[u8], key: Option<u64>) -> Result<RecordPtr, CoreError> {
+        let ptr = self.insert_inner(record, false, key)?;
+        if key.is_none() {
+            self.rindex_complete = false;
+        }
+        Ok(ptr)
     }
 
-    fn insert_inner(&mut self, record: &[u8], logical: bool) -> Result<RecordPtr, CoreError> {
+    fn insert_inner(
+        &mut self,
+        record: &[u8],
+        logical: bool,
+        key: Option<u64>,
+    ) -> Result<RecordPtr, CoreError> {
+        self.note_mutation()?;
         if record.len() > self.max_record_len() {
             return Err(CoreError::Record(format!(
                 "record of {} bytes exceeds max {}",
@@ -349,14 +597,14 @@ impl<S: BlockStore> RecordStore<S> {
                 if self.free_space(n_slots, free_off) >= record.len() {
                     (b, page)
                 } else {
-                    let nb = self.store.allocate()?;
+                    let nb = self.store.allocate_min()?;
                     let fresh = self.init_page(block_size)?;
                     self.open_block = Some(nb);
                     (nb, fresh)
                 }
             }
             None => {
-                let nb = self.store.allocate()?;
+                let nb = self.store.allocate_min()?;
                 let fresh = self.init_page(block_size)?;
                 self.open_block = Some(nb);
                 (nb, fresh)
@@ -390,23 +638,27 @@ impl<S: BlockStore> RecordStore<S> {
         }
         self.store.write_block(block, &page)?;
         let ptr = RecordPtr::pack(block, slot);
+        *self.live.entry(block.0).or_default() += 1;
+        if let Some(key) = key {
+            self.rindex.entry(block.0).or_default().insert(slot, key);
+        }
         if logical {
             if let Some(cache) = &self.cache {
                 // The plaintext is in hand: pre-warm read-after-write
                 // gets. Compaction moves skip this — flooding the bounded
                 // cache with relocated records would evict the genuinely
                 // hot set.
-                cache.insert(ptr, record.to_vec());
+                cache.insert(self.cache_ns, ptr, record.to_vec());
             }
         }
         Ok(ptr)
     }
 
-    /// Initialises a fresh page under the next generation (bumping and
-    /// persisting the superblock's counter). Fails loudly if the
-    /// generation space is ever exhausted — silent reuse would repeat
-    /// CTR keystream.
-    fn init_page(&mut self, block_size: usize) -> Result<Vec<u8>, CoreError> {
+    /// Hands out the next page generation, bumping and persisting the
+    /// superblock's counter *before* the generation is used. Fails loudly
+    /// if the generation space is ever exhausted — silent reuse would
+    /// repeat CTR keystream.
+    fn next_generation(&mut self) -> Result<u64, CoreError> {
         let generation = self.next_gen;
         if generation >= Self::MAX_GENERATION {
             return Err(CoreError::Record(
@@ -415,6 +667,12 @@ impl<S: BlockStore> RecordStore<S> {
         }
         self.next_gen += 1;
         self.write_superblock()?;
+        Ok(generation)
+    }
+
+    /// Initialises a fresh record page under the next generation.
+    fn init_page(&mut self, block_size: usize) -> Result<Vec<u8>, CoreError> {
+        let generation = self.next_generation()?;
         let mut page = vec![0u8; block_size];
         page[0..8].copy_from_slice(&generation.to_be_bytes());
         page[8..10].copy_from_slice(&0u16.to_be_bytes());
@@ -430,7 +688,7 @@ impl<S: BlockStore> RecordStore<S> {
     /// skips the *physical* work, tracked by `record_cache_hits`).
     pub fn get(&self, ptr: RecordPtr) -> Result<Option<Vec<u8>>, CoreError> {
         if let Some(cache) = &self.cache {
-            if let Some(entry) = cache.get(ptr) {
+            if let Some(entry) = cache.get(self.cache_ns, ptr) {
                 self.store.counters().bump(|c| &c.record_cache_hits);
                 self.store.counters().bump(|c| &c.data_decrypts);
                 return Ok(Some(entry.bytes.clone()));
@@ -453,7 +711,7 @@ impl<S: BlockStore> RecordStore<S> {
         let plain = ctr_xor(&self.cipher, Self::nonce(generation, ptr.slot()), ct);
         if let Some(cache) = &self.cache {
             self.store.counters().bump(|c| &c.record_cache_misses);
-            cache.insert(ptr, plain.clone());
+            cache.insert(self.cache_ns, ptr, plain.clone());
         }
         Ok(Some(plain))
     }
@@ -461,6 +719,7 @@ impl<S: BlockStore> RecordStore<S> {
     /// Tombstones a record. Space is reclaimed by the compaction sweep
     /// ([`crate::EncipheredBTree::compact_step`]), not here.
     pub fn delete(&mut self, ptr: RecordPtr) -> Result<bool, CoreError> {
+        self.note_mutation()?;
         let mut page = self.store.read_block_vec(ptr.block())?;
         let (_, n_slots, _) = Self::read_page_meta(&page)?;
         if ptr.slot() >= n_slots {
@@ -474,31 +733,50 @@ impl<S: BlockStore> RecordStore<S> {
         page[dir_off..dir_off + 2].copy_from_slice(&TOMBSTONE.to_be_bytes());
         self.store.write_block(ptr.block(), &page)?;
         if let Some(cache) = &self.cache {
-            cache.invalidate(ptr);
+            cache.invalidate(self.cache_ns, ptr);
         }
         if was_live {
-            *self.dead.entry(ptr.block().0).or_default() += 1;
+            let b = ptr.block().0;
+            *self.dead.entry(b).or_default() += 1;
+            if let Some(n) = self.live.get_mut(&b) {
+                *n = n.saturating_sub(1);
+            }
+            if let Some(slots) = self.rindex.get_mut(&b) {
+                slots.remove(&ptr.slot());
+            }
         }
         Ok(was_live)
     }
 
     // ---- compaction support -------------------------------------------
 
-    /// Ensures the tombstone accounting covers the whole store. Fresh
-    /// stores are complete by construction; a reopened store pays one
-    /// O(blocks) sweep here, on the first compaction pass after restart
-    /// (which also picks up garbage left by a pre-crash epoch).
-    fn ensure_dead_map(&mut self) -> Result<(), CoreError> {
-        if self.dead_map_complete {
+    /// Whether a page image is a reverse-index chain page (vs a record
+    /// page).
+    fn is_index_page(page: &[u8]) -> bool {
+        page[8..10] == INDEX_MARKER.to_be_bytes()
+    }
+
+    /// Ensures the dead/live accounting covers the whole store. Fresh
+    /// stores (and reopens that loaded a trusted index) are complete by
+    /// construction; otherwise one O(blocks) sweep here, on the first
+    /// compaction pass after restart (which also picks up garbage left by
+    /// a pre-crash epoch). The sweep cannot learn *keys*, so it completes
+    /// the accounting but not the reverse index.
+    fn ensure_accounting(&mut self) -> Result<(), CoreError> {
+        if self.accounting_complete {
             return Ok(());
         }
         self.dead.clear();
+        self.live.clear();
         for b in 1..self.store.num_blocks() {
             let page = match self.store.read_block_vec(BlockId(b)) {
                 Ok(page) => page,
                 Err(sks_storage::StorageError::FreedBlock { .. }) => continue,
                 Err(e) => return Err(e.into()),
             };
+            if Self::is_index_page(&page) {
+                continue;
+            }
             let (_, n_slots, _) = Self::read_page_meta(&page)?;
             let mut dead = 0u32;
             for slot in 0..n_slots {
@@ -509,36 +787,93 @@ impl<S: BlockStore> RecordStore<S> {
             if dead > 0 {
                 self.dead.insert(b, dead);
             }
+            let live = n_slots as u32 - dead;
+            if live > 0 {
+                self.live.insert(b, live);
+            }
         }
-        self.dead_map_complete = true;
+        self.accounting_complete = true;
         Ok(())
     }
 
     /// Total tombstoned slots awaiting compaction (rebuilds the accounting
     /// if this store was reopened).
     pub fn pending_tombstones(&mut self) -> Result<u64, CoreError> {
-        self.ensure_dead_map()?;
+        self.ensure_accounting()?;
         Ok(self.dead.values().map(|&d| d as u64).sum())
     }
 
     /// Cheap pre-check: `true` when tombstones *may* exist (always true on
     /// a freshly reopened store until the first sweep rebuilds the map).
     pub fn may_have_tombstones(&self) -> bool {
-        !self.dead_map_complete || !self.dead.is_empty()
+        !self.accounting_complete || !self.dead.is_empty()
     }
 
-    /// The next `max_blocks` compaction victims in ascending block order
-    /// (deterministic across backends), excluding the open fill block.
-    fn compaction_victims(&self, max_blocks: usize) -> Vec<BlockId> {
-        let mut victims: Vec<u32> = self
-            .dead
-            .keys()
+    /// Whether the in-memory reverse index covers every live record (so a
+    /// compaction pass can repoint the tree in O(victims)).
+    pub fn reverse_index_complete(&self) -> bool {
+        self.rindex_complete
+    }
+
+    /// The key owning `ptr`, per the reverse index.
+    pub(crate) fn key_of(&self, ptr: RecordPtr) -> Option<u64> {
+        self.rindex
+            .get(&ptr.block().0)
+            .and_then(|slots| slots.get(&ptr.slot()))
             .copied()
-            .filter(|&b| Some(BlockId(b)) != self.open_block)
+    }
+
+    /// The reverse index as sorted `(block, slot, key)` rows
+    /// (observability and equivalence tests).
+    pub fn reverse_index_snapshot(&self) -> Vec<(u32, u16, u64)> {
+        let mut rows: Vec<(u32, u16, u64)> = self
+            .rindex
+            .iter()
+            .flat_map(|(&b, slots)| slots.iter().map(move |(&s, &k)| (b, s, k)))
             .collect();
-        victims.sort_unstable();
+        rows.sort_unstable();
+        rows
+    }
+
+    /// Replaces the reverse index wholesale (the tree layer's fallback
+    /// rebuild feeds a full scan's `ptr → key` pairs through here) and
+    /// marks it complete.
+    pub(crate) fn adopt_reverse_index(
+        &mut self,
+        entries: impl IntoIterator<Item = (RecordPtr, u64)>,
+    ) {
+        self.rindex.clear();
+        for (ptr, key) in entries {
+            self.rindex
+                .entry(ptr.block().0)
+                .or_default()
+                .insert(ptr.slot(), key);
+        }
+        self.rindex_complete = true;
+        self.index_dirty = true;
+    }
+
+    /// The next `max_blocks` compaction victims, *deadest ratio first*
+    /// (ties broken by ascending block id, so the order is deterministic
+    /// across backends), excluding the open fill block. Each budget unit
+    /// rewrites the block with the least live data, reclaiming maximal
+    /// space per unit.
+    fn compaction_victims(&self, max_blocks: usize) -> Vec<BlockId> {
+        let mut victims: Vec<(u32, u32, u32)> = self
+            .dead
+            .iter()
+            .filter(|&(&b, _)| Some(BlockId(b)) != self.open_block)
+            .map(|(&b, &dead)| (b, dead, self.live.get(&b).copied().unwrap_or(0)))
+            .collect();
+        // dead_a/(dead_a+live_a) > dead_b/(dead_b+live_b), cross-multiplied
+        // to stay in integers.
+        victims.sort_unstable_by(|&(ba, da, la), &(bb, db, lb)| {
+            let lhs = da as u64 * (db + lb) as u64;
+            let rhs = db as u64 * (da + la) as u64;
+            rhs.cmp(&lhs).then(ba.cmp(&bb))
+        });
         victims.truncate(max_blocks);
-        victims.into_iter().map(BlockId).collect()
+        victims.into_iter().map(|(b, _, _)| BlockId(b)).collect()
     }
 
     /// Deciphers the live records of `block` (silently — compaction is
@@ -562,44 +897,317 @@ impl<S: BlockStore> RecordStore<S> {
     }
 
     /// Frees `block` through the store's free list, dropping its cache
-    /// entries and accounting.
-    fn free_block(&mut self, block: BlockId) -> Result<(), CoreError> {
+    /// entries and accounting. `reclaimed` charges the free to the
+    /// compaction counters (every compaction-path free is a reclaim,
+    /// whether the block had live records to move or was already fully
+    /// dead).
+    fn free_block(&mut self, block: BlockId, reclaimed: bool) -> Result<(), CoreError> {
         if let Some(cache) = &self.cache {
-            cache.invalidate_block(block);
+            cache.invalidate_block(self.cache_ns, block);
         }
         self.dead.remove(&block.0);
+        self.live.remove(&block.0);
+        self.rindex.remove(&block.0);
         if self.open_block == Some(block) {
             self.open_block = None;
         }
-        self.store.free(block)?;
-        self.store.counters().bump(|c| &c.compact_freed_blocks);
+        if reclaimed {
+            // Compaction reclaim: quarantine — the physical free waits
+            // for the node device's checkpoint (see `pending_free`).
+            self.pending_free.push(block.0);
+            self.store.counters().bump(|c| &c.compact_freed_blocks);
+        } else {
+            // Index-chain frees stay within this single device's journal
+            // (the chain is only referenced by this store's superblock),
+            // so they are safe immediately.
+            self.store.free(block)?;
+        }
         Ok(())
+    }
+
+    /// Whether compaction-reclaimed blocks are still quarantined awaiting
+    /// [`RecordStore::apply_pending_frees`].
+    pub fn has_pending_frees(&self) -> bool {
+        !self.pending_free.is_empty()
+    }
+
+    /// Pushes every quarantined block onto the store's free list. Call
+    /// only once the *node* device has committed the repointed tree (the
+    /// enciphered-tree flush sequences this); the frees then become
+    /// durable with this device's next checkpoint. Returns how many
+    /// blocks were released.
+    pub fn apply_pending_frees(&mut self) -> Result<u32, CoreError> {
+        let n = self.pending_free.len() as u32;
+        for b in std::mem::take(&mut self.pending_free) {
+            self.store.free(BlockId(b))?;
+        }
+        Ok(n)
     }
 
     /// Compacts one victim block: rewrites its live records into fresh
     /// slots (via the open fill block) and frees it. Returns the moves as
-    /// `(old_ptr, new_ptr)` pairs so the caller can repoint its index.
+    /// `(old_ptr, new_ptr, owning key when the reverse index knows it)`
+    /// so the caller can repoint its tree. A block the accounting says is
+    /// fully dead skips the decipher-and-move work entirely — the
+    /// tombstone fast path — but is still counted as a reclaimed block.
     /// The caller must ensure no concurrent reader holds `block`'s
     /// pointers (the engine runs this under the partition write lock).
     pub(crate) fn compact_block(
         &mut self,
         block: BlockId,
-    ) -> Result<Vec<(RecordPtr, RecordPtr)>, CoreError> {
+    ) -> Result<Vec<(RecordPtr, RecordPtr, Option<u64>)>, CoreError> {
         debug_assert_ne!(self.open_block, Some(block), "never compact the fill block");
+        self.note_mutation()?;
+        if self.accounting_complete && self.live.get(&block.0).copied().unwrap_or(0) == 0 {
+            // Fully dead: free without a single unseal.
+            self.free_block(block, true)?;
+            return Ok(Vec::new());
+        }
         let live = self.live_records(block)?;
         let mut moves = Vec::with_capacity(live.len());
         for (slot, plain) in live {
-            let new_ptr = self.insert_moved(&plain)?;
-            moves.push((RecordPtr::pack(block, slot), new_ptr));
+            let old = RecordPtr::pack(block, slot);
+            let key = self.key_of(old);
+            let new_ptr = self.insert_moved(&plain, key)?;
+            moves.push((old, new_ptr, key));
         }
-        self.free_block(block)?;
+        self.free_block(block, true)?;
         Ok(moves)
     }
 
-    /// Blocks the compactor would examine next (ascending, bounded).
+    /// Blocks the compactor would examine next (deadest first, bounded).
     pub(crate) fn victims(&mut self, max_blocks: usize) -> Result<Vec<BlockId>, CoreError> {
-        self.ensure_dead_map()?;
+        self.ensure_accounting()?;
         Ok(self.compaction_victims(max_blocks))
+    }
+
+    /// Releases every freed block at the data device's tail (the record
+    /// analogue of the node store's high-water truncation). Returns the
+    /// number of blocks released.
+    pub(crate) fn truncate_tail(&mut self) -> Result<u32, CoreError> {
+        Ok(self.store.truncate_free_tail()?)
+    }
+
+    // ---- persistent reverse index -------------------------------------
+
+    /// Serialises the reverse index (plus the dead/live accounting, so a
+    /// trusted reopen needs no page sweep) into one deterministic byte
+    /// stream: blocks ascending, slots ascending.
+    fn index_stream(&self) -> Vec<u8> {
+        let mut blocks: Vec<u32> = self
+            .rindex
+            .keys()
+            .chain(self.dead.keys())
+            .chain(self.live.keys())
+            .copied()
+            .collect();
+        blocks.sort_unstable();
+        blocks.dedup();
+        let mut out = Vec::new();
+        out.extend_from_slice(&(blocks.len() as u32).to_be_bytes());
+        for b in blocks {
+            let dead = self.dead.get(&b).copied().unwrap_or(0);
+            let live = self.live.get(&b).copied().unwrap_or(0);
+            let mut slots: Vec<(u16, u64)> = self
+                .rindex
+                .get(&b)
+                .map(|m| m.iter().map(|(&s, &k)| (s, k)).collect())
+                .unwrap_or_default();
+            slots.sort_unstable();
+            out.extend_from_slice(&b.to_be_bytes());
+            out.extend_from_slice(&dead.to_be_bytes());
+            out.extend_from_slice(&live.to_be_bytes());
+            out.extend_from_slice(&(slots.len() as u32).to_be_bytes());
+            for (s, k) in slots {
+                out.extend_from_slice(&s.to_be_bytes());
+                out.extend_from_slice(&k.to_be_bytes());
+            }
+        }
+        out
+    }
+
+    fn parse_index_stream(&mut self, stream: &[u8]) -> Result<(), CoreError> {
+        let corrupt = || CoreError::Record("reverse-index stream is corrupt".into());
+        let mut at = 0usize;
+        let mut take = |n: usize| -> Result<&[u8], CoreError> {
+            let s = stream.get(at..at + n).ok_or_else(corrupt)?;
+            at += n;
+            Ok(s)
+        };
+        let n_blocks = u32::from_be_bytes(take(4)?.try_into().expect("fixed width"));
+        for _ in 0..n_blocks {
+            let b = u32::from_be_bytes(take(4)?.try_into().expect("fixed width"));
+            let dead = u32::from_be_bytes(take(4)?.try_into().expect("fixed width"));
+            let live = u32::from_be_bytes(take(4)?.try_into().expect("fixed width"));
+            let n_slots = u32::from_be_bytes(take(4)?.try_into().expect("fixed width"));
+            if dead > 0 {
+                self.dead.insert(b, dead);
+            }
+            if live > 0 {
+                self.live.insert(b, live);
+            }
+            for _ in 0..n_slots {
+                let s = u16::from_be_bytes(take(2)?.try_into().expect("fixed width"));
+                let k = u64::from_be_bytes(take(8)?.try_into().expect("fixed width"));
+                self.rindex.entry(b).or_default().insert(s, k);
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads the persisted index chain into the in-memory maps. Only
+    /// called when the epoch pair proves it current.
+    fn load_index(&mut self) -> Result<Vec<u32>, CoreError> {
+        if self.index_root == NO_BLOCK {
+            // A complete index over zero live records: nothing to load.
+            return Ok(Vec::new());
+        }
+        let mut chain = Vec::new();
+        let mut stream = Vec::new();
+        let mut cur = self.index_root;
+        let mut hops = 0u32;
+        while cur != NO_BLOCK {
+            hops += 1;
+            if hops > self.store.num_blocks() {
+                return Err(CoreError::Record("reverse-index chain loops".into()));
+            }
+            chain.push(cur);
+            let page = self.store.read_block_vec(BlockId(cur))?;
+            if !Self::is_index_page(&page) {
+                return Err(CoreError::Record(format!(
+                    "block {cur} on the index chain is not an index page"
+                )));
+            }
+            let generation = u64::from_be_bytes(page[0..8].try_into().expect("fixed width"));
+            let chunk_len =
+                u16::from_be_bytes(page[10..12].try_into().expect("fixed width")) as usize;
+            let next = u32::from_be_bytes(page[12..16].try_into().expect("fixed width"));
+            if INDEX_HEADER + chunk_len > page.len() {
+                return Err(CoreError::Record("index chunk overruns its page".into()));
+            }
+            let sealed = &page[INDEX_HEADER..INDEX_HEADER + chunk_len];
+            stream.extend_from_slice(&ctr_xor(
+                &self.cipher,
+                Self::nonce(generation, INDEX_SLOT),
+                sealed,
+            ));
+            cur = next;
+        }
+        self.parse_index_stream(&stream)?;
+        Ok(chain)
+    }
+
+    /// Epoch of the persisted reverse index (the enciphered-tree layer
+    /// stamps this into the node superblock at flush to detect the two
+    /// devices committing out of step).
+    pub fn index_epoch(&self) -> u64 {
+        self.index_epoch
+    }
+
+    /// Drops all trust in the in-memory index and accounting (the caller
+    /// detected that this device's committed image is out of step with
+    /// the node device); everything is rebuilt lazily by the next
+    /// maintenance pass.
+    pub fn distrust_index(&mut self) {
+        self.rindex.clear();
+        self.live.clear();
+        self.dead.clear();
+        self.rindex_complete = false;
+        self.accounting_complete = false;
+    }
+
+    /// Frees every allocated block the trusted index does not describe:
+    /// exactly the compaction victims whose deferred free was lost to a
+    /// crash between the node checkpoint and the free-commit (plus the
+    /// odd empty fill page). Only sound when the index is trusted *and*
+    /// the node device provably committed against this index epoch (the
+    /// enciphered-tree layer checks its superblock stamp first) — an
+    /// older tree image may still reference blocks the newer index no
+    /// longer describes.
+    pub fn reconcile_unreferenced_blocks(&mut self) -> Result<(), CoreError> {
+        if !self.rindex_complete {
+            return Ok(());
+        }
+        let chain = std::mem::take(&mut self.chain_blocks);
+        let mut referenced: std::collections::HashSet<u32> = chain.iter().copied().collect();
+        referenced.insert(0);
+        referenced.extend(self.dead.keys());
+        referenced.extend(self.live.keys());
+        referenced.extend(self.rindex.keys());
+        referenced.extend(self.store.free_block_ids());
+        for b in 1..self.store.num_blocks() {
+            if !referenced.contains(&b) {
+                self.store.free(BlockId(b))?;
+            }
+        }
+        self.chain_blocks = chain;
+        Ok(())
+    }
+
+    /// Persists the reverse index: frees the previous chain, writes the
+    /// current maps as sealed chain pages (fresh generations — recycled
+    /// chain blocks never repeat keystream), and commits the superblock
+    /// with a matched epoch pair. When the index is incomplete (unkeyed
+    /// inserts happened) the chain is cleared instead, so a reopen
+    /// rebuilds rather than trusting a partial map. Called by
+    /// [`RecordStore::flush`]; skipped entirely when nothing mutated.
+    fn persist_index(&mut self) -> Result<(), CoreError> {
+        if !self.index_dirty && self.index_persisted_complete == self.rindex_complete {
+            return Ok(());
+        }
+        // Free the superseded chain (also when it is stale from a crashed
+        // epoch — the head survives in the superblock either way).
+        let mut cur = self.index_root;
+        let mut hops = 0u32;
+        while cur != NO_BLOCK {
+            hops += 1;
+            if hops > self.store.num_blocks() {
+                break; // stale garbage; stop following it
+            }
+            let Ok(page) = self.store.read_block_vec(BlockId(cur)) else {
+                break;
+            };
+            if !Self::is_index_page(&page) {
+                break;
+            }
+            let next = u32::from_be_bytes(page[12..16].try_into().expect("fixed width"));
+            self.free_block(BlockId(cur), false)?;
+            cur = next;
+        }
+        self.index_root = NO_BLOCK;
+        // An empty stream (zero tracked blocks) persists as a bare
+        // `complete` flag with no chain pages, so a fresh store's first
+        // checkpoint does not disturb the data device's block layout.
+        if self.rindex_complete && !(self.rindex.is_empty() && self.dead.is_empty()) {
+            let stream = self.index_stream();
+            let capacity = self.store.block_size() - INDEX_HEADER;
+            let chunks: Vec<&[u8]> = stream.chunks(capacity.max(1)).collect();
+            // Allocate the whole chain first so each page can name its
+            // successor.
+            let mut ids = Vec::with_capacity(chunks.len());
+            for _ in &chunks {
+                ids.push(self.store.allocate_min()?);
+            }
+            for (i, chunk) in chunks.iter().enumerate().rev() {
+                let generation = self.next_generation()?;
+                let next = ids.get(i + 1).map(|b| b.0).unwrap_or(NO_BLOCK);
+                let mut page = vec![0u8; self.store.block_size()];
+                page[0..8].copy_from_slice(&generation.to_be_bytes());
+                page[8..10].copy_from_slice(&INDEX_MARKER.to_be_bytes());
+                page[10..12].copy_from_slice(&(chunk.len() as u16).to_be_bytes());
+                page[12..16].copy_from_slice(&next.to_be_bytes());
+                let sealed = ctr_xor(&self.cipher, Self::nonce(generation, INDEX_SLOT), chunk);
+                page[INDEX_HEADER..INDEX_HEADER + sealed.len()].copy_from_slice(&sealed);
+                self.store.write_block(ids[i], &page)?;
+            }
+            self.index_root = ids.first().map(|b| b.0).unwrap_or(NO_BLOCK);
+        }
+        self.index_persisted_complete = self.rindex_complete;
+        self.index_epoch += 1;
+        self.mut_epoch = self.index_epoch;
+        self.index_dirty = false;
+        self.write_superblock()?;
+        Ok(())
     }
 }
 
@@ -788,6 +1396,10 @@ mod tests {
             moves += rs.compact_block(v).unwrap().len();
         }
         assert_eq!(moves, 0, "every record was dead");
+        // Reclaims are quarantined until the caller's node device has
+        // committed; apply them as the enciphered-tree flush would.
+        assert!(rs.has_pending_frees());
+        rs.apply_pending_frees().unwrap();
         use sks_storage::BlockStore as _;
         assert!(
             rs.store().free_blocks() >= blocks_before - 2,
@@ -818,7 +1430,7 @@ mod tests {
         assert!(!victims.is_empty(), "half-dead blocks are victims");
         let mut moved = 0u64;
         for v in victims {
-            for (old, new) in rs.compact_block(v).unwrap() {
+            for (old, new, _) in rs.compact_block(v).unwrap() {
                 // Record i sits at block 1 + i/2 (block 0 is the
                 // superblock), slot i%2; its content must survive the move
                 // byte for byte.
@@ -854,6 +1466,7 @@ mod tests {
         for v in rs.victims(64).unwrap() {
             rs.compact_block(v).unwrap();
         }
+        rs.apply_pending_frees().unwrap();
         // Fill the open block, then the next insert recycles the freed one.
         let _p3 = rs.insert(&rec).unwrap();
         let p4 = rs.insert(&rec).unwrap();
@@ -870,6 +1483,181 @@ mod tests {
             "identical plaintext re-enciphered in a recycled slot must not repeat keystream"
         );
         assert_eq!(rs.get(p4).unwrap().unwrap(), rec);
+    }
+
+    const KEY: u128 = 0xAABB_CCDD_EEFF_0011_2233_4455_6677_8899;
+
+    #[test]
+    fn reverse_index_tracks_keyed_churn_and_survives_flush_reopen() {
+        let mut rs = store();
+        let rec = vec![2u8; 100]; // 2 per 256-byte page
+        let mut ptrs = Vec::new();
+        for k in 0..10u64 {
+            ptrs.push(rs.insert_keyed(1000 + k, &rec).unwrap());
+        }
+        rs.delete(ptrs[3]).unwrap();
+        rs.delete(ptrs[4]).unwrap();
+        assert!(rs.reverse_index_complete());
+        let want: Vec<(u32, u16, u64)> = ptrs
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != 3 && i != 4)
+            .map(|(i, p)| (p.block().as_u32(), p.slot(), 1000 + i as u64))
+            .collect();
+        let mut want_sorted = want.clone();
+        want_sorted.sort_unstable();
+        assert_eq!(rs.reverse_index_snapshot(), want_sorted);
+        // Persist + reopen: the index loads from the sealed chain, no
+        // page sweep, accounting included.
+        rs.flush().unwrap();
+        let disk = rs.into_store();
+        let mut rs = RecordStore::open(disk, KEY, 0).unwrap();
+        assert!(rs.reverse_index_complete(), "trusted after clean flush");
+        assert_eq!(rs.reverse_index_snapshot(), want_sorted);
+        assert_eq!(rs.pending_tombstones().unwrap(), 2, "accounting loaded");
+    }
+
+    #[test]
+    fn index_chain_is_sealed_on_the_medium() {
+        let mut rs = store();
+        // Keys with a recognisable plaintext pattern.
+        for k in 0..6u64 {
+            rs.insert_keyed(0xDEAD_BEEF_0000_0000 | k, &[1u8; 100])
+                .unwrap();
+        }
+        rs.flush().unwrap();
+        let image = rs.store().raw_image();
+        let needle = 0xDEAD_BEEF_0000_0001u64.to_be_bytes();
+        let found = image.iter().any(|b| b.windows(8).any(|w| w == needle));
+        assert!(!found, "plaintext tree keys leaked into the index chain");
+        // And the chain really is on the medium (some page carries the
+        // marker).
+        let marked = image
+            .iter()
+            .any(|b| b.len() >= 10 && b[8..10] == INDEX_MARKER.to_be_bytes());
+        assert!(marked, "no index page found on the medium");
+    }
+
+    #[test]
+    fn mutations_after_flush_distrust_the_persisted_index() {
+        let mut rs = store();
+        let rec = vec![7u8; 100];
+        let mut ptrs = Vec::new();
+        for k in 0..6u64 {
+            ptrs.push(rs.insert_keyed(k, &rec).unwrap());
+        }
+        rs.flush().unwrap();
+        // Post-flush mutations reach the (unbuffered) medium, the index
+        // chain does not: the epoch guard must refuse the stale chain.
+        rs.delete(ptrs[0]).unwrap();
+        let disk = rs.into_store();
+        let mut rs = RecordStore::open(disk, KEY, 0).unwrap();
+        assert!(
+            !rs.reverse_index_complete(),
+            "stale index must not be trusted"
+        );
+        assert_eq!(
+            rs.pending_tombstones().unwrap(),
+            1,
+            "lazy sweep sees the post-flush tombstone"
+        );
+        // The next flush persists a fresh, trustworthy state.
+        rs.adopt_reverse_index(ptrs.iter().enumerate().skip(1).map(|(i, &p)| (p, i as u64)));
+        rs.flush().unwrap();
+        let disk = rs.into_store();
+        let rs = RecordStore::open(disk, KEY, 0).unwrap();
+        assert!(rs.reverse_index_complete());
+        assert_eq!(rs.reverse_index_snapshot().len(), 5);
+    }
+
+    #[test]
+    fn unkeyed_inserts_mark_the_index_incomplete_and_unpersisted() {
+        let mut rs = store();
+        rs.insert_keyed(1, b"keyed").unwrap();
+        rs.insert(b"unkeyed").unwrap();
+        assert!(!rs.reverse_index_complete());
+        rs.flush().unwrap();
+        let disk = rs.into_store();
+        let rs = RecordStore::open(disk, KEY, 0).unwrap();
+        assert!(
+            !rs.reverse_index_complete(),
+            "an incomplete index must not round-trip as complete"
+        );
+    }
+
+    #[test]
+    fn victims_are_ordered_deadest_first() {
+        let mut rs = store();
+        let rec = vec![9u8; 56]; // 4 per 256-byte page
+        let mut ptrs = Vec::new();
+        for k in 0..16u64 {
+            ptrs.push(rs.insert_keyed(k, &rec).unwrap());
+        }
+        let blocks: Vec<u32> = {
+            let mut b: Vec<u32> = ptrs.iter().map(|p| p.block().as_u32()).collect();
+            b.dedup();
+            b
+        };
+        assert!(blocks.len() >= 4);
+        // Block 0: 1 dead; block 1: 3 dead; block 2: 2 dead; block 3 open.
+        rs.delete(ptrs[0]).unwrap();
+        for p in &ptrs[4..7] {
+            rs.delete(*p).unwrap();
+        }
+        for p in &ptrs[8..10] {
+            rs.delete(*p).unwrap();
+        }
+        let victims = rs.victims(10).unwrap();
+        assert_eq!(
+            victims[..3],
+            [BlockId(blocks[1]), BlockId(blocks[2]), BlockId(blocks[0])],
+            "deadest ratio first"
+        );
+    }
+
+    #[test]
+    fn shared_cache_namespaces_are_isolated_and_jointly_bounded() {
+        let shared = SharedRecordCache::new(8);
+        let mk = || {
+            RecordStore::create(MemDisk::new(256), KEY, 0).unwrap() // no per-store cache
+        };
+        let mut a = mk();
+        let mut b = mk();
+        a.use_shared_cache(&shared, 0);
+        b.use_shared_cache(&shared, 1);
+        let pa = a.insert_keyed(1, b"store-a-record").unwrap();
+        let pb = b.insert_keyed(1, b"store-b-record").unwrap();
+        assert_eq!(pa, pb, "same pointer value in both stores");
+        // Same ptr, different namespaces: no cross-talk.
+        assert_eq!(a.get(pa).unwrap().unwrap(), b"store-a-record");
+        assert_eq!(b.get(pb).unwrap().unwrap(), b"store-b-record");
+        // Delete in a must not evict b's entry (and vice versa serve).
+        a.delete(pa).unwrap();
+        assert_eq!(a.get(pa).unwrap(), None);
+        assert_eq!(b.get(pb).unwrap().unwrap(), b"store-b-record");
+        // Joint bound: 20 hot records across both stores, one 8-slot clock.
+        for k in 0..10u64 {
+            a.insert_keyed(100 + k, &[k as u8; 40]).unwrap();
+            b.insert_keyed(100 + k, &[k as u8; 40]).unwrap();
+        }
+        assert!(shared.len() <= 8, "{} > 8", shared.len());
+        assert_eq!(shared.len(), a.cached_records() + b.cached_records());
+    }
+
+    #[test]
+    fn compact_block_returns_owning_keys_from_the_index() {
+        let mut rs = store();
+        let rec = vec![4u8; 100];
+        let p0 = rs.insert_keyed(500, &rec).unwrap();
+        let p1 = rs.insert_keyed(501, &rec).unwrap();
+        let _p2 = rs.insert_keyed(502, &rec).unwrap(); // new open block
+        rs.delete(p0).unwrap();
+        let moves = rs.compact_block(p1.block()).unwrap();
+        assert_eq!(moves.len(), 1);
+        let (old, new, key) = moves[0];
+        assert_eq!(old, p1);
+        assert_eq!(key, Some(501), "reverse index knew the owner");
+        assert_eq!(rs.get(new).unwrap().unwrap(), rec);
     }
 
     #[test]

@@ -109,16 +109,27 @@ fn verify_manifest(dir: &Path, config: &SchemeConfig) -> Result<(), CoreError> {
     Ok(())
 }
 
-/// What one [`EncipheredBTree::compact_step`] pass did.
+/// What one [`EncipheredBTree::compact_step`] /
+/// [`EncipheredBTree::compact_nodes`] pass did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CompactionReport {
     /// Live records rewritten into fresh blocks (tree pointers updated).
     pub moved_records: u64,
-    /// Data blocks returned to the storage free list.
+    /// Data blocks returned to the storage free list — including victims
+    /// that were already fully dead and were freed through the tombstone
+    /// fast path without moving anything.
     pub freed_blocks: u64,
     /// Live slots no tree pointer referenced (should be 0; counted, not
     /// fatal).
     pub orphaned_records: u64,
+    /// Live sealed nodes slid into lower free slots by node-device
+    /// compaction.
+    pub moved_nodes: u64,
+    /// Node blocks released from the node device's tail (the device
+    /// physically shrank).
+    pub node_blocks_truncated: u64,
+    /// Data blocks released from the data device's tail.
+    pub data_blocks_truncated: u64,
 }
 
 impl CompactionReport {
@@ -127,6 +138,9 @@ impl CompactionReport {
         self.moved_records += other.moved_records;
         self.freed_blocks += other.freed_blocks;
         self.orphaned_records += other.orphaned_records;
+        self.moved_nodes += other.moved_nodes;
+        self.node_blocks_truncated += other.node_blocks_truncated;
+        self.data_blocks_truncated += other.data_blocks_truncated;
     }
 }
 
@@ -221,11 +235,33 @@ impl EncipheredBTree {
         config: SchemeConfig,
         counters: OpCounters,
     ) -> Result<Self, CoreError> {
-        let (codec, disguise) = config.build_codec(&counters)?;
         let (node_store, data_store) = build_stores(&config, &counters, true)?;
-        let mut tree = BTree::create(node_store, codec)?;
+        let mut this = Self::assemble(config, counters, node_store, data_store, true)?;
+        this.seal_backend()?;
+        Ok(this)
+    }
+
+    /// Shared assembly for every constructor: codec → tree → caches →
+    /// record store, plus the post-open cross-device sync check.
+    fn assemble(
+        config: SchemeConfig,
+        counters: OpCounters,
+        node_store: DynBlockStore,
+        data_store: DynBlockStore,
+        create: bool,
+    ) -> Result<Self, CoreError> {
+        let (codec, disguise) = config.build_codec(&counters)?;
+        let mut tree = if create {
+            BTree::create(node_store, codec)?
+        } else {
+            BTree::open(node_store, codec)?
+        };
         tree.enable_node_cache(config.node_cache);
-        let records = RecordStore::create(data_store, config.data_key, config.record_cache)?;
+        let records = if create {
+            RecordStore::create(data_store, config.data_key, config.record_cache)?
+        } else {
+            RecordStore::open(data_store, config.data_key, config.record_cache)?
+        };
         let mut this = EncipheredBTree {
             config,
             counters,
@@ -233,7 +269,9 @@ impl EncipheredBTree {
             records,
             disguise,
         };
-        this.seal_backend()?;
+        if !create {
+            this.sync_devices_after_open()?;
+        }
         Ok(this)
     }
 
@@ -249,18 +287,52 @@ impl EncipheredBTree {
         config: SchemeConfig,
         counters: OpCounters,
     ) -> Result<Self, CoreError> {
-        let (codec, disguise) = config.build_codec(&counters)?;
         let (node_store, data_store) = build_stores(&config, &counters, false)?;
-        let mut tree = BTree::open(node_store, codec)?;
-        tree.enable_node_cache(config.node_cache);
-        let records = RecordStore::open(data_store, config.data_key, config.record_cache)?;
-        Ok(EncipheredBTree {
-            config,
-            counters,
-            tree,
-            records,
-            disguise,
-        })
+        Self::assemble(config, counters, node_store, data_store, false)
+    }
+
+    /// Builds the stack over caller-supplied node/data stores instead of
+    /// the config's backend — custom devices, or fault-injection wrappers
+    /// ([`sks_storage::FailStore`]) for crash probes. Both stores should
+    /// share `counters`; no backend manifest is written (the caller owns
+    /// the medium's lifecycle).
+    pub fn create_on_stores(
+        config: SchemeConfig,
+        counters: OpCounters,
+        node_store: DynBlockStore,
+        data_store: DynBlockStore,
+    ) -> Result<Self, CoreError> {
+        Self::assemble(config, counters, node_store, data_store, true)
+    }
+
+    /// Reopens a stack persisted on caller-supplied stores (see
+    /// [`EncipheredBTree::create_on_stores`]). No manifest key-check runs;
+    /// the caller vouches for the keys.
+    pub fn open_on_stores(
+        config: SchemeConfig,
+        counters: OpCounters,
+        node_store: DynBlockStore,
+        data_store: DynBlockStore,
+    ) -> Result<Self, CoreError> {
+        Self::assemble(config, counters, node_store, data_store, false)
+    }
+
+    /// Post-open cross-device synchronisation. The tree superblock's
+    /// stamp says which data index epoch the node device last committed
+    /// against. If it matches the persisted index epoch the two devices
+    /// are in step: the trusted index may reclaim quarantined victims a
+    /// crash leaked. If it does not (a crash landed between the two
+    /// device checkpoints), the index describes a *newer* data image
+    /// than the tree references — it must not be trusted, and no block
+    /// may be reclaimed (the old pointers still aim at intact victim
+    /// content); maintenance rebuilds everything from the tree itself.
+    fn sync_devices_after_open(&mut self) -> Result<(), CoreError> {
+        if self.tree.stamp() == self.records.index_epoch() {
+            self.records.reconcile_unreferenced_blocks()?;
+        } else {
+            self.records.distrust_index();
+        }
+        Ok(())
     }
 
     /// Whether `dir` holds a persisted enciphered tree (its manifest).
@@ -280,7 +352,7 @@ impl EncipheredBTree {
         let mut records = RecordStore::create(data_store, config.data_key, config.record_cache)?;
         let mut pairs = Vec::with_capacity(items.len());
         for (key, record) in items {
-            pairs.push((*key, records.insert(record)?));
+            pairs.push((*key, records.insert_keyed(*key, record)?));
         }
         let mut tree = BTree::bulk_load(node_store, codec, &pairs)?;
         tree.enable_node_cache(config.node_cache);
@@ -310,9 +382,38 @@ impl EncipheredBTree {
     /// Checkpoints both stores: the node superblock plus every dirty page
     /// reaches the backing medium atomically (journal-protected on the
     /// file backend). A no-op memory-backend flush is free.
+    ///
+    /// Cross-device crash safety is a three-step protocol, because the
+    /// two devices checkpoint independently:
+    ///
+    /// 1. the data device commits first (new records, compaction copies,
+    ///    the reverse index — compaction victims still *allocated*), so
+    ///    a crash here leaves the old tree reading the intact old image;
+    /// 2. the node device commits the repointed tree — a crash between 1
+    ///    and 2 leaves old pointers aimed at intact victim content
+    ///    (compaction copies records, never erases the source), and a
+    ///    crash after 2 leaves new pointers aimed at the committed
+    ///    copies: either way every committed read is correct;
+    /// 3. only now the quarantined victim blocks go onto the free list
+    ///    (plus tail truncation) and the data device commits again — a
+    ///    crash before this commit merely *leaks* the victims, and the
+    ///    next trusted open reclaims them (they are exactly the
+    ///    allocated blocks the committed index does not describe).
+    ///
+    /// No window dangles a pointer or reuses a referenced block; the
+    /// worst crash outcome is transient unreferenced garbage.
     pub fn flush(&mut self) -> Result<(), CoreError> {
-        self.tree.flush()?;
         self.records.flush()?;
+        // Stamp the tree with the data epoch it is committing against:
+        // a reopen compares the stamp to the persisted index epoch to
+        // detect the two devices having committed out of step.
+        self.tree.set_stamp(self.records.index_epoch());
+        self.tree.flush()?;
+        if self.records.has_pending_frees() {
+            self.records.apply_pending_frees()?;
+            self.records.truncate_tail()?;
+            self.records.flush()?;
+        }
         Ok(())
     }
 
@@ -362,7 +463,7 @@ impl EncipheredBTree {
     /// Inserts (or replaces) the record stored under `key`. Returns the
     /// previous record if one existed.
     pub fn insert(&mut self, key: u64, record: Vec<u8>) -> Result<Option<Vec<u8>>, CoreError> {
-        let ptr = self.records.insert(&record)?;
+        let ptr = self.records.insert_keyed(key, &record)?;
         match self.tree.insert(key, ptr) {
             Ok(Some(old_ptr)) => {
                 let old = self.records.get(old_ptr)?;
@@ -482,17 +583,69 @@ impl EncipheredBTree {
         self.tree.cached_nodes()
     }
 
-    /// Records currently held decoded in the record cache.
+    /// Records currently held decoded in the record cache (this tree's
+    /// namespace only, when the cache is process-wide).
     pub fn cached_records(&self) -> usize {
         self.records.cached_records()
     }
 
+    /// Adopts a process-wide decoded-record cache (see
+    /// [`crate::records::SharedRecordCache`]), replacing this tree's
+    /// per-tree cache. `ns` must be unique among the adopting trees (the
+    /// engine uses the partition number). Logical counters are unaffected;
+    /// only *where* the bounded plaintext RAM lives changes.
+    pub fn use_shared_record_cache(&mut self, cache: &crate::records::SharedRecordCache, ns: u64) {
+        self.records.use_shared_cache(cache, ns);
+    }
+
     /// Data-store footprint: `(total blocks ever allocated, blocks on the
     /// free list awaiting reuse)`. Compaction keeps `total - free` bounded
-    /// by the live dataset.
+    /// by the live dataset, and tail truncation keeps `total` itself from
+    /// pinning the high-water mark.
     pub fn data_block_usage(&self) -> (u32, u32) {
         let store = self.records.store();
         (store.num_blocks(), store.free_blocks())
+    }
+
+    /// Node-store footprint, same shape as
+    /// [`EncipheredBTree::data_block_usage`].
+    pub fn node_block_usage(&self) -> (u32, u32) {
+        let store = self.tree.store();
+        (store.num_blocks(), store.free_blocks())
+    }
+
+    /// Whether the persistent reverse index currently covers every live
+    /// record (compaction passes are O(victims) iff this holds).
+    pub fn reverse_index_complete(&self) -> bool {
+        self.records.reverse_index_complete()
+    }
+
+    /// The reverse index as sorted `(data block, slot, key)` rows — for
+    /// observability and the index ≡ tree-scan equivalence tests.
+    pub fn reverse_index_snapshot(&self) -> Vec<(u32, u16, u64)> {
+        self.records.reverse_index_snapshot()
+    }
+
+    /// Rebuilds the reverse index from one full tree scan — the O(dataset)
+    /// fallback `compact_step` runs when unkeyed churn (or a detected-
+    /// stale index after a crash on an unbuffered medium) left it
+    /// incomplete. Counted in `compact_index_fallbacks`; every subsequent
+    /// pass is O(victims) again.
+    pub fn rebuild_reverse_index(&mut self) -> Result<(), CoreError> {
+        self.counters.bump(|c| &c.compact_index_fallbacks);
+        // The dead/live accounting must be complete before the rebuilt
+        // index can be marked (and later persisted as) complete — a
+        // trusted reopen loads both from the same chain, and persisting
+        // an empty dead map as trusted would forget pending tombstones
+        // for the life of the store.
+        self.records.pending_tombstones()?;
+        let mut entries = Vec::new();
+        for item in self.tree.iter_range(0, u64::MAX) {
+            let (k, ptr) = item?;
+            entries.push((ptr, k));
+        }
+        self.records.adopt_reverse_index(entries);
+        Ok(())
     }
 
     /// Free-list membership of both devices, as `(node ids, data ids)` —
@@ -525,15 +678,18 @@ impl EncipheredBTree {
     /// post-pass image — never a mix. The engine runs this inside its
     /// fuzzy checkpoint, per partition, under the partition write lock.
     ///
-    /// Cost/accounting: a pass that finds victims scans the tree once to
-    /// reverse-map their live slots to keys, and repoints those keys via
-    /// the normal (counted) tree paths — so the pass's node visits and
-    /// decipherments are *visible* in the operation counters, exactly as
-    /// real maintenance I/O would be. Only the record bytes' own
-    /// re-encipherment is charged to `compact_moved_records` instead of
-    /// `data_encrypts` (the record is moved, not logically written).
-    /// Counter-sensitive experiments simply run without deletes or with
-    /// `compaction(0)`. A pass with no tombstones is free.
+    /// Cost/accounting: the victims' live slots map to their tree keys
+    /// through the persistent reverse index — O(victims), no tree scan —
+    /// and the repointing runs through the normal (counted) tree paths, so
+    /// the pass's node visits and decipherments are *visible* in the
+    /// operation counters, exactly as real maintenance I/O would be. Only
+    /// the record bytes' own re-encipherment is charged to
+    /// `compact_moved_records` instead of `data_encrypts` (the record is
+    /// moved, not logically written). If unkeyed churn ever left the index
+    /// incomplete, one full scan rebuilds it first (visible in
+    /// `compact_index_fallbacks`) and every later pass is O(victims)
+    /// again. Counter-sensitive experiments simply run without deletes or
+    /// with `compaction(0)`. A pass with no tombstones is free.
     pub fn compact_step(&mut self, max_blocks: usize) -> Result<CompactionReport, CoreError> {
         let mut report = CompactionReport::default();
         if max_blocks == 0 || !self.records.may_have_tombstones() {
@@ -543,34 +699,54 @@ impl EncipheredBTree {
         if victims.is_empty() {
             return Ok(report);
         }
-        // Reverse-map the victims' live slots to their tree keys (one
-        // bounded scan; only in-victim pointers are retained).
-        let victim_set: std::collections::HashSet<u32> =
-            victims.iter().map(|b| b.as_u32()).collect();
-        let mut ptr_to_key = std::collections::HashMap::new();
-        for item in self.tree.iter_range(0, u64::MAX) {
-            let (k, ptr) = item?;
-            if victim_set.contains(&ptr.block().as_u32()) {
-                ptr_to_key.insert(ptr.0, k);
-            }
+        if !self.records.reverse_index_complete() {
+            self.rebuild_reverse_index()?;
         }
         for block in victims {
-            for (old, new) in self.records.compact_block(block)? {
-                match ptr_to_key.get(&old.0) {
-                    Some(&key) => {
-                        let prev = self.tree.replace_ptr(key, new)?;
-                        debug_assert_eq!(prev, Some(old), "key {key} repointed");
+            for (old, new, key) in self.records.compact_block(block)? {
+                match key.map(|k| self.tree.replace_ptr(k, new)).transpose()? {
+                    Some(Some(prev)) => {
+                        debug_assert_eq!(prev, old, "key repointed from its old slot");
                         report.moved_records += 1;
                     }
-                    // A live slot no tree pointer references cannot arise
-                    // from the public API; tolerate it (the copy simply
-                    // becomes unreferenced garbage) rather than abort
-                    // maintenance forever.
-                    None => report.orphaned_records += 1,
+                    // A live slot the tree does not reference: either the
+                    // index had no owner for it (unkeyed API use) or the
+                    // key is gone from the tree (a torn cross-device
+                    // image left the data device ahead). Tolerate it —
+                    // the copy is unreferenced garbage — rather than
+                    // abort maintenance forever.
+                    Some(None) | None => report.orphaned_records += 1,
                 }
             }
+            // Counted whether the block had live records to move or was
+            // freed through the tombstone fast path — an empty victim is
+            // still a reclaimed block (the PR 4 report under-counted it).
             report.freed_blocks += 1;
         }
+        // This pass's reclaims are quarantined until the next flush (see
+        // [`EncipheredBTree::flush`]); the truncation below can only act
+        // on frees already safely committed to the free list by earlier
+        // flushes.
+        report.data_blocks_truncated = self.records.truncate_tail()? as u64;
+        Ok(report)
+    }
+
+    /// One bounded pass of node-device compaction: up to `max_moves` live
+    /// sealed nodes slide into the lowest free slots (re-sealed at their
+    /// new position by the normal node write path) and the node device's
+    /// freed tail is released, so a shrunken dataset stops pinning the
+    /// node store — `nodes.sks` physically shrinks on the file backend at
+    /// the next checkpoint. Crash safety is the same story as
+    /// [`EncipheredBTree::compact_step`]: nothing reaches the medium until
+    /// the journaled checkpoint commits.
+    pub fn compact_nodes(&mut self, max_moves: usize) -> Result<CompactionReport, CoreError> {
+        let mut report = CompactionReport::default();
+        if max_moves == 0 {
+            return Ok(report);
+        }
+        let (moved, truncated) = self.tree.compact_nodes(max_moves)?;
+        report.moved_nodes = moved;
+        report.node_blocks_truncated = truncated as u64;
         Ok(report)
     }
 
@@ -996,6 +1172,8 @@ mod tests {
             freed += r.freed_blocks;
         }
         assert!(freed > 0, "tombstoned blocks were reclaimed");
+        // Reclaims are quarantined until the flush protocol commits them.
+        tree.flush().unwrap();
         let (_, free_after) = tree.data_block_usage();
         assert!(free_after > free_before);
         tree.validate().unwrap();
@@ -1015,6 +1193,7 @@ mod tests {
                 tree.delete(k).unwrap();
             }
             while tree.compact_step(1_000).unwrap().freed_blocks > 0 {}
+            tree.flush().unwrap(); // commit the reclaims so churn can reuse them
             totals.push(tree.data_block_usage().0);
         }
         assert!(

@@ -16,10 +16,12 @@
 //! the classic read-committed engine contract.
 
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock, Weak};
 
-use sks_core::{CompactionReport, EncipheredBTree, KeyDisguise, SchemeConfig, StorageBackend};
+use sks_core::{
+    CompactionReport, EncipheredBTree, KeyDisguise, SchemeConfig, SharedRecordCache, StorageBackend,
+};
 use sks_storage::{OpCounters, OpSnapshot, SyncPolicy};
 
 use crate::error::EngineError;
@@ -101,6 +103,16 @@ impl Router {
     }
 }
 
+/// What the single background governance worker should do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AutoJob {
+    /// Full fuzzy checkpoint (per-partition dirty high-water breach).
+    Checkpoint,
+    /// Flush only the dirtiest partition's pages (process-wide dirty
+    /// budget breach).
+    FlushDirtiest,
+}
+
 /// The engine. Cheap to share (`Arc`); one instance per database
 /// directory.
 pub struct SksDb {
@@ -119,6 +131,13 @@ pub struct SksDb {
     /// Handle back to the owning `Arc`, so a dirty high-water breach can
     /// hand a background thread its own reference to the engine.
     self_ref: Weak<SksDb>,
+    /// The process-wide decoded-record cache shared by every partition
+    /// (None when `SchemeConfig::global_record_cache` is 0).
+    shared_record_cache: Option<SharedRecordCache>,
+    /// Mutation counter throttling the global-budget probe (the budget is
+    /// a soft bound; probing every mutation would put an O(partitions)
+    /// read-lock sweep on the hot path).
+    governance_tick: AtomicU64,
     /// At most one background checkpoint in flight.
     auto_ckpt_running: AtomicBool,
     auto_ckpt_handle: Mutex<Option<std::thread::JoinHandle<()>>>,
@@ -299,14 +318,23 @@ impl SksDb {
                     .into(),
             ));
         }
+        // One process-wide record-cache clock across every partition: the
+        // total decoded-record RAM of the engine is bounded by a single
+        // budget instead of `record_cache × partitions`.
+        let shared_record_cache = (config.scheme.global_record_cache > 0)
+            .then(|| SharedRecordCache::new(config.scheme.global_record_cache));
         let mut partitions = Vec::with_capacity(n);
         for i in 0..n {
             let part_config = partition_config(&config.scheme, db_dir, i);
-            partitions.push(if persisted {
+            let mut tree = if persisted {
                 EncipheredBTree::open_with_counters(part_config, counters.clone())?
             } else {
                 EncipheredBTree::create_with_counters(part_config, counters.clone())?
-            });
+            };
+            if let Some(cache) = &shared_record_cache {
+                tree.use_shared_record_cache(cache, i as u64);
+            }
+            partitions.push(tree);
         }
 
         let (wal, recovery) = if wal_path.exists() {
@@ -350,6 +378,8 @@ impl SksDb {
             config,
             checkpoint_serial: Mutex::new(()),
             last_compaction: Mutex::new(CompactionReport::default()),
+            shared_record_cache,
+            governance_tick: AtomicU64::new(0),
             self_ref: self_ref.clone(),
             auto_ckpt_running: AtomicBool::new(false),
             auto_ckpt_handle: Mutex::new(None),
@@ -435,9 +465,7 @@ impl SksDb {
             let result = tree.insert(key, value)?;
             (result, self.over_high_water(&tree))
         };
-        if over_high_water {
-            self.kick_auto_checkpoint();
-        }
+        self.after_mutation(over_high_water);
         Ok(result)
     }
 
@@ -454,9 +482,7 @@ impl SksDb {
             let result = tree.delete(key)?;
             (result, self.over_high_water(&tree))
         };
-        if over_high_water {
-            self.kick_auto_checkpoint();
-        }
+        self.after_mutation(over_high_water);
         Ok(result)
     }
 
@@ -468,10 +494,64 @@ impl SksDb {
         hw > 0 && tree.dirty_pages() > hw
     }
 
-    /// Kicks one background checkpoint (no-op when one is already in
-    /// flight). Called after the partition lock is released so the
-    /// checkpoint never waits on its own trigger.
-    fn kick_auto_checkpoint(&self) {
+    /// How many mutations pass between probes of the process-wide dirty
+    /// budget. The probe sweeps every partition (a read lock + a pool
+    /// counter each), so it is sampled rather than run per mutation; the
+    /// budget is a soft bound and one sampling interval of drift is
+    /// noise next to the budget itself.
+    const GLOBAL_BUDGET_PROBE_EVERY: u64 = 16;
+
+    /// Post-mutation memory governance, run with no partition lock held:
+    /// a per-partition high-water breach kicks a full background
+    /// checkpoint; otherwise a (sampled) breach of the *process-wide*
+    /// dirty budget kicks a background flush of the dirtiest partition —
+    /// the cheapest action that sheds the most pinned pages.
+    fn after_mutation(&self, over_high_water: bool) {
+        if over_high_water {
+            self.kick_auto(AutoJob::Checkpoint);
+            return;
+        }
+        if self.config.scheme.global_dirty_budget == 0 {
+            return;
+        }
+        let tick = self.governance_tick.fetch_add(1, Ordering::Relaxed);
+        if tick.is_multiple_of(Self::GLOBAL_BUDGET_PROBE_EVERY) && self.over_global_budget() {
+            self.kick_auto(AutoJob::FlushDirtiest);
+        }
+    }
+
+    /// Whether the sum of every partition's pinned dirty set exceeds the
+    /// process-wide budget (0 = disabled). Takes the partition read locks
+    /// one at a time, never while another is held.
+    fn over_global_budget(&self) -> bool {
+        let budget = self.config.scheme.global_dirty_budget;
+        budget > 0 && self.global_dirty_pages() > budget
+    }
+
+    /// Total dirty pages pinned across all partitions.
+    pub fn global_dirty_pages(&self) -> usize {
+        self.dirty_pages_per_partition().iter().sum()
+    }
+
+    /// Flushes (journaled page checkpoint, no WAL cut) the partition
+    /// holding the most pinned dirty pages. Safe without touching the
+    /// log: pages ahead of the WAL replay idempotently.
+    fn flush_dirtiest_partition(&self) -> Result<(), EngineError> {
+        let dirty = self.dirty_pages_per_partition();
+        let Some((i, &max)) = dirty.iter().enumerate().max_by_key(|&(_, &d)| d) else {
+            return Ok(());
+        };
+        if max == 0 {
+            return Ok(());
+        }
+        let mut guard = self.partitions[i].write().expect("partition lock");
+        Ok(guard.flush()?)
+    }
+
+    /// Kicks one background governance job (no-op when one is already in
+    /// flight). Called after the partition lock is released so the job
+    /// never waits on its own trigger.
+    fn kick_auto(&self, job: AutoJob) {
         // The handle-slot mutex is held across the running-flag swap,
         // the spawn and the parking, so two racing kicks cannot
         // interleave — without it, a kick could park its own finished
@@ -485,7 +565,11 @@ impl SksDb {
             return;
         };
         let handle = std::thread::spawn(move || {
-            if let Err(e) = db.checkpoint() {
+            let result = match job {
+                AutoJob::Checkpoint => db.checkpoint().map(|_| ()),
+                AutoJob::FlushDirtiest => db.flush_dirtiest_partition(),
+            };
+            if let Err(e) = result {
                 *db.auto_ckpt_error.lock().expect("auto ckpt error slot") = Some(e.to_string());
             }
             db.auto_ckpt_running.store(false, Ordering::Release);
@@ -542,6 +626,15 @@ impl SksDb {
     /// pattern carries no key order — it hashes the disguised key).
     pub fn partition_of(&self, key: u64) -> Result<usize, EngineError> {
         self.router.partition_of(key)
+    }
+
+    /// Total decoded records held by the process-wide record cache
+    /// (None when `global_record_cache` is 0 and each partition budgets
+    /// its own).
+    pub fn shared_record_cache_len(&self) -> Option<usize> {
+        self.shared_record_cache
+            .as_ref()
+            .map(SharedRecordCache::len)
     }
 
     /// Dirty pages currently buffered per partition (file backend; all
@@ -649,10 +742,12 @@ impl SksDb {
         let mut written = 0u64;
 
         // Phase 2. Each partition first runs its bounded record-store
-        // compaction pass (under the write lock; crash-safe because on the
-        // file backend nothing reaches the medium until the journaled
-        // page-store checkpoint below commits, and on the memory backend
-        // state is reconstructed from the WAL anyway).
+        // compaction pass and then the node-device sliding pass, both
+        // under the write lock (crash-safe because on the file backend
+        // nothing reaches the medium until the journaled page-store
+        // checkpoint below commits, and on the memory backend state is
+        // reconstructed from the WAL anyway). The truncated devices
+        // physically shrink at the flush.
         let compaction_budget = self.config.scheme.compaction;
         let mut compacted = CompactionReport::default();
         if self.config.scheme.backend.is_file() {
@@ -665,7 +760,8 @@ impl SksDb {
                     .map(|p| {
                         s.spawn(move || -> Result<CompactionReport, EngineError> {
                             let mut guard = p.write().expect("partition lock");
-                            let report = guard.compact_step(compaction_budget)?;
+                            let mut report = guard.compact_step(compaction_budget)?;
+                            report.absorb(guard.compact_nodes(compaction_budget)?);
                             guard.flush()?;
                             Ok(report)
                         })
@@ -690,6 +786,11 @@ impl SksDb {
                 {
                     let mut guard = part.write().expect("partition lock");
                     compacted.absorb(guard.compact_step(compaction_budget)?);
+                    compacted.absorb(guard.compact_nodes(compaction_budget)?);
+                    // Applies the pass's quarantined frees (a memory
+                    // device has no cross-device crash window to wait
+                    // out — durability lives in the WAL).
+                    guard.flush()?;
                 }
                 let guard = part.read().expect("partition lock");
                 // Stream without materialising: memory stays O(height +
@@ -738,12 +839,14 @@ impl SksDb {
         Ok(written)
     }
 
-    /// One manual record-store compaction pass over every partition
-    /// (up to `max_blocks_per_partition` tombstoned data blocks each,
-    /// under the partition write locks, one partition at a time). The
-    /// reclaimed blocks become durable at the next checkpoint; calling
-    /// [`SksDb::checkpoint`] runs this automatically with the configured
-    /// [`SchemeConfig::compaction`] budget.
+    /// One manual space-governance pass over every partition: up to
+    /// `max_blocks_per_partition` tombstoned data blocks rewritten
+    /// (deadest first) plus a node-device sliding pass of the same
+    /// budget, under the partition write locks, one partition at a time.
+    /// The reclaimed blocks are quarantined until the next checkpoint's
+    /// flush protocol commits them (see `EncipheredBTree::flush`);
+    /// calling [`SksDb::checkpoint`] runs this automatically with the
+    /// configured [`SchemeConfig::compaction`] budget.
     pub fn compact(
         &self,
         max_blocks_per_partition: usize,
@@ -752,6 +855,7 @@ impl SksDb {
         for part in &self.partitions {
             let mut guard = part.write().expect("partition lock");
             total.absorb(guard.compact_step(max_blocks_per_partition)?);
+            total.absorb(guard.compact_nodes(max_blocks_per_partition)?);
         }
         Ok(total)
     }

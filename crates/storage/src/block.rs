@@ -83,8 +83,36 @@ pub trait BlockStore {
     /// Allocates a zeroed block, reusing freed blocks when available.
     fn allocate(&mut self) -> Result<BlockId, StorageError>;
 
+    /// Allocates the *lowest-numbered* free block (growing the device only
+    /// when the free list is empty). Space-governance layers use this so
+    /// refills pack toward the front of the device and the tail becomes
+    /// reclaimable; the default falls back to plain [`Self::allocate`].
+    fn allocate_min(&mut self) -> Result<BlockId, StorageError> {
+        self.allocate()
+    }
+
     /// Returns a block to the free list.
     fn free(&mut self, id: BlockId) -> Result<(), StorageError>;
+
+    /// Claims a *specific* block off the free list (zeroed, exactly as
+    /// [`Self::allocate`] would hand it out). Node-device compaction uses
+    /// this to slide a live node into a chosen low slot. Errors when `id`
+    /// is not currently free.
+    fn claim_free(&mut self, id: BlockId) -> Result<(), StorageError> {
+        let _ = id;
+        Err(StorageError::Io(
+            "claim_free is not supported by this store".into(),
+        ))
+    }
+
+    /// Releases every freed block at the device's tail, lowering the
+    /// high-water mark (`num_blocks` shrinks; file-backed devices cut the
+    /// store file). Returns how many blocks were released. Interior free
+    /// blocks stay on the free list untouched. Default: no-op (stores
+    /// that cannot shrink report 0).
+    fn truncate_free_tail(&mut self) -> Result<u32, StorageError> {
+        Ok(0)
+    }
 
     /// Reads a whole block into `buf` (`buf.len()` must equal
     /// [`Self::block_size`]).
@@ -163,8 +191,20 @@ impl<S: BlockStore + ?Sized> BlockStore for Box<S> {
         (**self).allocate()
     }
 
+    fn allocate_min(&mut self) -> Result<BlockId, StorageError> {
+        (**self).allocate_min()
+    }
+
     fn free(&mut self, id: BlockId) -> Result<(), StorageError> {
         (**self).free(id)
+    }
+
+    fn claim_free(&mut self, id: BlockId) -> Result<(), StorageError> {
+        (**self).claim_free(id)
+    }
+
+    fn truncate_free_tail(&mut self) -> Result<u32, StorageError> {
+        (**self).truncate_free_tail()
     }
 
     fn read_block(&self, id: BlockId, buf: &mut [u8]) -> Result<(), StorageError> {

@@ -78,6 +78,18 @@ counters! {
     compact_moved_records,
     /// Data blocks reclaimed through the free list by compaction.
     compact_freed_blocks,
+    /// Live node blocks relocated by node-device compaction (sliding a
+    /// sealed node into a lower free slot; maintenance work below the
+    /// paper's cost model, like `compact_moved_records`).
+    compact_moved_nodes,
+    /// Blocks released from a device's tail by high-water truncation
+    /// (the device physically shrinks; on the file backend the store
+    /// file is cut at the new high-water mark).
+    device_truncated_blocks,
+    /// Compaction passes that could not trust the persistent reverse
+    /// index and had to rebuild it with a full tree scan. Stays 0 on the
+    /// keyed hot path — the pin for the O(victims) claim.
+    compact_index_fallbacks,
     /// Cipher-block (or RSA-block) encryptions of *search-key* material.
     key_encrypts,
     /// Cipher-block (or RSA-block) decryptions of *search-key* material.

@@ -282,12 +282,13 @@ impl FileDisk {
         Ok(chain)
     }
 
-    /// Imposes a complete allocation state: grows the device to
-    /// `num_blocks` (never shrinks) and rebuilds the intrusive free chain
-    /// so that pops come off the *end* of `free_stack`. Idempotent for
-    /// fixed arguments — a checkpoint journal can re-apply it after a
-    /// crash mid-way through a previous application. The header is left to
-    /// the caller's [`BlockStore::flush`].
+    /// Imposes a complete allocation state: grows or *shrinks* the device
+    /// to `num_blocks` (a shrink cuts the file at the new high-water mark)
+    /// and rebuilds the intrusive free chain so that pops come off the
+    /// *end* of `free_stack`. Idempotent for fixed arguments — a
+    /// checkpoint journal can re-apply it after a crash mid-way through a
+    /// previous application. The header is left to the caller's
+    /// [`BlockStore::flush`].
     pub fn restore_allocation(
         &mut self,
         num_blocks: u32,
@@ -297,6 +298,11 @@ impl FileDisk {
             let id = BlockId(self.num_blocks);
             self.write_raw(id, &vec![0u8; self.block_size])?;
             self.num_blocks += 1;
+        }
+        if self.num_blocks > num_blocks {
+            self.file
+                .set_len(HEADER_LEN + num_blocks as u64 * self.block_size as u64)?;
+            self.num_blocks = num_blocks;
         }
         let mut next = NO_FREE;
         for &id in free_stack {
@@ -343,6 +349,54 @@ impl BlockStore for FileDisk {
         Ok(id)
     }
 
+    fn allocate_min(&mut self) -> Result<BlockId, StorageError> {
+        if self.free_head == NO_FREE {
+            return self.allocate();
+        }
+        // One walk: find the minimum id plus its predecessor and
+        // successor, then splice it out with a single link rewrite.
+        let mut prev: Option<u32> = None;
+        let mut cur = self.free_head;
+        let mut min = u32::MAX;
+        let mut min_prev: Option<u32> = None;
+        let mut min_next = NO_FREE;
+        let mut hops = 0u32;
+        while cur != NO_FREE {
+            hops += 1;
+            if cur >= self.num_blocks || hops > self.num_blocks {
+                return Err(StorageError::Corrupt(format!(
+                    "free chain escapes the device at block {cur}"
+                )));
+            }
+            let next = u32::from_be_bytes(
+                self.read_raw(BlockId(cur))?[0..4]
+                    .try_into()
+                    .expect("4-byte link"),
+            );
+            if cur < min {
+                min = cur;
+                min_prev = prev;
+                min_next = next;
+            }
+            prev = Some(cur);
+            cur = next;
+        }
+        self.counters.bump(|c| &c.allocs);
+        match min_prev {
+            None => {
+                self.free_head = min_next;
+                self.write_header()?;
+            }
+            Some(p) => {
+                let mut block = self.read_raw(BlockId(p))?;
+                block[0..4].copy_from_slice(&min_next.to_be_bytes());
+                self.write_raw(BlockId(p), &block)?;
+            }
+        }
+        self.write_raw(BlockId(min), &vec![0u8; self.block_size])?;
+        Ok(BlockId(min))
+    }
+
     fn free(&mut self, id: BlockId) -> Result<(), StorageError> {
         self.check(id)?;
         self.counters.bump(|c| &c.frees);
@@ -352,6 +406,63 @@ impl BlockStore for FileDisk {
         self.free_head = id.0;
         self.write_header()?;
         Ok(())
+    }
+
+    fn claim_free(&mut self, id: BlockId) -> Result<(), StorageError> {
+        // Walk the intrusive chain and splice `id` out of it: one link
+        // rewrite (predecessor or header), not a whole-chain rebuild.
+        let mut prev: Option<u32> = None;
+        let mut cur = self.free_head;
+        let mut hops = 0u32;
+        while cur != NO_FREE {
+            hops += 1;
+            if cur >= self.num_blocks || hops > self.num_blocks {
+                return Err(StorageError::Corrupt(format!(
+                    "free chain escapes the device at block {cur}"
+                )));
+            }
+            let next = u32::from_be_bytes(
+                self.read_raw(BlockId(cur))?[0..4]
+                    .try_into()
+                    .expect("4-byte link"),
+            );
+            if cur == id.0 {
+                self.counters.bump(|c| &c.allocs);
+                match prev {
+                    None => {
+                        self.free_head = next;
+                        self.write_header()?;
+                    }
+                    Some(p) => {
+                        let mut block = self.read_raw(BlockId(p))?;
+                        block[0..4].copy_from_slice(&next.to_be_bytes());
+                        self.write_raw(BlockId(p), &block)?;
+                    }
+                }
+                self.write_raw(id, &vec![0u8; self.block_size])?;
+                return Ok(());
+            }
+            prev = Some(cur);
+            cur = next;
+        }
+        Err(StorageError::Io(format!("block {} is not free", id.0)))
+    }
+
+    fn truncate_free_tail(&mut self) -> Result<u32, StorageError> {
+        let chain = self.free_list_chain()?;
+        let free: std::collections::HashSet<u32> = chain.iter().copied().collect();
+        let mut new_num = self.num_blocks;
+        while new_num > 0 && free.contains(&(new_num - 1)) {
+            new_num -= 1;
+        }
+        let released = self.num_blocks - new_num;
+        if released > 0 {
+            let kept: Vec<u32> = chain.into_iter().filter(|&f| f < new_num).collect();
+            self.restore_allocation(new_num, &kept)?;
+        }
+        self.counters
+            .bump_by(|c| &c.device_truncated_blocks, released as u64);
+        Ok(released)
     }
 
     fn read_block(&self, id: BlockId, buf: &mut [u8]) -> Result<(), StorageError> {
@@ -387,6 +498,17 @@ impl BlockStore for FileDisk {
         self.write_header()?;
         self.file.sync_all()?;
         Ok(())
+    }
+
+    fn free_blocks(&self) -> u32 {
+        self.free_list_chain().map(|c| c.len() as u32).unwrap_or(0)
+    }
+
+    fn free_block_ids(&self) -> Vec<u32> {
+        // The intrusive chain *is* the free list; layers that reason
+        // about free membership (reconciliation, node compaction) must
+        // see it, or they would mistake free blocks for live ones.
+        self.free_list_chain().unwrap_or_default()
     }
 
     fn raw_image(&self) -> Result<Vec<Vec<u8>>, StorageError> {

@@ -12,6 +12,8 @@
 //! * [`filedisk`] — file-backed device with a persistent free list.
 //! * [`bufferpool`] — write-back LRU cache at the memory↔disk boundary,
 //!   with an optional no-steal (pin-dirty) policy.
+//! * [`failstore`] — fault-injection wrapper failing (or tearing) the Nth
+//!   write, for deterministic crash probes.
 //! * [`paged`] — [`PagedFileStore`]: the file backend's store — the pool
 //!   over a [`FileDisk`] with shadowed allocation and journaled, crash-
 //!   atomic checkpoints.
@@ -24,6 +26,7 @@
 pub mod block;
 pub mod bufferpool;
 pub mod counters;
+pub mod failstore;
 pub mod filedisk;
 pub mod memdisk;
 pub mod paged;
@@ -33,6 +36,7 @@ pub mod sync;
 pub use block::{BlockId, BlockStore, DynBlockStore, StorageError};
 pub use bufferpool::BufferPool;
 pub use counters::{OpCounters, OpCountersInner, OpSnapshot};
+pub use failstore::{FailMode, FailPlan, FailStore};
 pub use filedisk::{crc32, sync_dir, FileDisk};
 pub use memdisk::MemDisk;
 pub use paged::PagedFileStore;

@@ -65,6 +65,17 @@ impl MemDisk {
     }
 }
 
+/// Index of the smallest id on a free stack (shared by the in-memory and
+/// paged stores so their `allocate_min` pick — and thus the post-pick
+/// stack layout after `swap_remove` — is identical across backends).
+pub(crate) fn lowest_free(freed: &[u32]) -> Option<usize> {
+    freed
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, &id)| id)
+        .map(|(pos, _)| pos)
+}
+
 impl BlockStore for MemDisk {
     fn block_size(&self) -> usize {
         self.block_size
@@ -85,11 +96,46 @@ impl BlockStore for MemDisk {
         Ok(BlockId(id))
     }
 
+    fn allocate_min(&mut self) -> Result<BlockId, StorageError> {
+        let Some(pos) = lowest_free(&self.freed) else {
+            return self.allocate();
+        };
+        self.counters.bump(|c| &c.allocs);
+        let id = self.freed.swap_remove(pos);
+        self.blocks[id as usize].fill(0);
+        Ok(BlockId(id))
+    }
+
     fn free(&mut self, id: BlockId) -> Result<(), StorageError> {
         self.check(id)?;
         self.counters.bump(|c| &c.frees);
         self.freed.push(id.0);
         Ok(())
+    }
+
+    fn claim_free(&mut self, id: BlockId) -> Result<(), StorageError> {
+        let Some(pos) = self.freed.iter().position(|&f| f == id.0) else {
+            return Err(StorageError::Io(format!("block {} is not free", id.0)));
+        };
+        self.counters.bump(|c| &c.allocs);
+        self.freed.swap_remove(pos);
+        self.blocks[id.0 as usize].fill(0);
+        Ok(())
+    }
+
+    fn truncate_free_tail(&mut self) -> Result<u32, StorageError> {
+        let mut released = 0u32;
+        while let Some(last) = self.blocks.len().checked_sub(1) {
+            let Some(pos) = self.freed.iter().position(|&f| f as usize == last) else {
+                break;
+            };
+            self.freed.swap_remove(pos);
+            self.blocks.pop();
+            released += 1;
+        }
+        self.counters
+            .bump_by(|c| &c.device_truncated_blocks, released as u64);
+        Ok(released)
     }
 
     fn read_block(&self, id: BlockId, buf: &mut [u8]) -> Result<(), StorageError> {
@@ -191,6 +237,27 @@ mod tests {
         let _ = disk.read_block_vec(a).unwrap();
         let s = disk.counters().snapshot();
         assert_eq!((s.allocs, s.block_writes, s.block_reads), (1, 1, 2));
+    }
+
+    #[test]
+    fn allocate_min_packs_low_and_truncate_drops_the_tail() {
+        let mut disk = MemDisk::new(64);
+        let ids: Vec<BlockId> = (0..6).map(|_| disk.allocate().unwrap()).collect();
+        disk.write_block(ids[3], &[3u8; 64]).unwrap();
+        disk.free(ids[1]).unwrap();
+        disk.free(ids[4]).unwrap();
+        disk.free(ids[5]).unwrap();
+        // Min-first allocation picks 1, not the LIFO 5.
+        assert_eq!(disk.allocate_min().unwrap(), BlockId(1));
+        assert_eq!(disk.truncate_free_tail().unwrap(), 2);
+        assert_eq!(disk.num_blocks(), 4);
+        assert_eq!(disk.free_blocks(), 0);
+        assert_eq!(disk.read_block_vec(ids[3]).unwrap(), vec![3u8; 64]);
+        // Claiming a specific live or missing block errors.
+        assert!(disk.claim_free(BlockId(3)).is_err());
+        disk.free(ids[2]).unwrap();
+        disk.claim_free(BlockId(2)).unwrap();
+        assert_eq!(disk.read_block_vec(BlockId(2)).unwrap(), vec![0u8; 64]);
     }
 
     #[test]

@@ -223,6 +223,24 @@ impl BlockStore for PagedFileStore {
         Ok(id)
     }
 
+    fn allocate_min(&mut self) -> Result<BlockId, StorageError> {
+        let has_free = {
+            let inner = self.inner.get_mut().expect("paged store lock");
+            !inner.free.is_empty()
+        };
+        if !has_free {
+            return self.allocate();
+        }
+        self.counters.bump(|c| &c.allocs);
+        let inner = self.inner.get_mut().expect("paged store lock");
+        let pos = crate::memdisk::lowest_free(&inner.free).expect("free list non-empty");
+        let id = inner.free.swap_remove(pos);
+        inner.free_set.remove(&id);
+        inner.pool.write(BlockId(id), &vec![0u8; self.block_size])?;
+        inner.alloc_dirty = true;
+        Ok(BlockId(id))
+    }
+
     fn free(&mut self, id: BlockId) -> Result<(), StorageError> {
         let inner = self.inner.get_mut().expect("paged store lock");
         inner.check(id)?;
@@ -232,6 +250,43 @@ impl BlockStore for PagedFileStore {
         inner.free_set.insert(id.0);
         inner.alloc_dirty = true;
         Ok(())
+    }
+
+    fn claim_free(&mut self, id: BlockId) -> Result<(), StorageError> {
+        let inner = self.inner.get_mut().expect("paged store lock");
+        let Some(pos) = inner.free.iter().position(|&f| f == id.0) else {
+            return Err(StorageError::Io(format!("block {} is not free", id.0)));
+        };
+        self.counters.bump(|c| &c.allocs);
+        inner.free.swap_remove(pos);
+        inner.free_set.remove(&id.0);
+        inner.pool.write(id, &vec![0u8; self.block_size])?;
+        inner.alloc_dirty = true;
+        Ok(())
+    }
+
+    fn truncate_free_tail(&mut self) -> Result<u32, StorageError> {
+        let inner = self.inner.get_mut().expect("paged store lock");
+        let mut released = 0u32;
+        while inner.num_blocks > 0 && inner.free_set.contains(&(inner.num_blocks - 1)) {
+            let id = inner.num_blocks - 1;
+            let pos = inner
+                .free
+                .iter()
+                .position(|&f| f == id)
+                .expect("free_set mirrors free");
+            inner.free.swap_remove(pos);
+            inner.free_set.remove(&id);
+            inner.pool.discard(BlockId(id));
+            inner.num_blocks -= 1;
+            released += 1;
+        }
+        if released > 0 {
+            inner.alloc_dirty = true;
+        }
+        self.counters
+            .bump_by(|c| &c.device_truncated_blocks, released as u64);
+        Ok(released)
     }
 
     fn read_block(&self, id: BlockId, buf: &mut [u8]) -> Result<(), StorageError> {
@@ -553,6 +608,54 @@ mod tests {
         );
         store.flush().unwrap();
         assert_eq!(BlockStore::raw_image(&store).unwrap(), vec![vec![0x42; 64]]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncate_free_tail_shrinks_the_file_at_checkpoint() {
+        let path = tmpfile("shrink");
+        {
+            let mut store = PagedFileStore::create(&path, 64, 8, OpCounters::new()).unwrap();
+            let ids: Vec<BlockId> = (0..6).map(|_| store.allocate().unwrap()).collect();
+            for (i, &id) in ids.iter().enumerate() {
+                store.write_block(id, &[i as u8 + 1; 64]).unwrap();
+            }
+            store.flush().unwrap();
+            let full_len = std::fs::metadata(&path).unwrap().len();
+            // Free the tail half plus one interior block.
+            store.free(ids[5]).unwrap();
+            store.free(ids[4]).unwrap();
+            store.free(ids[1]).unwrap();
+            assert_eq!(store.truncate_free_tail().unwrap(), 2);
+            assert_eq!(store.num_blocks(), 4, "interior free block retained");
+            assert_eq!(store.free_blocks(), 1);
+            store.flush().unwrap();
+            let cut_len = std::fs::metadata(&path).unwrap().len();
+            assert!(cut_len < full_len, "{cut_len} !< {full_len}");
+            assert_eq!(store.counters().snapshot().device_truncated_blocks, 2);
+        }
+        {
+            // The shrink survives reopen; the interior free block still pops.
+            let mut store = PagedFileStore::open(&path, 8, OpCounters::new()).unwrap();
+            assert_eq!(store.num_blocks(), 4);
+            assert_eq!(store.allocate_min().unwrap(), BlockId(1));
+            assert_eq!(store.read_block_vec(BlockId(2)).unwrap(), vec![3u8; 64]);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn claim_free_takes_a_chosen_block() {
+        let path = tmpfile("claim");
+        let mut store = PagedFileStore::create(&path, 64, 8, OpCounters::new()).unwrap();
+        let ids: Vec<BlockId> = (0..4).map(|_| store.allocate().unwrap()).collect();
+        store.free(ids[1]).unwrap();
+        store.free(ids[2]).unwrap();
+        store.claim_free(BlockId(1)).unwrap();
+        assert!(store.claim_free(BlockId(3)).is_err(), "live block");
+        assert!(store.claim_free(BlockId(1)).is_err(), "already claimed");
+        store.write_block(BlockId(1), &[9u8; 64]).unwrap();
+        assert_eq!(store.free_block_ids(), vec![2]);
         std::fs::remove_file(&path).ok();
     }
 

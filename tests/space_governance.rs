@@ -1,0 +1,641 @@
+//! Space & memory governance, proven by a fault-injection test layer:
+//!
+//! * crash probes — [`FailStore`] kills the stack mid reverse-index
+//!   update, mid node-relocation and mid deadest-first compaction pass
+//!   (plus a seeded kill-point sweep); every reopen recovers to a
+//!   consistent image;
+//! * the persistent reverse index ≡ the map a full tree scan rebuilds,
+//!   under arbitrary insert/delete/compact/reopen churn, on both
+//!   backends (`SKS_TEST_BACKEND` matrix);
+//! * the compaction report counts victims freed through the tombstone
+//!   fast path (the PR 4 under-count regression);
+//! * sustained churn + shrink-to-10% keeps `nodes.sks` + `data.sks`
+//!   within 2× a fresh build of the live set, with zero reverse-map
+//!   full-scan rebuilds on the hot path;
+//! * every logical counter reads identically with governance on vs off,
+//!   for every measured scheme.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sks_btree::core::{EncipheredBTree, Scheme, SchemeConfig};
+use sks_btree::storage::{FailMode, FailPlan, FailStore, OpCounters, PagedFileStore};
+
+const BLOCK: usize = 512;
+static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sks_space_gov_{}_{}_{}",
+        std::process::id(),
+        name,
+        NEXT_DIR.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn config(capacity: u64) -> SchemeConfig {
+    let mut cfg = SchemeConfig::with_capacity(Scheme::Oval, capacity);
+    cfg.block_size = BLOCK;
+    cfg
+}
+
+fn rec(k: u64) -> Vec<u8> {
+    format!("space-governance-record-{k:06}-{}", "x".repeat(64)).into_bytes()
+}
+
+/// The reverse index a full tree scan would rebuild, in snapshot shape.
+fn scan_index(tree: &EncipheredBTree) -> Vec<(u32, u16, u64)> {
+    let mut rows: Vec<(u32, u16, u64)> = tree
+        .tree()
+        .iter_range(0, u64::MAX)
+        .map(|item| {
+            let (k, ptr) = item.unwrap();
+            (ptr.block().as_u32(), ptr.slot(), k)
+        })
+        .collect();
+    rows.sort_unstable();
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Fault-injection crash probes
+// ---------------------------------------------------------------------
+
+/// A file-backed stack whose node and data devices are wrapped in
+/// [`FailStore`]s, built over journaled paged stores so a "kill" (fault +
+/// drop without flush) recovers to the last checkpoint.
+struct ProbeRig {
+    dir: std::path::PathBuf,
+    node_plan: FailPlan,
+    data_plan: FailPlan,
+}
+
+impl ProbeRig {
+    fn create(name: &str) -> (Self, EncipheredBTree) {
+        let dir = tmpdir(name);
+        std::fs::create_dir_all(&dir).unwrap();
+        let counters = OpCounters::new();
+        let nodes =
+            PagedFileStore::create(dir.join("nodes.sks"), BLOCK, 128, counters.clone()).unwrap();
+        let data =
+            PagedFileStore::create(dir.join("data.sks"), BLOCK, 128, counters.clone()).unwrap();
+        let (nodes, node_plan) = FailStore::new(nodes);
+        let (data, data_plan) = FailStore::new(data);
+        let tree = EncipheredBTree::create_on_stores(
+            config(4_096),
+            counters,
+            Box::new(nodes),
+            Box::new(data),
+        )
+        .unwrap();
+        (
+            ProbeRig {
+                dir,
+                node_plan,
+                data_plan,
+            },
+            tree,
+        )
+    }
+
+    /// "Reboot": reopen the same files through the normal recovery path
+    /// (journal replay inside `PagedFileStore::open`).
+    fn reopen(&self) -> EncipheredBTree {
+        let counters = OpCounters::new();
+        let nodes =
+            PagedFileStore::open(self.dir.join("nodes.sks"), 128, counters.clone()).unwrap();
+        let data = PagedFileStore::open(self.dir.join("data.sks"), 128, counters.clone()).unwrap();
+        EncipheredBTree::open_on_stores(config(4_096), counters, Box::new(nodes), Box::new(data))
+            .unwrap()
+    }
+
+    fn cleanup(&self) {
+        std::fs::remove_dir_all(&self.dir).ok();
+    }
+}
+
+/// Checks a reopened probe tree against the model of committed state.
+fn assert_consistent(tree: &mut EncipheredBTree, model: &std::collections::BTreeMap<u64, Vec<u8>>) {
+    tree.validate().unwrap();
+    for (k, v) in model {
+        assert_eq!(tree.get(*k).unwrap().as_ref(), Some(v), "key {k}");
+    }
+    assert_eq!(tree.len(), model.len() as u64);
+    // The reverse index the reopen loaded (or will rebuild) must agree
+    // with the tree itself.
+    if tree.reverse_index_complete() {
+        assert_eq!(tree.reverse_index_snapshot(), scan_index(tree));
+    }
+    // And compaction still works after the crash.
+    while tree.compact_step(64).unwrap().freed_blocks > 0 {}
+    tree.compact_nodes(1_000).unwrap();
+    tree.validate().unwrap();
+    for (k, v) in model {
+        assert_eq!(
+            tree.get(*k).unwrap().as_ref(),
+            Some(v),
+            "key {k} post-compact"
+        );
+    }
+}
+
+/// Kill mid reverse-index update: the fault fires inside the sealed
+/// index-chain rewrite that `flush` runs, after a committed checkpoint.
+#[test]
+fn crash_mid_reverse_index_update_recovers() {
+    let (rig, mut tree) = ProbeRig::create("rindex_crash");
+    let mut model = std::collections::BTreeMap::new();
+    for k in 0..300u64 {
+        tree.insert(k, rec(k)).unwrap();
+        model.insert(k, rec(k));
+    }
+    tree.flush().unwrap(); // committed image A, index chain included
+    for k in 300..400u64 {
+        tree.insert(k, rec(k)).unwrap();
+    }
+    // Fail an early write of the *data* device during the next flush —
+    // the index chain rewrite is among the first things it does.
+    rig.data_plan.arm_nth_write(1, FailMode::Error);
+    assert!(tree.flush().is_err(), "injected fault must surface");
+    drop(tree); // the kill: buffered epoch discarded
+    let mut tree = rig.reopen();
+    assert!(
+        tree.reverse_index_complete(),
+        "image A's persisted index is trusted after the crash"
+    );
+    assert_consistent(&mut tree, &model);
+    rig.cleanup();
+}
+
+/// Kill mid node-relocation: the fault fires on a node-device write while
+/// the sliding pass is repointing parents and moving sealed nodes.
+#[test]
+fn crash_mid_node_relocation_recovers() {
+    let (rig, mut tree) = ProbeRig::create("reloc_crash");
+    let mut model = std::collections::BTreeMap::new();
+    for k in 0..600u64 {
+        tree.insert(k, rec(k)).unwrap();
+        model.insert(k, rec(k));
+    }
+    // Shrink so the node device has interior free blocks to slide into.
+    for k in 0..500u64 {
+        tree.delete(k).unwrap();
+        model.remove(&k);
+    }
+    while tree.compact_step(64).unwrap().freed_blocks > 0 {}
+    tree.flush().unwrap(); // committed image A
+    rig.node_plan.arm_nth_write(3, FailMode::Error);
+    let err = tree.compact_nodes(1_000);
+    assert!(err.is_err(), "relocation hit the injected fault");
+    drop(tree);
+    let mut tree = rig.reopen();
+    // The pass completes fine after the reboot (before assert_consistent
+    // packs the device itself).
+    let moved = tree.compact_nodes(1_000).unwrap();
+    assert!(
+        moved.moved_nodes + moved.node_blocks_truncated > 0,
+        "the re-run pass does the crashed pass's work: {moved:?}"
+    );
+    assert_consistent(&mut tree, &model);
+    rig.cleanup();
+}
+
+/// Kill mid deadest-first pass: the fault fires on a data-device write
+/// while victims are being rewritten.
+#[test]
+fn crash_mid_deadest_first_pass_recovers() {
+    let (rig, mut tree) = ProbeRig::create("compact_crash");
+    let mut model = std::collections::BTreeMap::new();
+    for k in 0..400u64 {
+        tree.insert(k, rec(k)).unwrap();
+        model.insert(k, rec(k));
+    }
+    for k in (0..400u64).step_by(2) {
+        tree.delete(k).unwrap();
+        model.remove(&k);
+    }
+    tree.flush().unwrap(); // committed image A, tombstones included
+    rig.data_plan.arm_nth_write(5, FailMode::Error);
+    assert!(tree.compact_step(1_000).is_err());
+    drop(tree);
+    let mut tree = rig.reopen();
+    assert_consistent(&mut tree, &model);
+    rig.cleanup();
+}
+
+/// Seeded kill-point sweep: a deterministic fault somewhere in a fixed
+/// churn + governance workload, ten different seeds; every reopen is
+/// consistent with the last committed image.
+#[test]
+fn seeded_kill_point_sweep_recovers_everywhere() {
+    for seed in 0..10u64 {
+        let (rig, mut tree) = ProbeRig::create(&format!("sweep_{seed}"));
+        let mut model = std::collections::BTreeMap::new();
+        for k in 0..200u64 {
+            tree.insert(k, rec(k)).unwrap();
+            model.insert(k, rec(k));
+        }
+        for k in (0..200u64).step_by(3) {
+            tree.delete(k).unwrap();
+            model.remove(&k);
+        }
+        tree.flush().unwrap(); // the committed image
+                               // Everything after this flush dies with the kill.
+        let plan = if seed % 2 == 0 {
+            &rig.data_plan
+        } else {
+            &rig.node_plan
+        };
+        let nth = plan.arm_from_seed(seed, 40, FailMode::Error);
+        // Post-commit workload racing toward the kill point.
+        let result: Result<(), sks_btree::core::CoreError> = (|| {
+            for k in 200..260u64 {
+                tree.insert(k, rec(k))?;
+            }
+            for k in (100..200u64).step_by(2) {
+                tree.delete(k)?;
+            }
+            tree.compact_step(64)?;
+            tree.compact_nodes(64)?;
+            tree.flush()?;
+            Ok(())
+        })();
+        if result.is_ok() {
+            // The kill point landed beyond the workload's writes (or the
+            // flush committed image B); fold the survivors into the model.
+            assert!(plan.tripped() || plan.writes_seen() < nth);
+            for k in 200..260u64 {
+                model.insert(k, rec(k));
+            }
+            for k in (100..200u64).step_by(2) {
+                model.remove(&k);
+            }
+        }
+        drop(tree);
+        let mut tree = rig.reopen();
+        assert_consistent(&mut tree, &model);
+        rig.cleanup();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reverse index ≡ full tree scan (backend matrix proptest)
+// ---------------------------------------------------------------------
+
+/// Which backend the matrix axis selects (`SKS_TEST_BACKEND=memory|file`;
+/// unset = memory).
+fn file_backend() -> bool {
+    match std::env::var("SKS_TEST_BACKEND").as_deref() {
+        Ok("file") => true,
+        Ok("memory") | Err(_) => false,
+        Ok(other) => panic!("SKS_TEST_BACKEND must be 'memory' or 'file', got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn prop_reverse_index_equals_tree_scan_under_churn(seed in any::<u64>()) {
+        let on_disk = file_backend();
+        let dir = tmpdir(&format!("rindex_prop_{seed}"));
+        let mut cfg = config(2_048);
+        if on_disk {
+            cfg = cfg.on_disk(&dir);
+        }
+        let mut tree = if on_disk {
+            EncipheredBTree::create(cfg.clone()).unwrap()
+        } else {
+            EncipheredBTree::create_in_memory(cfg.clone()).unwrap()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut model = std::collections::BTreeMap::new();
+        for _ in 0..400 {
+            let k = rng.gen_range(0..1_000u64);
+            match rng.gen_range(0..10u32) {
+                0..=5 => {
+                    tree.insert(k, rec(k)).unwrap();
+                    model.insert(k, rec(k));
+                }
+                6..=8 => {
+                    let got = tree.delete(k).unwrap();
+                    prop_assert_eq!(got, model.remove(&k));
+                }
+                _ => {
+                    let r = tree.compact_step(rng.gen_range(1..16)).unwrap();
+                    prop_assert_eq!(r.orphaned_records, 0);
+                    tree.compact_nodes(8).unwrap();
+                }
+            }
+            // File backend: occasionally checkpoint and reopen mid-churn.
+            if on_disk && rng.gen_bool(0.02) {
+                tree.flush().unwrap();
+                drop(tree);
+                tree = EncipheredBTree::open(cfg.clone()).unwrap();
+                prop_assert!(
+                    tree.reverse_index_complete(),
+                    "clean reopen must trust the persisted index"
+                );
+            }
+        }
+        // The incrementally-maintained index ≡ the scan-rebuilt map.
+        prop_assert!(tree.reverse_index_complete());
+        prop_assert_eq!(tree.reverse_index_snapshot(), scan_index(&tree));
+        // All-keyed churn: the O(dataset) fallback never ran.
+        prop_assert_eq!(tree.snapshot().compact_index_fallbacks, 0);
+        for (k, v) in &model {
+            prop_assert_eq!(tree.get(*k).unwrap().as_ref(), Some(v));
+        }
+        drop(tree);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Compaction-report under-count regression
+// ---------------------------------------------------------------------
+
+/// A victim that is already fully dead is freed through the tombstone
+/// fast path (no unseals, no moves) — and must still be counted, both in
+/// the report and in the `compact_freed_blocks` counter (the PR 4 report
+/// under-counted such blocks).
+#[test]
+fn report_counts_empty_victims_freed_via_tombstone_path() {
+    let mut tree = EncipheredBTree::create_in_memory(config(2_048)).unwrap();
+    let payload = vec![7u8; 200]; // 2 records per 512-byte page
+    for k in 0..12u64 {
+        tree.insert(k, payload.clone()).unwrap();
+    }
+    // Keys 0..=3 fill two whole blocks: delete all four → two fully dead
+    // victims. Keys 4,6 half-kill two more blocks.
+    for k in [0u64, 1, 2, 3, 4, 6] {
+        tree.delete(k).unwrap();
+    }
+    let before = tree.snapshot();
+    let mut report = sks_btree::core::CompactionReport::default();
+    loop {
+        let r = tree.compact_step(64).unwrap();
+        if r.freed_blocks == 0 {
+            break;
+        }
+        report.absorb(r);
+    }
+    let delta = tree.snapshot().delta(&before);
+    assert!(
+        report.freed_blocks >= 4,
+        "two empty + two half-dead victims: {report:?}"
+    );
+    assert_eq!(
+        report.freed_blocks, delta.compact_freed_blocks,
+        "report and counter must agree"
+    );
+    // The two fully-dead blocks moved nothing — proof the fast path ran —
+    // yet were counted above.
+    assert_eq!(report.moved_records, 2, "only the half-dead blocks moved");
+    assert_eq!(
+        delta.compact_moved_records, 2,
+        "tombstone path paid zero move-crypto for empty victims"
+    );
+    assert_eq!(report.orphaned_records, 0);
+    tree.validate().unwrap();
+    for k in [5u64, 7, 8, 9, 10, 11] {
+        assert_eq!(tree.get(k).unwrap().unwrap(), payload, "key {k}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Churn space bound (file backend): devices ≤ 2× a fresh build
+// ---------------------------------------------------------------------
+
+fn file_len(path: &std::path::Path) -> u64 {
+    std::fs::metadata(path).map(|m| m.len()).unwrap_or(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    #[test]
+    fn prop_churn_and_shrink_bound_both_devices(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dir = tmpdir(&format!("churn_bound_{seed}"));
+        let cfg = config(4_096).on_disk(&dir);
+        let n = 1_000u64;
+        let mut tree = EncipheredBTree::create(cfg).unwrap();
+        // Sustained delete/reinsert churn…
+        for k in 0..n {
+            tree.insert(k, rec(k)).unwrap();
+        }
+        for _ in 0..3 {
+            for k in 0..n {
+                if rng.gen_bool(0.5) {
+                    tree.delete(k).unwrap();
+                    tree.insert(k, rec(k)).unwrap();
+                }
+            }
+            // Governance + checkpoint, exactly as an engine checkpoint
+            // runs it (the flush protocol commits the quarantined
+            // reclaims so the next round can reuse them).
+            while tree.compact_step(64).unwrap().freed_blocks > 0 {}
+            tree.compact_nodes(10_000).unwrap();
+            tree.flush().unwrap();
+        }
+        // …then shrink to 10% of the dataset.
+        let live: Vec<u64> = (0..n).filter(|k| k % 10 == 0).collect();
+        for k in 0..n {
+            if k % 10 != 0 {
+                tree.delete(k).unwrap();
+            }
+        }
+        // Compact-and-checkpoint to quiescence: tail truncation can only
+        // release frees committed by an earlier flush, so convergence
+        // takes a few checkpoint cycles (as it does in the engine).
+        loop {
+            let mut did = 0u64;
+            loop {
+                let r = tree.compact_step(64).unwrap();
+                if r.freed_blocks == 0 {
+                    break;
+                }
+                did += r.freed_blocks;
+            }
+            let moved = tree.compact_nodes(10_000).unwrap();
+            did += moved.moved_nodes + moved.node_blocks_truncated;
+            let before = tree.data_block_usage().0;
+            tree.flush().unwrap();
+            did += (before - tree.data_block_usage().0) as u64;
+            if did == 0 {
+                break;
+            }
+        }
+        // O(victims) held throughout: the full-scan fallback never ran.
+        prop_assert_eq!(tree.snapshot().compact_index_fallbacks, 0);
+        for &k in &live {
+            prop_assert_eq!(tree.get(k).unwrap().unwrap(), rec(k));
+        }
+        tree.validate().unwrap();
+        drop(tree);
+
+        // A fresh build of exactly the live set.
+        let fresh_dir = tmpdir(&format!("churn_fresh_{seed}"));
+        let fresh_cfg = config(4_096).on_disk(&fresh_dir);
+        let items: Vec<(u64, Vec<u8>)> = live.iter().map(|&k| (k, rec(k))).collect();
+        let mut fresh = EncipheredBTree::bulk_create(fresh_cfg, &items).unwrap();
+        fresh.flush().unwrap();
+        drop(fresh);
+
+        for name in ["nodes.sks", "data.sks"] {
+            let churned = file_len(&dir.join(name));
+            let built = file_len(&fresh_dir.join(name));
+            prop_assert!(
+                churned <= built * 2,
+                "{name}: churned {churned} > 2x fresh {built}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&fresh_dir).ok();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Governance on vs off: logical counters pinned, every measured scheme
+// ---------------------------------------------------------------------
+
+/// With full space governance on (dead-ratio compaction, node-device
+/// sliding, tail truncation, both caches) every *logical* operation
+/// counter reads exactly as it does with governance off, for every
+/// measured scheme — the paper's cost model is untouched by maintenance.
+#[test]
+fn governance_preserves_logical_counters_exactly() {
+    for scheme in Scheme::MEASURED {
+        let n = 240u64;
+        let mut cfg = SchemeConfig::with_capacity(scheme, n + 2);
+        cfg.block_size = 512;
+        let keys: Vec<u64> = (1..n).collect();
+        let run = |governed: bool| {
+            let cfg = cfg.clone();
+            let mut tree = EncipheredBTree::create_in_memory(cfg).unwrap();
+            for &k in &keys {
+                tree.insert(k, vec![k as u8; 40]).unwrap();
+            }
+            for &k in keys.iter().filter(|k| *k % 3 == 0) {
+                tree.delete(k).unwrap();
+            }
+            if governed {
+                // The whole governance suite runs between the write phase
+                // and the measured read phase.
+                while tree.compact_step(32).unwrap().freed_blocks > 0 {}
+                while tree.compact_nodes(1_000).unwrap().moved_nodes > 0 {}
+            }
+            tree.counters().reset();
+            for _ in 0..3 {
+                for &k in keys.iter().step_by(5) {
+                    let want = k % 3 != 0;
+                    assert_eq!(tree.get(k).unwrap().is_some(), want, "key {k}");
+                }
+                assert!(!tree.range(n / 4, n / 2).unwrap().is_empty());
+            }
+            tree.snapshot()
+        };
+        let off = run(false);
+        let on = run(true);
+        // Physical telemetry may differ (that is the point); every
+        // logical field must not.
+        let mut on_masked = on;
+        on_masked.block_reads = off.block_reads;
+        on_masked.cache_hits = off.cache_hits;
+        on_masked.cache_misses = off.cache_misses;
+        on_masked.node_cache_hits = off.node_cache_hits;
+        on_masked.node_cache_misses = off.node_cache_misses;
+        on_masked.record_cache_hits = off.record_cache_hits;
+        on_masked.record_cache_misses = off.record_cache_misses;
+        assert_eq!(
+            on_masked,
+            off,
+            "{}: governance changed the logical cost model",
+            scheme.name()
+        );
+    }
+}
+
+/// The cross-device window the flush protocol closes: after a compaction
+/// pass, the data device commits (copies + index, victims still
+/// allocated) and then the *node* checkpoint dies. The reopened stack
+/// reads every committed record through its old pointers — the victims'
+/// content is intact because quarantined reclaims are never freed before
+/// the node device commits.
+#[test]
+fn crash_between_device_checkpoints_after_compaction_keeps_reads_safe() {
+    let (rig, mut tree) = ProbeRig::create("cross_device");
+    let mut model = std::collections::BTreeMap::new();
+    for k in 0..300u64 {
+        tree.insert(k, rec(k)).unwrap();
+        model.insert(k, rec(k));
+    }
+    for k in (0..300u64).step_by(2) {
+        tree.delete(k).unwrap();
+        model.remove(&k);
+    }
+    tree.flush().unwrap(); // image A committed on both devices
+    let r = tree.compact_step(1_000).unwrap();
+    assert!(r.moved_records > 0, "the pass moved live records: {r:?}");
+    // The node device's checkpoint dies: the data device commits image B
+    // (copies present, victims still allocated), the tree stays at A.
+    rig.node_plan.arm_nth_flush(1);
+    assert!(tree.flush().is_err(), "node checkpoint must fail");
+    drop(tree);
+    let mut tree = rig.reopen();
+    // Old pointers, intact victims: every committed read is correct.
+    assert_consistent(&mut tree, &model);
+    rig.cleanup();
+}
+
+/// The leak window after both devices committed but before the deferred
+/// frees did: the quarantined victims are exactly the allocated blocks
+/// the committed index does not describe, and the next trusted open
+/// reclaims them.
+#[test]
+fn leaked_quarantine_blocks_are_reclaimed_on_reopen() {
+    let (rig, mut tree) = ProbeRig::create("leak_reclaim");
+    let mut model = std::collections::BTreeMap::new();
+    for k in 0..300u64 {
+        tree.insert(k, rec(k)).unwrap();
+        model.insert(k, rec(k));
+    }
+    for k in (0..300u64).step_by(2) {
+        tree.delete(k).unwrap();
+        model.remove(&k);
+    }
+    tree.flush().unwrap();
+    let r = tree.compact_step(1_000).unwrap();
+    assert!(r.freed_blocks > 0);
+    // Data flush #1 (copies + index) and the node flush succeed; data
+    // flush #2 — the one that commits the quarantined frees — dies.
+    rig.data_plan.arm_nth_flush(2);
+    assert!(tree.flush().is_err(), "free-commit flush must fail");
+    drop(tree);
+    let mut tree = rig.reopen();
+    assert!(tree.reverse_index_complete(), "index trusted after crash");
+    let (_, free) = tree.data_block_usage();
+    assert!(
+        free as u64 >= r.freed_blocks,
+        "reopen reconciled the leaked victims: {free} free vs {} quarantined",
+        r.freed_blocks
+    );
+    assert_consistent(&mut tree, &model);
+    // Churn must reuse the reclaimed blocks instead of growing.
+    let (total_before, _) = tree.data_block_usage();
+    for k in 0..100u64 {
+        tree.insert(k, rec(k)).unwrap();
+        model.insert(k, rec(k));
+    }
+    let (total_after, _) = tree.data_block_usage();
+    assert!(
+        total_after <= total_before + 2,
+        "reinserts must reuse reconciled blocks: {total_before} -> {total_after}"
+    );
+    assert_consistent(&mut tree, &model);
+    rig.cleanup();
+}

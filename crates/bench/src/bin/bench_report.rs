@@ -7,11 +7,17 @@
 //!   backend) with the measured speedup,
 //! * **range scans** (streamed, node cache off vs on),
 //! * **record-cache reads** (decoded-record LRU off vs on),
-//! * **compaction** (delete-heavy churn: blocks reclaimed and pass time).
+//! * **compaction** (delete-heavy churn: blocks reclaimed and pass time),
+//! * **per-op latency** (insert/get p50 and p99 from the engine's
+//!   histogram stats surface, `ObsLevel::Histograms`).
 //!
 //! ```text
 //! bench_report [OUTPUT.json] [--baseline BASELINE.json]
+//! bench_report --obs-overhead
 //! ```
+//!
+//! `--obs-overhead` runs only the observability smoke: insert throughput
+//! at `ObsLevel::Off` vs `FullTrace` must stay within 10%.
 //!
 //! With `--baseline`, the run doubles as the CI perf-regression gate: it
 //! exits non-zero when insert throughput or the cache speedups fall below
@@ -22,7 +28,7 @@
 
 use std::time::Instant;
 
-use sks_core::{EncipheredBTree, Scheme, SchemeConfig, StorageBackend};
+use sks_core::{EncipheredBTree, ObsLevel, Scheme, SchemeConfig, StorageBackend};
 use sks_engine::{EngineConfig, RecoveryPath, SksDb};
 use sks_storage::SyncPolicy;
 
@@ -55,7 +61,13 @@ fn median(mut xs: Vec<f64>) -> f64 {
 }
 
 fn engine_config(dir: &std::path::Path, file_backend: bool) -> EngineConfig {
-    let mut scheme = SchemeConfig::with_capacity(Scheme::Oval, KEY_SPACE + 64).partitions(4);
+    engine_config_at(dir, file_backend, ObsLevel::Counters)
+}
+
+fn engine_config_at(dir: &std::path::Path, file_backend: bool, level: ObsLevel) -> EngineConfig {
+    let mut scheme = SchemeConfig::with_capacity(Scheme::Oval, KEY_SPACE + 64)
+        .partitions(4)
+        .observability(level);
     if file_backend {
         scheme = scheme.backend(StorageBackend::File {
             dir: dir.to_path_buf(),
@@ -67,11 +79,15 @@ fn engine_config(dir: &std::path::Path, file_backend: bool) -> EngineConfig {
 
 /// Inserts/second on a fresh engine (median over RUNS).
 fn insert_throughput(file_backend: bool) -> f64 {
+    insert_throughput_at(file_backend, ObsLevel::Counters)
+}
+
+fn insert_throughput_at(file_backend: bool, level: ObsLevel) -> f64 {
     let label = if file_backend { "ins_file" } else { "ins_mem" };
     let mut per_run = Vec::with_capacity(RUNS);
     for run in 0..RUNS {
-        let dir = tmpdir(&format!("{label}_{run}"));
-        let db = SksDb::open(&dir, engine_config(&dir, file_backend)).expect("open");
+        let dir = tmpdir(&format!("{label}_{}_{run}", level.name()));
+        let db = SksDb::open(&dir, engine_config_at(&dir, file_backend, level)).expect("open");
         let session = db.session();
         let start = Instant::now();
         for k in 0..INSERTS {
@@ -84,6 +100,37 @@ fn insert_throughput(file_backend: bool) -> f64 {
         std::fs::remove_dir_all(&dir).ok();
     }
     median(per_run)
+}
+
+/// Per-op latency quantiles from the engine's own histogram surface
+/// (`ObsLevel::Histograms`, memory backend): `(insert_p50, insert_p99,
+/// get_p50, get_p99)` in nanoseconds.
+fn op_latency_ns() -> (u64, u64, u64, u64) {
+    let dir = tmpdir("op_latency");
+    let db = SksDb::open(&dir, engine_config_at(&dir, false, ObsLevel::Histograms)).expect("open");
+    let session = db.session();
+    for k in 0..INSERTS {
+        session.insert(k, record_for(k)).expect("insert");
+    }
+    for i in 0..HOT_PROBES / 2 {
+        let k = (i % HOT_SET) * 7 % INSERTS;
+        std::hint::black_box(session.get(std::hint::black_box(k)).expect("get"));
+    }
+    let stats = db.stats();
+    let put = stats.op("put").expect("put histogram").clone();
+    let get = stats.op("get").expect("get histogram").clone();
+    drop(session);
+    drop(db);
+    std::fs::remove_dir_all(&dir).ok();
+    (put.p50(), put.p99(), get.p50(), get.p99())
+}
+
+/// The `--obs-overhead` smoke: full tracing may cost at most 10% of the
+/// `Off` insert throughput. Returns `(off_ops_s, full_trace_ops_s)`.
+fn obs_overhead() -> (f64, f64) {
+    let off = insert_throughput_at(false, ObsLevel::Off);
+    let full = insert_throughput_at(false, ObsLevel::FullTrace);
+    (off, full)
 }
 
 /// Reopen latency in milliseconds (median over RUNS) after DATASET
@@ -306,6 +353,10 @@ fn regression_failures(current: &str, baseline: &str) -> Vec<String> {
         "memory_full_replay",
         "file_tail_replay",
         "node_device_high_water",
+        "insert_p50",
+        "insert_p99",
+        "get_p50",
+        "get_p99",
     ];
     for key in higher_is_better {
         let (Some(new), Some(old)) = (json_number(current, key), json_number(baseline, key)) else {
@@ -332,6 +383,22 @@ fn regression_failures(current: &str, baseline: &str) -> Vec<String> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--obs-overhead") {
+        eprintln!("bench_report: observability overhead smoke…");
+        let (off, full) = obs_overhead();
+        let ratio = full / off;
+        println!(
+            "obs-overhead: Off {off:.1} ops/s, FullTrace {full:.1} ops/s ({:.1}% of Off)",
+            ratio * 100.0
+        );
+        assert!(
+            ratio >= 0.90,
+            "FullTrace costs more than 10% insert throughput: \
+             {full:.1} vs {off:.1} ops/s ({:.1}%)",
+            ratio * 100.0
+        );
+        return;
+    }
     let mut out_path = "BENCH_current.json".to_string();
     let mut baseline_path: Option<String> = None;
     let mut i = 0;
@@ -366,6 +433,8 @@ fn main() {
     eprintln!("bench_report: compaction…");
     let churn = compaction_metrics();
     let (reclaimed, compact_ms, used_ratio) = (churn.reclaimed, churn.pass_ms, churn.used_ratio);
+    eprintln!("bench_report: op latency…");
+    let (ins_p50, ins_p99, get_p50, get_p99) = op_latency_ns();
 
     let json = format!(
         r#"{{
@@ -410,6 +479,12 @@ fn main() {
     "used_blocks_ratio": {used_ratio:.3},
     "space_reclaimed_per_budget": {space_per_budget:.3},
     "node_device_high_water": {node_high_water:.3}
+  }},
+  "op_latency_ns": {{
+    "insert_p50": {ins_p50},
+    "insert_p99": {ins_p99},
+    "get_p50": {get_p50},
+    "get_p99": {get_p99}
   }}
 }}
 "#,

@@ -11,7 +11,7 @@
 //! The balancing algorithm is the classic preemptive-split/merge B-tree
 //! (CLRS ch. 18) with minimum degree `t` derived from the codec's fanout.
 
-use sks_storage::{BlockId, BlockStore, OpCounters, PageReader, PageWriter, StorageError};
+use sks_storage::{BlockId, BlockStore, OpCounters, PageReader, PageWriter, Stage, StorageError};
 
 use crate::cache::NodeCache;
 use crate::codec::{CodecError, NodeCodec, Probe};
@@ -321,16 +321,20 @@ impl<S: BlockStore, C: NodeCodec> BTree<S, C> {
     fn read_node(&self, id: BlockId) -> Result<Node, TreeError> {
         self.counters().bump(|c| &c.node_visits);
         let Some(cache) = &self.cache else {
+            let t = self.counters().obs().start();
             let page = self.store.read_block_vec(id)?;
-            return Ok(self.codec.decode(id, &page)?);
+            let node = self.codec.decode(id, &page)?;
+            self.counters().obs().stage(Stage::NodeUnseal, t);
+            return Ok(node);
         };
         if let Some(entry) = cache.get(id) {
             self.counters().bump(|c| &c.node_cache_hits);
             return Ok(self.codec.decode_cached(&entry)?);
         }
         self.counters().bump(|c| &c.node_cache_misses);
+        let t = self.counters().obs().start();
         let page = self.store.read_block_vec(id)?;
-        match self.codec.decode_for_cache(id, &page) {
+        let out = match self.codec.decode_for_cache(id, &page) {
             Ok(entry) => {
                 let node = self.codec.decode_cached(&entry)?;
                 cache.insert(id, entry);
@@ -339,7 +343,9 @@ impl<S: BlockStore, C: NodeCodec> BTree<S, C> {
             // E.g. a page the cache hooks cannot represent: fall back to
             // the plain (counted) decode.
             Err(_) => Ok(self.codec.decode(id, &page)?),
-        }
+        };
+        self.counters().obs().stage(Stage::NodeUnseal, t);
+        out
     }
 
     fn write_node(&mut self, node: &Node) -> Result<(), TreeError> {
@@ -348,9 +354,11 @@ impl<S: BlockStore, C: NodeCodec> BTree<S, C> {
             // must never serve another probe.
             cache.invalidate(node.id);
         }
+        let t = self.counters().obs().start();
         let mut page = vec![0u8; self.store.block_size()];
         self.codec.encode(node, &mut page)?;
         self.store.write_block(node.id, &page)?;
+        self.counters().obs().stage(Stage::NodeSeal, t);
         Ok(())
     }
 

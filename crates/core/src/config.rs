@@ -216,6 +216,13 @@ pub struct SchemeConfig {
     /// [`SchemeConfig::record_cache`] with the shared one. `0` keeps
     /// per-partition caches; standalone trees ignore it.
     pub global_record_cache: usize,
+    /// Physical observability level (see [`sks_storage::ObsLevel`]):
+    /// `Off` strips every probe to a `None` check, `Counters` (default)
+    /// keeps counting plus rare flight-recorder events, `Histograms` adds
+    /// stage/latency timing, `FullTrace` adds per-op flight-recorder
+    /// events. The *logical* paper counters are byte-identical at every
+    /// level — only physical telemetry changes.
+    pub observability: sks_storage::ObsLevel,
 }
 
 impl SchemeConfig {
@@ -241,6 +248,7 @@ impl SchemeConfig {
             compaction: Self::DEFAULT_COMPACTION,
             global_dirty_budget: 0,
             global_record_cache: 0,
+            observability: sks_storage::ObsLevel::Counters,
         }
     }
 
@@ -271,6 +279,7 @@ impl SchemeConfig {
             compaction: Self::DEFAULT_COMPACTION,
             global_dirty_budget: 0,
             global_record_cache: 0,
+            observability: sks_storage::ObsLevel::Counters,
         }
     }
 
@@ -323,6 +332,12 @@ impl SchemeConfig {
     /// shared across all engine partitions; 0 keeps per-partition caches).
     pub fn global_record_cache(mut self, records: usize) -> Self {
         self.global_record_cache = records;
+        self
+    }
+
+    /// Builder-style observability knob (see the `observability` field).
+    pub fn observability(mut self, level: sks_storage::ObsLevel) -> Self {
+        self.observability = level;
         self
     }
 

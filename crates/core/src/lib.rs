@@ -50,3 +50,7 @@ pub use layout::{layouts_at, SchemeLayout};
 pub use mls::MultilevelRecordStore;
 pub use records::{RecordStore, SharedRecordCache};
 pub use tree::{CompactionReport, EncipheredBTree};
+
+// The observability level knob `SchemeConfig::observability` takes,
+// re-exported so callers need no direct sks-storage dependency.
+pub use sks_storage::ObsLevel;

@@ -588,6 +588,7 @@ impl<S: BlockStore> RecordStore<S> {
                 self.max_record_len()
             )));
         }
+        let t = self.store.counters().obs().start();
         // Find or open a block with room.
         let block_size = self.store.block_size();
         let (block, mut page) = match self.open_block {
@@ -651,6 +652,10 @@ impl<S: BlockStore> RecordStore<S> {
                 cache.insert(self.cache_ns, ptr, record.to_vec());
             }
         }
+        self.store
+            .counters()
+            .obs()
+            .stage(sks_storage::Stage::RecordSeal, t);
         Ok(ptr)
     }
 
@@ -694,6 +699,7 @@ impl<S: BlockStore> RecordStore<S> {
                 return Ok(Some(entry.bytes.clone()));
             }
         }
+        let t = self.store.counters().obs().start();
         let page = self.store.read_block_vec(ptr.block())?;
         let (generation, n_slots, _) = Self::read_page_meta(&page)?;
         if ptr.slot() >= n_slots {
@@ -713,6 +719,10 @@ impl<S: BlockStore> RecordStore<S> {
             self.store.counters().bump(|c| &c.record_cache_misses);
             cache.insert(self.cache_ns, ptr, plain.clone());
         }
+        self.store
+            .counters()
+            .obs()
+            .stage(sks_storage::Stage::RecordUnseal, t);
         Ok(Some(plain))
     }
 
@@ -821,6 +831,28 @@ impl<S: BlockStore> RecordStore<S> {
             .get(&ptr.block().0)
             .and_then(|slots| slots.get(&ptr.slot()))
             .copied()
+    }
+
+    /// Up to `limit` reverse-index rows strictly after the `(block, slot)`
+    /// cursor, ascending — the orphan sweep's bounded window. O(index)
+    /// scan, but the caller's budget keeps the returned set small.
+    pub fn reverse_index_rows_after(
+        &self,
+        cursor: (u32, u16),
+        limit: usize,
+    ) -> Vec<(u32, u16, u64)> {
+        if limit == 0 {
+            return Vec::new();
+        }
+        let mut rows: Vec<(u32, u16, u64)> = self
+            .rindex
+            .iter()
+            .flat_map(|(&b, slots)| slots.iter().map(move |(&s, &k)| (b, s, k)))
+            .filter(|&(b, s, _)| (b, s) > cursor)
+            .collect();
+        rows.sort_unstable();
+        rows.truncate(limit);
+        rows
     }
 
     /// The reverse index as sorted `(block, slot, key)` rows

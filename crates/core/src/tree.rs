@@ -16,7 +16,9 @@ use std::sync::Arc;
 use sks_btree_core::{render_with, BTree, RecordPtr};
 use sks_crypto::modes::ctr_xor;
 use sks_crypto::speck::Speck64;
-use sks_storage::{BlockStore, DynBlockStore, MemDisk, OpCounters, OpSnapshot, PagedFileStore};
+use sks_storage::{
+    BlockId, BlockStore, DynBlockStore, MemDisk, OpCounters, OpSnapshot, PagedFileStore, Stage,
+};
 
 use crate::codec::AnyCodec;
 use crate::config::{Scheme, SchemeConfig, StorageBackend};
@@ -27,6 +29,10 @@ use crate::records::RecordStore;
 const NODES_FILE: &str = "nodes.sks";
 const DATA_FILE: &str = "data.sks";
 const MANIFEST_FILE: &str = "manifest.sks";
+
+/// Orphan-sweep budget per compaction budget unit: each victim block the
+/// caller pays for also buys this many reverse-index slots of sweeping.
+const SWEEP_SLOTS_PER_BLOCK: usize = 4;
 
 const MANIFEST_MAGIC: &[u8; 8] = b"SKSMANF1";
 const MANIFEST_VERSION: u32 = 1;
@@ -122,6 +128,12 @@ pub struct CompactionReport {
     /// Live slots no tree pointer referenced (should be 0; counted, not
     /// fatal).
     pub orphaned_records: u64,
+    /// Orphaned copies tombstoned by this pass — both the move-then-
+    /// discover path (an orphan surfacing inside a victim block) and the
+    /// reverse-index sweep. Their space returns through later passes.
+    pub orphans_collected: u64,
+    /// Reverse-index slots the orphan sweep examined (its bounded work).
+    pub sweep_slots: u64,
     /// Live sealed nodes slid into lower free slots by node-device
     /// compaction.
     pub moved_nodes: u64,
@@ -138,6 +150,8 @@ impl CompactionReport {
         self.moved_records += other.moved_records;
         self.freed_blocks += other.freed_blocks;
         self.orphaned_records += other.orphaned_records;
+        self.orphans_collected += other.orphans_collected;
+        self.sweep_slots += other.sweep_slots;
         self.moved_nodes += other.moved_nodes;
         self.node_blocks_truncated += other.node_blocks_truncated;
         self.data_blocks_truncated += other.data_blocks_truncated;
@@ -151,6 +165,9 @@ pub struct EncipheredBTree {
     tree: BTree<DynBlockStore, AnyCodec>,
     records: RecordStore<DynBlockStore>,
     disguise: Option<Arc<dyn KeyDisguise>>,
+    /// Orphan-sweep resume point: the last `(block, slot)` examined. The
+    /// sweep round-robins the reverse index across compaction passes.
+    sweep_cursor: (u32, u16),
 }
 
 /// One node-store/data-store pair, built per the configured backend.
@@ -207,7 +224,8 @@ impl EncipheredBTree {
     /// Builds the whole stack in memory from a [`SchemeConfig`] (the
     /// paper's simulated-device setup; ignores `config.backend`).
     pub fn create_in_memory(config: SchemeConfig) -> Result<Self, CoreError> {
-        Self::create_in_memory_with_counters(config, OpCounters::new())
+        let counters = OpCounters::with_observability(config.observability);
+        Self::create_in_memory_with_counters(config, counters)
     }
 
     /// [`EncipheredBTree::create_in_memory`] sharing an existing counter
@@ -227,7 +245,8 @@ impl EncipheredBTree {
     /// Builds a fresh stack on whatever backend `config.backend` names
     /// (truncating any previous on-disk state for the file backend).
     pub fn create(config: SchemeConfig) -> Result<Self, CoreError> {
-        Self::create_with_counters(config, OpCounters::new())
+        let counters = OpCounters::with_observability(config.observability);
+        Self::create_with_counters(config, counters)
     }
 
     /// [`EncipheredBTree::create`] sharing an existing counter set.
@@ -268,6 +287,7 @@ impl EncipheredBTree {
             tree,
             records,
             disguise,
+            sweep_cursor: (0, 0),
         };
         if !create {
             this.sync_devices_after_open()?;
@@ -279,7 +299,8 @@ impl EncipheredBTree {
     /// any page is read — when the directory was sealed under different
     /// keys, a different scheme, or a different block size.
     pub fn open(config: SchemeConfig) -> Result<Self, CoreError> {
-        Self::open_with_counters(config, OpCounters::new())
+        let counters = OpCounters::with_observability(config.observability);
+        Self::open_with_counters(config, counters)
     }
 
     /// [`EncipheredBTree::open`] sharing an existing counter set.
@@ -346,7 +367,7 @@ impl EncipheredBTree {
     /// the initial-load path a real deployment would use. Honours
     /// `config.backend` like [`EncipheredBTree::create`].
     pub fn bulk_create(config: SchemeConfig, items: &[(u64, Vec<u8>)]) -> Result<Self, CoreError> {
-        let counters = OpCounters::new();
+        let counters = OpCounters::with_observability(config.observability);
         let (codec, disguise) = config.build_codec(&counters)?;
         let (node_store, data_store) = build_stores(&config, &counters, true)?;
         let mut records = RecordStore::create(data_store, config.data_key, config.record_cache)?;
@@ -362,6 +383,7 @@ impl EncipheredBTree {
             tree,
             records,
             disguise,
+            sweep_cursor: (0, 0),
         };
         this.seal_backend()?;
         Ok(this)
@@ -692,11 +714,27 @@ impl EncipheredBTree {
     /// with `compaction(0)`. A pass with no tombstones is free.
     pub fn compact_step(&mut self, max_blocks: usize) -> Result<CompactionReport, CoreError> {
         let mut report = CompactionReport::default();
-        if max_blocks == 0 || !self.records.may_have_tombstones() {
+        if max_blocks == 0 {
+            return Ok(report);
+        }
+        let t = self.counters.obs().start();
+        // Reverse-index sweep against the tree: orphaned copies that no
+        // pointer references (the PR 5 carry-over) are actively
+        // tombstoned here instead of lingering until their block happens
+        // to become a victim. Bounded work, resumed round-robin across
+        // passes via the persistent cursor.
+        if self.records.reverse_index_complete() {
+            let (slots, collected) = self.sweep_orphans(max_blocks * SWEEP_SLOTS_PER_BLOCK)?;
+            report.sweep_slots = slots;
+            report.orphans_collected += collected;
+        }
+        if !self.records.may_have_tombstones() {
+            self.counters.obs().stage(Stage::CompactData, t);
             return Ok(report);
         }
         let victims = self.records.victims(max_blocks)?;
         if victims.is_empty() {
+            self.counters.obs().stage(Stage::CompactData, t);
             return Ok(report);
         }
         if !self.records.reverse_index_complete() {
@@ -712,10 +750,17 @@ impl EncipheredBTree {
                     // A live slot the tree does not reference: either the
                     // index had no owner for it (unkeyed API use) or the
                     // key is gone from the tree (a torn cross-device
-                    // image left the data device ahead). Tolerate it —
-                    // the copy is unreferenced garbage — rather than
-                    // abort maintenance forever.
-                    Some(None) | None => report.orphaned_records += 1,
+                    // image left the data device ahead). The copy is
+                    // unreferenced garbage — tombstone it now so a later
+                    // pass reclaims the space, rather than carrying it
+                    // forever.
+                    Some(None) | None => {
+                        report.orphaned_records += 1;
+                        if self.records.delete(new)? {
+                            report.orphans_collected += 1;
+                            self.counters.bump(|c| &c.compact_orphans_collected);
+                        }
+                    }
                 }
             }
             // Counted whether the block had live records to move or was
@@ -728,7 +773,50 @@ impl EncipheredBTree {
         // on frees already safely committed to the free list by earlier
         // flushes.
         report.data_blocks_truncated = self.records.truncate_tail()? as u64;
+        self.counters.obs().stage(Stage::CompactData, t);
         Ok(report)
+    }
+
+    /// Bounded reverse-index sweep: examines up to `budget` live indexed
+    /// slots (resuming from the persistent cursor, wrapping at the end)
+    /// and tombstones any the tree no longer points at. Only runs when
+    /// the reverse index is complete — an incomplete index cannot prove a
+    /// slot is orphaned. The tree probes run through the normal counted
+    /// paths, so the sweep's logical cost is visible like any other
+    /// maintenance I/O.
+    fn sweep_orphans(&mut self, budget: usize) -> Result<(u64, u64), CoreError> {
+        if budget == 0 {
+            return Ok((0, 0));
+        }
+        let mut rows = self
+            .records
+            .reverse_index_rows_after(self.sweep_cursor, budget);
+        if rows.is_empty() && self.sweep_cursor != (0, 0) {
+            // End of the index: wrap to the start for the next round.
+            self.sweep_cursor = (0, 0);
+            rows = self.records.reverse_index_rows_after((0, 0), budget);
+        }
+        let examined = rows.len() as u64;
+        let mut collected = 0u64;
+        for (b, s, key) in rows {
+            self.sweep_cursor = (b, s);
+            let ptr = RecordPtr::pack(BlockId(b), s);
+            if self.tree.get(key)? != Some(ptr) && self.records.delete(ptr)? {
+                collected += 1;
+                self.counters.bump(|c| &c.compact_orphans_collected);
+            }
+        }
+        self.counters.bump_by(|c| &c.compact_sweep_slots, examined);
+        if collected > 0 {
+            self.counters.obs().note(
+                sks_storage::EventKind::OrphanSweep,
+                sks_storage::NO_PARTITION,
+                examined,
+                collected,
+                0,
+            );
+        }
+        Ok((examined, collected))
     }
 
     /// One bounded pass of node-device compaction: up to `max_moves` live
@@ -744,7 +832,9 @@ impl EncipheredBTree {
         if max_moves == 0 {
             return Ok(report);
         }
+        let t = self.counters.obs().start();
         let (moved, truncated) = self.tree.compact_nodes(max_moves)?;
+        self.counters.obs().stage(Stage::CompactNodes, t);
         report.moved_nodes = moved;
         report.node_blocks_truncated = truncated as u64;
         Ok(report)
@@ -1145,6 +1235,44 @@ mod tests {
         assert_eq!(s.record_cache_misses, 0);
         assert_eq!(s.record_cache_hits, 50);
         assert_eq!(s.data_decrypts, 50, "logical unseals still reported");
+    }
+
+    /// The maintenance orphan sweep: keyed record copies no tree pointer
+    /// references (the state an interrupted compaction move leaves
+    /// behind) are found by walking the reverse index against the tree
+    /// and tombstoned, with the work and the reclaim count reported.
+    #[test]
+    fn orphan_sweep_reclaims_unreferenced_keyed_records() {
+        let mut tree = EncipheredBTree::create_in_memory(SchemeConfig::demo(Scheme::Oval)).unwrap();
+        for k in 0..=10u64 {
+            tree.insert(k, vec![k as u8; 16]).unwrap();
+        }
+        // Plant stale copies under live keys, straight into the record
+        // store: each gets a reverse-index row but no tree pointer.
+        const ORPHANS: u64 = 4;
+        for k in 0..ORPHANS {
+            tree.records.insert_keyed(k, &[0xAB; 16]).unwrap();
+        }
+        let mut collected = 0u64;
+        let mut slots = 0u64;
+        for _ in 0..8 {
+            let r = tree.compact_step(4).unwrap();
+            collected += r.orphans_collected;
+            slots += r.sweep_slots;
+        }
+        assert_eq!(collected, ORPHANS, "every planted orphan is reclaimed");
+        assert!(slots >= ORPHANS, "the sweep reports its examined slots");
+        let s = tree.snapshot();
+        assert_eq!(s.compact_orphans_collected, ORPHANS);
+        assert_eq!(s.compact_sweep_slots, slots);
+        // The live records under the same keys are untouched.
+        for k in 0..=10u64 {
+            assert_eq!(tree.get(k).unwrap().unwrap(), vec![k as u8; 16]);
+        }
+        tree.validate().unwrap();
+        // A clean tree yields nothing further: the sweep is idempotent.
+        let r = tree.compact_step(4).unwrap();
+        assert_eq!(r.orphans_collected, 0);
     }
 
     /// Online compaction: delete-heavy churn stops leaking space, live

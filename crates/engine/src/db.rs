@@ -22,10 +22,13 @@ use std::sync::{Arc, Mutex, RwLock, Weak};
 use sks_core::{
     CompactionReport, EncipheredBTree, KeyDisguise, SchemeConfig, SharedRecordCache, StorageBackend,
 };
-use sks_storage::{OpCounters, OpSnapshot, SyncPolicy};
+use sks_storage::{
+    Event, EventKind, Histogram, OpCounters, OpSnapshot, Stage, SyncPolicy, NO_PARTITION,
+};
 
 use crate::error::EngineError;
 use crate::recovery::{apply_replay, RecoveryPath, RecoveryReport};
+use crate::stats::{PartitionStats, StatsSnapshot};
 use crate::wal::{Wal, WalOp};
 
 /// Engine-level configuration wrapping the paper-level [`SchemeConfig`].
@@ -55,8 +58,11 @@ impl EngineConfig {
 
     /// Key sealing the WAL's record bodies: derived from the scheme's
     /// independent data-block key (§5) with a domain-separation tweak, so
-    /// log and data blocks never share keystream.
-    fn wal_key(&self) -> u128 {
+    /// log and data blocks never share keystream. Public (but hidden) so
+    /// crash probes can build a [`Wal`] over a fault-injecting device
+    /// with the exact key the engine would use.
+    #[doc(hidden)]
+    pub fn wal_key(&self) -> u128 {
         self.scheme.data_key
             ^ 0x57414C_u128.rotate_left(96)
             ^ ((self.scheme.tree_key as u128) << 32)
@@ -113,6 +119,27 @@ enum AutoJob {
     FlushDirtiest,
 }
 
+/// Per-partition client-op latency histograms. Allocated up front;
+/// recording is lock-free and happens only at `Histograms` and above
+/// (below that, no clock is even read).
+struct OpHist {
+    get: Histogram,
+    put: Histogram,
+    delete: Histogram,
+    batch: Histogram,
+}
+
+impl OpHist {
+    fn new() -> Self {
+        OpHist {
+            get: Histogram::new(),
+            put: Histogram::new(),
+            delete: Histogram::new(),
+            batch: Histogram::new(),
+        }
+    }
+}
+
 /// The engine. Cheap to share (`Arc`); one instance per database
 /// directory.
 pub struct SksDb {
@@ -120,6 +147,11 @@ pub struct SksDb {
     router: Router,
     wal: Mutex<Wal>,
     counters: OpCounters,
+    /// Per-partition get/put/delete/batch latency histograms.
+    op_hist: Vec<OpHist>,
+    /// Range-scan latency (a range crosses every partition, so it gets
+    /// one engine-wide histogram instead of a per-partition slot).
+    range_hist: Histogram,
     recovery: RecoveryReport,
     wal_path: PathBuf,
     config: EngineConfig,
@@ -300,7 +332,7 @@ impl SksDb {
             meta.check_compatible(&config)?;
         }
 
-        let counters = OpCounters::new();
+        let counters = OpCounters::with_observability(config.scheme.observability);
         let router = Router::new(&config.scheme, &counters)?;
         let n = config.scheme.partitions;
         // Reopen persisted partitions only when *all* of them are present.
@@ -338,6 +370,10 @@ impl SksDb {
         }
 
         let (wal, recovery) = if wal_path.exists() {
+            counters
+                .obs()
+                .note(EventKind::RecoveryStart, NO_PARTITION, 0, 0, 0);
+            let recovery_timer = counters.obs().start();
             let (wal, replay) =
                 Wal::open(&wal_path, config.wal_key(), config.sync, counters.clone())?;
             let mut report = apply_replay(&mut partitions, &router, replay)?;
@@ -346,6 +382,16 @@ impl SksDb {
             } else {
                 RecoveryPath::FullReplay
             };
+            counters.obs().note(
+                EventKind::RecoveryEnd,
+                NO_PARTITION,
+                report.records_replayed,
+                report.bytes_discarded,
+                recovery_timer.map_or(0, |t| t.elapsed().as_nanos() as u64),
+            );
+            // The recovery timeline (including any torn-tail scrub the
+            // log open recorded) travels with the report.
+            report.events = counters.obs().recent_events();
             (wal, report)
         } else {
             let wal = Wal::create(
@@ -369,6 +415,8 @@ impl SksDb {
         }
 
         Ok(Arc::new_cyclic(|self_ref| SksDb {
+            op_hist: (0..n).map(|_| OpHist::new()).collect(),
+            range_hist: Histogram::new(),
             partitions: partitions.into_iter().map(RwLock::new).collect(),
             router,
             wal: Mutex::new(wal),
@@ -413,6 +461,66 @@ impl SksDb {
         self.counters.snapshot()
     }
 
+    /// The first-class stats surface: logical counters, per-op latency
+    /// histograms (per partition and merged), the stage-attributed
+    /// write-path breakdown and the space picture, at one instant.
+    /// Histograms are empty below [`sks_storage::ObsLevel::Histograms`];
+    /// the counters are byte-identical at every level.
+    pub fn stats(&self) -> StatsSnapshot {
+        let lens = self.partition_lens();
+        let dirty = self.dirty_pages_per_partition();
+        let mut merged: Vec<(&'static str, sks_storage::HistogramSnapshot)> = crate::stats::OPS
+            .iter()
+            .map(|&n| (n, Default::default()))
+            .collect();
+        let mut partitions = Vec::with_capacity(self.op_hist.len());
+        for (i, hist) in self.op_hist.iter().enumerate() {
+            let ops = vec![
+                ("get", hist.get.snapshot()),
+                ("put", hist.put.snapshot()),
+                ("delete", hist.delete.snapshot()),
+                ("batch", hist.batch.snapshot()),
+            ];
+            for (name, h) in &ops {
+                if let Some((_, m)) = merged.iter_mut().find(|(n, _)| n == name) {
+                    m.merge(h);
+                }
+            }
+            partitions.push(PartitionStats {
+                len: lens[i],
+                dirty_pages: dirty[i],
+                ops,
+            });
+        }
+        if let Some((_, m)) = merged.iter_mut().find(|(n, _)| *n == "range") {
+            m.merge(&self.range_hist.snapshot());
+        }
+        StatsSnapshot {
+            level: self.counters.obs().level(),
+            counters: self.counters.snapshot(),
+            ops: merged,
+            partitions,
+            stages: self.counters.obs().stages_snapshot(),
+            wal_len_bytes: self.wal_len_bytes(),
+            shared_record_cache_len: self.shared_record_cache_len(),
+            last_compaction: self.last_compaction_report(),
+        }
+    }
+
+    /// The flight recorder's current contents, oldest first (empty below
+    /// [`sks_storage::ObsLevel::Counters`]; per-op events only at
+    /// `FullTrace`). Events carry partitions, counts, byte lengths and
+    /// durations — never key or value bytes.
+    pub fn recent_events(&self) -> Vec<Event> {
+        self.counters.obs().recent_events()
+    }
+
+    /// Rendered flight-recorder tail, one line per event (what a traced
+    /// error attaches).
+    fn flight_dump(&self) -> String {
+        self.counters.obs().render_events().join("\n")
+    }
+
     pub fn counters(&self) -> &OpCounters {
         &self.counters
     }
@@ -439,9 +547,21 @@ impl SksDb {
     }
 
     pub fn get(&self, key: u64) -> Result<Option<Vec<u8>>, EngineError> {
+        let timer = self.counters.obs().start();
         let p = self.router.partition_of(key)?;
-        let tree = self.partitions[p].read().expect("partition lock");
-        Ok(tree.get(key)?)
+        let result = {
+            let tree = self.partitions[p].read().expect("partition lock");
+            tree.get(key)?
+        };
+        if let Some(t) = timer {
+            let ns = t.elapsed().as_nanos() as u64;
+            self.op_hist[p].get.record(ns);
+            let len = result.as_ref().map_or(0, |v| v.len() as u64);
+            self.counters
+                .obs()
+                .note(EventKind::Get, p as u32, len, 0, ns);
+        }
+        Ok(result)
     }
 
     /// Inserts (or replaces) the record under `key`.
@@ -454,6 +574,8 @@ impl SksDb {
     /// replays the log and decides the final outcome, exactly as a crash
     /// at commit time would.
     pub fn insert(&self, key: u64, value: Vec<u8>) -> Result<Option<Vec<u8>>, EngineError> {
+        let timer = self.counters.obs().start();
+        let value_len = value.len() as u64;
         let p = self.router.partition_of(key)?;
         let (result, over_high_water) = {
             let mut tree = self.partitions[p].write().expect("partition lock");
@@ -466,11 +588,65 @@ impl SksDb {
             (result, self.over_high_water(&tree))
         };
         self.after_mutation(over_high_water);
+        if let Some(t) = timer {
+            let ns = t.elapsed().as_nanos() as u64;
+            self.op_hist[p].put.record(ns);
+            self.counters
+                .obs()
+                .note(EventKind::Put, p as u32, value_len, 0, ns);
+        }
         Ok(result)
+    }
+
+    /// Inserts many records, amortising WAL commits: the batch is grouped
+    /// by partition and each group pays *one* group-commit instead of one
+    /// per record. Partition groups apply atomically with respect to each
+    /// other's locks but the batch as a whole is not a transaction — the
+    /// same read-committed contract as [`SksDb::range`]. Returns the
+    /// number of records written.
+    pub fn insert_batch(&self, items: Vec<(u64, Vec<u8>)>) -> Result<usize, EngineError> {
+        let mut groups: Vec<Vec<(u64, Vec<u8>)>> =
+            (0..self.partitions.len()).map(|_| Vec::new()).collect();
+        for (key, value) in items {
+            groups[self.router.partition_of(key)?].push((key, value));
+        }
+        let mut written = 0usize;
+        for (p, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let timer = self.counters.obs().start();
+            let count = group.len();
+            let over_high_water = {
+                let mut tree = self.partitions[p].write().expect("partition lock");
+                {
+                    let mut wal = self.wal.lock().expect("wal lock");
+                    for (key, value) in &group {
+                        wal.append_insert(*key, value)?;
+                    }
+                    wal.commit()?;
+                }
+                for (key, value) in group {
+                    tree.insert(key, value)?;
+                }
+                self.over_high_water(&tree)
+            };
+            written += count;
+            self.after_mutation(over_high_water);
+            if let Some(t) = timer {
+                let ns = t.elapsed().as_nanos() as u64;
+                self.op_hist[p].batch.record(ns);
+                self.counters
+                    .obs()
+                    .note(EventKind::Batch, p as u32, count as u64, 0, ns);
+            }
+        }
+        Ok(written)
     }
 
     /// Removes `key`. Same commit-failure semantics as [`SksDb::insert`].
     pub fn delete(&self, key: u64) -> Result<Option<Vec<u8>>, EngineError> {
+        let timer = self.counters.obs().start();
         let p = self.router.partition_of(key)?;
         let (result, over_high_water) = {
             let mut tree = self.partitions[p].write().expect("partition lock");
@@ -483,6 +659,13 @@ impl SksDb {
             (result, self.over_high_water(&tree))
         };
         self.after_mutation(over_high_water);
+        if let Some(t) = timer {
+            let ns = t.elapsed().as_nanos() as u64;
+            self.op_hist[p].delete.record(ns);
+            self.counters
+                .obs()
+                .note(EventKind::Delete, p as u32, result.is_some() as u64, 0, ns);
+        }
         Ok(result)
     }
 
@@ -565,10 +748,18 @@ impl SksDb {
             return;
         };
         let handle = std::thread::spawn(move || {
+            let timer = db.counters.obs().start();
             let result = match job {
                 AutoJob::Checkpoint => db.checkpoint().map(|_| ()),
                 AutoJob::FlushDirtiest => db.flush_dirtiest_partition(),
             };
+            db.counters.obs().note(
+                EventKind::AutoWork,
+                NO_PARTITION,
+                job as u64,
+                result.is_err() as u64,
+                timer.map_or(0, |t| t.elapsed().as_nanos() as u64),
+            );
             if let Err(e) = result {
                 *db.auto_ckpt_error.lock().expect("auto ckpt error slot") = Some(e.to_string());
             }
@@ -648,12 +839,20 @@ impl SksDb {
 
     /// Range scan `lo..=hi` across all partitions, merged in key order.
     pub fn range(&self, lo: u64, hi: u64) -> Result<Vec<(u64, Vec<u8>)>, EngineError> {
+        let timer = self.counters.obs().start();
         let mut out = Vec::new();
         for part in &self.partitions {
             let tree = part.read().expect("partition lock");
             out.extend(tree.range(lo, hi)?);
         }
         out.sort_unstable_by_key(|&(k, _)| k);
+        if let Some(t) = timer {
+            let ns = t.elapsed().as_nanos() as u64;
+            self.range_hist.record(ns);
+            self.counters
+                .obs()
+                .note(EventKind::Range, NO_PARTITION, out.len() as u64, 0, ns);
+        }
         Ok(out)
     }
 
@@ -718,6 +917,26 @@ impl SksDb {
     /// complete.
     #[doc(hidden)]
     pub fn checkpoint_with_hook(&self, mid: impl FnOnce()) -> Result<u64, EngineError> {
+        let obs = self.counters.obs();
+        obs.note(EventKind::CheckpointBegin, NO_PARTITION, 0, 0, 0);
+        let begin = obs.start();
+        match self.checkpoint_inner(mid) {
+            Ok(written) => {
+                let ns = begin.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                obs.note(EventKind::CheckpointEnd, NO_PARTITION, written, 0, ns);
+                Ok(written)
+            }
+            Err(e) => {
+                let ns = begin.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                obs.note(EventKind::CheckpointEnd, NO_PARTITION, 0, 1, ns);
+                // A failed maintenance pass carries its flight-recorder
+                // dump: the event tail that led up to the error.
+                Err(e.with_trace(self.flight_dump()))
+            }
+        }
+    }
+
+    fn checkpoint_inner(&self, mid: impl FnOnce()) -> Result<u64, EngineError> {
         let _serial = self.checkpoint_serial.lock().expect("checkpoint serial");
 
         // Phase 1: mark the fuzzy epoch — the sequence number and byte
@@ -748,6 +967,7 @@ impl SksDb {
         // checkpoint below commits, and on the memory backend state is
         // reconstructed from the WAL anyway). The truncated devices
         // physically shrink at the flush.
+        let flush_timer = self.counters.obs().start();
         let compaction_budget = self.config.scheme.compaction;
         let mut compacted = CompactionReport::default();
         if self.config.scheme.backend.is_file() {
@@ -811,9 +1031,20 @@ impl SksDb {
             }
         }
         *self.last_compaction.lock().expect("compaction report") = compacted;
+        self.counters
+            .obs()
+            .stage(Stage::CheckpointFlush, flush_timer);
+        self.counters.obs().note(
+            EventKind::CheckpointPhase,
+            NO_PARTITION,
+            2, // flush/snapshot phase
+            written,
+            0,
+        );
 
         // Phase 3: cut the log, carrying the fuzzy tail. Writers are
         // blocked only for this re-append + rename.
+        let cut_timer = self.counters.obs().start();
         let mut wal = self.wal.lock().expect("wal lock");
         for rec in wal.records_since(mark_seq, mark_offset)? {
             match rec.op {
@@ -836,6 +1067,7 @@ impl SksDb {
         // engine's shared counters.
         fresh.adopt_counters(self.counters.clone());
         *wal = fresh;
+        self.counters.obs().stage(Stage::CheckpointCut, cut_timer);
         Ok(written)
     }
 
@@ -851,12 +1083,30 @@ impl SksDb {
         &self,
         max_blocks_per_partition: usize,
     ) -> Result<CompactionReport, EngineError> {
+        let timer = self.counters.obs().start();
         let mut total = CompactionReport::default();
         for part in &self.partitions {
             let mut guard = part.write().expect("partition lock");
-            total.absorb(guard.compact_step(max_blocks_per_partition)?);
-            total.absorb(guard.compact_nodes(max_blocks_per_partition)?);
+            let pass = guard
+                .compact_step(max_blocks_per_partition)
+                .and_then(|mut r| {
+                    r.absorb(guard.compact_nodes(max_blocks_per_partition)?);
+                    Ok(r)
+                });
+            match pass {
+                Ok(report) => total.absorb(report),
+                // A failed maintenance pass carries its flight-recorder
+                // dump, like a failed checkpoint.
+                Err(e) => return Err(EngineError::from(e).with_trace(self.flight_dump())),
+            }
         }
+        self.counters.obs().note(
+            EventKind::Compaction,
+            NO_PARTITION,
+            total.moved_records + total.moved_nodes,
+            total.freed_blocks,
+            timer.map_or(0, |t| t.elapsed().as_nanos() as u64),
+        );
         Ok(total)
     }
 
@@ -943,6 +1193,10 @@ impl Session {
 
     pub fn insert(&self, key: u64, value: Vec<u8>) -> Result<Option<Vec<u8>>, EngineError> {
         self.db.insert(key, value)
+    }
+
+    pub fn insert_batch(&self, items: Vec<(u64, Vec<u8>)>) -> Result<usize, EngineError> {
+        self.db.insert_batch(items)
     }
 
     pub fn delete(&self, key: u64) -> Result<Option<Vec<u8>>, EngineError> {

@@ -18,6 +18,33 @@ pub enum EngineError {
     WalPoisoned,
     /// Invalid engine configuration.
     Config(String),
+    /// An error from a maintenance pass (checkpoint, compaction) with a
+    /// flight-recorder dump attached: the rendered tail of recent events
+    /// leading up to the failure. `Display` includes the source message,
+    /// so callers matching on error text are unaffected.
+    Traced {
+        source: Box<EngineError>,
+        trace: String,
+    },
+}
+
+impl EngineError {
+    /// Attaches a flight-recorder dump to an error (no-op text when the
+    /// recorder was empty or observability is off).
+    pub(crate) fn with_trace(self, trace: String) -> EngineError {
+        EngineError::Traced {
+            source: Box::new(self),
+            trace,
+        }
+    }
+
+    /// The flight-recorder dump attached to this error, if any.
+    pub fn trace(&self) -> Option<&str> {
+        match self {
+            EngineError::Traced { trace, .. } => Some(trace),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for EngineError {
@@ -31,6 +58,7 @@ impl std::fmt::Display for EngineError {
                 "wal poisoned by an earlier I/O error; reopen the database to recover"
             ),
             EngineError::Config(msg) => write!(f, "engine config: {msg}"),
+            EngineError::Traced { source, .. } => write!(f, "{source}"),
         }
     }
 }
@@ -41,6 +69,7 @@ impl std::error::Error for EngineError {
             EngineError::Core(e) => Some(e),
             EngineError::Storage(e) => Some(e),
             EngineError::Io(e) => Some(e),
+            EngineError::Traced { source, .. } => Some(source),
             _ => None,
         }
     }

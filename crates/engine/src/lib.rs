@@ -47,9 +47,15 @@
 pub mod db;
 pub mod error;
 pub mod recovery;
+pub mod stats;
 pub mod wal;
 
 pub use db::{EngineConfig, Session, SksDb};
 pub use error::EngineError;
 pub use recovery::{RecoveryPath, RecoveryReport};
-pub use wal::{Wal, WalOp, WalRecord, WalReplay};
+pub use stats::{PartitionStats, StatsSnapshot, OPS, WRITE_PATH_STAGES};
+pub use wal::{Wal, WalDevice, WalOp, WalRecord, WalReplay};
+
+// The observability vocabulary the stats surface speaks, re-exported so
+// engine users never need a direct sks-storage dependency.
+pub use sks_storage::{Event, EventKind, HistogramSnapshot, ObsLevel, Stage};

@@ -18,6 +18,7 @@
 //! semantics on its key.
 
 use sks_core::EncipheredBTree;
+use sks_storage::Event;
 
 use crate::db::Router;
 use crate::error::EngineError;
@@ -53,6 +54,23 @@ pub struct RecoveryReport {
     pub bytes_discarded: u64,
     /// Highest sequence number recovered (0 when the log was empty).
     pub last_seq: u64,
+    /// The flight-recorder timeline captured at the end of recovery:
+    /// `RecoveryStart`, any `TornTailScrub` the log open performed (its
+    /// `a`/`b` payload names the scrub position and the bytes
+    /// discarded), and `RecoveryEnd`. Empty when observability is off.
+    pub events: Vec<Event>,
+}
+
+impl RecoveryReport {
+    /// The recovery timeline rendered one line per event — the
+    /// flight-recorder dump that accompanies this report.
+    pub fn render_events(&self) -> String {
+        self.events
+            .iter()
+            .map(Event::render)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
 }
 
 /// Applies replayed records to the partitions, in log order. Takes the

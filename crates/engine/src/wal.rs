@@ -46,9 +46,92 @@ use std::path::Path;
 
 use sks_crypto::modes::ctr_xor;
 use sks_crypto::speck::Speck64;
-use sks_storage::{crc32, BlockId, BlockStore, FileDisk, OpCounters, SyncPolicy};
+use sks_storage::{
+    crc32, BlockId, BlockStore, EventKind, FailStore, FileDisk, OpCounters, Stage, StorageError,
+    SyncPolicy, NO_PARTITION,
+};
 
 use crate::error::EngineError;
+
+/// The device surface a [`Wal`] needs: sequential block writes, partial
+/// reads for torn-tail recovery, a physical sync, and counter
+/// re-pointing. [`FileDisk`] is the production device; a
+/// [`FailStore<FileDisk>`] implements it too, so crash probes can tear a
+/// WAL write mid-group-commit and watch recovery scrub the tail.
+pub trait WalDevice {
+    fn block_size(&self) -> usize;
+    fn num_blocks(&self) -> u32;
+    fn allocate(&mut self) -> Result<BlockId, StorageError>;
+    fn write_block(&mut self, id: BlockId, data: &[u8]) -> Result<(), StorageError>;
+    /// Best-effort read returning however many bytes exist (zero-padded);
+    /// see [`FileDisk::read_block_partial`].
+    fn read_block_partial(&self, id: BlockId) -> Result<(Vec<u8>, usize), StorageError>;
+    fn sync(&mut self) -> Result<(), StorageError>;
+    fn set_counters(&mut self, counters: OpCounters);
+}
+
+impl WalDevice for FileDisk {
+    fn block_size(&self) -> usize {
+        BlockStore::block_size(self)
+    }
+
+    fn num_blocks(&self) -> u32 {
+        BlockStore::num_blocks(self)
+    }
+
+    fn allocate(&mut self) -> Result<BlockId, StorageError> {
+        BlockStore::allocate(self)
+    }
+
+    fn write_block(&mut self, id: BlockId, data: &[u8]) -> Result<(), StorageError> {
+        BlockStore::write_block(self, id, data)
+    }
+
+    fn read_block_partial(&self, id: BlockId) -> Result<(Vec<u8>, usize), StorageError> {
+        FileDisk::read_block_partial(self, id)
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        FileDisk::sync(self)
+    }
+
+    fn set_counters(&mut self, counters: OpCounters) {
+        FileDisk::set_counters(self, counters);
+    }
+}
+
+impl WalDevice for FailStore<FileDisk> {
+    fn block_size(&self) -> usize {
+        BlockStore::block_size(self)
+    }
+
+    fn num_blocks(&self) -> u32 {
+        BlockStore::num_blocks(self)
+    }
+
+    fn allocate(&mut self) -> Result<BlockId, StorageError> {
+        BlockStore::allocate(self)
+    }
+
+    fn write_block(&mut self, id: BlockId, data: &[u8]) -> Result<(), StorageError> {
+        BlockStore::write_block(self, id, data)
+    }
+
+    fn read_block_partial(&self, id: BlockId) -> Result<(Vec<u8>, usize), StorageError> {
+        // Reads keep working after the plan trips (inspecting the
+        // wreckage is the point of a crash probe).
+        self.inner().read_block_partial(id)
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        // Routes through the plan so `arm_nth_flush` can kill a sync.
+        BlockStore::flush(self)
+    }
+
+    fn set_counters(&mut self, counters: OpCounters) {
+        self.inner_mut().set_counters(counters);
+    }
+}
 
 const TAG: u8 = 0xA5;
 /// `tag ‖ crc ‖ seq ‖ nonce ‖ blen`.
@@ -106,10 +189,13 @@ fn nonce_seed() -> u64 {
     splitmix64(t ^ addr.rotate_left(32) ^ u64::from(std::process::id()))
 }
 
-/// Append/commit/replay handle over one log file.
+/// Append/commit/replay handle over one log file. Generic over the
+/// [`WalDevice`] so crash probes can interpose a fault-injecting store;
+/// the default parameter keeps plain `Wal` meaning the production
+/// [`FileDisk`]-backed log.
 #[derive(Debug)]
-pub struct Wal {
-    disk: FileDisk,
+pub struct Wal<D: WalDevice = FileDisk> {
+    disk: D,
     block_size: usize,
     /// In-memory image of the block currently being filled.
     tail: Vec<u8>,
@@ -141,6 +227,34 @@ impl Wal {
         counters: OpCounters,
     ) -> Result<Self, EngineError> {
         let disk = FileDisk::create_with_counters(path, block_size, counters.clone())?;
+        Wal::create_on_device(disk, block_size, wal_key, policy, counters)
+    }
+
+    /// Opens an existing log: verifies the key-check sentinel (failing
+    /// closed, without touching the data, when the key is wrong), replays
+    /// every intact record, scrubs any torn tail, and positions the
+    /// handle for further appends.
+    pub fn open<P: AsRef<Path>>(
+        path: P,
+        wal_key: u128,
+        policy: SyncPolicy,
+        counters: OpCounters,
+    ) -> Result<(Self, WalReplay), EngineError> {
+        let disk = FileDisk::open_with_counters(path, counters.clone())?;
+        Wal::open_on_device(disk, wal_key, policy, counters)
+    }
+}
+
+impl<D: WalDevice> Wal<D> {
+    /// [`Wal::create`] over an already-constructed device (fault probes
+    /// wrap a [`FileDisk`] in a [`FailStore`] first).
+    pub fn create_on_device(
+        disk: D,
+        block_size: usize,
+        wal_key: u128,
+        policy: SyncPolicy,
+        counters: OpCounters,
+    ) -> Result<Self, EngineError> {
         let mut wal = Wal {
             disk,
             block_size,
@@ -161,17 +275,13 @@ impl Wal {
         Ok(wal)
     }
 
-    /// Opens an existing log: verifies the key-check sentinel (failing
-    /// closed, without touching the data, when the key is wrong), replays
-    /// every intact record, scrubs any torn tail, and positions the
-    /// handle for further appends.
-    pub fn open<P: AsRef<Path>>(
-        path: P,
+    /// [`Wal::open`] over an already-constructed device.
+    pub fn open_on_device(
+        disk: D,
         wal_key: u128,
         policy: SyncPolicy,
         counters: OpCounters,
     ) -> Result<(Self, WalReplay), EngineError> {
-        let disk = FileDisk::open_with_counters(path, counters.clone())?;
         let block_size = disk.block_size();
         let num_blocks = disk.num_blocks();
         let cipher = Speck64::from_u128(wal_key);
@@ -279,6 +389,15 @@ impl Wal {
         }
         if replay.torn_tail || replay.bytes_discarded > 0 {
             wal.scrub_after(pos)?;
+            // Flight-recorder breadcrumb: where the valid stream ended and
+            // how many trailing bytes recovery threw away.
+            wal.counters.obs().note(
+                EventKind::TornTailScrub,
+                NO_PARTITION,
+                pos as u64,
+                replay.bytes_discarded,
+                0,
+            );
         }
         if !keycheck_seen {
             // Only reachable when the log start itself was destroyed (or
@@ -410,6 +529,7 @@ impl Wal {
 
     fn append(&mut self, op: u8, key: u64, value: &[u8], count: bool) -> Result<u64, EngineError> {
         self.check_poison()?;
+        let timer = self.counters.obs().start();
         let seq = self.next_seq;
         self.nonce_state = self.nonce_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let nonce = splitmix64(self.nonce_state);
@@ -441,6 +561,7 @@ impl Wal {
             self.counters.bump(|c| &c.wal_appends);
             self.counters.bump_by(|c| &c.wal_bytes, rec.len() as u64);
         }
+        self.counters.obs().stage(Stage::WalAppend, timer);
         Ok(seq)
     }
 
@@ -474,14 +595,20 @@ impl Wal {
     pub fn commit(&mut self) -> Result<bool, EngineError> {
         self.check_poison()?;
         if self.tail_dirty {
+            let timer = self.counters.obs().start();
             if let Err(e) = self.write_tail() {
                 self.poisoned = true;
                 return Err(e);
             }
+            self.counters.obs().stage(Stage::WalAppend, timer);
         }
         self.pending_commits += 1;
         if self.policy.should_sync(self.pending_commits) {
+            let amortised = self.pending_commits;
             self.force_sync()?;
+            self.counters
+                .obs()
+                .note(EventKind::GroupCommit, NO_PARTITION, amortised as u64, 0, 0);
             return Ok(true);
         }
         Ok(false)
@@ -508,6 +635,7 @@ impl Wal {
 
     fn force_sync(&mut self) -> Result<(), EngineError> {
         self.counters.bump(|c| &c.wal_fsyncs);
+        let timer = self.counters.obs().start();
         if let Err(e) = self.disk.sync() {
             // An fsync failure may have silently dropped dirty pages
             // (Linux clears the error flag), so the durability of every
@@ -516,6 +644,7 @@ impl Wal {
             self.poisoned = true;
             return Err(e.into());
         }
+        self.counters.obs().stage(Stage::WalFsync, timer);
         self.pending_commits = 0;
         Ok(())
     }

@@ -1,0 +1,103 @@
+//! Crash probes over a fault-injecting WAL device: a [`FailStore`]
+//! wrapped around the log's [`FileDisk`] tears a commit-record write
+//! mid-group-commit, and recovery must scrub the torn tail *and* name it
+//! in the flight-recorder dump that travels with the [`RecoveryReport`].
+
+use sks_core::{Scheme, SchemeConfig};
+use sks_engine::{EngineConfig, EventKind, RecoveryPath, SksDb, Wal};
+use sks_storage::{FailMode, FailStore, FileDisk, OpCounters, SyncPolicy};
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sks_wal_probe_{}_{}", std::process::id(), name));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn torn_commit_record_mid_group_commit_is_scrubbed_and_named() {
+    let dir = tmpdir("torn_commit");
+    let config = EngineConfig::new(SchemeConfig::with_capacity(Scheme::Oval, 4096))
+        .sync(SyncPolicy::EveryN(8));
+    let wal_path = dir.join("wal.sks");
+
+    // Build the engine's WAL over a fault-injecting device, with the
+    // exact key the engine will later use to recover it.
+    const BLOCK: usize = 512;
+    let counters = OpCounters::new();
+    let disk = FileDisk::create_with_counters(&wal_path, BLOCK, counters.clone()).unwrap();
+    let (fail, plan) = FailStore::new(disk);
+    let mut wal = Wal::create_on_device(
+        fail,
+        BLOCK,
+        config.wal_key(),
+        SyncPolicy::EveryN(8),
+        counters,
+    )
+    .unwrap();
+
+    // A short committed prefix, durably flushed (well under half a
+    // block, so the torn write below cuts inside the *next* record).
+    for k in 0..3u64 {
+        wal.append_insert(k, format!("v-{k}").as_bytes()).unwrap();
+        wal.commit().unwrap();
+    }
+    wal.flush().unwrap();
+    let intact = wal.len_bytes();
+    assert!(intact < BLOCK as u64 / 2, "prefix must fit the torn half");
+
+    // Arm the device: the very next block write — the group-commit's
+    // tail write carrying the doomed record — lands only its first half.
+    plan.arm_nth_write(1, FailMode::Torn);
+    wal.append_insert(3, &[0xD0; 150]).unwrap(); // frame straddles the cut
+    let err = wal.commit().unwrap_err();
+    assert!(plan.tripped(), "the armed write fired: {err}");
+    assert!(wal.is_poisoned(), "a torn append fail-stops the handle");
+    drop(wal);
+
+    // Recovery through the engine: the intact prefix replays, the torn
+    // record is discarded, and the scrub is on the recovery timeline.
+    let db = SksDb::open(&dir, config).unwrap();
+    let report = db.recovery_report();
+    assert_eq!(report.path, RecoveryPath::FullReplay);
+    assert_eq!(report.records_replayed, 3);
+    assert!(report.torn_tail, "the half-written record is a torn tail");
+    assert!(report.bytes_discarded > 0);
+
+    let scrub = report
+        .events
+        .iter()
+        .find(|e| e.kind == EventKind::TornTailScrub)
+        .expect("the recovery timeline records the scrub");
+    assert_eq!(
+        scrub.a, intact,
+        "the scrub names where the valid stream ended"
+    );
+    assert_eq!(
+        scrub.b, report.bytes_discarded,
+        "the scrub names the bytes it discarded"
+    );
+    let dump = report.render_events();
+    assert!(
+        dump.contains(&format!("torn_tail_scrub p=* a={} b={}", scrub.a, scrub.b)),
+        "the rendered dump names the scrubbed tail:\n{dump}"
+    );
+
+    // The committed prefix survived; the torn record did not.
+    for k in 0..3u64 {
+        assert_eq!(db.get(k).unwrap().unwrap(), format!("v-{k}").into_bytes());
+    }
+    assert_eq!(db.get(3).unwrap(), None, "the torn record must not replay");
+
+    // The scrubbed log accepts appends again and stays clean on reopen.
+    db.insert(3, b"after-recovery".to_vec()).unwrap();
+    db.flush().unwrap();
+    drop(db);
+    let db = SksDb::open(&dir, {
+        let scheme = SchemeConfig::with_capacity(Scheme::Oval, 4096);
+        EngineConfig::new(scheme).sync(SyncPolicy::EveryN(8))
+    })
+    .unwrap();
+    assert!(!db.recovery_report().torn_tail, "the scrub was durable");
+    assert_eq!(db.get(3).unwrap().unwrap(), b"after-recovery".to_vec());
+}

@@ -77,8 +77,16 @@ impl<S: BlockStore> BufferPool<S> {
                 self.lru.remove(0)
             };
             if let Some(frame) = self.frames.remove(&victim) {
+                self.store.counters().bump(|c| &c.cache_evicts);
                 if frame.dirty {
                     self.store.write_block(victim, &frame.data)?;
+                    self.store.counters().obs().note(
+                        sks_obs::EventKind::Eviction,
+                        sks_obs::NO_PARTITION,
+                        victim.0 as u64,
+                        0,
+                        0,
+                    );
                 }
             }
         }

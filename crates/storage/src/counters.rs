@@ -9,6 +9,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use sks_obs::{Level, Obs};
+
 /// One atomic counter cell.
 macro_rules! counters {
     ($($(#[$doc:meta])* $name:ident),+ $(,)?) => {
@@ -43,6 +45,13 @@ macro_rules! counters {
                     $( $name: self.$name.saturating_sub(earlier.$name), )+
                 }
             }
+
+            /// Every counter as `(name, value)`, in declaration order —
+            /// the stats surface serialises from this so a new counter
+            /// can never be forgotten.
+            pub fn fields(&self) -> Vec<(&'static str, u64)> {
+                vec![ $( (stringify!($name), self.$name), )+ ]
+            }
         }
     };
 }
@@ -60,6 +69,9 @@ counters! {
     cache_hits,
     /// Buffer-pool misses.
     cache_misses,
+    /// Buffer-pool frames evicted (dirty evictions also pay a
+    /// `block_writes`).
+    cache_evicts,
     /// Plaintext node-cache hits (probes that paid zero physical
     /// decipherments; the *logical* decrypt counters are still bumped).
     node_cache_hits,
@@ -90,6 +102,13 @@ counters! {
     /// index and had to rebuild it with a full tree scan. Stays 0 on the
     /// keyed hot path — the pin for the O(victims) claim.
     compact_index_fallbacks,
+    /// Orphaned record copies tombstoned by maintenance (both the
+    /// move-then-discover path inside `compact_step` and the
+    /// reverse-index sweep against the tree).
+    compact_orphans_collected,
+    /// Reverse-index slots examined by the orphan sweep (the sweep's
+    /// bounded work, reported so `stats()` can show sweep progress).
+    compact_sweep_slots,
     /// Cipher-block (or RSA-block) encryptions of *search-key* material.
     key_encrypts,
     /// Cipher-block (or RSA-block) decryptions of *search-key* material.
@@ -134,14 +153,42 @@ counters! {
 }
 
 /// Cheaply cloneable handle to a shared counter set.
-#[derive(Debug, Clone, Default)]
+///
+/// Since PR 6 the handle also carries the [`Obs`] observability channel:
+/// every layer that counts already holds an `OpCounters`, so the same
+/// handle is the natural route for stage timers and flight-recorder
+/// events. The default is [`Level::Counters`] — counting without clocks.
+#[derive(Debug, Clone)]
 pub struct OpCounters {
     inner: Arc<OpCountersInner>,
+    obs: Obs,
+}
+
+impl Default for OpCounters {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl OpCounters {
+    /// Counters with observability at the default [`Level::Counters`]
+    /// (no clock reads anywhere; rare events only).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_observability(Level::Counters)
+    }
+
+    /// Counters with an explicit observability level.
+    pub fn with_observability(level: Level) -> Self {
+        OpCounters {
+            inner: Arc::new(OpCountersInner::default()),
+            obs: Obs::new(level),
+        }
+    }
+
+    /// The observability channel riding on this counter set.
+    #[inline]
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Adds `n` to a counter field selected by the closure.

@@ -180,6 +180,18 @@ impl<S: BlockStore> FailStore<S> {
     pub fn inner(&self) -> &S {
         &self.inner
     }
+
+    /// Mutable access to the wrapped store — device-specific calls (e.g.
+    /// a [`crate::FileDisk`]'s partial reads) route through here so a WAL
+    /// can run on a fault-injected file disk.
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+
+    /// The plan handle (same one [`FailStore::new`] returned).
+    pub fn plan(&self) -> &FailPlan {
+        &self.plan
+    }
 }
 
 impl<S: BlockStore> BlockStore for FailStore<S> {

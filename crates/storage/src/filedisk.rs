@@ -217,6 +217,7 @@ impl FileDisk {
     pub fn read_block_partial(&self, id: BlockId) -> Result<(Vec<u8>, usize), StorageError> {
         self.check(id)?;
         self.counters.bump(|c| &c.block_reads);
+        let t = self.counters.obs().start();
         let mut buf = vec![0u8; self.block_size];
         let offset = self.offset(id);
         let mut have = 0usize;
@@ -250,14 +251,18 @@ impl FileDisk {
                 }
             }
         }
+        self.counters.obs().stage(sks_obs::Stage::BlockRead, t);
         Ok((buf, have))
     }
 
     /// Forces all written blocks to stable storage. (Callers that track
     /// fsync counts — e.g. a WAL's group-commit accounting — count at
-    /// their own layer.)
+    /// their own layer; the physical sync duration is timed here under
+    /// [`sks_obs::Stage::StoreFsync`].)
     pub fn sync(&mut self) -> Result<(), StorageError> {
+        let t = self.counters.obs().start();
         self.file.sync_all()?;
+        self.counters.obs().stage(sks_obs::Stage::StoreFsync, t);
         Ok(())
     }
 
@@ -474,7 +479,9 @@ impl BlockStore for FileDisk {
             });
         }
         self.counters.bump(|c| &c.block_reads);
+        let t = self.counters.obs().start();
         buf.copy_from_slice(&self.read_raw(id)?);
+        self.counters.obs().stage(sks_obs::Stage::BlockRead, t);
         Ok(())
     }
 
@@ -487,7 +494,10 @@ impl BlockStore for FileDisk {
             });
         }
         self.counters.bump(|c| &c.block_writes);
-        self.write_raw(id, data)
+        let t = self.counters.obs().start();
+        let out = self.write_raw(id, data);
+        self.counters.obs().stage(sks_obs::Stage::BlockWrite, t);
+        out
     }
 
     fn counters(&self) -> &OpCounters {
@@ -496,7 +506,9 @@ impl BlockStore for FileDisk {
 
     fn flush(&mut self) -> Result<(), StorageError> {
         self.write_header()?;
+        let t = self.counters.obs().start();
         self.file.sync_all()?;
+        self.counters.obs().stage(sks_obs::Stage::StoreFsync, t);
         Ok(())
     }
 

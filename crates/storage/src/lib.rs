@@ -42,3 +42,7 @@ pub use memdisk::MemDisk;
 pub use paged::PagedFileStore;
 pub use pagerw::{PageOverflow, PageReader, PageWriter};
 pub use sync::SyncPolicy;
+// Observability vocabulary (the `Obs` channel rides on `OpCounters`).
+pub use sks_obs::{
+    Event, EventKind, Histogram, HistogramSnapshot, Level as ObsLevel, Obs, Stage, NO_PARTITION,
+};

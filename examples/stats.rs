@@ -1,0 +1,101 @@
+//! Observability tour: run a small workload against the engine with full
+//! tracing on, then read back everything the flight recorder and the
+//! latency histograms captured — per-op p50/p99, the stage-attributed
+//! write-path breakdown, cache hit ratios, and the recent-event timeline.
+//!
+//! Telemetry never carries key or value plaintext: events hold op kinds,
+//! partition ids, byte counts and durations only.
+//!
+//! ```sh
+//! cargo run --release --example stats
+//! ```
+
+use sks_btree::core::{ObsLevel, Scheme, SchemeConfig};
+use sks_btree::engine::{EngineConfig, SksDb, Stage, WRITE_PATH_STAGES};
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("sks_stats_example_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // The one knob: Off / Counters (default) / Histograms / FullTrace.
+    let scheme = SchemeConfig::with_capacity(Scheme::Oval, 65_536)
+        .partitions(2)
+        .observability(ObsLevel::FullTrace);
+    let db = SksDb::open(&dir, EngineConfig::new(scheme)).expect("open");
+
+    // A mixed workload: inserts, a batch, hot gets, a range, deletes,
+    // then maintenance.
+    for k in 0..2_000u64 {
+        db.insert(k, vec![k as u8; 64]).expect("insert");
+    }
+    db.insert_batch((2_000..2_500).map(|k| (k, vec![1u8; 64])).collect())
+        .expect("batch");
+    for i in 0..10_000u64 {
+        db.get(i * 37 % 2_500).expect("get");
+    }
+    db.range(100, 400).expect("range");
+    for k in (0..2_000u64).step_by(3) {
+        db.delete(k).expect("delete");
+    }
+    db.compact(16).expect("compact");
+    db.checkpoint().expect("checkpoint");
+
+    // The whole surface in one snapshot.
+    let stats = db.stats();
+
+    println!("== per-op latency ==");
+    for (name, hist) in &stats.ops {
+        if hist.count == 0 {
+            continue;
+        }
+        println!(
+            "{name:>6}: n={:<6} p50={:>8} ns  p90={:>8} ns  p99={:>8} ns  max={:>9} ns",
+            hist.count,
+            hist.p50(),
+            hist.p90(),
+            hist.p99(),
+            hist.max
+        );
+    }
+
+    println!("\n== write-path breakdown (each nanosecond counted once) ==");
+    let total = stats.write_path_ns().max(1);
+    for stage in WRITE_PATH_STAGES {
+        let ns = stats.stage_ns(stage);
+        println!(
+            "{:>12}: {:>12} ns  ({:>5.1}%)",
+            stage.name(),
+            ns,
+            ns as f64 * 100.0 / total as f64
+        );
+    }
+    println!("{:>12}: {total:>12} ns", "total");
+    println!(
+        "checkpoint flush: {} ns, wal cut: {} ns",
+        stats.stage_ns(Stage::CheckpointFlush),
+        stats.stage_ns(Stage::CheckpointCut)
+    );
+
+    println!("\n== caches ==");
+    for (label, ratio) in [
+        ("buffer pool", stats.pool_hit_ratio()),
+        ("node cache", stats.node_cache_hit_ratio()),
+        ("record cache", stats.record_cache_hit_ratio()),
+    ] {
+        match ratio {
+            Some(r) => println!("{label:>12}: {:.1}% hits", r * 100.0),
+            None => println!("{label:>12}: unused"),
+        }
+    }
+
+    println!("\n== flight recorder (most recent events) ==");
+    for event in db.recent_events().iter().rev().take(12).rev() {
+        println!("  {}", event.render());
+    }
+
+    println!("\n== machine-readable ==");
+    println!("{}", stats.to_json());
+
+    drop(db);
+    std::fs::remove_dir_all(&dir).ok();
+}

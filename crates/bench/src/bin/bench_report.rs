@@ -1,7 +1,10 @@
 //! `bench_report` — emits a `BENCH_*.json` snapshot of the headline
 //! performance numbers so the trajectory is tracked per PR:
 //!
-//! * **insert throughput** (engine, memory + file backend, group commit),
+//! * **insert throughput** (engine, memory + file backend, batch-sealed
+//!   group commits + write-behind node re-sealing),
+//! * **bulk-load throughput** (sorted ingest through `SksDb::bulk_load`,
+//!   file backend),
 //! * **recovery time** (full replay vs checkpointed tail replay),
 //! * **read-hot point reads** (plaintext node cache off vs on, file
 //!   backend) with the measured speedup,
@@ -65,8 +68,13 @@ fn engine_config(dir: &std::path::Path, file_backend: bool) -> EngineConfig {
 }
 
 fn engine_config_at(dir: &std::path::Path, file_backend: bool, level: ObsLevel) -> EngineConfig {
+    // The pipelined write path: batch sealing + the double-buffered log
+    // writer are default-on; write-behind node re-sealing is the opt-in
+    // ingest posture (logical counters stay byte-identical either way —
+    // `write_pipeline_preserves_logical_counters_exactly` pins that).
     let mut scheme = SchemeConfig::with_capacity(Scheme::Oval, KEY_SPACE + 64)
         .partitions(4)
+        .write_behind(64)
         .observability(level);
     if file_backend {
         scheme = scheme.backend(StorageBackend::File {
@@ -96,6 +104,24 @@ fn insert_throughput_at(file_backend: bool, level: ObsLevel) -> f64 {
         let secs = start.elapsed().as_secs_f64();
         per_run.push(INSERTS as f64 / secs);
         drop(session);
+        drop(db);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    median(per_run)
+}
+
+/// Sorted-ingest throughput through [`SksDb::bulk_load`] — one group
+/// commit per partition, bottom-up tree build — on the file backend
+/// (median over RUNS).
+fn bulk_load_throughput() -> f64 {
+    let mut per_run = Vec::with_capacity(RUNS);
+    for run in 0..RUNS {
+        let dir = tmpdir(&format!("bulk_{run}"));
+        let db = SksDb::open(&dir, engine_config(&dir, true)).expect("open");
+        let items: Vec<(u64, Vec<u8>)> = (0..INSERTS).map(|k| (k, record_for(k))).collect();
+        let start = Instant::now();
+        db.bulk_load(items).expect("bulk load");
+        per_run.push(INSERTS as f64 / start.elapsed().as_secs_f64());
         drop(db);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -344,6 +370,7 @@ fn regression_failures(current: &str, baseline: &str) -> Vec<String> {
     let higher_is_better = [
         "memory_backend",
         "file_backend",
+        "file_backend_bulk_load",
         "cache_speedup",
         "range_cache_speedup",
         "record_cache_speedup",
@@ -415,6 +442,8 @@ fn main() {
     eprintln!("bench_report: insert throughput…");
     let ins_mem = insert_throughput(false);
     let ins_file = insert_throughput(true);
+    eprintln!("bench_report: bulk load…");
+    let ins_bulk = bulk_load_throughput();
     eprintln!("bench_report: recovery…");
     let rec_mem = recovery_ms(false);
     let rec_file = recovery_ms(true);
@@ -452,7 +481,8 @@ fn main() {
   }},
   "insert_throughput_ops_per_s": {{
     "memory_backend": {ins_mem:.1},
-    "file_backend": {ins_file:.1}
+    "file_backend": {ins_file:.1},
+    "file_backend_bulk_load": {ins_bulk:.1}
   }},
   "recovery_ms": {{
     "memory_full_replay": {rec_mem:.2},
@@ -497,6 +527,19 @@ fn main() {
     assert!(
         speedup >= 2.0,
         "read-hot cache speedup regressed below 2x: {speedup:.2}"
+    );
+    // Absolute floors for the pipelined write path: the relative gate
+    // only catches regressions, so stagnation would otherwise be
+    // invisible. These pin the PR 7 throughput as a hard baseline.
+    assert!(
+        ins_file >= 8_000.0,
+        "file-backend insert throughput fell below the pipelined-write \
+         floor of 8000 ops/s: {ins_file:.1}"
+    );
+    assert!(
+        ins_bulk >= ins_file,
+        "bulk_load should not be slower than per-insert group commits: \
+         {ins_bulk:.1} vs {ins_file:.1} ops/s"
     );
     assert!(
         reclaimed > 0,

@@ -11,9 +11,12 @@
 //! The balancing algorithm is the classic preemptive-split/merge B-tree
 //! (CLRS ch. 18) with minimum degree `t` derived from the codec's fanout.
 
+use std::collections::HashMap;
+use std::sync::Arc;
+
 use sks_storage::{BlockId, BlockStore, OpCounters, PageReader, PageWriter, Stage, StorageError};
 
-use crate::cache::NodeCache;
+use crate::cache::{CachedNode, NodeCache};
 use crate::codec::{CodecError, NodeCodec, Probe};
 use crate::node::{Node, NodeSearch, RecordPtr};
 
@@ -64,6 +67,66 @@ impl From<CodecError> for TreeError {
 
 const SUPER_MAGIC: u64 = 0x534b_5342_5452_4545; // "SKSBTREE"
 
+/// Dirty plaintext nodes whose physical re-encipherment has been deferred
+/// (see [`BTree::enable_write_behind`]). Unlike the read cache this is not
+/// interior-mutable: only `&mut self` tree paths insert, evict or seal;
+/// `&self` read paths merely look entries up — a dirty node's disk page is
+/// *stale*, so reads must be served from here first.
+#[derive(Debug, Default)]
+struct WriteBehindSet {
+    map: HashMap<u32, Arc<CachedNode>>,
+    /// First-deferral order, oldest first: budget-pressure eviction seals
+    /// the node that has been dirty longest. Re-dirtying an entry keeps
+    /// its position (its seal is due no later than before).
+    order: Vec<u32>,
+    budget: usize,
+}
+
+impl WriteBehindSet {
+    fn new(budget: usize) -> Self {
+        WriteBehindSet {
+            map: HashMap::new(),
+            order: Vec::new(),
+            budget,
+        }
+    }
+
+    fn get(&self, id: BlockId) -> Option<Arc<CachedNode>> {
+        self.map.get(&id.0).map(Arc::clone)
+    }
+
+    fn insert(&mut self, id: BlockId, entry: CachedNode) {
+        if self.map.insert(id.0, Arc::new(entry)).is_none() {
+            self.order.push(id.0);
+        }
+    }
+
+    /// Drops `id` without sealing (the node was freed; its plaintext is
+    /// zeroized when the last reference drops).
+    fn forget(&mut self, id: BlockId) {
+        if self.map.remove(&id.0).is_some() {
+            if let Some(pos) = self.order.iter().position(|&x| x == id.0) {
+                self.order.remove(pos);
+            }
+        }
+    }
+
+    /// Removes and returns the longest-dirty entry, for sealing.
+    fn pop_oldest(&mut self) -> Option<(BlockId, Arc<CachedNode>)> {
+        while !self.order.is_empty() {
+            let id = self.order.remove(0);
+            if let Some(entry) = self.map.remove(&id) {
+                return Some((BlockId(id), entry));
+            }
+        }
+        None
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
 /// A disk B-tree parameterised by block store and node codec.
 #[derive(Debug)]
 pub struct BTree<S: BlockStore, C: NodeCodec> {
@@ -84,6 +147,11 @@ pub struct BTree<S: BlockStore, C: NodeCodec> {
     /// are invalidated on every node re-encode/free, so a cached decoding
     /// always matches the page's current content.
     cache: Option<NodeCache>,
+    /// Write-behind set of dirty nodes awaiting their physical seal
+    /// (None = every mutation re-seals immediately). Logical encode
+    /// counters are charged at mutation time by the codec's
+    /// [`NodeCodec::encode_to_cache`]; the seal itself is counter-silent.
+    wb: Option<WriteBehindSet>,
 }
 
 impl<S: BlockStore, C: NodeCodec> BTree<S, C> {
@@ -93,15 +161,32 @@ impl<S: BlockStore, C: NodeCodec> BTree<S, C> {
     /// (one encipherment pass per block, no splits) and produces uniform
     /// fill ≥ `t − 1` everywhere.
     pub fn bulk_load(store: S, codec: C, items: &[(u64, RecordPtr)]) -> Result<Self, TreeError> {
+        let mut tree = BTree::create(store, codec)?;
+        tree.bulk_fill(items)?;
+        Ok(tree)
+    }
+
+    /// In-place [`BTree::bulk_load`] into a tree that is still *pristine*
+    /// (no key was ever inserted: count 0, height 1, the root an empty
+    /// leaf) — the shape every freshly created tree has. This is the
+    /// sorted-ingest fast path for stacks whose stores are already owned
+    /// by a live tree and therefore cannot go through the constructor.
+    pub fn bulk_fill(&mut self, items: &[(u64, RecordPtr)]) -> Result<(), TreeError> {
+        if self.count != 0 || self.height != 1 {
+            return Err(TreeError::Invalid(format!(
+                "bulk_fill requires a pristine empty tree (count {}, height {})",
+                self.count, self.height
+            )));
+        }
         if let Some(w) = items.windows(2).find(|w| w[0].0 >= w[1].0) {
             return Err(TreeError::Invalid(format!(
                 "bulk_load requires strictly ascending keys ({} then {})",
                 w[0].0, w[1].0
             )));
         }
-        let mut tree = BTree::create(store, codec)?;
+        let tree = self;
         if items.is_empty() {
-            return Ok(tree);
+            return Ok(());
         }
         let t = tree.t;
         let max = 2 * t - 1;
@@ -112,7 +197,7 @@ impl<S: BlockStore, C: NodeCodec> BTree<S, C> {
             tree.write_node(&root)?;
             tree.count = items.len() as u64;
             tree.write_superblock()?;
-            return Ok(tree);
+            return Ok(());
         }
         // Chunk sizes that keep every node within [t-1, 2t-1] keys, leaving
         // one separator key between adjacent chunks.
@@ -188,7 +273,7 @@ impl<S: BlockStore, C: NodeCodec> BTree<S, C> {
         tree.height = height;
         tree.count = items.len() as u64;
         tree.write_superblock()?;
-        Ok(tree)
+        Ok(())
     }
 
     /// Creates a fresh tree on an empty store (allocates the superblock and
@@ -215,6 +300,7 @@ impl<S: BlockStore, C: NodeCodec> BTree<S, C> {
             t,
             stamp: 0,
             cache: None,
+            wb: None,
         };
         let root = Node::leaf(root_id);
         tree.write_node(&root)?;
@@ -255,6 +341,7 @@ impl<S: BlockStore, C: NodeCodec> BTree<S, C> {
             t,
             stamp,
             cache: None,
+            wb: None,
         })
     }
 
@@ -273,6 +360,38 @@ impl<S: BlockStore, C: NodeCodec> BTree<S, C> {
     /// Nodes currently held decoded in the plaintext cache.
     pub fn cached_nodes(&self) -> usize {
         self.cache.as_ref().map(NodeCache::len).unwrap_or(0)
+    }
+
+    /// Enables write-behind node re-sealing with room for `budget` dirty
+    /// nodes (0 disables it). A mutated node then absorbs further
+    /// mutations in plaintext above the crypto boundary and is physically
+    /// re-enciphered only on budget pressure, [`BTree::flush`] or an
+    /// explicit [`BTree::seal_all_deferred`]. Only effective for codecs
+    /// implementing the write-behind hooks
+    /// ([`NodeCodec::supports_write_behind`]); the logical operation
+    /// counters are unaffected either way — each mutation is still charged
+    /// its full encode profile at mutation time.
+    pub fn enable_write_behind(&mut self, budget: usize) {
+        self.wb = if budget > 0 && self.codec.supports_write_behind() {
+            Some(WriteBehindSet::new(budget))
+        } else {
+            None
+        };
+    }
+
+    /// Dirty nodes currently awaiting their physical seal.
+    pub fn deferred_nodes(&self) -> usize {
+        self.wb.as_ref().map(WriteBehindSet::len).unwrap_or(0)
+    }
+
+    /// Physically seals every deferred dirty node back to the store
+    /// (counter-silent apart from `node_reseals`; the logical cost was
+    /// charged per mutation).
+    pub fn seal_all_deferred(&mut self) -> Result<(), TreeError> {
+        while let Some((id, entry)) = self.wb.as_mut().and_then(WriteBehindSet::pop_oldest) {
+            self.seal_entry(id, &entry)?;
+        }
+        Ok(())
     }
 
     fn write_superblock(&mut self) -> Result<(), TreeError> {
@@ -302,8 +421,10 @@ impl<S: BlockStore, C: NodeCodec> BTree<S, C> {
         self.stamp = stamp;
     }
 
-    /// Persists metadata and flushes the store.
+    /// Persists metadata and flushes the store. Deferred dirty nodes are
+    /// sealed first, so a flushed tree is fully enciphered on the medium.
     pub fn flush(&mut self) -> Result<(), TreeError> {
+        self.seal_all_deferred()?;
         self.write_superblock()?;
         self.store.flush()?;
         Ok(())
@@ -320,6 +441,12 @@ impl<S: BlockStore, C: NodeCodec> BTree<S, C> {
     /// identical logical costs with the cache on or off.
     fn read_node(&self, id: BlockId) -> Result<Node, TreeError> {
         self.counters().bump(|c| &c.node_visits);
+        // A write-behind node's disk page is stale: the dirty set is the
+        // authoritative copy and must be consulted before cache and disk.
+        // `decode_cached` replays the raw decode's exact logical cost.
+        if let Some(entry) = self.wb.as_ref().and_then(|wb| wb.get(id)) {
+            return Ok(self.codec.decode_cached(&entry)?);
+        }
         let Some(cache) = &self.cache else {
             let t = self.counters().obs().start();
             let page = self.store.read_block_vec(id)?;
@@ -354,10 +481,43 @@ impl<S: BlockStore, C: NodeCodec> BTree<S, C> {
             // must never serve another probe.
             cache.invalidate(node.id);
         }
+        if self.wb.is_some() {
+            // Defer the physical seal: charge the full logical encode
+            // profile now (and surface every encode error — shape, key
+            // domain, fit — at mutation time), park the plaintext entry,
+            // and seal the longest-dirty node once over budget.
+            let entry = self.codec.encode_to_cache(node, self.store.block_size())?;
+            let wb = self.wb.as_mut().expect("checked above");
+            wb.insert(node.id, entry);
+            self.counters().bump(|c| &c.node_writes_deferred);
+            while let Some((id, victim)) = self.wb.as_mut().and_then(|wb| {
+                if wb.len() > wb.budget {
+                    wb.pop_oldest()
+                } else {
+                    None
+                }
+            }) {
+                self.seal_entry(id, &victim)?;
+            }
+            return Ok(());
+        }
         let t = self.counters().obs().start();
         let mut page = vec![0u8; self.store.block_size()];
         self.codec.encode(node, &mut page)?;
         self.store.write_block(node.id, &page)?;
+        self.counters().obs().stage(Stage::NodeSeal, t);
+        Ok(())
+    }
+
+    /// Physically enciphers one deferred entry back to the store. Apart
+    /// from `node_reseals` this touches no counters — the logical encode
+    /// cost was charged when the mutation was deferred.
+    fn seal_entry(&mut self, id: BlockId, entry: &CachedNode) -> Result<(), TreeError> {
+        let t = self.counters().obs().start();
+        let mut page = vec![0u8; self.store.block_size()];
+        self.codec.encode_from_cache(entry, &mut page)?;
+        self.store.write_block(id, &page)?;
+        self.counters().bump(|c| &c.node_reseals);
         self.counters().obs().stage(Stage::NodeSeal, t);
         Ok(())
     }
@@ -369,6 +529,11 @@ impl<S: BlockStore, C: NodeCodec> BTree<S, C> {
     }
 
     fn free_node(&mut self, id: BlockId) -> Result<(), TreeError> {
+        if let Some(wb) = &mut self.wb {
+            // A freed node never needs its deferred seal; the plaintext is
+            // zeroized when the last reference drops.
+            wb.forget(id);
+        }
         if let Some(cache) = &self.cache {
             cache.invalidate(id);
         }
@@ -445,6 +610,12 @@ impl<S: BlockStore, C: NodeCodec> BTree<S, C> {
     /// One node visit of the search path: served from the plaintext cache
     /// on a hit, otherwise a raw-page probe that also fills the cache.
     fn probe_node(&self, id: BlockId, key: u64) -> Result<Probe, TreeError> {
+        // Dirty-first, like `read_node`: the disk page of a write-behind
+        // node is stale. `probe_cached` replays the raw probe's exact
+        // logical cost.
+        if let Some(entry) = self.wb.as_ref().and_then(|wb| wb.get(id)) {
+            return Ok(self.codec.probe_cached(&entry, key)?);
+        }
         let Some(cache) = &self.cache else {
             let page = self.store.read_block_vec(id)?;
             return Ok(self.codec.probe(id, &page, key)?);

@@ -317,6 +317,61 @@ impl NodeCodec for BayerMetzgerCodec {
         self.counters.bump_by(|c| &c.key_decrypts, node.n() as u64);
         Ok(node.clone())
     }
+
+    fn supports_write_behind(&self) -> bool {
+        true
+    }
+
+    fn encode_to_cache(&self, node: &Node, page_len: usize) -> Result<CachedNode, CodecError> {
+        // `encode`'s exact validation and counter profile with the CBC
+        // work skipped: shape check, fit check, one ptr_encrypts for the
+        // leftmost-pointer seal and one key_encrypts per keyed triplet.
+        // No sidecar is needed — the eventual seal re-derives every
+        // cryptogram from the plaintext node.
+        node.check_shape().map_err(CodecError::Corrupt)?;
+        let end = Self::triplet_offset(node.is_leaf(), node.n());
+        if end > page_len {
+            return Err(CodecError::Overflow(sks_storage::PageOverflow {
+                offset: page_len,
+                requested: end - page_len,
+                page_len,
+            }));
+        }
+        if !node.is_leaf() {
+            self.counters.bump(|c| &c.ptr_encrypts);
+        }
+        self.counters.bump_by(|c| &c.key_encrypts, node.n() as u64);
+        Ok(CachedNode {
+            node: node.clone(),
+            raw_keys: Vec::new(),
+            page_len,
+        })
+    }
+
+    fn encode_from_cache(&self, entry: &CachedNode, page: &mut [u8]) -> Result<(), CodecError> {
+        // Counter-silent physical seal producing `encode`'s exact page
+        // bytes (the cryptograms are deterministic under the page key).
+        let node = &entry.node;
+        let cipher = self.pages.page_cipher(node.id.as_u64());
+        let mut w = PageWriter::new(page);
+        sks_btree_core::codec::write_header(&mut w, TAG, node)?;
+        let b = node.id.0;
+        if !node.is_leaf() {
+            let ct = self.seal_triplet(cipher.as_ref(), 0, 0, node.children[0].0, b);
+            w.put_bytes(&ct)?;
+        }
+        for i in 0..node.n() {
+            let p = if node.is_leaf() {
+                0
+            } else {
+                node.children[i + 1].0
+            };
+            let ct = self.seal_triplet(cipher.as_ref(), node.keys[i], node.data_ptrs[i].0, p, b);
+            w.put_bytes(&ct)?;
+        }
+        w.pad_remaining();
+        Ok(())
+    }
 }
 
 #[cfg(test)]

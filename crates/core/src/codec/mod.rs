@@ -296,6 +296,41 @@ impl sks_btree_core::NodeCodec for AnyCodec {
             AnyCodec::FullPage(c) => c.decode_cached(entry),
         }
     }
+
+    fn supports_write_behind(&self) -> bool {
+        match self {
+            AnyCodec::Plain(c) => c.supports_write_behind(),
+            AnyCodec::Substitution(c) => c.supports_write_behind(),
+            AnyCodec::BayerMetzger(c) => c.supports_write_behind(),
+            AnyCodec::FullPage(c) => c.supports_write_behind(),
+        }
+    }
+
+    fn encode_to_cache(
+        &self,
+        node: &sks_btree_core::Node,
+        page_len: usize,
+    ) -> Result<sks_btree_core::CachedNode, CodecError> {
+        match self {
+            AnyCodec::Plain(c) => c.encode_to_cache(node, page_len),
+            AnyCodec::Substitution(c) => c.encode_to_cache(node, page_len),
+            AnyCodec::BayerMetzger(c) => c.encode_to_cache(node, page_len),
+            AnyCodec::FullPage(c) => c.encode_to_cache(node, page_len),
+        }
+    }
+
+    fn encode_from_cache(
+        &self,
+        entry: &sks_btree_core::CachedNode,
+        page: &mut [u8],
+    ) -> Result<(), CodecError> {
+        match self {
+            AnyCodec::Plain(c) => c.encode_from_cache(entry, page),
+            AnyCodec::Substitution(c) => c.encode_from_cache(entry, page),
+            AnyCodec::BayerMetzger(c) => c.encode_from_cache(entry, page),
+            AnyCodec::FullPage(c) => c.encode_from_cache(entry, page),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -413,6 +413,77 @@ impl NodeCodec for SubstitutionCodec {
         }
         Ok(node.clone())
     }
+
+    fn supports_write_behind(&self) -> bool {
+        true
+    }
+
+    fn encode_to_cache(&self, node: &Node, page_len: usize) -> Result<CachedNode, CodecError> {
+        // `encode`'s exact validation and counter profile with the seals
+        // skipped: shape check, fit check, one ptr_encrypts per pointer
+        // cryptogram, and the real *counted* disguise per key (which also
+        // enforces the key domain). The disguised values become the raw-key
+        // sidecar, so the eventual seal and every cached probe/decode
+        // replay use the same on-page key fields.
+        node.check_shape().map_err(CodecError::Corrupt)?;
+        let end = self.key_offset(node.is_leaf(), node.n());
+        if end > page_len {
+            return Err(CodecError::Overflow(sks_storage::PageOverflow {
+                offset: page_len,
+                requested: end - page_len,
+                page_len,
+            }));
+        }
+        if !node.is_leaf() {
+            self.counters.bump(|c| &c.ptr_encrypts);
+        }
+        let mut raw_keys = Vec::with_capacity(node.n());
+        for i in 0..node.n() {
+            let disguised = self
+                .disguise
+                .disguise(node.keys[i])
+                .map_err(Self::map_disguise_err)?;
+            raw_keys.push(disguised);
+            self.counters.bump(|c| &c.ptr_encrypts);
+        }
+        Ok(CachedNode {
+            node: node.clone(),
+            raw_keys,
+            page_len,
+        })
+    }
+
+    fn encode_from_cache(&self, entry: &CachedNode, page: &mut [u8]) -> Result<(), CodecError> {
+        // Counter-silent physical seal: same page bytes as `encode`, with
+        // the disguised key fields replayed from the sidecar instead of
+        // re-running the (already charged) disguise.
+        let node = &entry.node;
+        if entry.raw_keys.len() != node.n() {
+            return Err(CodecError::Corrupt(format!(
+                "write-behind entry for block {} lacks its disguised keys",
+                node.id
+            )));
+        }
+        let mut w = PageWriter::new(page);
+        sks_btree_core::codec::write_header(&mut w, TAG, node)?;
+        let b = node.id.0;
+        if !node.is_leaf() {
+            let ct = self.sealer.seal(&pack_payload(b, 0, node.children[0].0));
+            w.put_bytes(&ct)?;
+        }
+        for i in 0..node.n() {
+            w.put_u64(entry.raw_keys[i])?;
+            let p = if node.is_leaf() {
+                0
+            } else {
+                node.children[i + 1].0
+            };
+            let ct = self.sealer.seal(&pack_payload(b, node.data_ptrs[i].0, p));
+            w.put_bytes(&ct)?;
+        }
+        w.pad_remaining();
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -223,6 +223,27 @@ pub struct SchemeConfig {
     /// events. The *logical* paper counters are byte-identical at every
     /// level — only physical telemetry changes.
     pub observability: sks_storage::ObsLevel,
+    /// Batch-sealed group commits on the engine's WAL: when on (the
+    /// default) every commit seals its whole staged group as one
+    /// Speck-CTR body + CRC instead of one frame per record, and the log
+    /// writer runs double-buffered so sealing the next batch overlaps
+    /// the previous batch's device write and fsync. Durability points
+    /// under each `SyncPolicy` are unchanged, logical `wal_appends` /
+    /// `wal_bytes` stay per-record byte-identical, and replay accepts
+    /// both framings. Standalone trees ignore it.
+    pub seal_batch: bool,
+    /// Write-behind budget for node re-sealing: up to this many dirty
+    /// B-tree nodes are held decoded *above* the crypto boundary,
+    /// absorbing multiple mutations before being re-enciphered (on
+    /// eviction, cache pressure, flush or checkpoint). The logical
+    /// encode counters keep charging the paper's per-mutation cost —
+    /// physical skips are visible in `node_writes_deferred` /
+    /// `node_reseals`. Durability is unchanged: the WAL already covers
+    /// every mutation, and every flush/checkpoint seals the set. `0`
+    /// (the default) disables: every mutation re-seals immediately.
+    /// Opt in with [`SchemeConfig::write_behind`]
+    /// ([`SchemeConfig::DEFAULT_WRITE_BEHIND`] is a good budget).
+    pub write_behind: usize,
 }
 
 impl SchemeConfig {
@@ -249,6 +270,8 @@ impl SchemeConfig {
             global_dirty_budget: 0,
             global_record_cache: 0,
             observability: sks_storage::ObsLevel::Counters,
+            seal_batch: true,
+            write_behind: 0,
         }
     }
 
@@ -280,6 +303,8 @@ impl SchemeConfig {
             global_dirty_budget: 0,
             global_record_cache: 0,
             observability: sks_storage::ObsLevel::Counters,
+            seal_batch: true,
+            write_behind: 0,
         }
     }
 
@@ -294,6 +319,27 @@ impl SchemeConfig {
     /// partition). Small enough that a checkpoint's latency stays bounded,
     /// large enough that sustained delete churn converges.
     pub const DEFAULT_COMPACTION: usize = 32;
+
+    /// Suggested write-behind budget for callers that opt in (dirty
+    /// decoded nodes held above the crypto boundary per tree). Sized to
+    /// cover a hot root-to-leaf mutation path many times over while
+    /// keeping plaintext residency bounded. The field default is `0`
+    /// (re-seal on every mutation).
+    pub const DEFAULT_WRITE_BEHIND: usize = 64;
+
+    /// Builder-style batch-sealed group-commit knob (see the
+    /// `seal_batch` field).
+    pub fn seal_batch(mut self, on: bool) -> Self {
+        self.seal_batch = on;
+        self
+    }
+
+    /// Builder-style write-behind knob (dirty decoded nodes held above
+    /// the crypto boundary; 0 re-seals on every mutation).
+    pub fn write_behind(mut self, nodes: usize) -> Self {
+        self.write_behind = nodes;
+        self
+    }
 
     /// Builder-style node-cache knob (capacity in nodes; 0 disables).
     pub fn node_cache(mut self, capacity: usize) -> Self {

@@ -369,7 +369,7 @@ impl SksDb {
             partitions.push(tree);
         }
 
-        let (wal, recovery) = if wal_path.exists() {
+        let (mut wal, recovery) = if wal_path.exists() {
             counters
                 .obs()
                 .note(EventKind::RecoveryStart, NO_PARTITION, 0, 0, 0);
@@ -406,6 +406,15 @@ impl SksDb {
             sync_dir(db_dir)?;
             (wal, RecoveryReport::default())
         };
+        // The pipelined write path: group commits seal one batch frame per
+        // commit, and a writer thread overlaps the next batch's sealing
+        // with the previous batch's device write + fsync. Both preserve
+        // the logical counters byte-identically and replay accepts both
+        // framings, so the knob only moves physical work.
+        if config.scheme.seal_batch {
+            wal.set_seal_batch(true);
+            wal.enable_pipeline();
+        }
 
         // Persist the layout facts (last, once stores + log exist) so the
         // next open can refuse incompatible configurations.
@@ -644,6 +653,73 @@ impl SksDb {
         Ok(written)
     }
 
+    /// Sorted-ingest fast path: bulk-loads *strictly ascending* `(key,
+    /// value)` pairs into an **empty** database. Each partition's group is
+    /// logged under one group commit (one sealed batch frame, one fsync
+    /// schedule tick) and its tree is then built bottom-up with exactly
+    /// one encipherment pass per node block — no splits, no rebalancing,
+    /// uniform fill — instead of one root-to-leaf descent per record.
+    ///
+    /// Fails closed without touching anything when the keys are not
+    /// strictly ascending or any partition already holds keys. Like
+    /// [`SksDb::insert_batch`] the load is not one transaction across
+    /// partitions: a crash mid-load replays the partition groups already
+    /// committed to the log and loses the rest. Returns the number of
+    /// records written.
+    pub fn bulk_load(&self, items: Vec<(u64, Vec<u8>)>) -> Result<usize, EngineError> {
+        if let Some(w) = items.windows(2).find(|w| w[0].0 >= w[1].0) {
+            return Err(EngineError::Config(format!(
+                "bulk_load requires strictly ascending keys ({} then {})",
+                w[0].0, w[1].0
+            )));
+        }
+        for (p, tree) in self.partitions.iter().enumerate() {
+            let len = tree.read().expect("partition lock").len();
+            if len != 0 {
+                return Err(EngineError::Config(format!(
+                    "bulk_load requires an empty database (partition {p} holds {len} keys)"
+                )));
+            }
+        }
+        // Hash routing filters the ascending stream into per-partition
+        // subsequences, so each group is itself strictly ascending.
+        let mut groups: Vec<Vec<(u64, Vec<u8>)>> =
+            (0..self.partitions.len()).map(|_| Vec::new()).collect();
+        for (key, value) in items {
+            groups[self.router.partition_of(key)?].push((key, value));
+        }
+        let mut written = 0usize;
+        for (p, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let timer = self.counters.obs().start();
+            let count = group.len();
+            let over_high_water = {
+                let mut tree = self.partitions[p].write().expect("partition lock");
+                {
+                    let mut wal = self.wal.lock().expect("wal lock");
+                    for (key, value) in &group {
+                        wal.append_insert(*key, value)?;
+                    }
+                    wal.commit()?;
+                }
+                tree.bulk_load(&group)?;
+                self.over_high_water(&tree)
+            };
+            written += count;
+            self.after_mutation(over_high_water);
+            if let Some(t) = timer {
+                let ns = t.elapsed().as_nanos() as u64;
+                self.op_hist[p].batch.record(ns);
+                self.counters
+                    .obs()
+                    .note(EventKind::Batch, p as u32, count as u64, 0, ns);
+            }
+        }
+        Ok(written)
+    }
+
     /// Removes `key`. Same commit-failure semantics as [`SksDb::insert`].
     pub fn delete(&self, key: u64) -> Result<Option<Vec<u8>>, EngineError> {
         let timer = self.counters.obs().start();
@@ -716,19 +792,47 @@ impl SksDb {
         self.dirty_pages_per_partition().iter().sum()
     }
 
-    /// Flushes (journaled page checkpoint, no WAL cut) the partition
-    /// holding the most pinned dirty pages. Safe without touching the
-    /// log: pages ahead of the WAL replay idempotently.
+    /// Flushes (journaled page checkpoint, no WAL cut) partitions in
+    /// dirtiest-first order until the process-wide dirty set is back
+    /// under the configured budget — proportional response instead of
+    /// one flush per breach, so a single governance kick converges even
+    /// when many partitions are dirty at once. With the budget disabled
+    /// (0) a single dirtiest-partition flush runs, preserving the old
+    /// contract for direct callers. Safe without touching the log: pages
+    /// ahead of the WAL replay idempotently. Locks are taken one
+    /// partition at a time, never nested, so foreground traffic only
+    /// ever waits on the one partition currently being flushed.
     fn flush_dirtiest_partition(&self) -> Result<(), EngineError> {
-        let dirty = self.dirty_pages_per_partition();
-        let Some((i, &max)) = dirty.iter().enumerate().max_by_key(|&(_, &d)| d) else {
-            return Ok(());
-        };
-        if max == 0 {
-            return Ok(());
+        let budget = self.config.scheme.global_dirty_budget;
+        let mut flushed = std::collections::HashSet::new();
+        loop {
+            let dirty = self.dirty_pages_per_partition();
+            if budget > 0 && dirty.iter().sum::<usize>() <= budget {
+                return Ok(());
+            }
+            // Dirtiest first, skipping partitions this sweep already
+            // flushed: a foreground writer may re-dirty one mid-sweep,
+            // and chasing it forever would starve the worker thread.
+            let Some((i, &max)) = dirty
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !flushed.contains(i))
+                .max_by_key(|&(_, &d)| d)
+            else {
+                return Ok(());
+            };
+            if max == 0 {
+                return Ok(());
+            }
+            {
+                let mut guard = self.partitions[i].write().expect("partition lock");
+                guard.flush()?;
+            }
+            flushed.insert(i);
+            if budget == 0 {
+                return Ok(());
+            }
         }
-        let mut guard = self.partitions[i].write().expect("partition lock");
-        Ok(guard.flush()?)
     }
 
     /// Kicks one background governance job (no-op when one is already in
@@ -1064,8 +1168,15 @@ impl SksDb {
         sync_dir(self.wal_path.parent().expect("wal lives in the db dir"))?;
         // The fresh Wal's file handle survives the rename (same inode);
         // from here on it carries client traffic, so it re-adopts the
-        // engine's shared counters.
+        // engine's shared counters — and the pipelined write path. Batch
+        // sealing is enabled only now, at a commit boundary: during the
+        // snapshot rewrite it would have staged the entire snapshot as
+        // one unbounded batch.
         fresh.adopt_counters(self.counters.clone());
+        if self.config.scheme.seal_batch {
+            fresh.set_seal_batch(true);
+            fresh.enable_pipeline();
+        }
         *wal = fresh;
         self.counters.obs().stage(Stage::CheckpointCut, cut_timer);
         Ok(written)
@@ -1197,6 +1308,10 @@ impl Session {
 
     pub fn insert_batch(&self, items: Vec<(u64, Vec<u8>)>) -> Result<usize, EngineError> {
         self.db.insert_batch(items)
+    }
+
+    pub fn bulk_load(&self, items: Vec<(u64, Vec<u8>)>) -> Result<usize, EngineError> {
+        self.db.bulk_load(items)
     }
 
     pub fn delete(&self, key: u64) -> Result<Option<Vec<u8>>, EngineError> {

@@ -43,6 +43,7 @@
 //! the log back to a consistent prefix.
 
 use std::path::Path;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 
 use sks_crypto::modes::ctr_xor;
 use sks_crypto::speck::Speck64;
@@ -133,11 +134,280 @@ impl WalDevice for FailStore<FileDisk> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Double-buffered writer: a WalDevice that overlaps block writes and
+// fsyncs with the caller's next batch seal.
+// ---------------------------------------------------------------------------
+
+/// A queued unit of work for the writer thread.
+enum WriterJob {
+    Write { id: BlockId, data: Vec<u8> },
+}
+
+/// State shared between the foreground handle and the writer thread.
+struct WriterShared<D> {
+    disk: Mutex<D>,
+    /// Jobs enqueued but not yet executed; `sync`/reads drain to zero.
+    inflight: Mutex<u32>,
+    drained: Condvar,
+    /// First error the writer thread hit. Sticky: once an asynchronous
+    /// write has failed the stream past it is unknowable, so every later
+    /// device call fails until the log is reopened (the `Wal` turns the
+    /// first surfaced error into its poison fail-stop).
+    error: Mutex<Option<StorageError>>,
+}
+
+/// Double-buffered WAL device: `write_block` hands the sealed block to a
+/// small writer thread through a two-slot channel (the two swap buffers)
+/// and returns, so sealing batch N+1 overlaps the device write (and, at
+/// the group-commit boundary, the fsync) of batch N. `sync` drains the
+/// queue and then syncs the device, so every durability point the
+/// [`SyncPolicy`] promises still holds exactly — the pipeline moves work
+/// off the hot path, never past a commit's durability barrier. Reads
+/// drain first too, so replay-style scans observe every queued write.
+pub struct DoubleBuffered<D: WalDevice> {
+    shared: Arc<WriterShared<D>>,
+    /// `None` only during teardown.
+    tx: Option<mpsc::SyncSender<WriterJob>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    counters: OpCounters,
+    block_size: usize,
+}
+
+impl<D: WalDevice> std::fmt::Debug for DoubleBuffered<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DoubleBuffered")
+            .field("block_size", &self.block_size)
+            .finish()
+    }
+}
+
+/// Number of swap buffers: one block in flight on the device while the
+/// foreground seals into the other.
+const SWAP_BUFFERS: usize = 2;
+
+impl<D: WalDevice + Send + 'static> DoubleBuffered<D> {
+    fn new(disk: D, counters: OpCounters) -> Self {
+        let block_size = disk.block_size();
+        let shared = Arc::new(WriterShared {
+            disk: Mutex::new(disk),
+            inflight: Mutex::new(0),
+            drained: Condvar::new(),
+            error: Mutex::new(None),
+        });
+        let (tx, rx) = mpsc::sync_channel::<WriterJob>(SWAP_BUFFERS);
+        let worker = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("sks-wal-writer".into())
+            .spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    let WriterJob::Write { id, data } = job;
+                    let result = worker
+                        .disk
+                        .lock()
+                        .expect("wal device")
+                        .write_block(id, &data);
+                    if let Err(e) = result {
+                        let mut slot = worker.error.lock().expect("wal writer error");
+                        slot.get_or_insert(e);
+                    }
+                    let mut inflight = worker.inflight.lock().expect("wal inflight");
+                    *inflight -= 1;
+                    worker.drained.notify_all();
+                }
+            })
+            .expect("spawn wal writer thread");
+        DoubleBuffered {
+            shared,
+            tx: Some(tx),
+            handle: Some(handle),
+            counters,
+            block_size,
+        }
+    }
+}
+
+impl<D: WalDevice> DoubleBuffered<D> {
+    /// Blocks until every queued write has executed.
+    fn drain(&self) {
+        let mut inflight = self.shared.inflight.lock().expect("wal inflight");
+        while *inflight > 0 {
+            inflight = self.shared.drained.wait(inflight).expect("wal inflight");
+        }
+    }
+
+    /// Surfaces (without clearing) the writer thread's first error.
+    fn check_error(&self) -> Result<(), StorageError> {
+        match &*self.shared.error.lock().expect("wal writer error") {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+}
+
+impl<D: WalDevice> Drop for DoubleBuffered<D> {
+    fn drop(&mut self) {
+        drop(self.tx.take()); // close the channel; the thread drains and exits
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<D: WalDevice> WalDevice for DoubleBuffered<D> {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn num_blocks(&self) -> u32 {
+        self.shared.disk.lock().expect("wal device").num_blocks()
+    }
+
+    fn allocate(&mut self) -> Result<BlockId, StorageError> {
+        self.check_error()?;
+        self.shared.disk.lock().expect("wal device").allocate()
+    }
+
+    fn write_block(&mut self, id: BlockId, data: &[u8]) -> Result<(), StorageError> {
+        self.check_error()?;
+        let mut inflight = self.shared.inflight.lock().expect("wal inflight");
+        *inflight += 1;
+        drop(inflight);
+        let timer = self.counters.obs().start();
+        let sent = self
+            .tx
+            .as_ref()
+            .expect("writer channel open")
+            .send(WriterJob::Write {
+                id,
+                data: data.to_vec(),
+            });
+        // The send blocks while both swap buffers are in flight — that
+        // wait is the pipeline's back-pressure, reported as its own stage.
+        self.counters.obs().stage(Stage::WalSwap, timer);
+        if sent.is_err() {
+            // Writer thread gone: surface whatever killed it.
+            *self.shared.inflight.lock().expect("wal inflight") -= 1;
+            self.check_error()?;
+            return Err(StorageError::Io("wal writer thread exited".into()));
+        }
+        Ok(())
+    }
+
+    fn read_block_partial(&self, id: BlockId) -> Result<(Vec<u8>, usize), StorageError> {
+        // Reads must observe every accepted write (records_since scans the
+        // stream mid-life); drain, then read through. Reads keep working
+        // after a write error — inspecting the wreckage is recovery's job.
+        self.drain();
+        self.shared
+            .disk
+            .lock()
+            .expect("wal device")
+            .read_block_partial(id)
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        self.drain();
+        self.check_error()?;
+        self.shared.disk.lock().expect("wal device").sync()
+    }
+
+    fn set_counters(&mut self, counters: OpCounters) {
+        self.drain();
+        self.counters = counters.clone();
+        self.shared
+            .disk
+            .lock()
+            .expect("wal device")
+            .set_counters(counters);
+    }
+}
+
+/// The device slot inside a [`Wal`]: the raw device, or the same device
+/// behind the double-buffered writer pipeline.
+#[derive(Debug)]
+enum WalDisk<D: WalDevice> {
+    Direct(D),
+    Piped(DoubleBuffered<D>),
+    /// Transient placeholder while [`Wal::enable_pipeline`] swaps the
+    /// device into the pipeline; never observable.
+    Swapping,
+}
+
+impl<D: WalDevice> WalDevice for WalDisk<D> {
+    fn block_size(&self) -> usize {
+        match self {
+            WalDisk::Direct(d) => d.block_size(),
+            WalDisk::Piped(p) => p.block_size(),
+            WalDisk::Swapping => unreachable!("wal device mid-swap"),
+        }
+    }
+
+    fn num_blocks(&self) -> u32 {
+        match self {
+            WalDisk::Direct(d) => d.num_blocks(),
+            WalDisk::Piped(p) => p.num_blocks(),
+            WalDisk::Swapping => unreachable!("wal device mid-swap"),
+        }
+    }
+
+    fn allocate(&mut self) -> Result<BlockId, StorageError> {
+        match self {
+            WalDisk::Direct(d) => d.allocate(),
+            WalDisk::Piped(p) => p.allocate(),
+            WalDisk::Swapping => unreachable!("wal device mid-swap"),
+        }
+    }
+
+    fn write_block(&mut self, id: BlockId, data: &[u8]) -> Result<(), StorageError> {
+        match self {
+            WalDisk::Direct(d) => d.write_block(id, data),
+            WalDisk::Piped(p) => p.write_block(id, data),
+            WalDisk::Swapping => unreachable!("wal device mid-swap"),
+        }
+    }
+
+    fn read_block_partial(&self, id: BlockId) -> Result<(Vec<u8>, usize), StorageError> {
+        match self {
+            WalDisk::Direct(d) => d.read_block_partial(id),
+            WalDisk::Piped(p) => p.read_block_partial(id),
+            WalDisk::Swapping => unreachable!("wal device mid-swap"),
+        }
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        match self {
+            WalDisk::Direct(d) => d.sync(),
+            WalDisk::Piped(p) => p.sync(),
+            WalDisk::Swapping => unreachable!("wal device mid-swap"),
+        }
+    }
+
+    fn set_counters(&mut self, counters: OpCounters) {
+        match self {
+            WalDisk::Direct(d) => d.set_counters(counters),
+            WalDisk::Piped(p) => p.set_counters(counters),
+            WalDisk::Swapping => unreachable!("wal device mid-swap"),
+        }
+    }
+}
+
 const TAG: u8 = 0xA5;
+/// Batch frames: same header layout as [`TAG`] frames (`tag ‖ crc ‖
+/// first_seq ‖ nonce ‖ blen`) but the sealed body is a *group* of
+/// records — `count(4) ‖ (op ‖ key ‖ vlen ‖ value)*` — sealed as one
+/// Speck-CTR pass under one nonce and checked by one CRC. A batch frame
+/// consumes `count` consecutive sequence numbers starting at the header's
+/// seq. Emitted only by [`Wal::set_seal_batch`] commits staging ≥ 2
+/// records; replay accepts both framings, so old logs keep replaying and
+/// new logs keep the old single-record grammar for singleton commits.
+const BATCH_TAG: u8 = 0xB5;
 /// `tag ‖ crc ‖ seq ‖ nonce ‖ blen`.
 const HEADER_LEN: usize = 1 + 4 + 8 + 8 + 4;
 /// `op ‖ key` inside the sealed body.
 const BODY_MIN: usize = 1 + 8;
+/// `op ‖ key ‖ vlen` heading each record inside a sealed batch body.
+const BATCH_ENTRY_HEADER: usize = 1 + 8 + 4;
 
 const OP_INSERT: u8 = 1;
 const OP_DELETE: u8 = 2;
@@ -189,13 +459,33 @@ fn nonce_seed() -> u64 {
     splitmix64(t ^ addr.rotate_left(32) ^ u64::from(std::process::id()))
 }
 
+/// One record staged for batch sealing. The plaintext value is wiped
+/// when the entry drops (after the batch body is sealed), so the staging
+/// buffer can never leak record bytes through freed heap memory — the
+/// same discipline the decoded-record cache follows.
+#[derive(Debug)]
+struct StagedOp {
+    op: u8,
+    key: u64,
+    value: Vec<u8>,
+}
+
+impl Drop for StagedOp {
+    fn drop(&mut self) {
+        for b in self.value.iter_mut() {
+            // Volatile so the wipe of soon-to-be-freed memory is not elided.
+            unsafe { std::ptr::write_volatile(b, 0) };
+        }
+    }
+}
+
 /// Append/commit/replay handle over one log file. Generic over the
 /// [`WalDevice`] so crash probes can interpose a fault-injecting store;
 /// the default parameter keeps plain `Wal` meaning the production
 /// [`FileDisk`]-backed log.
 #[derive(Debug)]
 pub struct Wal<D: WalDevice = FileDisk> {
-    disk: D,
+    disk: WalDisk<D>,
     block_size: usize,
     /// In-memory image of the block currently being filled.
     tail: Vec<u8>,
@@ -214,6 +504,14 @@ pub struct Wal<D: WalDevice = FileDisk> {
     poisoned: bool,
     cipher: Speck64,
     counters: OpCounters,
+    /// When on, appends stage records and `commit` seals the whole group
+    /// as one batch frame (one CTR pass + one CRC per commit).
+    seal_batch: bool,
+    /// Records staged since the last commit boundary. Values are wiped on
+    /// drop; the buffer never reaches the medium unsealed.
+    staged: Vec<StagedOp>,
+    /// Sequence number of `staged[0]` (batch frames carry the first seq).
+    staged_first_seq: u64,
 }
 
 impl Wal {
@@ -256,7 +554,7 @@ impl<D: WalDevice> Wal<D> {
         counters: OpCounters,
     ) -> Result<Self, EngineError> {
         let mut wal = Wal {
-            disk,
+            disk: WalDisk::Direct(disk),
             block_size,
             tail: vec![0u8; block_size],
             tail_used: 0,
@@ -270,6 +568,9 @@ impl<D: WalDevice> Wal<D> {
             poisoned: false,
             cipher: Speck64::from_u128(wal_key),
             counters,
+            seal_batch: false,
+            staged: Vec::new(),
+            staged_first_seq: 0,
         };
         wal.append_keycheck()?;
         Ok(wal)
@@ -310,8 +611,37 @@ impl<D: WalDevice> Wal<D> {
             buf.extend_from_slice(&block);
             loop {
                 match parse_frame(&buf[start..], expected_seq) {
-                    Frame::Complete { nonce, len } => {
+                    Frame::Complete { nonce, len, batch } => {
                         let body = ctr_xor(&cipher, nonce, &buf[start + HEADER_LEN..start + len]);
+                        if batch {
+                            if expected_seq == 1 {
+                                // The sentinel is always a legacy frame; a
+                                // batch here means a forged or damaged
+                                // stream start. Refuse before anything
+                                // destructive, like the wrong-key path.
+                                return Err(EngineError::Config(
+                                    "wal stream does not begin with the key-check sentinel".into(),
+                                ));
+                            }
+                            let Some(entries) = decode_batch(&body) else {
+                                parsing = false; // damaged batch body: torn
+                                break;
+                            };
+                            let n = entries.len() as u64;
+                            for (i, (op, key, value)) in entries.into_iter().enumerate() {
+                                let op = match op {
+                                    OP_INSERT => WalOp::Insert { key, value },
+                                    _ => WalOp::Delete { key },
+                                };
+                                replay.records.push(WalRecord {
+                                    seq: expected_seq + i as u64,
+                                    op,
+                                });
+                            }
+                            start += len;
+                            expected_seq += n;
+                            continue;
+                        }
                         if expected_seq == 1 {
                             // The sentinel: wrong decryption means wrong
                             // key — refuse before anything destructive.
@@ -366,7 +696,7 @@ impl<D: WalDevice> Wal<D> {
         drop(buf);
 
         let mut wal = Wal {
-            disk,
+            disk: WalDisk::Direct(disk),
             block_size,
             tail: vec![0u8; block_size],
             tail_used: pos % block_size,
@@ -380,6 +710,9 @@ impl<D: WalDevice> Wal<D> {
             poisoned: false,
             cipher,
             counters,
+            seal_batch: false,
+            staged: Vec::new(),
+            staged_first_seq: 0,
         };
         if wal.tail_used > 0 {
             let tail_block = BlockId((pos / block_size) as u32);
@@ -427,6 +760,40 @@ impl<D: WalDevice> Wal<D> {
         self.poisoned
     }
 
+    /// Turns batch sealing on or off. With it on, appends stage records
+    /// in memory and every [`Wal::commit`] seals the staged group as one
+    /// CTR body + CRC (one frame per commit instead of one per record);
+    /// the logical `wal_appends`/`wal_bytes` counters keep charging per
+    /// record, byte-identical to the unbatched path. Only affects future
+    /// appends — must be toggled at a commit boundary.
+    pub fn set_seal_batch(&mut self, on: bool) {
+        debug_assert!(
+            self.staged.is_empty(),
+            "seal_batch toggled mid-commit with staged records"
+        );
+        self.seal_batch = on;
+    }
+
+    /// Routes the device through the double-buffered writer pipeline:
+    /// block writes are handed to a small writer thread through two swap
+    /// buffers, so sealing the next batch overlaps the previous batch's
+    /// device write and fsync. Durability barriers are unchanged —
+    /// `sync` drains the pipe before syncing the device.
+    pub fn enable_pipeline(&mut self)
+    where
+        D: Send + 'static,
+    {
+        if matches!(self.disk, WalDisk::Piped(_)) {
+            return;
+        }
+        match std::mem::replace(&mut self.disk, WalDisk::Swapping) {
+            WalDisk::Direct(d) => {
+                self.disk = WalDisk::Piped(DoubleBuffered::new(d, self.counters.clone()));
+            }
+            other => self.disk = other,
+        }
+    }
+
     /// Re-points counter accounting at a different shared set (used by
     /// checkpointing, which writes its snapshot against detached counters
     /// so internal rewrites don't masquerade as client traffic, then
@@ -457,6 +824,7 @@ impl<D: WalDevice> Wal<D> {
         from_offset: u64,
     ) -> Result<Vec<WalRecord>, EngineError> {
         self.check_poison()?;
+        self.seal_staged()?;
         if self.tail_dirty {
             if let Err(e) = self.write_tail() {
                 self.poisoned = true;
@@ -476,9 +844,28 @@ impl<D: WalDevice> Wal<D> {
                 buf.extend_from_slice(&block);
                 loop {
                     match parse_frame(&buf[start..], expected_seq) {
-                        Frame::Complete { nonce, len } => {
+                        Frame::Complete { nonce, len, batch } => {
                             let body =
                                 ctr_xor(&self.cipher, nonce, &buf[start + HEADER_LEN..start + len]);
+                            if batch {
+                                let Some(entries) = decode_batch(&body) else {
+                                    break 'blocks; // self-written: unreachable
+                                };
+                                let n = entries.len() as u64;
+                                for (i, (op, key, value)) in entries.into_iter().enumerate() {
+                                    let op = match op {
+                                        OP_INSERT => WalOp::Insert { key, value },
+                                        _ => WalOp::Delete { key },
+                                    };
+                                    out.push(WalRecord {
+                                        seq: expected_seq + i as u64,
+                                        op,
+                                    });
+                                }
+                                start += len;
+                                expected_seq += n;
+                                continue;
+                            }
                             let key =
                                 u64::from_be_bytes(body[1..9].try_into().expect("fixed width"));
                             match body[0] {
@@ -531,25 +918,33 @@ impl<D: WalDevice> Wal<D> {
         self.check_poison()?;
         let timer = self.counters.obs().start();
         let seq = self.next_seq;
-        self.nonce_state = self.nonce_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let nonce = splitmix64(self.nonce_state);
 
-        let mut body = Vec::with_capacity(BODY_MIN + value.len());
-        body.push(op);
-        body.extend_from_slice(&key.to_be_bytes());
-        body.extend_from_slice(value);
-        let sealed = ctr_xor(&self.cipher, nonce, &body);
+        // The logical charge is per record in both modes and covers the
+        // record's own frame cost, so batching cannot move the counters.
+        let frame_len = (HEADER_LEN + BODY_MIN + value.len()) as u64;
+        if count {
+            self.counters.bump(|c| &c.wal_appends);
+            self.counters.bump_by(|c| &c.wal_bytes, frame_len);
+        }
 
-        let mut rec = Vec::with_capacity(HEADER_LEN + sealed.len());
-        rec.push(TAG);
-        rec.extend_from_slice(&[0u8; 4]); // crc placeholder
-        rec.extend_from_slice(&seq.to_be_bytes());
-        rec.extend_from_slice(&nonce.to_be_bytes());
-        rec.extend_from_slice(&(sealed.len() as u32).to_be_bytes());
-        rec.extend_from_slice(&sealed);
-        let crc = crc32(&rec[5..]);
-        rec[1..5].copy_from_slice(&crc.to_be_bytes());
+        if self.seal_batch && op != OP_KEYCHECK {
+            // Stage: the seal (and any device I/O) happens at the commit
+            // boundary, one CTR pass for the whole group.
+            if self.staged.is_empty() {
+                self.staged_first_seq = seq;
+            }
+            self.staged.push(StagedOp {
+                op,
+                key,
+                value: value.to_vec(),
+            });
+            self.next_seq += 1;
+            self.counters.obs().stage(Stage::WalAppend, timer);
+            return Ok(seq);
+        }
 
+        let nonce = self.next_nonce();
+        let rec = build_record_frame(&self.cipher, seq, nonce, op, key, value);
         if let Err(e) = self.append_bytes(&rec) {
             // A half-written record may sit in the stream; nothing after
             // it could be replayed, so refuse all further use.
@@ -557,12 +952,48 @@ impl<D: WalDevice> Wal<D> {
             return Err(e);
         }
         self.next_seq += 1;
-        if count {
-            self.counters.bump(|c| &c.wal_appends);
-            self.counters.bump_by(|c| &c.wal_bytes, rec.len() as u64);
-        }
         self.counters.obs().stage(Stage::WalAppend, timer);
         Ok(seq)
+    }
+
+    fn next_nonce(&mut self) -> u64 {
+        self.nonce_state = self.nonce_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        splitmix64(self.nonce_state)
+    }
+
+    /// Seals everything staged since the last commit boundary into the
+    /// stream: singleton groups keep the legacy per-record framing (new
+    /// logs stay byte-compatible with old readers for unbatched traffic),
+    /// larger groups become one batch frame — one nonce, one CTR pass,
+    /// one CRC for the whole group.
+    fn seal_staged(&mut self) -> Result<(), EngineError> {
+        if self.staged.is_empty() {
+            return Ok(());
+        }
+        let timer = self.counters.obs().start();
+        let first_seq = self.staged_first_seq;
+        let staged = std::mem::take(&mut self.staged);
+        let nonce = self.next_nonce();
+        let rec = if staged.len() == 1 {
+            build_record_frame(
+                &self.cipher,
+                first_seq,
+                nonce,
+                staged[0].op,
+                staged[0].key,
+                &staged[0].value,
+            )
+        } else {
+            self.counters.bump(|c| &c.wal_sealed_batches);
+            build_batch_frame(&self.cipher, first_seq, nonce, &staged)
+        };
+        drop(staged); // wipes the staged plaintext values
+        if let Err(e) = self.append_bytes(&rec) {
+            self.poisoned = true;
+            return Err(e);
+        }
+        self.counters.obs().stage(Stage::SealBatch, timer);
+        Ok(())
     }
 
     fn append_bytes(&mut self, bytes: &[u8]) -> Result<(), EngineError> {
@@ -594,6 +1025,7 @@ impl<D: WalDevice> Wal<D> {
     /// physical fsync.
     pub fn commit(&mut self) -> Result<bool, EngineError> {
         self.check_poison()?;
+        self.seal_staged()?;
         if self.tail_dirty {
             let timer = self.counters.obs().start();
             if let Err(e) = self.write_tail() {
@@ -617,6 +1049,7 @@ impl<D: WalDevice> Wal<D> {
     /// Unconditional write-out + fsync (checkpoint/shutdown path).
     pub fn flush(&mut self) -> Result<(), EngineError> {
         self.check_poison()?;
+        self.seal_staged()?;
         if self.tail_dirty {
             if let Err(e) = self.write_tail() {
                 self.poisoned = true;
@@ -691,8 +1124,9 @@ impl<D: WalDevice> Wal<D> {
 
 enum Frame {
     /// A CRC-valid frame with the expected sequence number; `len` is the
-    /// full record length including the header.
-    Complete { nonce: u64, len: usize },
+    /// full record length including the header. `batch` frames carry a
+    /// sealed group of records (see [`BATCH_TAG`]) starting at that seq.
+    Complete { nonce: u64, len: usize, batch: bool },
     /// The buffer ends inside this frame; feed more bytes.
     NeedMore,
     /// Clean end of stream, or a frame-level violation (bad tag, bad CRC,
@@ -707,9 +1141,10 @@ fn parse_frame(buf: &[u8], expected_seq: u64) -> Frame {
     if buf[0] == 0 {
         return Frame::End;
     }
-    if buf[0] != TAG {
+    if buf[0] != TAG && buf[0] != BATCH_TAG {
         return Frame::End;
     }
+    let batch = buf[0] == BATCH_TAG;
     if buf.len() < HEADER_LEN {
         return Frame::NeedMore;
     }
@@ -717,7 +1152,12 @@ fn parse_frame(buf: &[u8], expected_seq: u64) -> Frame {
     let seq = u64::from_be_bytes(buf[5..13].try_into().expect("fixed width"));
     let nonce = u64::from_be_bytes(buf[13..21].try_into().expect("fixed width"));
     let blen = u32::from_be_bytes(buf[21..25].try_into().expect("fixed width")) as usize;
-    if blen < BODY_MIN || seq != expected_seq {
+    let body_min = if batch {
+        4 + 2 * BATCH_ENTRY_HEADER // count + two minimal entries
+    } else {
+        BODY_MIN
+    };
+    if blen < body_min || seq != expected_seq {
         return Frame::End;
     }
     let total = HEADER_LEN + blen;
@@ -727,7 +1167,108 @@ fn parse_frame(buf: &[u8], expected_seq: u64) -> Frame {
     if crc32(&buf[5..total]) != crc_stored {
         return Frame::End;
     }
-    Frame::Complete { nonce, len: total }
+    Frame::Complete {
+        nonce,
+        len: total,
+        batch,
+    }
+}
+
+/// Volatile zero of a plaintext scratch buffer (never elided).
+fn wipe(buf: &mut [u8]) {
+    for b in buf.iter_mut() {
+        unsafe { std::ptr::write_volatile(b, 0) };
+    }
+}
+
+fn finish_frame(tag: u8, seq: u64, nonce: u64, sealed: &[u8]) -> Vec<u8> {
+    let mut rec = Vec::with_capacity(HEADER_LEN + sealed.len());
+    rec.push(tag);
+    rec.extend_from_slice(&[0u8; 4]); // crc placeholder
+    rec.extend_from_slice(&seq.to_be_bytes());
+    rec.extend_from_slice(&nonce.to_be_bytes());
+    rec.extend_from_slice(&(sealed.len() as u32).to_be_bytes());
+    rec.extend_from_slice(sealed);
+    let crc = crc32(&rec[5..]);
+    rec[1..5].copy_from_slice(&crc.to_be_bytes());
+    rec
+}
+
+/// One legacy single-record frame: `tag ‖ crc ‖ seq ‖ nonce ‖ blen ‖
+/// E(op ‖ key ‖ value)`.
+fn build_record_frame(
+    cipher: &Speck64,
+    seq: u64,
+    nonce: u64,
+    op: u8,
+    key: u64,
+    value: &[u8],
+) -> Vec<u8> {
+    let mut body = Vec::with_capacity(BODY_MIN + value.len());
+    body.push(op);
+    body.extend_from_slice(&key.to_be_bytes());
+    body.extend_from_slice(value);
+    let sealed = ctr_xor(cipher, nonce, &body);
+    wipe(&mut body);
+    finish_frame(TAG, seq, nonce, &sealed)
+}
+
+/// One batch frame sealing the whole staged group under a single nonce:
+/// `tag ‖ crc ‖ first_seq ‖ nonce ‖ blen ‖ E(count ‖ (op ‖ key ‖ vlen ‖
+/// value)*)`.
+fn build_batch_frame(cipher: &Speck64, first_seq: u64, nonce: u64, staged: &[StagedOp]) -> Vec<u8> {
+    let body_len: usize = 4 + staged
+        .iter()
+        .map(|s| BATCH_ENTRY_HEADER + s.value.len())
+        .sum::<usize>();
+    let mut body = Vec::with_capacity(body_len);
+    body.extend_from_slice(&(staged.len() as u32).to_be_bytes());
+    for s in staged {
+        body.push(s.op);
+        body.extend_from_slice(&s.key.to_be_bytes());
+        body.extend_from_slice(&(s.value.len() as u32).to_be_bytes());
+        body.extend_from_slice(&s.value);
+    }
+    let sealed = ctr_xor(cipher, nonce, &body);
+    wipe(&mut body);
+    finish_frame(BATCH_TAG, first_seq, nonce, &sealed)
+}
+
+/// Decodes a decrypted batch body into `(op, key, value)` entries;
+/// `None` on any grammar violation (the caller treats it as a torn
+/// tail, exactly like a frame-level violation).
+fn decode_batch(body: &[u8]) -> Option<Vec<(u8, u64, Vec<u8>)>> {
+    if body.len() < 4 {
+        return None;
+    }
+    let count = u32::from_be_bytes(body[0..4].try_into().expect("fixed width")) as usize;
+    if count < 2 {
+        return None; // the writer never emits smaller groups as batches
+    }
+    let mut off = 4;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        if body.len() - off < BATCH_ENTRY_HEADER {
+            return None;
+        }
+        let op = body[off];
+        if op != OP_INSERT && op != OP_DELETE {
+            return None;
+        }
+        let key = u64::from_be_bytes(body[off + 1..off + 9].try_into().expect("fixed width"));
+        let vlen =
+            u32::from_be_bytes(body[off + 9..off + 13].try_into().expect("fixed width")) as usize;
+        off += BATCH_ENTRY_HEADER;
+        if body.len() - off < vlen {
+            return None;
+        }
+        out.push((op, key, body[off..off + vlen].to_vec()));
+        off += vlen;
+    }
+    if off != body.len() {
+        return None; // trailing garbage inside a CRC-valid frame: torn
+    }
+    Some(out)
 }
 
 #[cfg(test)]
@@ -1085,5 +1626,246 @@ mod tests {
         wal.append_insert(2, b"yes").unwrap();
         wal.commit().unwrap();
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn batch_group_commit_replays_every_record() {
+        let path = tmpfile("batch_roundtrip");
+        let counters = OpCounters::new();
+        {
+            let mut wal =
+                Wal::create(&path, 256, KEY, SyncPolicy::Always, counters.clone()).unwrap();
+            wal.set_seal_batch(true);
+            wal.enable_pipeline();
+            // Two group commits of five records, one of three.
+            for batch in 0..3u64 {
+                let n = if batch < 2 { 5 } else { 3 };
+                for i in 0..n {
+                    let k = batch * 10 + i;
+                    wal.append_insert(k, format!("b{batch}-{i}").as_bytes())
+                        .unwrap();
+                }
+                wal.commit().unwrap();
+            }
+        }
+        let s = counters.snapshot();
+        assert_eq!(s.wal_appends, 13, "every record charged individually");
+        assert_eq!(s.wal_sealed_batches, 3, "one sealed body per group commit");
+        let (_wal, replay) = reopen(&path);
+        assert!(!replay.torn_tail);
+        assert_eq!(replay.records.len(), 13);
+        // Seqs stay dense across batch boundaries (sentinel is seq 1).
+        for (i, rec) in replay.records.iter().enumerate() {
+            assert_eq!(rec.seq, i as u64 + 2);
+        }
+        assert_eq!(
+            replay.records[7].op,
+            WalOp::Insert {
+                key: 12,
+                value: b"b1-2".to_vec()
+            }
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn singleton_commits_keep_legacy_framing() {
+        let path = tmpfile("batch_singleton");
+        let counters = OpCounters::new();
+        {
+            let mut wal =
+                Wal::create(&path, 128, KEY, SyncPolicy::Always, counters.clone()).unwrap();
+            wal.set_seal_batch(true);
+            wal.enable_pipeline();
+            for k in 0..4u64 {
+                wal.append_insert(k, b"solo").unwrap();
+                wal.commit().unwrap();
+            }
+        }
+        assert_eq!(
+            counters.snapshot().wal_sealed_batches,
+            0,
+            "a one-record commit is not a batch"
+        );
+        // A log of singleton batch-mode commits is readable by a plain
+        // (batch-off) reopen: the framings are identical.
+        let (_wal, replay) = reopen(&path);
+        assert!(!replay.torn_tail);
+        assert_eq!(replay.records.len(), 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mixed_legacy_and_batch_log_replays() {
+        let path = tmpfile("batch_mixed");
+        {
+            // Legacy era: per-record frames.
+            let mut wal =
+                Wal::create(&path, 128, KEY, SyncPolicy::Always, OpCounters::new()).unwrap();
+            for k in 0..5u64 {
+                wal.append_insert(k, b"legacy").unwrap();
+                wal.commit().unwrap();
+            }
+        }
+        {
+            // Batch era on the same log.
+            let (mut wal, replay) = reopen(&path);
+            assert_eq!(replay.records.len(), 5);
+            wal.set_seal_batch(true);
+            wal.enable_pipeline();
+            for k in 5..11u64 {
+                wal.append_insert(k, b"batched").unwrap();
+            }
+            wal.commit().unwrap();
+            // And one more legacy-framed record after toggling back off.
+            wal.set_seal_batch(false);
+            wal.append_insert(11, b"legacy-again").unwrap();
+            wal.commit().unwrap();
+        }
+        let (_wal, replay) = reopen(&path);
+        assert!(!replay.torn_tail);
+        assert_eq!(replay.records.len(), 12);
+        for (k, rec) in replay.records.iter().enumerate() {
+            let value = match k {
+                0..=4 => &b"legacy"[..],
+                5..=10 => &b"batched"[..],
+                _ => &b"legacy-again"[..],
+            };
+            assert_eq!(
+                rec.op,
+                WalOp::Insert {
+                    key: k as u64,
+                    value: value.to_vec()
+                }
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_batch_tail_recovers_committed_prefix() {
+        let path = tmpfile("batch_torn");
+        {
+            let mut wal =
+                Wal::create(&path, 128, KEY, SyncPolicy::Always, OpCounters::new()).unwrap();
+            wal.set_seal_batch(true);
+            wal.enable_pipeline();
+            for batch in 0..4u64 {
+                for i in 0..5 {
+                    wal.append_insert(batch * 5 + i, &[0xAB; 40]).unwrap();
+                }
+                wal.commit().unwrap();
+            }
+        }
+        // Chop the medium mid-way through the last batch's sealed body:
+        // the CRC covers the whole group, so the entire torn batch must
+        // vanish while every earlier batch survives intact.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 100).unwrap();
+        drop(f);
+
+        let (_wal, replay) = reopen(&path);
+        assert!(replay.torn_tail, "truncation must be detected");
+        assert!(
+            !replay.records.is_empty() && replay.records.len() < 20,
+            "a strict prefix survives, got {}",
+            replay.records.len()
+        );
+        assert_eq!(
+            replay.records.len() % 5,
+            0,
+            "recovery is all-or-nothing per sealed batch"
+        );
+        for (k, rec) in replay.records.iter().enumerate() {
+            assert_eq!(
+                rec.op,
+                WalOp::Insert {
+                    key: k as u64,
+                    value: vec![0xAB; 40]
+                }
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn records_since_spans_batches_and_staged_tail() {
+        let path = tmpfile("batch_records_since");
+        let mut wal = Wal::create(&path, 128, KEY, SyncPolicy::Always, OpCounters::new()).unwrap();
+        wal.set_seal_batch(true);
+        wal.enable_pipeline();
+        for batch in 0..2u64 {
+            for i in 0..4 {
+                wal.append_insert(batch * 4 + i, b"pre").unwrap();
+            }
+            wal.commit().unwrap();
+        }
+        let (mark, mark_offset) = (wal.next_seq(), wal.len_bytes());
+        // One committed batch after the mark, plus a staged (uncommitted)
+        // pair the scan must still surface.
+        for k in 100..103u64 {
+            wal.append_insert(k, b"tail").unwrap();
+        }
+        wal.commit().unwrap();
+        wal.append_insert(200, b"staged").unwrap();
+        wal.append_delete(201).unwrap();
+        let tail = wal.records_since(mark, mark_offset).unwrap();
+        assert_eq!(tail.len(), 5);
+        assert_eq!(
+            tail[0].op,
+            WalOp::Insert {
+                key: 100,
+                value: b"tail".to_vec()
+            }
+        );
+        assert_eq!(tail[4].op, WalOp::Delete { key: 201 });
+        // From the start: all 13 client records, sentinel excluded.
+        assert_eq!(wal.records_since(1, 0).unwrap().len(), 13);
+        drop(wal);
+        let (_wal, replay) = reopen(&path);
+        assert_eq!(replay.records.len(), 13);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn batch_mode_preserves_logical_wal_counters() {
+        // The same workload, batch off vs batch+pipeline on: every
+        // logical WAL counter except the batch tally itself must agree.
+        let run = |name: &str, batched: bool| {
+            let path = tmpfile(name);
+            let counters = OpCounters::new();
+            {
+                let mut wal =
+                    Wal::create(&path, 256, KEY, SyncPolicy::EveryN(4), counters.clone()).unwrap();
+                if batched {
+                    wal.set_seal_batch(true);
+                    wal.enable_pipeline();
+                }
+                counters.reset();
+                for batch in 0..8u64 {
+                    for i in 0..4 {
+                        wal.append_insert(batch * 4 + i, b"pinned-value").unwrap();
+                    }
+                    wal.commit().unwrap();
+                }
+                wal.flush().unwrap();
+            }
+            std::fs::remove_file(&path).ok();
+            counters.snapshot()
+        };
+        let off = run("pin_off", false);
+        let on = run("pin_on", true);
+        assert_eq!(off.wal_sealed_batches, 0);
+        assert_eq!(on.wal_sealed_batches, 8);
+        assert_eq!(on.wal_appends, off.wal_appends);
+        assert_eq!(
+            on.wal_bytes, off.wal_bytes,
+            "logical WAL bytes are charged per record, not per frame"
+        );
+        assert_eq!(
+            on.wal_fsyncs, off.wal_fsyncs,
+            "group-commit cadence is untouched by batch sealing"
+        );
     }
 }

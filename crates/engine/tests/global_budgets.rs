@@ -127,6 +127,54 @@ fn global_dirty_budget_flushes_the_dirtiest_partition() {
     );
 }
 
+/// The proportional controller: one governance kick flushes partitions
+/// dirtiest-first *until the process is back under budget*, instead of
+/// shedding a single partition per breach. With eight partitions all
+/// dirty at once, the old one-flush-per-kick controller needed ~one kick
+/// per partition; the proportional sweep must converge within a couple
+/// of settle rounds.
+#[test]
+fn global_dirty_budget_converges_proportionally() {
+    const BUDGET: usize = 64;
+    let dir = tmpdir("converge");
+    let mut cfg = file_config(&dir, 8);
+    cfg.scheme = cfg.scheme.global_dirty_budget(BUDGET);
+    let db = SksDb::open(&dir, cfg).unwrap();
+    let session = db.session();
+    // Dirty every partition well beyond the budget.
+    for k in 0..4_000u64 {
+        session.insert(k, rec(k)).unwrap();
+    }
+    db.wait_for_auto_checkpoint();
+    // Settle: each round performs just enough mutations to guarantee the
+    // sampled budget probe fires, then joins the background sweep. One
+    // sweep flushes dirtiest-first until under budget, so convergence
+    // must not take anywhere near one round per dirty partition.
+    let mut rounds = 0;
+    while db.global_dirty_pages() > BUDGET {
+        rounds += 1;
+        assert!(
+            rounds <= 3,
+            "proportional controller failed to converge: {} dirty pages \
+             after {rounds} rounds (budget {BUDGET})",
+            db.global_dirty_pages()
+        );
+        for k in 0..16u64 {
+            session.insert(k, b"nudge".to_vec()).unwrap();
+        }
+        db.wait_for_auto_checkpoint();
+    }
+    assert_eq!(db.take_auto_checkpoint_error(), None);
+    // Correctness is untouched by the sweeps.
+    for k in (16..4_000u64).step_by(37) {
+        assert_eq!(session.get(k).unwrap().unwrap(), rec(k));
+    }
+    db.validate().unwrap();
+    drop(session);
+    drop(db);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Node-device compaction rides the checkpoint: after a shrink-heavy
 /// workload, a checkpoint reports moved/truncated node blocks and the
 /// partitions' `nodes.sks` files physically shrink.

@@ -1,0 +1,306 @@
+//! The pipelined write path end to end: batch-sealed group commits,
+//! the double-buffered log writer and write-behind node re-sealing must
+//! move *physical* work only — every logical paper counter byte-identical
+//! with the pipeline on or off, for every measured scheme — and the
+//! plaintext staged in memory (batch bodies, deferred nodes) must never
+//! reach the medium or the flight recorder. Plus the sorted-ingest
+//! `bulk_load` fast path riding the same machinery.
+
+use sks_core::{ObsLevel, Scheme, SchemeConfig, StorageBackend};
+use sks_engine::{EngineConfig, SksDb};
+use sks_storage::{OpSnapshot, SyncPolicy};
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sks_pipe_{}_{}", std::process::id(), name));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn rec(k: u64) -> Vec<u8> {
+    format!("pipeline-record-{k:05}").into_bytes()
+}
+
+/// The tentpole's contract, engine-wide: run one mixed workload twice —
+/// batching + double-buffering + write-behind all on, then all off — and
+/// demand byte-identical logical counters for every measured scheme.
+/// Only the physical telemetry (block I/O, cache traffic, reseals, the
+/// batch tally) may move; that difference *is* the optimisation.
+#[test]
+fn write_pipeline_preserves_logical_counters_exactly() {
+    for scheme in Scheme::MEASURED {
+        let run = |pipelined: bool| -> OpSnapshot {
+            let name = format!("pin_{}_{}", scheme.name(), pipelined);
+            let dir = tmpdir(&name);
+            let cfg = SchemeConfig::with_capacity(scheme, 4096)
+                .partitions(2)
+                .seal_batch(pipelined)
+                .write_behind(if pipelined { 8 } else { 0 });
+            let db = SksDb::open(&dir, EngineConfig::new(cfg).sync(SyncPolicy::EveryN(4))).unwrap();
+            // Keys start at 1: some disguise domains exclude 0.
+            for k in 1..200u64 {
+                db.insert(k, rec(k)).unwrap();
+            }
+            db.insert_batch((200..260u64).map(|k| (k, rec(k))).collect())
+                .unwrap();
+            for k in (1..200u64).step_by(5) {
+                db.insert(k, rec(k + 1)).unwrap();
+            }
+            for k in (1..200u64).step_by(9) {
+                db.delete(k).unwrap();
+            }
+            for k in (1..260u64).step_by(3) {
+                let _ = db.get(k).unwrap();
+            }
+            assert!(!db.range(40, 120).unwrap().is_empty());
+            db.flush().unwrap();
+            let snap = db.snapshot();
+            drop(db);
+            std::fs::remove_dir_all(&dir).ok();
+            snap
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(off.wal_sealed_batches, 0, "{}", scheme.name());
+        assert!(
+            on.wal_sealed_batches > 0,
+            "{}: batch sealing never engaged",
+            scheme.name()
+        );
+        assert!(
+            on.node_writes_deferred > 0,
+            "{}: write-behind never engaged",
+            scheme.name()
+        );
+        // Mask exactly the physical fields; everything else — disguise
+        // ops, key/pointer/page encipherments, record seals, WAL appends,
+        // logical WAL bytes, fsync cadence — must agree to the byte.
+        let mut on_masked = on;
+        // `allocs` is physical too: batch frames amortise the per-record
+        // header, so the batched log consumes fewer WAL blocks.
+        on_masked.allocs = off.allocs;
+        on_masked.block_reads = off.block_reads;
+        on_masked.block_writes = off.block_writes;
+        on_masked.cache_hits = off.cache_hits;
+        on_masked.cache_misses = off.cache_misses;
+        on_masked.cache_evicts = off.cache_evicts;
+        on_masked.node_cache_hits = off.node_cache_hits;
+        on_masked.node_cache_misses = off.node_cache_misses;
+        on_masked.node_writes_deferred = off.node_writes_deferred;
+        on_masked.node_reseals = off.node_reseals;
+        on_masked.wal_sealed_batches = off.wal_sealed_batches;
+        assert_eq!(
+            on_masked,
+            off,
+            "{}: the pipeline changed the logical cost model",
+            scheme.name()
+        );
+    }
+}
+
+/// Attack sweep over the staging windows the pipeline introduces: while
+/// record plaintext sits in the batch-staging buffer and dirty nodes sit
+/// unsealed in the write-behind set, nothing readable may exist on the
+/// medium — and nothing readable may ever enter the flight recorder or
+/// the stats surface, before or after the seals land.
+#[test]
+fn staged_plaintext_never_reaches_medium_or_recorder() {
+    let dir = tmpdir("staged_leak");
+    let needle = b"EXTREMELY-SECRET-STAGED-ROW";
+    let scan_medium = |dir: &std::path::Path| {
+        let mut stack = vec![dir.to_path_buf()];
+        while let Some(d) = stack.pop() {
+            for entry in std::fs::read_dir(&d).unwrap() {
+                let path = entry.unwrap().path();
+                if path.is_dir() {
+                    stack.push(path);
+                    continue;
+                }
+                let raw = std::fs::read(&path).unwrap();
+                assert!(
+                    !raw.windows(needle.len()).any(|w| w == &needle[..]),
+                    "staged plaintext reached the medium: {}",
+                    path.display()
+                );
+            }
+        }
+    };
+
+    let cfg = SchemeConfig::with_capacity(Scheme::Oval, 4096)
+        .partitions(2)
+        .write_behind(64)
+        .backend(StorageBackend::File {
+            dir: dir.clone(),
+            pool_pages: 64,
+        })
+        .observability(ObsLevel::FullTrace);
+    let db = SksDb::open(&dir, EngineConfig::new(cfg).sync(SyncPolicy::EveryN(8))).unwrap();
+
+    // Group commits stage multi-record plaintext bodies; the small fsync
+    // period leaves committed-but-unsynced tails; write-behind holds the
+    // mutated nodes unsealed. Scan the medium in exactly that state.
+    db.insert_batch((0..60u64).map(|k| (k, needle.to_vec())).collect())
+        .unwrap();
+    for k in 60..90u64 {
+        db.insert(k, needle.to_vec()).unwrap();
+    }
+    scan_medium(&dir);
+
+    // Seal everything (deferred nodes included) and scan again — the
+    // sealed image must be just as silent.
+    db.flush().unwrap();
+    db.checkpoint().unwrap();
+    scan_medium(&dir);
+
+    // The telemetry surfaces never carry the plaintext either.
+    let rendered = db
+        .recent_events()
+        .iter()
+        .map(|e| e.render())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(!rendered.is_empty(), "FullTrace records the workload");
+    let json = db.stats().to_json();
+    for doc in [&rendered, &json] {
+        assert!(
+            !doc.contains("EXTREMELY-SECRET") && !doc.contains("STAGED-ROW"),
+            "staged plaintext leaked into telemetry:\n{doc}"
+        );
+    }
+
+    // And the data is all there, readable, through the sealed path.
+    for k in 0..90u64 {
+        assert_eq!(db.get(k).unwrap().unwrap(), needle.to_vec());
+    }
+    db.validate().unwrap();
+    drop(db);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `bulk_load` end to end on the file backend: sorted ingest pays one
+/// group commit per partition, builds every tree bottom-up, and the
+/// result reads, validates, checkpoints and reopens like any other
+/// database.
+#[test]
+fn bulk_load_sorted_ingest_end_to_end() {
+    let dir = tmpdir("bulk_load");
+    let config = || {
+        let scheme = SchemeConfig::with_capacity(Scheme::Oval, 8192)
+            .partitions(3)
+            .backend(StorageBackend::File {
+                dir: dir.clone(),
+                pool_pages: 128,
+            });
+        EngineConfig::new(scheme).sync(SyncPolicy::EveryN(32))
+    };
+    let db = SksDb::open(&dir, config()).unwrap();
+    let items: Vec<(u64, Vec<u8>)> = (0..1_200u64).map(|k| (k * 3, rec(k))).collect();
+
+    let before = db.snapshot();
+    assert_eq!(db.bulk_load(items.clone()).unwrap(), 1_200);
+    let delta = db.snapshot().delta(&before);
+    assert_eq!(delta.wal_appends, 1_200, "every record hit the log");
+    assert!(
+        delta.wal_fsyncs <= 3,
+        "one group commit per partition, not per record: {} fsyncs",
+        delta.wal_fsyncs
+    );
+
+    assert_eq!(db.len(), 1_200);
+    for (k, v) in &items {
+        assert_eq!(db.get(*k).unwrap().unwrap(), *v, "key {k}");
+    }
+    assert_eq!(db.get(1).unwrap(), None);
+    let span = db.range(300, 600).unwrap();
+    assert_eq!(span.len(), 101, "lo..=hi over every third key");
+    assert!(span.windows(2).all(|w| w[0].0 < w[1].0));
+    db.validate().unwrap();
+
+    // Mutations compose on top of a bulk-built tree.
+    db.insert(1, b"inserted-after".to_vec()).unwrap();
+    db.delete(0).unwrap();
+    assert_eq!(db.get(1).unwrap().unwrap(), b"inserted-after".to_vec());
+    assert_eq!(db.get(0).unwrap(), None);
+
+    db.checkpoint().unwrap();
+    drop(db);
+    let db = SksDb::open(&dir, config()).unwrap();
+    assert_eq!(db.len(), 1_200);
+    for (k, v) in items.iter().step_by(17) {
+        if *k != 0 {
+            assert_eq!(db.get(*k).unwrap().unwrap(), *v);
+        }
+    }
+    db.validate().unwrap();
+    drop(db);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A crash right after `bulk_load` (no flush, no checkpoint) loses no
+/// committed group: the load's WAL records replay into the reopened
+/// partitions.
+#[test]
+fn bulk_load_replays_from_the_log_after_a_crash() {
+    let dir = tmpdir("bulk_crash");
+    let config = || {
+        let scheme = SchemeConfig::with_capacity(Scheme::Oval, 8192)
+            .partitions(2)
+            .backend(StorageBackend::File {
+                dir: dir.clone(),
+                pool_pages: 64,
+            });
+        EngineConfig::new(scheme).sync(SyncPolicy::Always)
+    };
+    {
+        let db = SksDb::open(&dir, config()).unwrap();
+        db.bulk_load((0..500u64).map(|k| (k, rec(k))).collect())
+            .unwrap();
+        // Simulated kill: drop with dirty pages still pinned.
+    }
+    let db = SksDb::open(&dir, config()).unwrap();
+    assert_eq!(db.recovery_report().records_replayed, 500);
+    assert_eq!(db.len(), 500);
+    for k in (0..500u64).step_by(11) {
+        assert_eq!(db.get(k).unwrap().unwrap(), rec(k));
+    }
+    db.validate().unwrap();
+    drop(db);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `bulk_load` fails closed: unsorted input and non-empty databases are
+/// rejected before anything — log or trees — is touched.
+#[test]
+fn bulk_load_rejects_unsorted_and_non_empty() {
+    let dir = tmpdir("bulk_reject");
+    let db = SksDb::open(
+        &dir,
+        EngineConfig::new(SchemeConfig::with_capacity(Scheme::Oval, 4096)),
+    )
+    .unwrap();
+
+    let before = db.snapshot();
+    let err = db
+        .bulk_load(vec![(5, rec(5)), (5, rec(5))])
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("strictly ascending"), "{err}");
+    let err = db
+        .bulk_load(vec![(9, rec(9)), (3, rec(3))])
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("strictly ascending"), "{err}");
+    let delta = db.snapshot().delta(&before);
+    assert_eq!(delta.wal_appends, 0, "rejection must not touch the log");
+    assert_eq!(db.len(), 0);
+
+    db.insert(7, rec(7)).unwrap();
+    let err = db
+        .bulk_load(vec![(1, rec(1)), (2, rec(2))])
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("empty"), "{err}");
+    assert_eq!(db.len(), 1, "failed load changed nothing");
+    assert_eq!(db.get(7).unwrap().unwrap(), rec(7));
+    drop(db);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -327,10 +327,16 @@ pub enum Stage {
     CheckpointFlush,
     /// Checkpoint phase 3: WAL cut + swap.
     CheckpointCut,
+    /// Sealing one staged group-commit batch into its WAL frame (one
+    /// Speck-CTR pass over the whole batch body instead of per record).
+    SealBatch,
+    /// Waiting for a free swap buffer in the double-buffered WAL writer
+    /// (back-pressure from the in-flight write/fsync of the other buffer).
+    WalSwap,
 }
 
 impl Stage {
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 15;
 
     pub const ALL: [Stage; Stage::COUNT] = [
         Stage::BlockRead,
@@ -346,6 +352,8 @@ impl Stage {
         Stage::CompactNodes,
         Stage::CheckpointFlush,
         Stage::CheckpointCut,
+        Stage::SealBatch,
+        Stage::WalSwap,
     ];
 
     /// Stable snake_case name (stats JSON keys).
@@ -364,6 +372,8 @@ impl Stage {
             Stage::CompactNodes => "compact_nodes",
             Stage::CheckpointFlush => "checkpoint_flush",
             Stage::CheckpointCut => "checkpoint_cut",
+            Stage::SealBatch => "seal_batch",
+            Stage::WalSwap => "wal_swap",
         }
     }
 }

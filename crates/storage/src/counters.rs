@@ -150,6 +150,17 @@ counters! {
     wal_fsyncs,
     /// Write-ahead-log records replayed during crash recovery.
     wal_replayed,
+    /// Multi-record WAL frames sealed by batch group commit (each covers
+    /// ≥2 staged records under one CTR body + CRC; single-record commits
+    /// keep the legacy framing and are not counted here).
+    wal_sealed_batches,
+    /// Node writes absorbed by the write-behind set instead of paying a
+    /// physical re-encipherment (the *logical* encode counters are still
+    /// charged per mutation — this is the physical saving).
+    node_writes_deferred,
+    /// Physical node re-encipherments paid when a write-behind node is
+    /// finally sealed (eviction, cache pressure, flush, checkpoint).
+    node_reseals,
 }
 
 /// Cheaply cloneable handle to a shared counter set.

@@ -5,7 +5,11 @@
 //!   group commits + write-behind node re-sealing),
 //! * **bulk-load throughput** (sorted ingest through `SksDb::bulk_load`,
 //!   file backend),
-//! * **recovery time** (full replay vs checkpointed tail replay),
+//! * **recovery time** (full replay vs checkpointed tail replay) and
+//!   full-replay throughput through the batched replay path,
+//! * **checkpoint at 1% dirty** (50k-record file backend: delta-encoded
+//!   index persistence vs the full-rewrite path, with the index bytes
+//!   written per epoch),
 //! * **read-hot point reads** (plaintext node cache off vs on, file
 //!   backend) with the measured speedup,
 //! * **range scans** (streamed, node cache off vs on),
@@ -37,8 +41,10 @@ use sks_storage::SyncPolicy;
 
 const KEY_SPACE: u64 = 8_192;
 const INSERTS: u64 = 2_000;
-const DATASET: u64 = 2_000;
+const DATASET: u64 = 20_000;
 const TAIL: u64 = 64;
+const CKPT_RECORDS: u64 = 50_000;
+const CKPT_DIRTY: u64 = 500;
 const HOT_SET: u64 = 512;
 const HOT_PROBES: u64 = 20_000;
 const RANGE_WIDTH: u64 = 1_024;
@@ -159,19 +165,108 @@ fn obs_overhead() -> (f64, f64) {
     (off, full)
 }
 
+/// Inserts/second through a checkpoint-heavy workload (a checkpoint
+/// every 500 inserts, memory backend) — the maintenance-path companion
+/// to the plain obs-overhead smoke, covering the incremental-checkpoint
+/// and index-flush stages under tracing.
+fn checkpoint_heavy_throughput_at(level: ObsLevel) -> f64 {
+    let mut per_run = Vec::with_capacity(RUNS);
+    for run in 0..RUNS {
+        let dir = tmpdir(&format!("ckpt_obs_{}_{run}", level.name()));
+        let db = SksDb::open(&dir, engine_config_at(&dir, false, level)).expect("open");
+        let session = db.session();
+        let start = Instant::now();
+        for k in 0..INSERTS {
+            session.insert(k, record_for(k)).expect("insert");
+            if k % 500 == 499 {
+                db.checkpoint().expect("checkpoint");
+            }
+        }
+        per_run.push(INSERTS as f64 / start.elapsed().as_secs_f64());
+        drop(session);
+        drop(db);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    median(per_run)
+}
+
+/// Checkpoint wall time in milliseconds at a CKPT_RECORDS-record file
+/// backend with ~1% of its blocks dirtied since the last epoch (median
+/// over RUNS) — plus the index bytes per persisted epoch observed during
+/// the timed checkpoint.
+///
+/// `proportional = true` measures the change-proportional maintenance
+/// defaults: delta-encoded index persistence plus the dead-ratio
+/// compaction floor. `false` reproduces the previous full-rewrite path —
+/// the whole reverse-index chain re-persisted every epoch and any block
+/// with a single dead record a compaction victim — so the pair is a
+/// faithful before/after of the same workload.
+fn checkpoint_ms(proportional: bool) -> (f64, f64) {
+    let mut per_run = Vec::with_capacity(RUNS);
+    let mut bytes_per_epoch = 0.0;
+    for run in 0..RUNS {
+        let dir = tmpdir(&format!("ckpt_{proportional}_{run}"));
+        let scheme = SchemeConfig::with_capacity(Scheme::Oval, CKPT_RECORDS + 64)
+            .partitions(4)
+            .index_delta(proportional)
+            .compaction_floor(if proportional {
+                SchemeConfig::DEFAULT_COMPACTION_FLOOR
+            } else {
+                0
+            })
+            .backend(StorageBackend::File {
+                dir: dir.clone(),
+                pool_pages: 256,
+            });
+        let db = SksDb::open(&dir, EngineConfig::new(scheme).sync(SyncPolicy::EveryN(32)))
+            .expect("open");
+        db.bulk_load((0..CKPT_RECORDS).map(|k| (k, record_for(k))).collect())
+            .expect("bulk load");
+        db.checkpoint().expect("settle"); // epoch 0: the full persist
+        let session = db.session();
+        // Consecutive keys: their superseded records cluster in a few
+        // data blocks, so the epoch dirties ~1% of the blocks.
+        for k in 0..CKPT_DIRTY {
+            session.insert(k, record_for(k + 1)).expect("churn");
+        }
+        drop(session);
+        let before = db.snapshot();
+        let start = Instant::now();
+        db.checkpoint().expect("checkpoint");
+        per_run.push(start.elapsed().as_secs_f64() * 1e3);
+        let d = db.snapshot().delta(&before);
+        let epochs = (d.index_delta_flushes + d.index_full_flushes).max(1);
+        bytes_per_epoch = d.index_flush_bytes as f64 / epochs as f64;
+        drop(db);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    (median(per_run), bytes_per_epoch)
+}
+
 /// Reopen latency in milliseconds (median over RUNS) after DATASET
 /// records, a checkpoint, and a TAIL-record tail.
 fn recovery_ms(file_backend: bool) -> f64 {
     let label = if file_backend { "rec_file" } else { "rec_mem" };
     let dir = tmpdir(label);
-    let cfg = engine_config(&dir, file_backend);
+    let scheme = SchemeConfig::with_capacity(Scheme::Oval, DATASET + TAIL + 64)
+        .partitions(4)
+        .write_behind(64)
+        .observability(ObsLevel::Counters);
+    let scheme = if file_backend {
+        scheme.backend(StorageBackend::File {
+            dir: dir.clone(),
+            pool_pages: 128,
+        })
+    } else {
+        scheme
+    };
+    let cfg = EngineConfig::new(scheme).sync(SyncPolicy::EveryN(32));
     {
         let db = SksDb::open(&dir, cfg.clone()).expect("open");
-        let session = db.session();
-        for k in 0..DATASET {
-            session.insert(k, record_for(k)).expect("prefill");
-        }
+        db.bulk_load((0..DATASET).map(|k| (k, record_for(k))).collect())
+            .expect("prefill");
         db.checkpoint().expect("checkpoint");
+        let session = db.session();
         for k in 0..TAIL {
             session.insert(k, record_for(k)).expect("tail");
         }
@@ -371,6 +466,8 @@ fn regression_failures(current: &str, baseline: &str) -> Vec<String> {
         "memory_backend",
         "file_backend",
         "file_backend_bulk_load",
+        "recovery_full_replay_ops_per_s",
+        "checkpoint_delta_speedup",
         "cache_speedup",
         "range_cache_speedup",
         "record_cache_speedup",
@@ -379,6 +476,8 @@ fn regression_failures(current: &str, baseline: &str) -> Vec<String> {
     let lower_is_better = [
         "memory_full_replay",
         "file_tail_replay",
+        "checkpoint_ms_at_1pct_dirty",
+        "index_flush_bytes_per_epoch",
         "node_device_high_water",
         "insert_p50",
         "insert_p99",
@@ -424,6 +523,21 @@ fn main() {
              {full:.1} vs {off:.1} ops/s ({:.1}%)",
             ratio * 100.0
         );
+        eprintln!("bench_report: checkpoint-heavy overhead smoke…");
+        let ck_off = checkpoint_heavy_throughput_at(ObsLevel::Off);
+        let ck_full = checkpoint_heavy_throughput_at(ObsLevel::FullTrace);
+        let ck_ratio = ck_full / ck_off;
+        println!(
+            "obs-overhead (checkpoint-heavy): Off {ck_off:.1} ops/s, FullTrace {ck_full:.1} ops/s \
+             ({:.1}% of Off)",
+            ck_ratio * 100.0
+        );
+        assert!(
+            ck_ratio >= 0.90,
+            "FullTrace costs more than 10% through a checkpoint-heavy workload: \
+             {ck_full:.1} vs {ck_off:.1} ops/s ({:.1}%)",
+            ck_ratio * 100.0
+        );
         return;
     }
     let mut out_path = "BENCH_current.json".to_string();
@@ -447,6 +561,13 @@ fn main() {
     eprintln!("bench_report: recovery…");
     let rec_mem = recovery_ms(false);
     let rec_file = recovery_ms(true);
+    // Full replay rebuilds DATASET records from snapshots plus a
+    // TAIL-record log tail through the batched-replay path.
+    let rec_full_ops = (DATASET + TAIL) as f64 / (rec_mem / 1e3);
+    eprintln!("bench_report: checkpoint at 1% dirty…");
+    let (ckpt_delta_ms, index_bytes_per_epoch) = checkpoint_ms(true);
+    let (ckpt_full_ms, _) = checkpoint_ms(false);
+    let ckpt_speedup = ckpt_full_ms / ckpt_delta_ms;
     eprintln!("bench_report: read-hot…");
     let hot_off = read_hot_ns(0);
     let hot_on = read_hot_ns(4_096);
@@ -486,7 +607,16 @@ fn main() {
   }},
   "recovery_ms": {{
     "memory_full_replay": {rec_mem:.2},
-    "file_tail_replay": {rec_file:.2}
+    "file_tail_replay": {rec_file:.2},
+    "recovery_full_replay_ops_per_s": {rec_full_ops:.1}
+  }},
+  "checkpoint_at_1pct_dirty": {{
+    "records": {CKPT_RECORDS},
+    "dirty_records": {CKPT_DIRTY},
+    "checkpoint_ms_at_1pct_dirty": {ckpt_delta_ms:.2},
+    "checkpoint_ms_full_rewrite": {ckpt_full_ms:.2},
+    "checkpoint_delta_speedup": {ckpt_speedup:.2},
+    "index_flush_bytes_per_epoch": {index_bytes_per_epoch:.1}
   }},
   "read_hot_ns_per_op": {{
     "file_cache_off": {hot_off:.1},
@@ -540,6 +670,13 @@ fn main() {
         ins_bulk >= ins_file,
         "bulk_load should not be slower than per-insert group commits: \
          {ins_bulk:.1} vs {ins_file:.1} ops/s"
+    );
+    // The change-proportional maintenance acceptance gate: at ~1% dirty,
+    // a delta-index checkpoint must beat the full-rewrite path ≥5x.
+    assert!(
+        ckpt_speedup >= 5.0,
+        "delta-index checkpoint at 1% dirty fell below the 5x target: \
+         {ckpt_delta_ms:.2}ms vs full rewrite {ckpt_full_ms:.2}ms ({ckpt_speedup:.2}x)"
     );
     assert!(
         reclaimed > 0,

@@ -74,52 +74,104 @@ const SUPER_MAGIC: u64 = 0x534b_5342_5452_4545; // "SKSBTREE"
 /// *stale*, so reads must be served from here first.
 #[derive(Debug, Default)]
 struct WriteBehindSet {
-    map: HashMap<u32, Arc<CachedNode>>,
-    /// First-deferral order, oldest first: budget-pressure eviction seals
-    /// the node that has been dirty longest. Re-dirtying an entry keeps
-    /// its position (its seal is due no later than before).
-    order: Vec<u32>,
+    /// Block id → slot in `slots`.
+    map: HashMap<u32, usize>,
+    slots: Vec<WbSlot>,
+    /// Slots emptied by `forget`/eviction, reused before the ring grows.
+    vacant: Vec<usize>,
+    /// Clock hand: the next slot the eviction sweep examines. Eviction
+    /// is second-chance: every (re-)deferral sets the slot's referenced
+    /// bit, the sweep clears bits until it meets a cold entry — a node
+    /// re-dirtied every ring revolution (a hot leaf absorbing a run of
+    /// inserts) keeps absorbing instead of being re-sealed per round.
+    hand: usize,
     budget: usize,
+}
+
+/// One clock slot of the write-behind ring.
+#[derive(Debug)]
+struct WbSlot {
+    id: u32,
+    /// `None` = vacant (forgotten or evicted, awaiting reuse).
+    entry: Option<Arc<CachedNode>>,
+    referenced: bool,
 }
 
 impl WriteBehindSet {
     fn new(budget: usize) -> Self {
         WriteBehindSet {
             map: HashMap::new(),
-            order: Vec::new(),
+            slots: Vec::new(),
+            vacant: Vec::new(),
+            hand: 0,
             budget,
         }
     }
 
     fn get(&self, id: BlockId) -> Option<Arc<CachedNode>> {
-        self.map.get(&id.0).map(Arc::clone)
+        let idx = *self.map.get(&id.0)?;
+        self.slots[idx].entry.as_ref().map(Arc::clone)
     }
 
     fn insert(&mut self, id: BlockId, entry: CachedNode) {
-        if self.map.insert(id.0, Arc::new(entry)).is_none() {
-            self.order.push(id.0);
+        let entry = Arc::new(entry);
+        if let Some(&idx) = self.map.get(&id.0) {
+            let slot = &mut self.slots[idx];
+            slot.entry = Some(entry);
+            slot.referenced = true; // the second chance
+            return;
         }
+        let slot = WbSlot {
+            id: id.0,
+            entry: Some(entry),
+            referenced: true,
+        };
+        let idx = match self.vacant.pop() {
+            Some(i) => {
+                self.slots[i] = slot;
+                i
+            }
+            None => {
+                self.slots.push(slot);
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(id.0, idx);
     }
 
     /// Drops `id` without sealing (the node was freed; its plaintext is
     /// zeroized when the last reference drops).
     fn forget(&mut self, id: BlockId) {
-        if self.map.remove(&id.0).is_some() {
-            if let Some(pos) = self.order.iter().position(|&x| x == id.0) {
-                self.order.remove(pos);
-            }
+        if let Some(idx) = self.map.remove(&id.0) {
+            self.slots[idx].entry = None;
+            self.vacant.push(idx);
         }
     }
 
-    /// Removes and returns the longest-dirty entry, for sealing.
-    fn pop_oldest(&mut self) -> Option<(BlockId, Arc<CachedNode>)> {
-        while !self.order.is_empty() {
-            let id = self.order.remove(0);
-            if let Some(entry) = self.map.remove(&id) {
-                return Some((BlockId(id), entry));
-            }
+    /// Removes and returns the eviction victim, for sealing: the first
+    /// entry at the hand whose referenced bit is already clear. Entries
+    /// passed on the way lose their bit, so a full revolution always
+    /// produces a victim.
+    fn pop_victim(&mut self) -> Option<(BlockId, Arc<CachedNode>)> {
+        if self.map.is_empty() {
+            return None;
         }
-        None
+        loop {
+            let idx = self.hand % self.slots.len();
+            self.hand = (idx + 1) % self.slots.len();
+            let slot = &mut self.slots[idx];
+            if slot.entry.is_none() {
+                continue;
+            }
+            if slot.referenced {
+                slot.referenced = false;
+                continue;
+            }
+            let entry = slot.entry.take().expect("occupied slot");
+            self.map.remove(&slot.id);
+            self.vacant.push(idx);
+            return Some((BlockId(slot.id), entry));
+        }
     }
 
     fn len(&self) -> usize {
@@ -388,7 +440,7 @@ impl<S: BlockStore, C: NodeCodec> BTree<S, C> {
     /// (counter-silent apart from `node_reseals`; the logical cost was
     /// charged per mutation).
     pub fn seal_all_deferred(&mut self) -> Result<(), TreeError> {
-        while let Some((id, entry)) = self.wb.as_mut().and_then(WriteBehindSet::pop_oldest) {
+        while let Some((id, entry)) = self.wb.as_mut().and_then(WriteBehindSet::pop_victim) {
             self.seal_entry(id, &entry)?;
         }
         Ok(())
@@ -485,14 +537,14 @@ impl<S: BlockStore, C: NodeCodec> BTree<S, C> {
             // Defer the physical seal: charge the full logical encode
             // profile now (and surface every encode error — shape, key
             // domain, fit — at mutation time), park the plaintext entry,
-            // and seal the longest-dirty node once over budget.
+            // and seal a clock-chosen cold node once over budget.
             let entry = self.codec.encode_to_cache(node, self.store.block_size())?;
             let wb = self.wb.as_mut().expect("checked above");
             wb.insert(node.id, entry);
             self.counters().bump(|c| &c.node_writes_deferred);
             while let Some((id, victim)) = self.wb.as_mut().and_then(|wb| {
                 if wb.len() > wb.budget {
-                    wb.pop_oldest()
+                    wb.pop_victim()
                 } else {
                     None
                 }

@@ -40,7 +40,7 @@
 //!   journaled no-steal backend the index and the pages commit atomically
 //!   and the epochs always match.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex};
 
 use sks_btree_core::RecordPtr;
@@ -65,7 +65,12 @@ const TOMBSTONE: u16 = u16::MAX;
 /// as the pages it governs.
 const SUPER_MAGIC: &[u8; 8] = b"SKSRECS1";
 const SUPER_VERSION: u32 = 2;
-const SUPER_LEN: usize = 8 + 4 + 8 + 4 + 8 + 8 + 1;
+/// magic, version, next_gen, index_root, index_epoch, mut_epoch,
+/// persisted_complete, delta-segment count. The trailing count rides the
+/// same version: pre-delta superblocks hold zeros there, which reads as
+/// "zero delta segments since the last full rewrite" — exactly right for
+/// a single-segment chain.
+const SUPER_LEN: usize = 8 + 4 + 8 + 4 + 8 + 8 + 1 + 4;
 
 /// "No block" sentinel for the index chain head / next links.
 const NO_BLOCK: u32 = u32::MAX;
@@ -325,6 +330,21 @@ pub struct RecordStore<S: BlockStore> {
     /// Chain blocks of the currently loaded/persisted index (used by
     /// [`RecordStore::reconcile_unreferenced_blocks`]).
     chain_blocks: Vec<u32>,
+    /// Blocks whose `dead`/`live`/`rindex` entry changed since the last
+    /// persist — the dirty-entry set behind delta persistence. `Some`
+    /// means the set is exact (a delta segment covering exactly these
+    /// blocks brings the chain current); `None` means changes are
+    /// unbounded or unknown (wholesale index adoption, distrust) and the
+    /// next persist must rewrite the whole chain.
+    index_dirty_blocks: Option<HashSet<u32>>,
+    /// Delta segments written since the last full chain rewrite
+    /// (persisted in the superblock so reopens keep bounding the chain).
+    index_delta_epochs: u32,
+    /// Delta-persistence knobs (see `SchemeConfig::index_delta` /
+    /// `index_rewrite_period`), plumbed in via
+    /// [`RecordStore::set_delta_config`].
+    delta_enabled: bool,
+    rewrite_period: u32,
     /// Blocks compaction reclaimed but whose free-list push is deferred
     /// until the caller's *node* device has committed its repointed
     /// image ([`RecordStore::apply_pending_frees`]). While quarantined a
@@ -366,6 +386,10 @@ impl<S: BlockStore> RecordStore<S> {
             mut_epoch: 0,
             index_dirty: false,
             chain_blocks: Vec::new(),
+            index_dirty_blocks: Some(HashSet::new()),
+            index_delta_epochs: 0,
+            delta_enabled: true,
+            rewrite_period: crate::config::SchemeConfig::DEFAULT_INDEX_REWRITE_PERIOD,
             pending_free: Vec::new(),
         };
         this.write_superblock()?;
@@ -395,6 +419,7 @@ impl<S: BlockStore> RecordStore<S> {
         let index_epoch = u64::from_be_bytes(page[24..32].try_into().expect("fixed width"));
         let mut_epoch = u64::from_be_bytes(page[32..40].try_into().expect("fixed width"));
         let index_persisted_complete = page[40] != 0;
+        let index_delta_epochs = u32::from_be_bytes(page[41..45].try_into().expect("fixed width"));
         let mut this = RecordStore {
             store,
             cipher: Speck64::from_u128(data_key),
@@ -413,6 +438,10 @@ impl<S: BlockStore> RecordStore<S> {
             mut_epoch,
             index_dirty: false,
             chain_blocks: Vec::new(),
+            index_dirty_blocks: None,
+            index_delta_epochs,
+            delta_enabled: true,
+            rewrite_period: crate::config::SchemeConfig::DEFAULT_INDEX_REWRITE_PERIOD,
             pending_free: Vec::new(),
         };
         // Trust the persisted index only when it was written complete and
@@ -427,6 +456,9 @@ impl<S: BlockStore> RecordStore<S> {
                 this.accounting_complete = true;
                 this.rindex_complete = true;
                 this.chain_blocks = chain;
+                // The loaded maps match the persisted chain exactly, so
+                // delta tracking starts from a clean slate.
+                this.index_dirty_blocks = Some(HashSet::new());
             }
             None => {
                 this.rindex.clear();
@@ -446,7 +478,25 @@ impl<S: BlockStore> RecordStore<S> {
         page[24..32].copy_from_slice(&self.index_epoch.to_be_bytes());
         page[32..40].copy_from_slice(&self.mut_epoch.to_be_bytes());
         page[40] = self.index_persisted_complete as u8;
+        page[41..45].copy_from_slice(&self.index_delta_epochs.to_be_bytes());
         Ok(self.store.write_block(BlockId(0), &page)?)
+    }
+
+    /// Plumbs the delta-persistence knobs down from the scheme config
+    /// (see `SchemeConfig::index_delta` / `index_rewrite_period`). A
+    /// period of 0 forces a full rewrite on every persist.
+    pub fn set_delta_config(&mut self, enabled: bool, rewrite_period: u32) {
+        self.delta_enabled = enabled;
+        self.rewrite_period = rewrite_period;
+    }
+
+    /// Records that `block`'s index entry changed since the last persist.
+    /// A `None` set stays `None`: the next persist already rewrites the
+    /// whole chain, so nothing finer-grained needs remembering.
+    fn mark_index_block(&mut self, block: u32) {
+        if let Some(set) = self.index_dirty_blocks.as_mut() {
+            set.insert(block);
+        }
     }
 
     /// First mutation of an epoch: advance the persisted `mut_epoch` past
@@ -640,6 +690,7 @@ impl<S: BlockStore> RecordStore<S> {
         self.store.write_block(block, &page)?;
         let ptr = RecordPtr::pack(block, slot);
         *self.live.entry(block.0).or_default() += 1;
+        self.mark_index_block(block.0);
         if let Some(key) = key {
             self.rindex.entry(block.0).or_default().insert(slot, key);
         }
@@ -754,6 +805,7 @@ impl<S: BlockStore> RecordStore<S> {
             if let Some(slots) = self.rindex.get_mut(&b) {
                 slots.remove(&ptr.slot());
             }
+            self.mark_index_block(b);
         }
         Ok(was_live)
     }
@@ -883,6 +935,9 @@ impl<S: BlockStore> RecordStore<S> {
         }
         self.rindex_complete = true;
         self.index_dirty = true;
+        // Wholesale replacement: no bounded dirty set describes it, so
+        // the next persist rewrites the whole chain.
+        self.index_dirty_blocks = None;
     }
 
     /// The next `max_blocks` compaction victims, *deadest ratio first*
@@ -890,12 +945,22 @@ impl<S: BlockStore> RecordStore<S> {
     /// across backends), excluding the open fill block. Each budget unit
     /// rewrites the block with the least live data, reclaiming maximal
     /// space per unit.
-    fn compaction_victims(&self, max_blocks: usize) -> Vec<BlockId> {
+    ///
+    /// `min_dead_pct` keeps the pass proportional to actual churn: a
+    /// block qualifies only once at least that percentage of its records
+    /// are dead. At 0 every block with a single dead record qualifies —
+    /// full drain semantics, where reclaiming a one-dead block can mean
+    /// re-sealing a hundred live records (and their node pointers) for a
+    /// few bytes of space.
+    fn compaction_victims(&self, max_blocks: usize, min_dead_pct: u8) -> Vec<BlockId> {
         let mut victims: Vec<(u32, u32, u32)> = self
             .dead
             .iter()
             .filter(|&(&b, _)| Some(BlockId(b)) != self.open_block)
             .map(|(&b, &dead)| (b, dead, self.live.get(&b).copied().unwrap_or(0)))
+            .filter(|&(_, dead, live)| {
+                dead as u64 * 100 >= min_dead_pct as u64 * (dead + live) as u64
+            })
             .collect();
         // dead_a/(dead_a+live_a) > dead_b/(dead_b+live_b), cross-multiplied
         // to stay in integers.
@@ -940,6 +1005,10 @@ impl<S: BlockStore> RecordStore<S> {
         self.dead.remove(&block.0);
         self.live.remove(&block.0);
         self.rindex.remove(&block.0);
+        // The delta segment must carry an explicit "no longer tracked"
+        // tombstone for this block, or a reopen would resurrect its old
+        // entry from an earlier chain segment.
+        self.mark_index_block(block.0);
         if self.open_block == Some(block) {
             self.open_block = None;
         }
@@ -1007,10 +1076,15 @@ impl<S: BlockStore> RecordStore<S> {
         Ok(moves)
     }
 
-    /// Blocks the compactor would examine next (deadest first, bounded).
-    pub(crate) fn victims(&mut self, max_blocks: usize) -> Result<Vec<BlockId>, CoreError> {
+    /// Blocks the compactor would examine next (deadest first, bounded,
+    /// filtered to blocks at least `min_dead_pct` percent dead).
+    pub(crate) fn victims(
+        &mut self,
+        max_blocks: usize,
+        min_dead_pct: u8,
+    ) -> Result<Vec<BlockId>, CoreError> {
         self.ensure_accounting()?;
-        Ok(self.compaction_victims(max_blocks))
+        Ok(self.compaction_victims(max_blocks, min_dead_pct))
     }
 
     /// Releases every freed block at the data device's tail (the record
@@ -1022,22 +1096,16 @@ impl<S: BlockStore> RecordStore<S> {
 
     // ---- persistent reverse index -------------------------------------
 
-    /// Serialises the reverse index (plus the dead/live accounting, so a
-    /// trusted reopen needs no page sweep) into one deterministic byte
-    /// stream: blocks ascending, slots ascending.
-    fn index_stream(&self) -> Vec<u8> {
-        let mut blocks: Vec<u32> = self
-            .rindex
-            .keys()
-            .chain(self.dead.keys())
-            .chain(self.live.keys())
-            .copied()
-            .collect();
-        blocks.sort_unstable();
-        blocks.dedup();
+    /// Serialises the index entries of the given blocks (ascending, plus
+    /// the dead/live accounting, so a trusted reopen needs no page sweep)
+    /// as one deterministic segment: a block count, then per block its
+    /// accounting and sorted slot map. A block absent from every map
+    /// serialises as the all-zero entry — the explicit "no longer
+    /// tracked" tombstone a delta segment needs.
+    fn stream_for_blocks(&self, blocks: &[u32]) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(&(blocks.len() as u32).to_be_bytes());
-        for b in blocks {
+        for &b in blocks {
             let dead = self.dead.get(&b).copied().unwrap_or(0);
             let live = self.live.get(&b).copied().unwrap_or(0);
             let mut slots: Vec<(u16, u64)> = self
@@ -1058,30 +1126,64 @@ impl<S: BlockStore> RecordStore<S> {
         out
     }
 
+    /// Exact byte size of a full-rewrite segment, without serialising:
+    /// the header plus each tracked block's fixed entry and slot rows.
+    fn full_stream_len(&self) -> usize {
+        let mut tracked: HashSet<u32> = self.rindex.keys().copied().collect();
+        tracked.extend(self.dead.keys());
+        tracked.extend(self.live.keys());
+        let slots: usize = self.rindex.values().map(|m| m.len()).sum();
+        4 + tracked.len() * 16 + slots * 10
+    }
+
+    /// The full-rewrite segment: every tracked block.
+    fn index_stream(&self) -> Vec<u8> {
+        let mut blocks: Vec<u32> = self
+            .rindex
+            .keys()
+            .chain(self.dead.keys())
+            .chain(self.live.keys())
+            .copied()
+            .collect();
+        blocks.sort_unstable();
+        blocks.dedup();
+        self.stream_for_blocks(&blocks)
+    }
+
+    /// Parses a chain's concatenated segments. The chain head holds the
+    /// newest segment, so the *first* entry seen for a block is current
+    /// truth and later (older-segment) entries for it are superseded; an
+    /// all-zero entry is a tombstone — the block is no longer tracked.
     fn parse_index_stream(&mut self, stream: &[u8]) -> Result<(), CoreError> {
         let corrupt = || CoreError::Record("reverse-index stream is corrupt".into());
-        let mut at = 0usize;
-        let mut take = |n: usize| -> Result<&[u8], CoreError> {
-            let s = stream.get(at..at + n).ok_or_else(corrupt)?;
-            at += n;
+        let at = std::cell::Cell::new(0usize);
+        let take = |n: usize| -> Result<&[u8], CoreError> {
+            let s = stream.get(at.get()..at.get() + n).ok_or_else(corrupt)?;
+            at.set(at.get() + n);
             Ok(s)
         };
-        let n_blocks = u32::from_be_bytes(take(4)?.try_into().expect("fixed width"));
-        for _ in 0..n_blocks {
-            let b = u32::from_be_bytes(take(4)?.try_into().expect("fixed width"));
-            let dead = u32::from_be_bytes(take(4)?.try_into().expect("fixed width"));
-            let live = u32::from_be_bytes(take(4)?.try_into().expect("fixed width"));
-            let n_slots = u32::from_be_bytes(take(4)?.try_into().expect("fixed width"));
-            if dead > 0 {
-                self.dead.insert(b, dead);
-            }
-            if live > 0 {
-                self.live.insert(b, live);
-            }
-            for _ in 0..n_slots {
-                let s = u16::from_be_bytes(take(2)?.try_into().expect("fixed width"));
-                let k = u64::from_be_bytes(take(8)?.try_into().expect("fixed width"));
-                self.rindex.entry(b).or_default().insert(s, k);
+        let mut seen = HashSet::new();
+        while at.get() < stream.len() {
+            let n_blocks = u32::from_be_bytes(take(4)?.try_into().expect("fixed width"));
+            for _ in 0..n_blocks {
+                let b = u32::from_be_bytes(take(4)?.try_into().expect("fixed width"));
+                let dead = u32::from_be_bytes(take(4)?.try_into().expect("fixed width"));
+                let live = u32::from_be_bytes(take(4)?.try_into().expect("fixed width"));
+                let n_slots = u32::from_be_bytes(take(4)?.try_into().expect("fixed width"));
+                let current = seen.insert(b);
+                if current && dead > 0 {
+                    self.dead.insert(b, dead);
+                }
+                if current && live > 0 {
+                    self.live.insert(b, live);
+                }
+                for _ in 0..n_slots {
+                    let s = u16::from_be_bytes(take(2)?.try_into().expect("fixed width"));
+                    let k = u64::from_be_bytes(take(8)?.try_into().expect("fixed width"));
+                    if current {
+                        self.rindex.entry(b).or_default().insert(s, k);
+                    }
+                }
             }
         }
         Ok(())
@@ -1146,6 +1248,7 @@ impl<S: BlockStore> RecordStore<S> {
         self.dead.clear();
         self.rindex_complete = false;
         self.accounting_complete = false;
+        self.index_dirty_blocks = None;
     }
 
     /// Frees every allocated block the trusted index does not describe:
@@ -1176,69 +1279,151 @@ impl<S: BlockStore> RecordStore<S> {
         Ok(())
     }
 
-    /// Persists the reverse index: frees the previous chain, writes the
-    /// current maps as sealed chain pages (fresh generations — recycled
-    /// chain blocks never repeat keystream), and commits the superblock
-    /// with a matched epoch pair. When the index is incomplete (unkeyed
-    /// inserts happened) the chain is cleared instead, so a reopen
-    /// rebuilds rather than trusting a partial map. Called by
-    /// [`RecordStore::flush`]; skipped entirely when nothing mutated.
+    /// Writes `stream` as a run of sealed chain pages (fresh generations
+    /// — recycled chain blocks never repeat keystream), the run's last
+    /// page pointing at `next_root`. Returns the page ids, head first.
+    fn write_chain_segment(
+        &mut self,
+        stream: &[u8],
+        next_root: u32,
+    ) -> Result<Vec<BlockId>, CoreError> {
+        let capacity = self.store.block_size() - INDEX_HEADER;
+        let chunks: Vec<&[u8]> = stream.chunks(capacity.max(1)).collect();
+        // Allocate the whole run first so each page can name its
+        // successor.
+        let mut ids = Vec::with_capacity(chunks.len());
+        for _ in &chunks {
+            ids.push(self.store.allocate_min()?);
+        }
+        for (i, chunk) in chunks.iter().enumerate().rev() {
+            let generation = self.next_generation()?;
+            let next = ids.get(i + 1).map(|b| b.0).unwrap_or(next_root);
+            let mut page = vec![0u8; self.store.block_size()];
+            page[0..8].copy_from_slice(&generation.to_be_bytes());
+            page[8..10].copy_from_slice(&INDEX_MARKER.to_be_bytes());
+            page[10..12].copy_from_slice(&(chunk.len() as u16).to_be_bytes());
+            page[12..16].copy_from_slice(&next.to_be_bytes());
+            let sealed = ctr_xor(&self.cipher, Self::nonce(generation, INDEX_SLOT), chunk);
+            page[INDEX_HEADER..INDEX_HEADER + sealed.len()].copy_from_slice(&sealed);
+            self.store.write_block(ids[i], &page)?;
+        }
+        Ok(ids)
+    }
+
+    /// Persists the reverse index and commits the superblock with a
+    /// matched epoch pair. When the persisted chain is a complete image
+    /// and the dirty-entry set is exact, only the *changed* block entries
+    /// are written, as a delta segment prepended to the chain —
+    /// O(changed blocks) per epoch instead of O(live) — with a full
+    /// rewrite every `rewrite_period` delta epochs to bound chain length.
+    /// Otherwise the previous chain is freed and rewritten wholesale;
+    /// when the index is incomplete (unkeyed inserts happened) the chain
+    /// is cleared instead, so a reopen rebuilds rather than trusting a
+    /// partial map. Called by [`RecordStore::flush`]; skipped entirely
+    /// when nothing mutated.
     fn persist_index(&mut self) -> Result<(), CoreError> {
         if !self.index_dirty && self.index_persisted_complete == self.rindex_complete {
             return Ok(());
         }
-        // Free the superseded chain (also when it is stale from a crashed
-        // epoch — the head survives in the superblock either way).
-        let mut cur = self.index_root;
-        let mut hops = 0u32;
-        while cur != NO_BLOCK {
-            hops += 1;
-            if hops > self.store.num_blocks() {
-                break; // stale garbage; stop following it
+        let t = self.store.counters().obs().start();
+        // Delta eligibility: the persisted chain must be a complete image
+        // whose distance from the current maps the dirty set measures
+        // exactly.
+        let delta_ok = self.delta_enabled
+            && self.rewrite_period > 0
+            && self.rindex_complete
+            && self.index_persisted_complete
+            && self.index_delta_epochs < self.rewrite_period
+            && self.index_dirty_blocks.is_some();
+        let mut wrote_delta = false;
+        if delta_ok {
+            let mut dirty: Vec<u32> = self
+                .index_dirty_blocks
+                .as_ref()
+                .expect("eligibility checked the set is Some")
+                .iter()
+                .copied()
+                .collect();
+            dirty.sort_unstable();
+            if dirty.is_empty() {
+                // An epoch whose net index state is unchanged (e.g. only
+                // no-op deletes) just re-stamps the superblock; no pages.
+                wrote_delta = true;
+            } else {
+                let stream = self.stream_for_blocks(&dirty);
+                let capacity = (self.store.block_size() - INDEX_HEADER).max(1);
+                let delta_pages = stream.len().div_ceil(capacity);
+                let full_len = self.full_stream_len();
+                let full_pages = full_len.div_ceil(capacity).max(1);
+                // Only worth it while the delta is genuinely smaller than
+                // a rewrite and the chain stays bounded (≤ ~2× the full
+                // image): churn that dirties most blocks falls through to
+                // the rewrite, which also reclaims the superseded chain.
+                if stream.len() * 2 <= full_len
+                    && self.chain_blocks.len() + delta_pages <= full_pages * 2 + 1
+                {
+                    let ids = self.write_chain_segment(&stream, self.index_root)?;
+                    let mut chain: Vec<u32> = ids.iter().map(|b| b.0).collect();
+                    chain.extend_from_slice(&self.chain_blocks);
+                    self.chain_blocks = chain;
+                    self.index_root = ids.first().map(|b| b.0).unwrap_or(self.index_root);
+                    self.index_delta_epochs += 1;
+                    self.store.counters().bump(|c| &c.index_delta_flushes);
+                    self.store
+                        .counters()
+                        .bump_by(|c| &c.index_flush_bytes, stream.len() as u64);
+                    wrote_delta = true;
+                }
             }
-            let Ok(page) = self.store.read_block_vec(BlockId(cur)) else {
-                break;
-            };
-            if !Self::is_index_page(&page) {
-                break;
-            }
-            let next = u32::from_be_bytes(page[12..16].try_into().expect("fixed width"));
-            self.free_block(BlockId(cur), false)?;
-            cur = next;
         }
-        self.index_root = NO_BLOCK;
-        // An empty stream (zero tracked blocks) persists as a bare
-        // `complete` flag with no chain pages, so a fresh store's first
-        // checkpoint does not disturb the data device's block layout.
-        if self.rindex_complete && !(self.rindex.is_empty() && self.dead.is_empty()) {
-            let stream = self.index_stream();
-            let capacity = self.store.block_size() - INDEX_HEADER;
-            let chunks: Vec<&[u8]> = stream.chunks(capacity.max(1)).collect();
-            // Allocate the whole chain first so each page can name its
-            // successor.
-            let mut ids = Vec::with_capacity(chunks.len());
-            for _ in &chunks {
-                ids.push(self.store.allocate_min()?);
+        if !wrote_delta {
+            // Free the superseded chain (also when it is stale from a
+            // crashed epoch — the head survives in the superblock either
+            // way).
+            let mut cur = self.index_root;
+            let mut hops = 0u32;
+            while cur != NO_BLOCK {
+                hops += 1;
+                if hops > self.store.num_blocks() {
+                    break; // stale garbage; stop following it
+                }
+                let Ok(page) = self.store.read_block_vec(BlockId(cur)) else {
+                    break;
+                };
+                if !Self::is_index_page(&page) {
+                    break;
+                }
+                let next = u32::from_be_bytes(page[12..16].try_into().expect("fixed width"));
+                self.free_block(BlockId(cur), false)?;
+                cur = next;
             }
-            for (i, chunk) in chunks.iter().enumerate().rev() {
-                let generation = self.next_generation()?;
-                let next = ids.get(i + 1).map(|b| b.0).unwrap_or(NO_BLOCK);
-                let mut page = vec![0u8; self.store.block_size()];
-                page[0..8].copy_from_slice(&generation.to_be_bytes());
-                page[8..10].copy_from_slice(&INDEX_MARKER.to_be_bytes());
-                page[10..12].copy_from_slice(&(chunk.len() as u16).to_be_bytes());
-                page[12..16].copy_from_slice(&next.to_be_bytes());
-                let sealed = ctr_xor(&self.cipher, Self::nonce(generation, INDEX_SLOT), chunk);
-                page[INDEX_HEADER..INDEX_HEADER + sealed.len()].copy_from_slice(&sealed);
-                self.store.write_block(ids[i], &page)?;
+            self.index_root = NO_BLOCK;
+            self.chain_blocks.clear();
+            // An empty stream (zero tracked blocks) persists as a bare
+            // `complete` flag with no chain pages, so a fresh store's first
+            // checkpoint does not disturb the data device's block layout.
+            if self.rindex_complete && !(self.rindex.is_empty() && self.dead.is_empty()) {
+                let stream = self.index_stream();
+                let ids = self.write_chain_segment(&stream, NO_BLOCK)?;
+                self.chain_blocks = ids.iter().map(|b| b.0).collect();
+                self.index_root = ids.first().map(|b| b.0).unwrap_or(NO_BLOCK);
+                self.store
+                    .counters()
+                    .bump_by(|c| &c.index_flush_bytes, stream.len() as u64);
             }
-            self.index_root = ids.first().map(|b| b.0).unwrap_or(NO_BLOCK);
+            self.index_delta_epochs = 0;
+            self.store.counters().bump(|c| &c.index_full_flushes);
         }
+        self.index_dirty_blocks = Some(HashSet::new());
         self.index_persisted_complete = self.rindex_complete;
         self.index_epoch += 1;
         self.mut_epoch = self.index_epoch;
         self.index_dirty = false;
         self.write_superblock()?;
+        self.store
+            .counters()
+            .obs()
+            .stage(sks_storage::Stage::IndexFlush, t);
         Ok(())
     }
 }
@@ -1421,7 +1606,7 @@ mod tests {
         for &p in &ptrs {
             rs.delete(p).unwrap();
         }
-        let victims = rs.victims(64).unwrap();
+        let victims = rs.victims(64, 0).unwrap();
         assert!(!victims.is_empty());
         let mut moves = 0;
         for v in victims {
@@ -1458,7 +1643,7 @@ mod tests {
                 rs.delete(p).unwrap();
             }
         }
-        let victims = rs.victims(64).unwrap();
+        let victims = rs.victims(64, 0).unwrap();
         assert!(!victims.is_empty(), "half-dead blocks are victims");
         let mut moved = 0u64;
         for v in victims {
@@ -1495,7 +1680,7 @@ mod tests {
         let before = rs.store().raw_image()[block.as_u32() as usize].clone();
         rs.delete(p0).unwrap();
         rs.delete(p1).unwrap();
-        for v in rs.victims(64).unwrap() {
+        for v in rs.victims(64, 0).unwrap() {
             rs.compact_block(v).unwrap();
         }
         rs.apply_pending_frees().unwrap();
@@ -1639,12 +1824,50 @@ mod tests {
         for p in &ptrs[8..10] {
             rs.delete(*p).unwrap();
         }
-        let victims = rs.victims(10).unwrap();
+        let victims = rs.victims(10, 0).unwrap();
         assert_eq!(
             victims[..3],
             [BlockId(blocks[1]), BlockId(blocks[2]), BlockId(blocks[0])],
             "deadest ratio first"
         );
+    }
+
+    #[test]
+    fn dead_ratio_floor_filters_lightly_dead_blocks() {
+        let mut rs = store();
+        let rec = vec![9u8; 56]; // 4 per 256-byte page
+        let mut ptrs = Vec::new();
+        for k in 0..16u64 {
+            ptrs.push(rs.insert_keyed(k, &rec).unwrap());
+        }
+        let blocks: Vec<u32> = {
+            let mut b: Vec<u32> = ptrs.iter().map(|p| p.block().as_u32()).collect();
+            b.dedup();
+            b
+        };
+        assert!(blocks.len() >= 4);
+        // Block 0: 1 of 4 dead (25%); block 1: 3 of 4 dead (75%).
+        rs.delete(ptrs[0]).unwrap();
+        for p in &ptrs[4..7] {
+            rs.delete(*p).unwrap();
+        }
+        // Floor 0 drains both; floor 25 keeps the exactly-at-floor block;
+        // floor 50 defers the quarter-dead block until churn concentrates.
+        assert_eq!(
+            rs.victims(10, 0).unwrap(),
+            [BlockId(blocks[1]), BlockId(blocks[0])]
+        );
+        assert_eq!(
+            rs.victims(10, 25).unwrap(),
+            [BlockId(blocks[1]), BlockId(blocks[0])],
+            "a block exactly at the floor qualifies"
+        );
+        assert_eq!(
+            rs.victims(10, 50).unwrap(),
+            [BlockId(blocks[1])],
+            "a lightly-dead block is deferred by the floor"
+        );
+        assert_eq!(rs.victims(10, 80).unwrap(), []);
     }
 
     #[test]

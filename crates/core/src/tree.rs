@@ -254,8 +254,21 @@ impl EncipheredBTree {
         config: SchemeConfig,
         counters: OpCounters,
     ) -> Result<Self, CoreError> {
+        Self::create_with_shared_disguise(config, counters, None)
+    }
+
+    /// [`EncipheredBTree::create_with_counters`] reusing a prebuilt key
+    /// disguise (see [`SchemeConfig::build_codec_with`]). An engine's
+    /// partitions all use an identical disguise, so the engine builds
+    /// the difference-set design once and shares it instead of paying
+    /// the construction per partition.
+    pub fn create_with_shared_disguise(
+        config: SchemeConfig,
+        counters: OpCounters,
+        disguise: Option<Arc<dyn KeyDisguise>>,
+    ) -> Result<Self, CoreError> {
         let (node_store, data_store) = build_stores(&config, &counters, true)?;
-        let mut this = Self::assemble(config, counters, node_store, data_store, true)?;
+        let mut this = Self::assemble(config, counters, node_store, data_store, true, disguise)?;
         this.seal_backend()?;
         Ok(this)
     }
@@ -268,8 +281,9 @@ impl EncipheredBTree {
         node_store: DynBlockStore,
         data_store: DynBlockStore,
         create: bool,
+        shared_disguise: Option<Arc<dyn KeyDisguise>>,
     ) -> Result<Self, CoreError> {
-        let (codec, disguise) = config.build_codec(&counters)?;
+        let (codec, disguise) = config.build_codec_with(&counters, shared_disguise)?;
         let mut tree = if create {
             BTree::create(node_store, codec)?
         } else {
@@ -277,11 +291,12 @@ impl EncipheredBTree {
         };
         tree.enable_node_cache(config.node_cache);
         tree.enable_write_behind(config.write_behind);
-        let records = if create {
+        let mut records = if create {
             RecordStore::create(data_store, config.data_key, config.record_cache)?
         } else {
             RecordStore::open(data_store, config.data_key, config.record_cache)?
         };
+        records.set_delta_config(config.index_delta, config.index_rewrite_period);
         let mut this = EncipheredBTree {
             config,
             counters,
@@ -309,8 +324,20 @@ impl EncipheredBTree {
         config: SchemeConfig,
         counters: OpCounters,
     ) -> Result<Self, CoreError> {
+        Self::open_with_shared_disguise(config, counters, None)
+    }
+
+    /// [`EncipheredBTree::open_with_counters`] reusing a prebuilt key
+    /// disguise (see [`EncipheredBTree::create_with_shared_disguise`]) —
+    /// the multi-partition reopen path stays O(1) design constructions
+    /// instead of O(partitions).
+    pub fn open_with_shared_disguise(
+        config: SchemeConfig,
+        counters: OpCounters,
+        disguise: Option<Arc<dyn KeyDisguise>>,
+    ) -> Result<Self, CoreError> {
         let (node_store, data_store) = build_stores(&config, &counters, false)?;
-        Self::assemble(config, counters, node_store, data_store, false)
+        Self::assemble(config, counters, node_store, data_store, false, disguise)
     }
 
     /// Builds the stack over caller-supplied node/data stores instead of
@@ -324,7 +351,7 @@ impl EncipheredBTree {
         node_store: DynBlockStore,
         data_store: DynBlockStore,
     ) -> Result<Self, CoreError> {
-        Self::assemble(config, counters, node_store, data_store, true)
+        Self::assemble(config, counters, node_store, data_store, true, None)
     }
 
     /// Reopens a stack persisted on caller-supplied stores (see
@@ -336,7 +363,7 @@ impl EncipheredBTree {
         node_store: DynBlockStore,
         data_store: DynBlockStore,
     ) -> Result<Self, CoreError> {
-        Self::assemble(config, counters, node_store, data_store, false)
+        Self::assemble(config, counters, node_store, data_store, false, None)
     }
 
     /// Post-open cross-device synchronisation. The tree superblock's
@@ -372,6 +399,7 @@ impl EncipheredBTree {
         let (codec, disguise) = config.build_codec(&counters)?;
         let (node_store, data_store) = build_stores(&config, &counters, true)?;
         let mut records = RecordStore::create(data_store, config.data_key, config.record_cache)?;
+        records.set_delta_config(config.index_delta, config.index_rewrite_period);
         let mut pairs = Vec::with_capacity(items.len());
         for (key, record) in items {
             pairs.push((*key, records.insert_keyed(*key, record)?));
@@ -746,7 +774,30 @@ impl EncipheredBTree {
     /// `compact_index_fallbacks`) and every later pass is O(victims)
     /// again. Counter-sensitive experiments simply run without deletes or
     /// with `compaction(0)`. A pass with no tombstones is free.
+    ///
+    /// This entry point drains: every block with even a single dead
+    /// record qualifies as a victim, so looping until `freed_blocks`
+    /// reaches zero reclaims all tombstoned space. Checkpoint-integrated
+    /// maintenance should use [`EncipheredBTree::compact_step_floored`]
+    /// instead, which keeps the pass proportional to churn.
     pub fn compact_step(&mut self, max_blocks: usize) -> Result<CompactionReport, CoreError> {
+        self.compact_step_floored(max_blocks, 0)
+    }
+
+    /// [`EncipheredBTree::compact_step`] with a dead-ratio floor: only
+    /// blocks at least `min_dead_pct` percent dead qualify as victims.
+    /// Rewriting a block re-seals every live record in it and repoints
+    /// the tree (a node unseal + re-seal per move), so a barely-dead
+    /// block costs hundreds of cipher operations to reclaim a few bytes
+    /// — work proportional to database size, not to change. The floor
+    /// defers those blocks until churn actually concentrates in them,
+    /// which is what keeps the steady-state checkpoint change-
+    /// proportional. `0` restores drain semantics.
+    pub fn compact_step_floored(
+        &mut self,
+        max_blocks: usize,
+        min_dead_pct: u8,
+    ) -> Result<CompactionReport, CoreError> {
         let mut report = CompactionReport::default();
         if max_blocks == 0 {
             return Ok(report);
@@ -766,7 +817,7 @@ impl EncipheredBTree {
             self.counters.obs().stage(Stage::CompactData, t);
             return Ok(report);
         }
-        let victims = self.records.victims(max_blocks)?;
+        let victims = self.records.victims(max_blocks, min_dead_pct)?;
         if victims.is_empty() {
             self.counters.obs().stage(Stage::CompactData, t);
             return Ok(report);

@@ -29,7 +29,7 @@ use sks_storage::{
 use crate::error::EngineError;
 use crate::recovery::{apply_replay, RecoveryPath, RecoveryReport};
 use crate::stats::{PartitionStats, StatsSnapshot};
-use crate::wal::{Wal, WalOp};
+use crate::wal::{SyncTicket, Wal, WalOp};
 
 /// Engine-level configuration wrapping the paper-level [`SchemeConfig`].
 #[derive(Debug, Clone)]
@@ -40,6 +40,20 @@ pub struct EngineConfig {
     pub sync: SyncPolicy,
     /// Block size of the WAL's backing [`sks_storage::FileDisk`].
     pub wal_block_size: usize,
+    /// Overlap group-commit fsyncs with sealing the next group: when the
+    /// WAL pipeline is on, a policy-mandated fsync runs on the writer
+    /// thread while the committing thread waits outside the WAL lock, so
+    /// another partition's commit can seal meanwhile. Every durability
+    /// barrier holds — a write is acknowledged only after its fsync
+    /// completes. Default on; turn off to force inline fsyncs.
+    pub overlap: bool,
+    /// Memory backend only: checkpoint by re-streaming *only* the
+    /// partitions mutated since their last snapshot file, so checkpoint
+    /// cost is O(changed partitions) instead of O(dataset). Off forces
+    /// every partition to re-stream each checkpoint (the full-rewrite
+    /// cost, kept as a comparison baseline); durability is identical
+    /// either way. Default on.
+    pub incremental_checkpoints: bool,
 }
 
 impl EngineConfig {
@@ -48,11 +62,25 @@ impl EngineConfig {
             scheme,
             sync: SyncPolicy::default(),
             wal_block_size: 4096,
+            overlap: true,
+            incremental_checkpoints: true,
         }
     }
 
     pub fn sync(mut self, sync: SyncPolicy) -> Self {
         self.sync = sync;
+        self
+    }
+
+    /// Sets [`EngineConfig::overlap`].
+    pub fn overlap(mut self, on: bool) -> Self {
+        self.overlap = on;
+        self
+    }
+
+    /// Sets [`EngineConfig::incremental_checkpoints`].
+    pub fn incremental_checkpoints(mut self, on: bool) -> Self {
+        self.incremental_checkpoints = on;
         self
     }
 
@@ -158,6 +186,17 @@ pub struct SksDb {
     /// Serialises whole checkpoints against each other (manual and
     /// background); readers and writers are *not* behind this lock.
     checkpoint_serial: Mutex<()>,
+    /// Per-partition mutation epoch: bumped under the partition write
+    /// lock on every logically mutating operation. A checkpoint compares
+    /// it against [`SksDb::snap_epochs`] to find the partitions whose
+    /// snapshot must be re-streamed.
+    partition_epochs: Vec<AtomicU64>,
+    /// The mutation epoch each partition's on-disk snapshot file
+    /// (`snap-NNN.sks`) captured; `None` means no trusted snapshot (the
+    /// next checkpoint must write one). Reset to all-`None` at open, so
+    /// the first checkpoint of every process re-establishes — and thereby
+    /// re-verifies — every snapshot.
+    snap_epochs: Mutex<Vec<Option<u64>>>,
     /// What the most recent checkpoint's compaction passes reclaimed.
     last_compaction: Mutex<CompactionReport>,
     /// Handle back to the owning `Arc`, so a dirty high-water breach can
@@ -280,6 +319,35 @@ fn partition_dir(db_dir: &Path, i: usize) -> PathBuf {
     db_dir.join(format!("part-{i:03}"))
 }
 
+/// Partition `i`'s snapshot file (memory backend): its record set as of
+/// the last checkpoint that found it dirty, in WAL format.
+fn snap_path(db_dir: &Path, i: usize) -> PathBuf {
+    db_dir.join(format!("snap-{i:03}.sks"))
+}
+
+/// The partition index a `snap-NNN.sks` file name carries, if it is one.
+fn snap_index(name: &str) -> Option<usize> {
+    name.strip_prefix("snap-")?
+        .strip_suffix(".sks")?
+        .parse()
+        .ok()
+}
+
+/// Every snapshot file in the directory, ordered by partition index.
+fn snap_files(db_dir: &Path) -> Result<Vec<PathBuf>, EngineError> {
+    let mut found = Vec::new();
+    for entry in std::fs::read_dir(db_dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(idx) = snap_index(name) {
+            found.push((idx, entry.path()));
+        }
+    }
+    found.sort();
+    Ok(found.into_iter().map(|(_, p)| p).collect())
+}
+
 /// The per-partition scheme config: on the file backend each partition's
 /// stores are re-rooted under the database directory (whatever directory
 /// the caller put in `StorageBackend::File.dir` is only used when the
@@ -358,10 +426,14 @@ impl SksDb {
         let mut partitions = Vec::with_capacity(n);
         for i in 0..n {
             let part_config = partition_config(&config.scheme, db_dir, i);
+            // Every partition seals under an identical disguise, and the
+            // router already built one: share the Arc so the open pays
+            // one difference-set construction, not one per partition.
+            let shared = router.disguise.clone();
             let mut tree = if persisted {
-                EncipheredBTree::open_with_counters(part_config, counters.clone())?
+                EncipheredBTree::open_with_shared_disguise(part_config, counters.clone(), shared)?
             } else {
-                EncipheredBTree::create_with_counters(part_config, counters.clone())?
+                EncipheredBTree::create_with_shared_disguise(part_config, counters.clone(), shared)?
             };
             if let Some(cache) = &shared_record_cache {
                 tree.use_shared_record_cache(cache, i as u64);
@@ -369,13 +441,41 @@ impl SksDb {
             partitions.push(tree);
         }
 
+        // Per-partition snapshot files: with incremental checkpoints the
+        // log holds only the tail since the last cut, and the snapshots
+        // hold everything older.
+        let snaps = snap_files(db_dir)?;
+        if !snaps.is_empty() && !wal_path.exists() {
+            return Err(EngineError::Config(
+                "partition snapshots exist but wal.sks is missing; the snapshots \
+                 alone cannot reconstruct a consistent state — refusing to open"
+                    .into(),
+            ));
+        }
         let (mut wal, recovery) = if wal_path.exists() {
             counters
                 .obs()
                 .note(EventKind::RecoveryStart, NO_PARTITION, 0, 0, 0);
             let recovery_timer = counters.obs().start();
-            let (wal, replay) =
+            let (wal, mut replay) =
                 Wal::open(&wal_path, config.wal_key(), config.sync, counters.clone())?;
+            if !persisted && !snaps.is_empty() {
+                // Snapshot records replay before the log: a snapshot is
+                // one partition's state at its stream point, and every
+                // mutation after that point is still in the log (a cut
+                // never discards a record its checkpoint's snapshots do
+                // not already cover), so re-applying the tail on top
+                // converges — the same argument as tail replay over a
+                // fuzzy page checkpoint.
+                let mut combined = Vec::new();
+                for snap in &snaps {
+                    let (_snap_wal, mut snap_replay) =
+                        Wal::open(snap, config.wal_key(), config.sync, counters.clone())?;
+                    combined.append(&mut snap_replay.records);
+                }
+                combined.append(&mut replay.records);
+                replay.records = combined;
+            }
             let mut report = apply_replay(&mut partitions, &router, replay)?;
             report.path = if persisted {
                 RecoveryPath::TailReplay
@@ -392,6 +492,15 @@ impl SksDb {
             // The recovery timeline (including any torn-tail scrub the
             // log open recorded) travels with the report.
             report.events = counters.obs().recent_events();
+            if config.scheme.backend.is_file() && !persisted && !snaps.is_empty() {
+                // Backend upgrade over a snapshot-backed database: the
+                // tail-only log cannot re-create this state on its own,
+                // so the rebuilt pages must be durable before a crash
+                // could force the (persisted) tail-replay path.
+                for tree in &mut partitions {
+                    tree.flush()?;
+                }
+            }
             (wal, report)
         } else {
             let wal = Wal::create(
@@ -414,6 +523,7 @@ impl SksDb {
         if config.scheme.seal_batch {
             wal.set_seal_batch(true);
             wal.enable_pipeline();
+            wal.set_overlap(config.overlap);
         }
 
         // Persist the layout facts (last, once stores + log exist) so the
@@ -434,6 +544,8 @@ impl SksDb {
             wal_path,
             config,
             checkpoint_serial: Mutex::new(()),
+            partition_epochs: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            snap_epochs: Mutex::new(vec![None; n]),
             last_compaction: Mutex::new(CompactionReport::default()),
             shared_record_cache,
             governance_tick: AtomicU64::new(0),
@@ -588,11 +700,13 @@ impl SksDb {
         let p = self.router.partition_of(key)?;
         let (result, over_high_water) = {
             let mut tree = self.partitions[p].write().expect("partition lock");
-            {
+            let ticket = {
                 let mut wal = self.wal.lock().expect("wal lock");
                 wal.append_insert(key, &value)?;
-                wal.commit()?;
-            }
+                wal.commit_pipelined()?
+            };
+            self.wait_durable(ticket)?;
+            self.partition_epochs[p].fetch_add(1, Ordering::Release);
             let result = tree.insert(key, value)?;
             (result, self.over_high_water(&tree))
         };
@@ -628,13 +742,15 @@ impl SksDb {
             let count = group.len();
             let over_high_water = {
                 let mut tree = self.partitions[p].write().expect("partition lock");
-                {
+                let ticket = {
                     let mut wal = self.wal.lock().expect("wal lock");
                     for (key, value) in &group {
                         wal.append_insert(*key, value)?;
                     }
-                    wal.commit()?;
-                }
+                    wal.commit_pipelined()?
+                };
+                self.wait_durable(ticket)?;
+                self.partition_epochs[p].fetch_add(1, Ordering::Release);
                 for (key, value) in group {
                     tree.insert(key, value)?;
                 }
@@ -697,13 +813,15 @@ impl SksDb {
             let count = group.len();
             let over_high_water = {
                 let mut tree = self.partitions[p].write().expect("partition lock");
-                {
+                let ticket = {
                     let mut wal = self.wal.lock().expect("wal lock");
                     for (key, value) in &group {
                         wal.append_insert(*key, value)?;
                     }
-                    wal.commit()?;
-                }
+                    wal.commit_pipelined()?
+                };
+                self.wait_durable(ticket)?;
+                self.partition_epochs[p].fetch_add(1, Ordering::Release);
                 tree.bulk_load(&group)?;
                 self.over_high_water(&tree)
             };
@@ -726,11 +844,13 @@ impl SksDb {
         let p = self.router.partition_of(key)?;
         let (result, over_high_water) = {
             let mut tree = self.partitions[p].write().expect("partition lock");
-            {
+            let ticket = {
                 let mut wal = self.wal.lock().expect("wal lock");
                 wal.append_delete(key)?;
-                wal.commit()?;
-            }
+                wal.commit_pipelined()?
+            };
+            self.wait_durable(ticket)?;
+            self.partition_epochs[p].fetch_add(1, Ordering::Release);
             let result = tree.delete(key)?;
             (result, self.over_high_water(&tree))
         };
@@ -743,6 +863,24 @@ impl SksDb {
                 .note(EventKind::Delete, p as u32, result.is_some() as u64, 0, ns);
         }
         Ok(result)
+    }
+
+    /// Completes an overlapped group commit: waits for the fsync ticket
+    /// (when [`Wal::commit_pipelined`] handed one out) with the WAL lock
+    /// already released, so another partition's writer can seal the next
+    /// group while this group's fsync is in flight. The wait is this
+    /// thread's durability barrier — charged to the same `WalFsync`
+    /// stage an inline fsync would be. On error the tree has not been
+    /// mutated (callers wait before applying), and the WAL's sticky
+    /// writer error fail-stops every later commit.
+    fn wait_durable(&self, ticket: Option<SyncTicket>) -> Result<(), EngineError> {
+        let Some(ticket) = ticket else {
+            return Ok(());
+        };
+        let timer = self.counters.obs().start();
+        ticket.wait()?;
+        self.counters.obs().stage(Stage::WalFsync, timer);
+        Ok(())
     }
 
     /// Whether this partition's buffered dirty set breached the configured
@@ -1054,14 +1192,19 @@ impl SksDb {
         let tmp_path = self.wal_path.with_extension("tmp");
         // Detached counters while the snapshot is written: the internal
         // rewrite is not client traffic and must not inflate
-        // wal_appends/wal_bytes.
-        let mut fresh = Wal::create(
-            &tmp_path,
-            self.config.wal_block_size,
-            self.config.wal_key(),
-            self.config.sync,
-            OpCounters::new(),
-        )?;
+        // wal_appends/wal_bytes. Created on its own thread so the fresh
+        // log's durability work (header write + fsync + directory sync)
+        // overlaps the partition flush phase below — the cut is the only
+        // consumer and joins right before it needs the handle. An early
+        // error return simply detaches the thread; the stray `.tmp` is
+        // overwritten by the next checkpoint.
+        let fresh_handle = std::thread::spawn({
+            let tmp = tmp_path.clone();
+            let block_size = self.config.wal_block_size;
+            let key = self.config.wal_key();
+            let sync = self.config.sync;
+            move || Wal::create(&tmp, block_size, key, sync, OpCounters::new())
+        });
         let mut written = 0u64;
 
         // Phase 2. Each partition first runs its bounded record-store
@@ -1073,6 +1216,7 @@ impl SksDb {
         // physically shrink at the flush.
         let flush_timer = self.counters.obs().start();
         let compaction_budget = self.config.scheme.compaction;
+        let compaction_floor = self.config.scheme.compaction_floor;
         let mut compacted = CompactionReport::default();
         if self.config.scheme.backend.is_file() {
             // Durability lives in the tree pages: journal every
@@ -1084,7 +1228,11 @@ impl SksDb {
                     .map(|p| {
                         s.spawn(move || -> Result<CompactionReport, EngineError> {
                             let mut guard = p.write().expect("partition lock");
-                            let mut report = guard.compact_step(compaction_budget)?;
+                            // Floored: checkpoint maintenance only
+                            // rewrites blocks churn has made worth
+                            // reclaiming (SksDb::compact still drains).
+                            let mut report =
+                                guard.compact_step_floored(compaction_budget, compaction_floor)?;
                             report.absorb(guard.compact_nodes(compaction_budget)?);
                             guard.flush()?;
                             Ok(report)
@@ -1101,15 +1249,40 @@ impl SksDb {
                 compacted.absorb(r?);
             }
         } else {
-            // Compact under the write lock, then stream the partition's
-            // snapshot under its *read* lock — readers run freely, writers
-            // stall only on the partition currently being worked on.
+            // Memory backend: durability lives in per-partition snapshot
+            // files plus the log tail. Only partitions whose mutation
+            // epoch moved since their last snapshot re-stream — the
+            // checkpoint costs O(changed partitions), not O(dataset).
+            // Each dirty partition compacts under its write lock, then
+            // streams its snapshot under its *read* lock — readers run
+            // freely, writers stall only on the partition being worked
+            // on. Clean partitions are not even locked for writing.
             let max_key = self.config.scheme.capacity;
+            let db_dir = self
+                .wal_path
+                .parent()
+                .expect("wal lives in the db dir")
+                .to_path_buf();
             let mut mid = Some(mid);
-            for part in &self.partitions {
+            let mut snapped = 0u64;
+            for (i, part) in self.partitions.iter().enumerate() {
                 {
                     let mut guard = part.write().expect("partition lock");
-                    compacted.absorb(guard.compact_step(compaction_budget)?);
+                    let epoch = self.partition_epochs[i].load(Ordering::Acquire);
+                    let clean = self.config.incremental_checkpoints
+                        && self.snap_epochs.lock().expect("snap epochs")[i] == Some(epoch);
+                    if clean {
+                        // Logically untouched since its snapshot: nothing
+                        // to compact (churn is what creates dead blocks)
+                        // and nothing to re-stream.
+                        drop(guard);
+                        if let Some(mid) = mid.take() {
+                            mid();
+                        }
+                        continue;
+                    }
+                    compacted
+                        .absorb(guard.compact_step_floored(compaction_budget, compaction_floor)?);
                     compacted.absorb(guard.compact_nodes(compaction_budget)?);
                     // Applies the pass's quarantined frees (a memory
                     // device has no cross-device crash window to wait
@@ -1117,22 +1290,59 @@ impl SksDb {
                     guard.flush()?;
                 }
                 let guard = part.read().expect("partition lock");
+                // The epoch this snapshot captures: re-read under the
+                // read lock, where no mutation can be in flight.
+                let epoch = self.partition_epochs[i].load(Ordering::Acquire);
+                let tmp = snap_path(&db_dir, i).with_extension("sks.tmp");
+                // Detached counters: the snapshot rewrite is maintenance,
+                // not client traffic.
+                let mut snap = Wal::create(
+                    &tmp,
+                    self.config.wal_block_size,
+                    self.config.wal_key(),
+                    SyncPolicy::Never,
+                    OpCounters::new(),
+                )?;
                 // Stream without materialising: memory stays O(height +
                 // one record) regardless of partition size. Keys live in
                 // `0..=capacity` by construction (SchemeConfig's domain).
                 for item in guard.iter_range(0, max_key) {
                     let (key, value) = item?;
-                    fresh.append_insert(key, &value)?;
+                    snap.append_insert(key, &value)?;
                     written += 1;
                 }
+                snap.flush()?;
+                drop(snap);
                 drop(guard);
+                std::fs::rename(&tmp, snap_path(&db_dir, i))?;
+                snapped += 1;
+                self.snap_epochs.lock().expect("snap epochs")[i] = Some(epoch);
                 if let Some(mid) = mid.take() {
                     mid();
                 }
             }
             if let Some(mid) = mid.take() {
-                mid(); // zero-partition case cannot occur, but be total
+                mid(); // all-partitions-clean case must still run it
             }
+            if snapped > 0 {
+                // The snapshots' directory entries must be durable before
+                // the cut discards the log records they supersede.
+                sync_dir(&db_dir)?;
+            }
+            self.counters.obs().note(
+                EventKind::CheckpointPhase,
+                NO_PARTITION,
+                1, // snapshot phase: partitions re-streamed
+                snapped,
+                0,
+            );
+            // Snapshots from a larger partition count of a previous
+            // incarnation are superseded the moment every current
+            // partition has a fresh snapshot (all-`None` epochs at open
+            // force exactly that on the first checkpoint); remove them
+            // *before* the cut — after it they would replay stale values
+            // over the current snapshots.
+            self.remove_snaps(false)?;
         }
         *self.last_compaction.lock().expect("compaction report") = compacted;
         self.counters
@@ -1149,6 +1359,7 @@ impl SksDb {
         // Phase 3: cut the log, carrying the fuzzy tail. Writers are
         // blocked only for this re-append + rename.
         let cut_timer = self.counters.obs().start();
+        let mut fresh = fresh_handle.join().expect("wal create thread")?;
         let mut wal = self.wal.lock().expect("wal lock");
         for rec in wal.records_since(mark_seq, mark_offset)? {
             match rec.op {
@@ -1176,10 +1387,45 @@ impl SksDb {
         if self.config.scheme.seal_batch {
             fresh.set_seal_batch(true);
             fresh.enable_pipeline();
+            fresh.set_overlap(self.config.overlap);
         }
         *wal = fresh;
         self.counters.obs().stage(Stage::CheckpointCut, cut_timer);
+        drop(wal);
+        if self.config.scheme.backend.is_file() {
+            // Durability lives in the pages now; a lingering snapshot
+            // (from a memory-backend incarnation) would replay stale —
+            // even resurrected — values into a later full replay.
+            self.remove_snaps(true)?;
+        }
         Ok(written)
+    }
+
+    /// Removes snapshot files the current checkpoint has made stale:
+    /// every snapshot when `all`, otherwise snapshots for partition
+    /// indices the current configuration no longer has — plus, either
+    /// way, `.tmp` strays an interrupted snapshot stream left behind.
+    fn remove_snaps(&self, all: bool) -> Result<(), EngineError> {
+        let db_dir = self.wal_path.parent().expect("wal lives in the db dir");
+        let n = self.partitions.len();
+        let mut removed = false;
+        for entry in std::fs::read_dir(db_dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let stale = match snap_index(name) {
+                Some(idx) => all || idx >= n,
+                None => name.starts_with("snap-") && name.ends_with(".tmp"),
+            };
+            if stale {
+                std::fs::remove_file(entry.path())?;
+                removed = true;
+            }
+        }
+        if removed {
+            sync_dir(db_dir)?;
+        }
+        Ok(())
     }
 
     /// One manual space-governance pass over every partition: up to

@@ -54,7 +54,7 @@ pub use db::{EngineConfig, Session, SksDb};
 pub use error::EngineError;
 pub use recovery::{RecoveryPath, RecoveryReport};
 pub use stats::{PartitionStats, StatsSnapshot, OPS, WRITE_PATH_STAGES};
-pub use wal::{Wal, WalDevice, WalOp, WalRecord, WalReplay};
+pub use wal::{SyncTicket, Wal, WalDevice, WalOp, WalRecord, WalReplay};
 
 // The observability vocabulary the stats surface speaks, re-exported so
 // engine users never need a direct sks-storage dependency.

@@ -17,8 +17,10 @@
 //! only ever appends) and every logged operation has last-writer-wins
 //! semantics on its key.
 
+use std::collections::BTreeMap;
+
 use sks_core::EncipheredBTree;
-use sks_storage::Event;
+use sks_storage::{Event, Stage};
 
 use crate::db::Router;
 use crate::error::EngineError;
@@ -73,10 +75,19 @@ impl RecoveryReport {
     }
 }
 
-/// Applies replayed records to the partitions, in log order. Takes the
-/// replay by value so record payloads move into the trees instead of
-/// being cloned (the WAL holds the whole dataset between checkpoints;
-/// cloning would double peak memory at open).
+/// Applies replayed records to the partitions. Takes the replay by value
+/// so record payloads move into the trees instead of being cloned (the
+/// WAL holds the whole dataset between checkpoints; cloning would double
+/// peak memory at open).
+///
+/// Records route to their partitions first — partitions are independent
+/// (the router is deterministic per key), so each partition's run can be
+/// applied as one batch while relative order within it is preserved. A
+/// pristine partition takes the batched path: the run folds into its
+/// final image (last writer wins, deletes erase) and the tree builds
+/// bottom-up through `bulk_load`, paying batch seal cost instead of one
+/// sealed mutation per record. A partition that already holds data (the
+/// file backend's tail replay) keeps the exact per-record path.
 pub(crate) fn apply_replay(
     partitions: &mut [EncipheredBTree],
     router: &Router,
@@ -87,19 +98,75 @@ pub(crate) fn apply_replay(
         bytes_discarded: replay.bytes_discarded,
         ..RecoveryReport::default()
     };
+    let mut groups: Vec<Vec<WalOp>> = (0..partitions.len()).map(|_| Vec::new()).collect();
     for WalRecord { seq, op } in replay.records {
         report.last_seq = seq;
-        let applied = match op {
-            WalOp::Insert { key, value } => router
-                .partition_of(key)
-                .and_then(|p| partitions[p].insert(key, value).map_err(Into::into)),
-            WalOp::Delete { key } => router
-                .partition_of(key)
-                .and_then(|p| partitions[p].delete(key).map_err(Into::into)),
+        let key = match op {
+            WalOp::Insert { key, .. } | WalOp::Delete { key } => key,
         };
-        match applied {
-            Ok(_) => report.records_replayed += 1,
+        match router.partition_of(key) {
+            Ok(p) => groups[p].push(op),
             Err(_) => report.records_skipped += 1,
+        }
+    }
+    for (p, mut ops) in groups.into_iter().enumerate() {
+        if ops.is_empty() {
+            continue;
+        }
+        let tree = &mut partitions[p];
+        if tree.is_empty() && ops.len() > 1 {
+            let t = tree.counters().obs().start();
+            // Fold the run into its final image: for each surviving key,
+            // the index of the insert whose value wins.
+            let mut winners: BTreeMap<u64, usize> = BTreeMap::new();
+            for (i, op) in ops.iter().enumerate() {
+                match op {
+                    WalOp::Insert { key, .. } => {
+                        winners.insert(*key, i);
+                    }
+                    WalOp::Delete { key } => {
+                        winners.remove(key);
+                    }
+                }
+            }
+            let mut items: Vec<(u64, Vec<u8>)> = Vec::with_capacity(winners.len());
+            for (&key, &i) in &winners {
+                let WalOp::Insert { value, .. } = &mut ops[i] else {
+                    unreachable!("winner indices point at inserts");
+                };
+                items.push((key, std::mem::take(value)));
+            }
+            match tree.bulk_load(&items) {
+                Ok(()) => {
+                    report.records_replayed += ops.len() as u64;
+                    tree.counters().bump(|c| &c.replay_batches);
+                    tree.counters().obs().stage(Stage::ReplayBatch, t);
+                    continue;
+                }
+                Err(_) => {
+                    // Rare (e.g. a logged record no longer fits the
+                    // configured blocks — bulk_load is all-or-nothing).
+                    // Put the payloads back and take the exact
+                    // per-record path below, which skips only the
+                    // failing records.
+                    for (item, (_, &i)) in items.iter_mut().zip(&winners) {
+                        let WalOp::Insert { value, .. } = &mut ops[i] else {
+                            unreachable!("winner indices point at inserts");
+                        };
+                        *value = std::mem::take(&mut item.1);
+                    }
+                }
+            }
+        }
+        for op in ops {
+            let applied = match op {
+                WalOp::Insert { key, value } => tree.insert(key, value),
+                WalOp::Delete { key } => tree.delete(key),
+            };
+            match applied {
+                Ok(_) => report.records_replayed += 1,
+                Err(_) => report.records_skipped += 1,
+            }
         }
     }
     Ok(report)

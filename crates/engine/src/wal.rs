@@ -141,7 +141,25 @@ impl WalDevice for FailStore<FileDisk> {
 
 /// A queued unit of work for the writer thread.
 enum WriterJob {
-    Write { id: BlockId, data: Vec<u8> },
+    Write {
+        id: BlockId,
+        data: Vec<u8>,
+    },
+    /// An fsync enqueued behind the writes it must cover; completion is
+    /// reported through [`SyncState`] to the matching [`SyncTicket`].
+    Sync {
+        ticket: u64,
+    },
+}
+
+/// Completion state for fsyncs executed asynchronously on the writer
+/// thread. Deliberately not generic over the device, so a [`SyncTicket`]
+/// can be waited on after every `Wal` lock has been released.
+struct SyncState {
+    /// Highest completed ticket, and the first error any asynchronous
+    /// sync surfaced (sticky, mirroring `WriterShared::error`).
+    done: Mutex<(u64, Option<StorageError>)>,
+    completed: Condvar,
 }
 
 /// State shared between the foreground handle and the writer thread.
@@ -155,6 +173,39 @@ struct WriterShared<D> {
     /// device call fails until the log is reopened (the `Wal` turns the
     /// first surfaced error into its poison fail-stop).
     error: Mutex<Option<StorageError>>,
+    syncs: Arc<SyncState>,
+}
+
+/// Handle to one asynchronous WAL fsync. The commit that produced it is
+/// durable only once `wait` returns `Ok`; the caller must not acknowledge
+/// the commit before then.
+#[derive(Debug)]
+pub struct SyncTicket {
+    state: Arc<SyncState>,
+    seq: u64,
+}
+
+impl std::fmt::Debug for SyncState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SyncState").finish()
+    }
+}
+
+impl SyncTicket {
+    /// Blocks until the fsync this ticket names has completed, surfacing
+    /// the first error any asynchronous sync hit. The error is sticky:
+    /// once one fsync has failed, the durability of everything after it
+    /// is unknowable, so every later waiter fails too.
+    pub fn wait(self) -> Result<(), StorageError> {
+        let mut done = self.state.done.lock().expect("wal sync state");
+        while done.0 < self.seq && done.1.is_none() {
+            done = self.state.completed.wait(done).expect("wal sync state");
+        }
+        match &done.1 {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
 }
 
 /// Double-buffered WAL device: `write_block` hands the sealed block to a
@@ -172,6 +223,8 @@ pub struct DoubleBuffered<D: WalDevice> {
     handle: Option<std::thread::JoinHandle<()>>,
     counters: OpCounters,
     block_size: usize,
+    /// Ticket the next [`DoubleBuffered::submit_sync`] will hand out.
+    next_ticket: u64,
 }
 
 impl<D: WalDevice> std::fmt::Debug for DoubleBuffered<D> {
@@ -194,6 +247,10 @@ impl<D: WalDevice + Send + 'static> DoubleBuffered<D> {
             inflight: Mutex::new(0),
             drained: Condvar::new(),
             error: Mutex::new(None),
+            syncs: Arc::new(SyncState {
+                done: Mutex::new((0, None)),
+                completed: Condvar::new(),
+            }),
         });
         let (tx, rx) = mpsc::sync_channel::<WriterJob>(SWAP_BUFFERS);
         let worker = Arc::clone(&shared);
@@ -201,15 +258,41 @@ impl<D: WalDevice + Send + 'static> DoubleBuffered<D> {
             .name("sks-wal-writer".into())
             .spawn(move || {
                 while let Ok(job) = rx.recv() {
-                    let WriterJob::Write { id, data } = job;
-                    let result = worker
-                        .disk
-                        .lock()
-                        .expect("wal device")
-                        .write_block(id, &data);
-                    if let Err(e) = result {
-                        let mut slot = worker.error.lock().expect("wal writer error");
-                        slot.get_or_insert(e);
+                    match job {
+                        WriterJob::Write { id, data } => {
+                            let result = worker
+                                .disk
+                                .lock()
+                                .expect("wal device")
+                                .write_block(id, &data);
+                            if let Err(e) = result {
+                                let mut slot = worker.error.lock().expect("wal writer error");
+                                slot.get_or_insert(e);
+                            }
+                        }
+                        WriterJob::Sync { ticket } => {
+                            // A sync after a failed asynchronous write
+                            // must not report durability the stream no
+                            // longer has: the sticky write error wins
+                            // over whatever the device would say now.
+                            let prior = worker.error.lock().expect("wal writer error").clone();
+                            let result = match prior {
+                                Some(e) => Err(e),
+                                None => worker.disk.lock().expect("wal device").sync(),
+                            };
+                            let mut done = worker.syncs.done.lock().expect("wal sync state");
+                            done.0 = ticket;
+                            if let Err(e) = result {
+                                worker
+                                    .error
+                                    .lock()
+                                    .expect("wal writer error")
+                                    .get_or_insert(e.clone());
+                                done.1.get_or_insert(e);
+                            }
+                            drop(done);
+                            worker.syncs.completed.notify_all();
+                        }
                     }
                     let mut inflight = worker.inflight.lock().expect("wal inflight");
                     *inflight -= 1;
@@ -223,6 +306,7 @@ impl<D: WalDevice + Send + 'static> DoubleBuffered<D> {
             handle: Some(handle),
             counters,
             block_size,
+            next_ticket: 0,
         }
     }
 }
@@ -242,6 +326,33 @@ impl<D: WalDevice> DoubleBuffered<D> {
             Some(e) => Err(e.clone()),
             None => Ok(()),
         }
+    }
+
+    /// Enqueues an fsync behind every write accepted so far and returns a
+    /// ticket to wait on *after* the caller has released its locks. The
+    /// job channel is FIFO, so by the time the writer thread reaches the
+    /// sync every earlier `write_block` has hit the device — the sync
+    /// covers exactly the commits sealed before it was submitted, and
+    /// the foreground is free to seal the next group meanwhile.
+    fn submit_sync(&mut self) -> Result<SyncTicket, StorageError> {
+        self.check_error()?;
+        self.next_ticket += 1;
+        let seq = self.next_ticket;
+        *self.shared.inflight.lock().expect("wal inflight") += 1;
+        let sent = self
+            .tx
+            .as_ref()
+            .expect("writer channel open")
+            .send(WriterJob::Sync { ticket: seq });
+        if sent.is_err() {
+            *self.shared.inflight.lock().expect("wal inflight") -= 1;
+            self.check_error()?;
+            return Err(StorageError::Io("wal writer thread exited".into()));
+        }
+        Ok(SyncTicket {
+            state: Arc::clone(&self.shared.syncs),
+            seq,
+        })
     }
 }
 
@@ -512,6 +623,10 @@ pub struct Wal<D: WalDevice = FileDisk> {
     staged: Vec<StagedOp>,
     /// Sequence number of `staged[0]` (batch frames carry the first seq).
     staged_first_seq: u64,
+    /// When on (and the device is pipelined), [`Wal::commit_pipelined`]
+    /// submits policy-mandated fsyncs to the writer thread and returns a
+    /// ticket instead of paying the fsync inline.
+    overlap: bool,
 }
 
 impl Wal {
@@ -571,6 +686,7 @@ impl<D: WalDevice> Wal<D> {
             seal_batch: false,
             staged: Vec::new(),
             staged_first_seq: 0,
+            overlap: false,
         };
         wal.append_keycheck()?;
         Ok(wal)
@@ -713,6 +829,7 @@ impl<D: WalDevice> Wal<D> {
             seal_batch: false,
             staged: Vec::new(),
             staged_first_seq: 0,
+            overlap: false,
         };
         if wal.tail_used > 0 {
             let tail_block = BlockId((pos / block_size) as u32);
@@ -792,6 +909,16 @@ impl<D: WalDevice> Wal<D> {
             }
             other => self.disk = other,
         }
+    }
+
+    /// Turns fsync overlap on or off. With it on and the writer pipeline
+    /// enabled, [`Wal::commit_pipelined`] hands policy-mandated fsyncs to
+    /// the writer thread and returns a [`SyncTicket`] instead of paying
+    /// the fsync inline, so the next commit group can seal while the
+    /// previous group's fsync is in flight. [`Wal::commit`] is unaffected
+    /// and stays fully synchronous.
+    pub fn set_overlap(&mut self, on: bool) {
+        self.overlap = on;
     }
 
     /// Re-points counter accounting at a different shared set (used by
@@ -1044,6 +1171,63 @@ impl<D: WalDevice> Wal<D> {
             return Ok(true);
         }
         Ok(false)
+    }
+
+    /// [`Wal::commit`], except that when this commit's policy point
+    /// demands an fsync, the device is pipelined, and overlap is enabled
+    /// ([`Wal::set_overlap`]), the fsync is enqueued on the writer thread
+    /// behind the group's sealed blocks and its [`SyncTicket`] returned
+    /// instead of being waited for here. The durability barrier moves
+    /// out of this handle's lock scope — it does not weaken: the commit
+    /// is durable only once the ticket's `wait` returns `Ok`, and the
+    /// caller must not acknowledge it before then. Meanwhile another
+    /// thread can take this handle and seal group N+1 while group N's
+    /// fsync runs. Returns `Ok(None)` when no fsync was due, or when one
+    /// was due and was paid inline (the non-overlapped path).
+    pub fn commit_pipelined(&mut self) -> Result<Option<SyncTicket>, EngineError> {
+        self.check_poison()?;
+        self.seal_staged()?;
+        if self.tail_dirty {
+            let timer = self.counters.obs().start();
+            if let Err(e) = self.write_tail() {
+                self.poisoned = true;
+                return Err(e);
+            }
+            self.counters.obs().stage(Stage::WalAppend, timer);
+        }
+        self.pending_commits += 1;
+        if !self.policy.should_sync(self.pending_commits) {
+            return Ok(None);
+        }
+        let amortised = self.pending_commits;
+        if self.overlap {
+            if let WalDisk::Piped(p) = &mut self.disk {
+                self.counters.bump(|c| &c.wal_fsyncs);
+                let ticket = match p.submit_sync() {
+                    Ok(t) => t,
+                    Err(e) => {
+                        // Same fail-stop as a failed inline fsync: the
+                        // durability of pending commits is unknowable.
+                        self.poisoned = true;
+                        return Err(e.into());
+                    }
+                };
+                self.counters.obs().note(
+                    EventKind::GroupCommit,
+                    NO_PARTITION,
+                    amortised as u64,
+                    0,
+                    0,
+                );
+                self.pending_commits = 0;
+                return Ok(Some(ticket));
+            }
+        }
+        self.force_sync()?;
+        self.counters
+            .obs()
+            .note(EventKind::GroupCommit, NO_PARTITION, amortised as u64, 0, 0);
+        Ok(None)
     }
 
     /// Unconditional write-out + fsync (checkpoint/shutdown path).

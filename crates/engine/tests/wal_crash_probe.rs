@@ -105,10 +105,11 @@ fn torn_commit_record_mid_group_commit_is_scrubbed_and_named() {
 /// Crash-probe sweep over the *pipelined* write path: batch sealing and
 /// the double-buffered writer thread both on, a fault — torn write,
 /// clean write error, or a killed fsync — armed at a seed-derived stage
-/// boundary, twelve seeds. Every reopen must recover a *consistent
-/// prefix* of the logical stream: some whole number of leading group
-/// commits, never a partial batch, never a record out of order, and a
-/// log that accepts writes again.
+/// boundary, twelve seeds, with fsync-overlapped sealing both off and
+/// on. Every reopen must recover a *consistent prefix* of the logical
+/// stream: some whole number of leading group commits, never a partial
+/// batch, never a record out of order, and a log that accepts writes
+/// again.
 #[test]
 fn pipelined_wal_fault_sweep_recovers_consistent_prefixes() {
     const BLOCK: usize = 512;
@@ -117,8 +118,9 @@ fn pipelined_wal_fault_sweep_recovers_consistent_prefixes() {
     let value = |k: u64| format!("sweep-record-{k:04}").into_bytes();
 
     let mut faults_fired = 0u32;
-    for seed in 0..12u64 {
-        let dir = tmpdir(&format!("sweep_{seed}"));
+    for run in 0..24u64 {
+        let (overlap, seed) = (run >= 12, run % 12);
+        let dir = tmpdir(&format!("sweep_{overlap}_{seed}"));
         let config = EngineConfig::new(SchemeConfig::with_capacity(Scheme::Oval, 4096))
             .sync(SyncPolicy::EveryN(4));
         let wal_path = dir.join("wal.sks");
@@ -136,10 +138,13 @@ fn pipelined_wal_fault_sweep_recovers_consistent_prefixes() {
         .unwrap();
         wal.set_seal_batch(true);
         wal.enable_pipeline();
+        wal.set_overlap(overlap);
 
         // Seed-derived fault: two thirds hit a block write (alternating
         // torn and clean-error — the batch-seal/device-write boundary),
-        // one third kills an fsync (the group-commit barrier).
+        // one third kills an fsync (the group-commit barrier; with
+        // overlap on it dies on the writer thread and must surface
+        // through the sync ticket).
         match seed % 3 {
             0 => drop(plan.arm_from_seed(seed, 35, FailMode::Torn)),
             1 => drop(plan.arm_from_seed(seed, 35, FailMode::Error)),
@@ -155,7 +160,16 @@ fn pipelined_wal_fault_sweep_recovers_consistent_prefixes() {
                     break 'workload;
                 }
             }
-            if wal.commit().is_err() {
+            let committed = if overlap {
+                match wal.commit_pipelined() {
+                    Ok(Some(ticket)) => ticket.wait().is_ok(),
+                    Ok(None) => true,
+                    Err(_) => false,
+                }
+            } else {
+                wal.commit().is_ok()
+            };
+            if !committed {
                 break 'workload;
             }
         }
@@ -216,7 +230,114 @@ fn pipelined_wal_fault_sweep_recovers_consistent_prefixes() {
         std::fs::remove_dir_all(&dir).ok();
     }
     assert!(
-        faults_fired >= 10,
-        "the sweep must actually exercise the fault plans: {faults_fired}/12 fired"
+        faults_fired >= 20,
+        "the sweep must actually exercise the fault plans: {faults_fired}/24 fired"
     );
+}
+
+/// The overlapped-fsync fault window, surgically: group N's fsync is
+/// killed on the writer thread while group N+1 is already sealed behind
+/// it. The failure must surface on N's ticket (a killed overlapped fsync
+/// is never silently acked), every commit behind it must fail through
+/// the sticky error, and the reopened log must hold a consistent
+/// whole-batch prefix containing everything that was acked durable.
+#[test]
+fn killed_overlapped_fsync_with_next_group_sealed_recovers() {
+    const BLOCK: usize = 512;
+    let dir = tmpdir("overlap_kill");
+    let config =
+        EngineConfig::new(SchemeConfig::with_capacity(Scheme::Oval, 4096)).sync(SyncPolicy::Always);
+    let wal_path = dir.join("wal.sks");
+    let value = |k: u64| format!("overlap-record-{k:04}").into_bytes();
+
+    let counters = OpCounters::new();
+    let disk = FileDisk::create_with_counters(&wal_path, BLOCK, counters.clone()).unwrap();
+    let (fail, plan) = FailStore::new(disk);
+    let mut wal =
+        Wal::create_on_device(fail, BLOCK, config.wal_key(), SyncPolicy::Always, counters).unwrap();
+    wal.set_seal_batch(true);
+    wal.enable_pipeline();
+    wal.set_overlap(true);
+
+    // Group 0: committed, fsync overlapped, acked durable.
+    for k in 0..3u64 {
+        wal.append_insert(k, &value(k)).unwrap();
+    }
+    let t0 = wal
+        .commit_pipelined()
+        .unwrap()
+        .expect("Always policy syncs every commit");
+    t0.wait().unwrap();
+
+    // Arm the kill: the next fsync — group 1's — dies on the writer
+    // thread.
+    plan.arm_nth_flush(1);
+
+    // Group 1 seals and submits its doomed fsync…
+    for k in 3..6u64 {
+        wal.append_insert(k, &value(k)).unwrap();
+    }
+    let t1 = wal
+        .commit_pipelined()
+        .unwrap()
+        .expect("ticket for the doomed sync");
+
+    // …and group 2 seals behind it while that fsync is in flight (or
+    // already dead — the race is the point: whichever side observes the
+    // error first, it must never be lost).
+    let g2 = (|| {
+        for k in 6..9u64 {
+            wal.append_insert(k, &value(k))?;
+        }
+        wal.commit_pipelined()
+    })();
+
+    // The doomed group's waiter sees the failure.
+    assert!(t1.wait().is_err(), "group 1's ticket must surface the kill");
+    assert!(plan.tripped(), "the armed fsync fired");
+    match g2 {
+        // If group 2 got in before the error landed, its sync sits
+        // behind the dead one in the FIFO and inherits the failure.
+        Ok(Some(t2)) => assert!(t2.wait().is_err(), "a sync behind a killed fsync must fail"),
+        Ok(None) => panic!("Always policy returns a ticket"),
+        // Or the seal already observed the sticky error — also correct.
+        Err(_) => {}
+    }
+    // The handle fail-stops rather than acking over the hole.
+    let _ = wal.append_insert(99, b"must-not-commit");
+    assert!(
+        wal.commit_pipelined().is_err(),
+        "the stream is poisoned after the kill"
+    );
+    drop(wal);
+
+    // Reopen through the engine: a whole-batch prefix that includes at
+    // least the acked group and nothing past the poison point.
+    let db = SksDb::open(&dir, config).unwrap();
+    let report = db.recovery_report();
+    assert_eq!(report.path, RecoveryPath::FullReplay);
+    let n = report.records_replayed;
+    assert!(n >= 3, "the acked group is durable: {n} records");
+    assert_eq!(n % 3, 0, "whole group commits only, got {n}");
+    assert!(n <= 9, "nothing past the poisoned commit replays");
+    for k in 0..n {
+        assert_eq!(
+            db.get(k).unwrap().as_deref(),
+            Some(value(k).as_slice()),
+            "key {k} inside the recovered prefix"
+        );
+    }
+    for k in n..10 {
+        assert_eq!(db.get(k).unwrap(), None, "key {k} past the prefix");
+    }
+    assert_eq!(
+        db.get(99).unwrap(),
+        None,
+        "the post-poison record must not commit"
+    );
+    // The log accepts writes again after recovery.
+    db.insert(500, b"post-recovery".to_vec()).unwrap();
+    db.flush().unwrap();
+    drop(db);
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -333,10 +333,16 @@ pub enum Stage {
     /// Waiting for a free swap buffer in the double-buffered WAL writer
     /// (back-pressure from the in-flight write/fsync of the other buffer).
     WalSwap,
+    /// Persisting the reverse index (delta segment or full rewrite) at
+    /// flush/checkpoint time.
+    IndexFlush,
+    /// Applying one grouped replay batch through the bulk-fill path
+    /// during recovery.
+    ReplayBatch,
 }
 
 impl Stage {
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 17;
 
     pub const ALL: [Stage; Stage::COUNT] = [
         Stage::BlockRead,
@@ -354,6 +360,8 @@ impl Stage {
         Stage::CheckpointCut,
         Stage::SealBatch,
         Stage::WalSwap,
+        Stage::IndexFlush,
+        Stage::ReplayBatch,
     ];
 
     /// Stable snake_case name (stats JSON keys).
@@ -374,6 +382,8 @@ impl Stage {
             Stage::CheckpointCut => "checkpoint_cut",
             Stage::SealBatch => "seal_batch",
             Stage::WalSwap => "wal_swap",
+            Stage::IndexFlush => "index_flush",
+            Stage::ReplayBatch => "replay_batch",
         }
     }
 }

@@ -161,6 +161,18 @@ counters! {
     /// Physical node re-encipherments paid when a write-behind node is
     /// finally sealed (eviction, cache pressure, flush, checkpoint).
     node_reseals,
+    /// Reverse-index persists that wrote only the changed block entries
+    /// as a delta segment prepended to the existing chain.
+    index_delta_flushes,
+    /// Reverse-index persists that rewrote the whole chain (periodic
+    /// rewrite, first persist, or delta ineligibility).
+    index_full_flushes,
+    /// Encrypted index-chain payload bytes written by reverse-index
+    /// persists — the O(changed) vs O(live) evidence.
+    index_flush_bytes,
+    /// Replay groups applied through the bulk-fill path during recovery
+    /// (each covers a contiguous run of records for one partition).
+    replay_batches,
 }
 
 /// Cheaply cloneable handle to a shared counter set.

@@ -13,10 +13,14 @@
 //!    intrusive free chain are rewritten only at checkpoint.
 //! 3. **Journaled checkpoints** — [`BlockStore::flush`] first writes every
 //!    dirty page plus the allocation end-state to a sidecar journal
-//!    (fsynced), then applies them in place, then removes the journal. A
-//!    crash at any point leaves either the old image (journal absent or
-//!    torn → ignored) or enough to finish the new one (journal intact →
-//!    re-applied on open); the application is idempotent by construction.
+//!    (fsynced), then applies them in place, then truncates the journal in
+//!    place. A crash at any point leaves either the old image (journal
+//!    absent, empty, or torn → ignored), a stale journal over the image it
+//!    already produced (re-applied on open — idempotent full-page images),
+//!    or enough to finish the new one (journal intact → re-applied on
+//!    open). Truncating instead of unlinking keeps the journal's directory
+//!    entry stable, so the steady-state checkpoint pays no directory
+//!    fsyncs — the change-proportional cost is the dirty pages themselves.
 //!
 //! Pages are cached and journaled in their *enciphered* form — the pool
 //! sits below the crypto boundary, exactly where Bayer–Metzger put the
@@ -144,9 +148,12 @@ impl PagedFileStore {
         let dir = parent_dir(path);
         if journal_path.exists() {
             // An intact journal means the previous checkpoint reached its
-            // commit point: finish applying it (idempotent). A torn one
-            // never committed — the file still holds the previous
-            // consistent image and the journal is simply discarded.
+            // commit point: finish applying it (idempotent). A torn or
+            // already-retired (empty) one never needs replay — the file
+            // holds the previous consistent image. Either way the entry
+            // is retired by truncation, matching `flush`: the directory
+            // entry stays, so a clean open pays no directory fsync (and
+            // an already-empty journal costs nothing at all).
             if let Some(journal) = Journal::read(&journal_path)? {
                 let mut disk = FileDisk::open_with_counters(path, counters.clone())?;
                 if journal.block_size != disk.block_size() {
@@ -158,8 +165,13 @@ impl PagedFileStore {
                 }
                 journal.apply(&mut disk)?;
             }
-            std::fs::remove_file(&journal_path)?;
-            sync_dir(&dir)?;
+            let meta = std::fs::metadata(&journal_path)?;
+            if meta.len() > 0 {
+                std::fs::OpenOptions::new()
+                    .write(true)
+                    .open(&journal_path)?
+                    .set_len(0)?;
+            }
         }
         let disk = FileDisk::open_with_counters(path, counters.clone())?;
         let num_blocks = disk.num_blocks();
@@ -349,8 +361,17 @@ impl BlockStore for PagedFileStore {
         disk.flush()?;
         inner.pool.mark_all_clean();
         inner.alloc_dirty = false;
-        std::fs::remove_file(&self.journal_path)?;
-        sync_dir(&self.dir)?;
+        // Retire the journal by truncating it in place instead of
+        // unlinking it. An empty file fails the magic/CRC parse and is
+        // ignored on open; a *stale* journal (truncate lost to a crash)
+        // replays full page images of the checkpoint that already
+        // committed, which is idempotent. Keeping the directory entry
+        // stable makes the steady-state checkpoint cost zero directory
+        // fsyncs instead of two (journal create + unlink).
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&self.journal_path)?
+            .set_len(0)?;
         Ok(())
     }
 
@@ -397,14 +418,19 @@ impl Journal {
         }
         let crc = crc32(&buf);
         buf.extend_from_slice(&crc.to_be_bytes());
+        let entry_is_new = !path.exists();
         let mut file = std::fs::File::create(path)?;
         file.write_all(&buf)?;
         file.sync_all()?;
         drop(file);
         // The journal's directory entry must be durable before any
         // in-place write, or a crash could leave a half-applied image with
-        // no journal to finish it from.
-        sync_dir(dir)?;
+        // no journal to finish it from. Once the entry exists it is kept
+        // (commit truncates in place rather than unlinking), so steady-
+        // state checkpoints skip this directory fsync entirely.
+        if entry_is_new {
+            sync_dir(dir)?;
+        }
         Ok(())
     }
 
@@ -562,8 +588,10 @@ mod tests {
             let store = PagedFileStore::open(&path, 4, OpCounters::new()).unwrap();
             assert_eq!(store.read_block_vec(BlockId(0)).unwrap(), vec![0xAA; 64]);
         }
-        assert!(!journal_path_for(&path).exists(), "torn journal cleared");
+        let retired = std::fs::metadata(journal_path_for(&path)).unwrap();
+        assert_eq!(retired.len(), 0, "torn journal retired by truncation");
         std::fs::remove_file(&path).ok();
+        std::fs::remove_file(journal_path_for(&path)).ok();
     }
 
     #[test]
@@ -592,7 +620,64 @@ mod tests {
             assert_eq!(store.read_block_vec(BlockId(0)).unwrap(), vec![0xEE; 64]);
             assert_eq!(store.read_block_vec(BlockId(1)).unwrap(), vec![0xFF; 64]);
         }
-        assert!(!journal_path_for(&path).exists());
+        let retired = std::fs::metadata(journal_path_for(&path)).unwrap();
+        assert_eq!(retired.len(), 0, "applied journal retired by truncation");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(journal_path_for(&path)).ok();
+    }
+
+    #[test]
+    fn committed_journal_is_truncated_in_place_and_ignored_on_open() {
+        let path = tmpfile("retired_journal");
+        {
+            let mut store = PagedFileStore::create(&path, 64, 4, OpCounters::new()).unwrap();
+            let a = store.allocate().unwrap();
+            store.write_block(a, &[0x10; 64]).unwrap();
+            store.flush().unwrap();
+            // Commit retires the journal by truncation, not unlinking:
+            // the directory entry stays (so later checkpoints skip the
+            // directory fsyncs) and the empty file parses as "no journal".
+            let jp = journal_path_for(&path);
+            assert!(jp.exists(), "journal entry kept after commit");
+            assert_eq!(std::fs::metadata(&jp).unwrap().len(), 0);
+            store.write_block(a, &[0x11; 64]).unwrap();
+            store.flush().unwrap();
+            assert_eq!(std::fs::metadata(&jp).unwrap().len(), 0);
+        }
+        let store = PagedFileStore::open(&path, 4, OpCounters::new()).unwrap();
+        assert_eq!(store.read_block_vec(BlockId(0)).unwrap(), vec![0x11; 64]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stale_committed_journal_replays_idempotently() {
+        // A crash can lose the commit-time truncation: the image already
+        // holds the checkpoint's result AND the journal that produced it.
+        // Re-applying full page images over their own output must be a
+        // no-op.
+        let path = tmpfile("stale_journal");
+        {
+            let mut store = PagedFileStore::create(&path, 64, 4, OpCounters::new()).unwrap();
+            let a = store.allocate().unwrap();
+            store.write_block(a, &[0x77; 64]).unwrap();
+            store.flush().unwrap();
+        }
+        // Resurrect the journal exactly as the committed checkpoint wrote
+        // it (truncation lost), then reopen twice: both opens must land on
+        // the same image.
+        Journal {
+            block_size: 64,
+            num_blocks: 1,
+            free: vec![],
+            pages: vec![(BlockId(0), vec![0x77; 64])],
+        }
+        .write(&journal_path_for(&path), &parent_dir(&path))
+        .unwrap();
+        for _ in 0..2 {
+            let store = PagedFileStore::open(&path, 4, OpCounters::new()).unwrap();
+            assert_eq!(store.num_blocks(), 1);
+            assert_eq!(store.read_block_vec(BlockId(0)).unwrap(), vec![0x77; 64]);
+        }
         std::fs::remove_file(&path).ok();
     }
 

@@ -356,6 +356,192 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Delta-encoded index persistence: equivalence + crash probes
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+    /// The delta-persisted reverse index ≡ the map a full tree scan
+    /// rebuilds, under arbitrary churn, checkpoints, crashes (reopen to
+    /// the last committed epoch) and clean reopens, on both backends —
+    /// with a small rewrite period so full rewrites and delta segments
+    /// interleave, and zero O(dataset) fallbacks throughout.
+    #[test]
+    fn prop_delta_persisted_index_equals_scan_under_crashes(seed in any::<u64>()) {
+        let on_disk = file_backend();
+        let dir = tmpdir(&format!("delta_prop_{seed}"));
+        let mut cfg = config(2_048).index_delta(true).index_rewrite_period(4);
+        if on_disk {
+            cfg = cfg.on_disk(&dir);
+        }
+        let mut tree = if on_disk {
+            EncipheredBTree::create(cfg.clone()).unwrap()
+        } else {
+            EncipheredBTree::create_in_memory(cfg.clone()).unwrap()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut model = std::collections::BTreeMap::new();
+        let mut committed = model.clone();
+        for _ in 0..400 {
+            let k = rng.gen_range(0..1_000u64);
+            match rng.gen_range(0..10u32) {
+                0..=5 => {
+                    tree.insert(k, rec(k)).unwrap();
+                    model.insert(k, rec(k));
+                }
+                6..=8 => {
+                    let got = tree.delete(k).unwrap();
+                    prop_assert_eq!(got, model.remove(&k));
+                }
+                _ => {
+                    let r = tree.compact_step(rng.gen_range(1..16)).unwrap();
+                    prop_assert_eq!(r.orphaned_records, 0);
+                    tree.compact_nodes(8).unwrap();
+                }
+            }
+            if on_disk && rng.gen_bool(0.03) {
+                // Checkpoint: the epoch — and its delta segment or
+                // periodic full rewrite — commits.
+                tree.flush().unwrap();
+                committed = model.clone();
+                if rng.gen_bool(0.5) {
+                    drop(tree);
+                    tree = EncipheredBTree::open(cfg.clone()).unwrap();
+                    prop_assert!(
+                        tree.reverse_index_complete(),
+                        "clean reopen must trust the persisted chain"
+                    );
+                }
+            } else if on_disk && rng.gen_bool(0.01) {
+                // Crash: the buffered epoch dies; the reopen serves the
+                // last committed image through its committed chain.
+                drop(tree);
+                tree = EncipheredBTree::open(cfg.clone()).unwrap();
+                prop_assert!(
+                    tree.reverse_index_complete(),
+                    "crash reopen must trust the committed chain"
+                );
+                model = committed.clone();
+            }
+        }
+        // Force one observable delta epoch: settle pending state, then
+        // two small churn+persist rounds. Whatever the period counter
+        // says, at most one of them can be a forced full rewrite (which
+        // resets the period), so at least one must ride the delta path.
+        tree.flush().unwrap();
+        for round in 0..2u64 {
+            for k in 0..5u64 {
+                let key = 1_500 + round * 10 + k;
+                tree.insert(key, rec(key)).unwrap();
+                model.insert(key, rec(key));
+            }
+            tree.flush().unwrap();
+        }
+        prop_assert!(
+            tree.snapshot().index_delta_flushes >= 1,
+            "a small epoch must persist as a delta segment: {:?}",
+            tree.snapshot()
+        );
+        // The delta-reassembled index ≡ the scan-rebuilt map.
+        prop_assert!(tree.reverse_index_complete());
+        prop_assert_eq!(tree.reverse_index_snapshot(), scan_index(&tree));
+        // All-keyed maintenance: the O(dataset) fallback never ran.
+        prop_assert_eq!(tree.snapshot().compact_index_fallbacks, 0);
+        for (k, v) in &model {
+            prop_assert_eq!(tree.get(*k).unwrap().as_ref(), Some(v));
+        }
+        drop(tree);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Builds a probe rig whose committed image B ends in a *delta* epoch
+/// (proven by the counter), with a further uncommitted churn pending —
+/// the setup both delta crash probes share.
+fn delta_rig(
+    name: &str,
+) -> (
+    ProbeRig,
+    EncipheredBTree,
+    std::collections::BTreeMap<u64, Vec<u8>>,
+) {
+    let (rig, mut tree) = ProbeRig::create(name);
+    let mut model = std::collections::BTreeMap::new();
+    for k in 0..300u64 {
+        tree.insert(k, rec(k)).unwrap();
+        model.insert(k, rec(k));
+    }
+    tree.flush().unwrap(); // image A: the full index rewrite
+    for k in 300..320u64 {
+        tree.insert(k, rec(k)).unwrap();
+        model.insert(k, rec(k));
+    }
+    tree.flush().unwrap(); // image B: a small epoch
+    assert!(
+        tree.snapshot().index_delta_flushes >= 1,
+        "image B's small epoch must persist as a delta segment"
+    );
+    // The doomed epoch: churn that only ever lives in the buffer.
+    for k in 320..340u64 {
+        tree.insert(k, rec(k)).unwrap();
+    }
+    for k in 0..10u64 {
+        tree.delete(k).unwrap();
+    }
+    (rig, tree, model)
+}
+
+/// Kill mid delta-chain flush: the fault fires on a data-device write
+/// while the doomed epoch's pages — its delta segment among them — are
+/// going down. The reopen trusts image B's committed chain (full image
+/// plus delta segment) and serves exactly image B.
+#[test]
+fn crash_mid_delta_chain_flush_recovers() {
+    let (rig, mut tree, model) = delta_rig("delta_write_crash");
+    rig.data_plan.arm_nth_write(1, FailMode::Error);
+    assert!(tree.flush().is_err(), "injected fault must surface");
+    drop(tree); // the kill: buffered epoch discarded
+    let mut tree = rig.reopen();
+    assert!(
+        tree.reverse_index_complete(),
+        "image B's full+delta chain is trusted after the crash"
+    );
+    assert_eq!(tree.reverse_index_snapshot(), scan_index(&tree));
+    assert_consistent(&mut tree, &model);
+    rig.cleanup();
+}
+
+/// Kill between the delta flush and the epoch stamp: every page write of
+/// the doomed epoch lands, but the data device's commit — the journal
+/// flush that stamps the epoch — dies. The reopen must serve image B as
+/// if the delta flush never happened, and the next epoch must commit
+/// cleanly on the recovered chain.
+#[test]
+fn crash_between_delta_flush_and_epoch_stamp_recovers() {
+    let (rig, mut tree, mut model) = delta_rig("delta_stamp_crash");
+    rig.data_plan.arm_nth_flush(1);
+    assert!(tree.flush().is_err(), "the epoch stamp must fail");
+    drop(tree);
+    let mut tree = rig.reopen();
+    assert!(
+        tree.reverse_index_complete(),
+        "the unstamped delta pages must not shadow image B's chain"
+    );
+    assert_eq!(tree.reverse_index_snapshot(), scan_index(&tree));
+    assert_consistent(&mut tree, &model);
+    // The next epoch commits cleanly on top of the recovered chain.
+    for k in 400..410u64 {
+        tree.insert(k, rec(k)).unwrap();
+        model.insert(k, rec(k));
+    }
+    tree.flush().unwrap();
+    drop(tree);
+    let mut tree = rig.reopen();
+    assert_consistent(&mut tree, &model);
+    rig.cleanup();
+}
+
+// ---------------------------------------------------------------------
 // Compaction-report under-count regression
 // ---------------------------------------------------------------------
 

@@ -16,7 +16,11 @@
 //! * **record-cache reads** (decoded-record LRU off vs on),
 //! * **compaction** (delete-heavy churn: blocks reclaimed and pass time),
 //! * **per-op latency** (insert/get p50 and p99 from the engine's
-//!   histogram stats surface, `ObsLevel::Histograms`).
+//!   histogram stats surface, `ObsLevel::Histograms`),
+//! * **transaction commits** (explicit multi-key cross-partition
+//!   `Txn::commit` throughput plus its p50/p99 from the engine's `txn`
+//!   histogram — each commit is one atomic WAL txn frame, fsynced before
+//!   the trees apply).
 //!
 //! ```text
 //! bench_report [OUTPUT.json] [--baseline BASELINE.json]
@@ -51,6 +55,8 @@ const RANGE_WIDTH: u64 = 1_024;
 const RANGE_SCANS: u64 = 200;
 const RECORD_GETS: u64 = 20_000;
 const CHURN_KEYS: u64 = 4_096;
+const TXN_COMMITS: u64 = 500;
+const TXN_KEYS: u64 = 4;
 const RUNS: usize = 5;
 
 fn tmpdir(name: &str) -> std::path::PathBuf {
@@ -155,6 +161,44 @@ fn op_latency_ns() -> (u64, u64, u64, u64) {
     drop(db);
     std::fs::remove_dir_all(&dir).ok();
     (put.p50(), put.p99(), get.p50(), get.p99())
+}
+
+/// Explicit multi-key transaction commits per second, with the commit's
+/// p50/p99 from the engine's own `txn` histogram (memory backend,
+/// `ObsLevel::Histograms`): TXN_COMMITS transactions of TXN_KEYS
+/// overwrites each — consecutive keys, so the disguised-key router
+/// spreads most commits across partitions and the measured path is the
+/// cross-partition one (one txn frame, durable before the trees apply).
+/// Returns `(ops_per_s, p50_ns, p99_ns)`.
+fn txn_commit_metrics() -> (f64, u64, u64) {
+    let mut per_run = Vec::with_capacity(RUNS);
+    let mut quantiles = (0u64, 0u64);
+    for run in 0..RUNS {
+        let dir = tmpdir(&format!("txn_{run}"));
+        let db =
+            SksDb::open(&dir, engine_config_at(&dir, false, ObsLevel::Histograms)).expect("open");
+        let session = db.session();
+        for k in 0..INSERTS {
+            session.insert(k, record_for(k)).expect("seed");
+        }
+        let start = Instant::now();
+        for i in 0..TXN_COMMITS {
+            let mut txn = session.begin();
+            for j in 0..TXN_KEYS {
+                let k = (i * TXN_KEYS + j) % INSERTS;
+                txn.insert(k, record_for(k + 1)).expect("buffer");
+            }
+            txn.commit().expect("commit");
+        }
+        per_run.push(TXN_COMMITS as f64 / start.elapsed().as_secs_f64());
+        let stats = db.stats();
+        let txn = stats.op("txn").expect("txn histogram");
+        quantiles = (txn.p50(), txn.p99());
+        drop(session);
+        drop(db);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    (median(per_run), quantiles.0, quantiles.1)
 }
 
 /// The `--obs-overhead` smoke: full tracing may cost at most 10% of the
@@ -472,6 +516,7 @@ fn regression_failures(current: &str, baseline: &str) -> Vec<String> {
         "range_cache_speedup",
         "record_cache_speedup",
         "space_reclaimed_per_budget",
+        "txn_commit_ops_per_s",
     ];
     let lower_is_better = [
         "memory_full_replay",
@@ -483,6 +528,8 @@ fn regression_failures(current: &str, baseline: &str) -> Vec<String> {
         "insert_p99",
         "get_p50",
         "get_p99",
+        "txn_commit_p50_ns",
+        "txn_commit_p99_ns",
     ];
     for key in higher_is_better {
         let (Some(new), Some(old)) = (json_number(current, key), json_number(baseline, key)) else {
@@ -585,6 +632,8 @@ fn main() {
     let (reclaimed, compact_ms, used_ratio) = (churn.reclaimed, churn.pass_ms, churn.used_ratio);
     eprintln!("bench_report: op latency…");
     let (ins_p50, ins_p99, get_p50, get_p99) = op_latency_ns();
+    eprintln!("bench_report: txn commits…");
+    let (txn_ops, txn_p50, txn_p99) = txn_commit_metrics();
 
     let json = format!(
         r#"{{
@@ -645,6 +694,12 @@ fn main() {
     "insert_p99": {ins_p99},
     "get_p50": {get_p50},
     "get_p99": {get_p99}
+  }},
+  "txn_commit": {{
+    "keys_per_txn": {TXN_KEYS},
+    "txn_commit_ops_per_s": {txn_ops:.1},
+    "txn_commit_p50_ns": {txn_p50},
+    "txn_commit_p99_ns": {txn_p99}
   }}
 }}
 "#,

@@ -10,10 +10,24 @@
 //! `Mutex`, group commit per [`SyncPolicy`]) *before* it touches the tree,
 //! and recovery replays the log through the identical router path.
 //!
-//! Lock order is always `partition.write → wal.lock`, and reads take no
-//! WAL lock at all. Range scans visit partitions one at a time and merge,
-//! so they see a per-partition-consistent (not globally snapshot) view —
-//! the classic read-committed engine contract.
+//! Lock order is always `partition.write (ascending partition id) →
+//! wal.lock`, and reads take no WAL lock at all. Range scans visit
+//! partitions one at a time and merge, so they see a
+//! per-partition-consistent (not globally snapshot) view — the classic
+//! read-committed engine contract.
+//!
+//! Since PR 9 every mutation is a transaction. The plain
+//! `insert/delete/insert_batch/bulk_load` entry points are *implicit
+//! autocommit* transactions: one WAL group + one tree apply under the
+//! partition lock, with counters and framing byte-identical to the
+//! pre-transaction engine. Explicit multi-key transactions
+//! ([`Session::begin`] → [`crate::Txn`]) buffer their writes and run the
+//! same commit sequence once, over every written partition's lock (taken
+//! in the global ascending order — that is what makes cross-partition
+//! commit deadlock-free) with **one** atomic WAL commit frame. Snapshot
+//! reads rewind the current trees through the `TxnManager`
+//! undo overlay, so they never block writers. See `txn.rs` for the
+//! isolation model.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -29,7 +43,10 @@ use sks_storage::{
 use crate::error::EngineError;
 use crate::recovery::{apply_replay, RecoveryPath, RecoveryReport};
 use crate::stats::{PartitionStats, StatsSnapshot};
+use crate::txn::{KeyPriors, Txn, TxnManager};
 use crate::wal::{SyncTicket, Wal, WalOp};
+
+use std::collections::BTreeMap;
 
 /// Engine-level configuration wrapping the paper-level [`SchemeConfig`].
 #[derive(Debug, Clone)]
@@ -180,6 +197,12 @@ pub struct SksDb {
     /// Range-scan latency (a range crosses every partition, so it gets
     /// one engine-wide histogram instead of a per-partition slot).
     range_hist: Histogram,
+    /// Explicit-transaction commit latency (a txn may span partitions, so
+    /// engine-wide like `range_hist`).
+    txn_hist: Histogram,
+    /// Commit epochs, live snapshots and the undo-version overlay backing
+    /// snapshot reads and first-committer-wins validation.
+    txns: TxnManager,
     recovery: RecoveryReport,
     wal_path: PathBuf,
     config: EngineConfig,
@@ -536,6 +559,8 @@ impl SksDb {
         Ok(Arc::new_cyclic(|self_ref| SksDb {
             op_hist: (0..n).map(|_| OpHist::new()).collect(),
             range_hist: Histogram::new(),
+            txn_hist: Histogram::new(),
+            txns: TxnManager::new(),
             partitions: partitions.into_iter().map(RwLock::new).collect(),
             router,
             wal: Mutex::new(wal),
@@ -616,6 +641,9 @@ impl SksDb {
         if let Some((_, m)) = merged.iter_mut().find(|(n, _)| *n == "range") {
             m.merge(&self.range_hist.snapshot());
         }
+        if let Some((_, m)) = merged.iter_mut().find(|(n, _)| *n == "txn") {
+            m.merge(&self.txn_hist.snapshot());
+        }
         StatsSnapshot {
             level: self.counters.obs().level(),
             counters: self.counters.snapshot(),
@@ -694,20 +722,21 @@ impl SksDb {
     /// returns [`EngineError::WalPoisoned`]); reopening the database
     /// replays the log and decides the final outcome, exactly as a crash
     /// at commit time would.
+    ///
+    /// This is an implicit *autocommit* transaction: the same
+    /// log-then-apply commit sequence an explicit [`Txn`] runs, with one
+    /// key and one partition, so its counters and WAL framing are
+    /// byte-identical to the pre-transaction engine.
     pub fn insert(&self, key: u64, value: Vec<u8>) -> Result<Option<Vec<u8>>, EngineError> {
         let timer = self.counters.obs().start();
         let value_len = value.len() as u64;
         let p = self.router.partition_of(key)?;
         let (result, over_high_water) = {
             let mut tree = self.partitions[p].write().expect("partition lock");
-            let ticket = {
-                let mut wal = self.wal.lock().expect("wal lock");
-                wal.append_insert(key, &value)?;
-                wal.commit_pipelined()?
-            };
-            self.wait_durable(ticket)?;
+            self.log_autocommit(|wal| wal.append_insert(key, &value).map(|_| ()))?;
             self.partition_epochs[p].fetch_add(1, Ordering::Release);
             let result = tree.insert(key, value)?;
+            self.txns.note_commit_with(|| vec![(key, result.clone())]);
             (result, self.over_high_water(&tree))
         };
         self.after_mutation(over_high_water);
@@ -742,18 +771,18 @@ impl SksDb {
             let count = group.len();
             let over_high_water = {
                 let mut tree = self.partitions[p].write().expect("partition lock");
-                let ticket = {
-                    let mut wal = self.wal.lock().expect("wal lock");
+                self.log_autocommit(|wal| {
                     for (key, value) in &group {
                         wal.append_insert(*key, value)?;
                     }
-                    wal.commit_pipelined()?
-                };
-                self.wait_durable(ticket)?;
+                    Ok(())
+                })?;
                 self.partition_epochs[p].fetch_add(1, Ordering::Release);
+                let mut priors = Vec::with_capacity(group.len());
                 for (key, value) in group {
-                    tree.insert(key, value)?;
+                    priors.push((key, tree.insert(key, value)?));
                 }
+                self.txns.note_commit(priors);
                 self.over_high_water(&tree)
             };
             written += count;
@@ -813,16 +842,17 @@ impl SksDb {
             let count = group.len();
             let over_high_water = {
                 let mut tree = self.partitions[p].write().expect("partition lock");
-                let ticket = {
-                    let mut wal = self.wal.lock().expect("wal lock");
+                self.log_autocommit(|wal| {
                     for (key, value) in &group {
                         wal.append_insert(*key, value)?;
                     }
-                    wal.commit_pipelined()?
-                };
-                self.wait_durable(ticket)?;
+                    Ok(())
+                })?;
                 self.partition_epochs[p].fetch_add(1, Ordering::Release);
                 tree.bulk_load(&group)?;
+                // Loaded into an empty tree: every prior is `None`.
+                self.txns
+                    .note_commit_with(|| group.iter().map(|&(k, _)| (k, None)).collect());
                 self.over_high_water(&tree)
             };
             written += count;
@@ -844,14 +874,10 @@ impl SksDb {
         let p = self.router.partition_of(key)?;
         let (result, over_high_water) = {
             let mut tree = self.partitions[p].write().expect("partition lock");
-            let ticket = {
-                let mut wal = self.wal.lock().expect("wal lock");
-                wal.append_delete(key)?;
-                wal.commit_pipelined()?
-            };
-            self.wait_durable(ticket)?;
+            self.log_autocommit(|wal| wal.append_delete(key).map(|_| ()))?;
             self.partition_epochs[p].fetch_add(1, Ordering::Release);
             let result = tree.delete(key)?;
+            self.txns.note_commit_with(|| vec![(key, result.clone())]);
             (result, self.over_high_water(&tree))
         };
         self.after_mutation(over_high_water);
@@ -880,6 +906,216 @@ impl SksDb {
         let timer = self.counters.obs().start();
         ticket.wait()?;
         self.counters.obs().stage(Stage::WalFsync, timer);
+        Ok(())
+    }
+
+    /// The one autocommit logging sequence every single-group mutation
+    /// takes: append(s) + policy-driven group commit under the WAL lock,
+    /// then the durability wait with the lock released. Callers hold the
+    /// partition write lock across this and the tree apply; explicit
+    /// multi-key transactions run the same sequence via
+    /// [`SksDb::commit_txn_with_hook`] with more partition locks and one
+    /// atomic commit frame.
+    fn log_autocommit(
+        &self,
+        append: impl FnOnce(&mut Wal) -> Result<(), EngineError>,
+    ) -> Result<(), EngineError> {
+        let ticket = {
+            let mut wal = self.wal.lock().expect("wal lock");
+            append(&mut wal)?;
+            wal.commit_pipelined()?
+        };
+        self.wait_durable(ticket)
+    }
+
+    /// Begins an explicit multi-key transaction: snapshot reads as of
+    /// now, writes buffered until [`Txn::commit`]. See [`Txn`].
+    pub fn begin(self: &Arc<Self>) -> Txn {
+        Txn::begin(Arc::clone(self))
+    }
+
+    /// The transaction manager (snapshot registry + undo overlay).
+    pub(crate) fn txns(&self) -> &TxnManager {
+        &self.txns
+    }
+
+    /// Undo-overlay entry count (tests: must drain to zero once the last
+    /// snapshot releases, proving MVCC bookkeeping is change-proportional
+    /// and transient).
+    #[doc(hidden)]
+    pub fn txn_overlay_len(&self) -> usize {
+        self.txns.overlay_len()
+    }
+
+    /// Point read as of snapshot epoch `snapshot`: the current tree value
+    /// rewound through the undo overlay. The partition read lock is
+    /// released *before* the overlay probe — safe either way the race
+    /// falls, because an overlay entry for a commit that applied after
+    /// our tree read holds exactly the value we just read.
+    pub(crate) fn snapshot_get(
+        &self,
+        key: u64,
+        snapshot: u64,
+    ) -> Result<Option<Vec<u8>>, EngineError> {
+        let timer = self.counters.obs().start();
+        let p = self.router.partition_of(key)?;
+        let current = {
+            let tree = self.partitions[p].read().expect("partition lock");
+            tree.get(key)?
+        };
+        let result = self.txns.rewind(key, snapshot, current);
+        if let Some(t) = timer {
+            let ns = t.elapsed().as_nanos() as u64;
+            self.op_hist[p].get.record(ns);
+            let len = result.as_ref().map_or(0, |v| v.len() as u64);
+            self.counters
+                .obs()
+                .note(EventKind::Get, p as u32, len, 0, ns);
+        }
+        Ok(result)
+    }
+
+    /// Range scan `lo..=hi` as of snapshot epoch `snapshot`: the merged
+    /// current-tree scan rewound through the undo overlay (post-snapshot
+    /// overwrites revert, deletes resurrect, inserts vanish).
+    pub(crate) fn snapshot_range(
+        &self,
+        lo: u64,
+        hi: u64,
+        snapshot: u64,
+    ) -> Result<Vec<(u64, Vec<u8>)>, EngineError> {
+        let timer = self.counters.obs().start();
+        let mut out = Vec::new();
+        for part in &self.partitions {
+            let tree = part.read().expect("partition lock");
+            out.extend(tree.range(lo, hi)?);
+        }
+        out.sort_unstable_by_key(|&(k, _)| k);
+        let out = self.txns.rewind_range(lo, hi, snapshot, out);
+        if let Some(t) = timer {
+            let ns = t.elapsed().as_nanos() as u64;
+            self.range_hist.record(ns);
+            self.counters
+                .obs()
+                .note(EventKind::Range, NO_PARTITION, out.len() as u64, 0, ns);
+        }
+        Ok(out)
+    }
+
+    /// Commits an explicit transaction's buffered writes atomically.
+    ///
+    /// Sequence: take every written partition's write lock in ascending
+    /// partition order (the engine's global lock order — cross-partition
+    /// commit can never deadlock another commit, a batch group or
+    /// `flush_pages`, which all walk ascending); validate
+    /// first-committer-wins against `snapshot` *under* those locks; seal
+    /// all writes as **one** WAL commit frame; wait out the durability
+    /// barrier; apply to the trees; record undo priors — all before any
+    /// lock is released, so no reader ever sees a half-applied commit.
+    ///
+    /// Framing and durability: a single-key transaction degenerates to
+    /// the autocommit sequence exactly (legacy frame, policy-driven
+    /// commit). A multi-key frame is all-or-nothing under torn-tail
+    /// replay by construction; when it spans ≥ 2 partitions the commit
+    /// additionally *forces* its fsync before the apply, so a checkpoint
+    /// flushing one partition's pages can never outlive a lost log frame
+    /// that also touched another partition.
+    pub(crate) fn commit_txn_with_hook(
+        &self,
+        writes: BTreeMap<u64, (usize, Option<Vec<u8>>)>,
+        snapshot: u64,
+        mid: impl FnOnce(),
+    ) -> Result<(), EngineError> {
+        debug_assert!(!writes.is_empty());
+        let timer = self.counters.obs().start();
+        let keys = writes.len() as u64;
+        // Group by the partition [`Txn::insert`] routed each key to;
+        // BTreeMap keeps the lock order ascending.
+        let mut by_part: BTreeMap<usize, KeyPriors> = BTreeMap::new();
+        for (key, (p, value)) in writes {
+            by_part.entry(p).or_default().push((key, value));
+        }
+        let parts = by_part.len();
+        let mut guards: Vec<(usize, std::sync::RwLockWriteGuard<'_, EncipheredBTree>)> = by_part
+            .keys()
+            .map(|&p| (p, self.partitions[p].write().expect("partition lock")))
+            .collect();
+        // First-committer-wins: any written key committed by someone else
+        // after our snapshot aborts us. Under the write locks, so no
+        // competing commit can slip between validation and our frame.
+        if let Some(key) = self
+            .txns
+            .conflict(by_part.values().flatten().map(|(k, _)| *k), snapshot)
+        {
+            let partition = by_part
+                .iter()
+                .find(|(_, g)| g.iter().any(|&(k, _)| k == key))
+                .map(|(&p, _)| p)
+                .unwrap_or(usize::MAX);
+            self.counters.bump(|c| &c.txn_conflicts);
+            self.counters
+                .obs()
+                .note(EventKind::TxnConflict, partition as u32, keys, 0, 0);
+            return Err(EngineError::Conflict { key, partition });
+        }
+        mid();
+        let ticket = {
+            let mut wal = self.wal.lock().expect("wal lock");
+            if keys == 1 {
+                // Single-key commit: byte-identical autocommit framing.
+                let (key, value) = &by_part.values().next().expect("one group")[0];
+                match value {
+                    Some(v) => wal.append_insert(*key, v)?,
+                    None => wal.append_delete(*key)?,
+                };
+                wal.commit_pipelined()?
+            } else {
+                let ops: Vec<WalOp> = by_part
+                    .values()
+                    .flatten()
+                    .map(|(k, v)| match v {
+                        Some(value) => WalOp::Insert {
+                            key: *k,
+                            value: value.clone(),
+                        },
+                        None => WalOp::Delete { key: *k },
+                    })
+                    .collect();
+                wal.append_txn(&ops)?;
+                if parts > 1 {
+                    wal.commit_durable()?
+                } else {
+                    wal.commit_pipelined()?
+                }
+            }
+        };
+        self.wait_durable(ticket)?;
+        // Apply and collect undo priors, every lock still held.
+        let mut priors = Vec::with_capacity(keys as usize);
+        let mut over = false;
+        for (p, tree) in guards.iter_mut() {
+            let group = by_part.remove(p).expect("group for locked partition");
+            self.partition_epochs[*p].fetch_add(1, Ordering::Release);
+            for (key, value) in group {
+                let old = match value {
+                    Some(v) => tree.insert(key, v)?,
+                    None => tree.delete(key)?,
+                };
+                priors.push((key, old));
+            }
+            over |= self.over_high_water(tree);
+        }
+        self.txns.note_commit(priors);
+        drop(guards);
+        self.after_mutation(over);
+        if let Some(t) = timer {
+            let ns = t.elapsed().as_nanos() as u64;
+            self.txn_hist.record(ns);
+            self.counters.obs().stage_ns(Stage::TxnCommit, ns);
+            self.counters
+                .obs()
+                .note(EventKind::TxnCommit, NO_PARTITION, keys, parts as u64, ns);
+        }
         Ok(())
     }
 
@@ -1361,13 +1597,24 @@ impl SksDb {
         let cut_timer = self.counters.obs().start();
         let mut fresh = fresh_handle.join().expect("wal create thread")?;
         let mut wal = self.wal.lock().expect("wal lock");
-        for rec in wal.records_since(mark_seq, mark_offset)? {
-            match rec.op {
-                WalOp::Insert { key, value } => {
-                    fresh.append_insert(key, &value)?;
-                }
-                WalOp::Delete { key } => {
-                    fresh.append_delete(key)?;
+        // Transaction groups must survive the cut as single frames — the
+        // frame boundary *is* the atomicity guarantee a reopen relies on.
+        // Batch groups were only a physical optimisation and re-append as
+        // plain records.
+        for group in wal.records_since(mark_seq, mark_offset)? {
+            if group.txn {
+                let ops: Vec<WalOp> = group.records.into_iter().map(|r| r.op).collect();
+                fresh.append_txn(&ops)?;
+            } else {
+                for rec in group.records {
+                    match rec.op {
+                        WalOp::Insert { key, value } => {
+                            fresh.append_insert(key, &value)?;
+                        }
+                        WalOp::Delete { key } => {
+                            fresh.append_delete(key)?;
+                        }
+                    }
                 }
             }
         }
@@ -1538,32 +1785,59 @@ impl std::fmt::Debug for SksDb {
 /// unmodified-DBMS fiction of the paper maps here: a session speaks plain
 /// `get/insert/delete/range` over plaintext keys and never sees disguises,
 /// seals, partitions or the log.
+///
+/// Every session mutation is a transaction. The plain methods below are
+/// *autocommit* wrappers: each one runs the engine's single commit
+/// sequence (log → durability barrier → tree apply, under the partition
+/// lock) for one implicit single-group transaction, with counters and
+/// WAL framing byte-identical to the pre-transaction API. For multi-key
+/// atomicity, [`Session::begin`] hands out an explicit [`Txn`] whose
+/// buffered writes commit through the very same sequence — once, as one
+/// atomic WAL frame, across every written partition.
 #[derive(Clone, Debug)]
 pub struct Session {
     db: Arc<SksDb>,
 }
 
 impl Session {
+    /// Begins an explicit multi-key transaction: snapshot reads as of
+    /// now (never blocking writers), buffered writes, atomic
+    /// cross-partition commit. Dropping it uncommitted aborts.
+    pub fn begin(&self) -> Txn {
+        self.db.begin()
+    }
+
+    /// Read-committed point read (autocommit; use [`Txn::get`] for
+    /// snapshot reads).
     pub fn get(&self, key: u64) -> Result<Option<Vec<u8>>, EngineError> {
         self.db.get(key)
     }
 
+    /// Autocommit single-key insert: an implicit one-write transaction.
     pub fn insert(&self, key: u64, value: Vec<u8>) -> Result<Option<Vec<u8>>, EngineError> {
         self.db.insert(key, value)
     }
 
+    /// Autocommit batch: one implicit transaction *per partition group*
+    /// (amortised commits, not cross-partition atomicity — use
+    /// [`Session::begin`] for that).
     pub fn insert_batch(&self, items: Vec<(u64, Vec<u8>)>) -> Result<usize, EngineError> {
         self.db.insert_batch(items)
     }
 
+    /// Autocommit sorted-ingest fast path (one implicit transaction per
+    /// partition group, like [`Session::insert_batch`]).
     pub fn bulk_load(&self, items: Vec<(u64, Vec<u8>)>) -> Result<usize, EngineError> {
         self.db.bulk_load(items)
     }
 
+    /// Autocommit single-key delete: an implicit one-write transaction.
     pub fn delete(&self, key: u64) -> Result<Option<Vec<u8>>, EngineError> {
         self.db.delete(key)
     }
 
+    /// Read-committed range scan (per-partition-consistent; use
+    /// [`Txn::range`] for a snapshot-consistent scan).
     pub fn range(&self, lo: u64, hi: u64) -> Result<Vec<(u64, Vec<u8>)>, EngineError> {
         self.db.range(lo, hi)
     }

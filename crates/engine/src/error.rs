@@ -18,6 +18,21 @@ pub enum EngineError {
     WalPoisoned,
     /// Invalid engine configuration.
     Config(String),
+    /// First-committer-wins validation failed: another commit overwrote
+    /// one of this transaction's written keys after its snapshot was
+    /// taken. Retry by beginning a fresh transaction. Carries the
+    /// conflicting key and its partition (the same context the flight
+    /// recorder's `txn_conflict` event records, minus the key — events
+    /// never carry key material, but the error goes only to the client
+    /// that owns the data).
+    Conflict { key: u64, partition: usize },
+    /// The transaction was already committed or aborted; no further
+    /// operations are accepted on it.
+    TxnAborted,
+    /// A commit attempt failed mid-flight (WAL error, poisoned log), so
+    /// the transaction's effects are unknown until reopen; the handle
+    /// fail-stops rather than allowing a retry that could double-apply.
+    TxnPoisoned,
     /// An error from a maintenance pass (checkpoint, compaction) with a
     /// flight-recorder dump attached: the rendered tail of recent events
     /// leading up to the failure. `Display` includes the source message,
@@ -58,6 +73,20 @@ impl std::fmt::Display for EngineError {
                 "wal poisoned by an earlier I/O error; reopen the database to recover"
             ),
             EngineError::Config(msg) => write!(f, "engine config: {msg}"),
+            EngineError::Conflict { key, partition } => write!(
+                f,
+                "transaction conflict: key {key} (partition {partition}) was \
+                 committed by another transaction after this snapshot; retry"
+            ),
+            EngineError::TxnAborted => write!(
+                f,
+                "transaction already finished (committed or aborted); begin a new one"
+            ),
+            EngineError::TxnPoisoned => write!(
+                f,
+                "transaction poisoned by a failed commit; its effects are \
+                 unknown until the database is reopened"
+            ),
             EngineError::Traced { source, .. } => write!(f, "{source}"),
         }
     }

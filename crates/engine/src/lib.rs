@@ -19,6 +19,11 @@
 //!   [`RecoveryReport`] describing what was found and which
 //!   [`RecoveryPath`] was taken (full replay for memory-backed trees,
 //!   tail-only replay for checkpointed file-backed trees).
+//! * [`txn`] — [`Txn`]: explicit multi-key transactions with snapshot
+//!   reads (never blocking writers) and atomic cross-partition commits —
+//!   one WAL commit frame, partition write locks taken in the global
+//!   ascending order. Plain session mutations are implicit autocommit
+//!   transactions through the same commit sequence.
 //! * [`error`] — [`EngineError`].
 //!
 //! The backing store for the trees themselves is pluggable through
@@ -48,12 +53,14 @@ pub mod db;
 pub mod error;
 pub mod recovery;
 pub mod stats;
+pub mod txn;
 pub mod wal;
 
 pub use db::{EngineConfig, Session, SksDb};
 pub use error::EngineError;
 pub use recovery::{RecoveryPath, RecoveryReport};
 pub use stats::{PartitionStats, StatsSnapshot, OPS, WRITE_PATH_STAGES};
+pub use txn::Txn;
 pub use wal::{SyncTicket, Wal, WalDevice, WalOp, WalRecord, WalReplay};
 
 // The observability vocabulary the stats surface speaks, re-exported so

@@ -13,8 +13,10 @@
 use sks_core::CompactionReport;
 use sks_storage::{HistogramSnapshot, ObsLevel, OpSnapshot, Stage};
 
-/// Operation labels, in the order histograms are kept per partition.
-pub const OPS: [&str; 5] = ["get", "put", "delete", "range", "batch"];
+/// Operation labels, in the order histograms are kept per partition
+/// (`range` and `txn` are engine-wide: a range scan crosses every
+/// partition and an explicit transaction commit may span several).
+pub const OPS: [&str; 6] = ["get", "put", "delete", "range", "batch", "txn"];
 
 /// The stages whose sum is the *write-path breakdown*: every other stage
 /// ([`Stage::BlockRead`]/[`Stage::BlockWrite`]/[`Stage::StoreFsync`],

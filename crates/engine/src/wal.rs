@@ -513,6 +513,18 @@ const TAG: u8 = 0xA5;
 /// records; replay accepts both framings, so old logs keep replaying and
 /// new logs keep the old single-record grammar for singleton commits.
 const BATCH_TAG: u8 = 0xB5;
+/// Transaction-commit frames: byte-for-byte the [`BATCH_TAG`] layout —
+/// one sealed `count(4) ‖ (op ‖ key ‖ vlen ‖ value)*` body, one nonce,
+/// one CRC, `count` consecutive seqs — under a distinct tag, so the
+/// grouping is *semantic*: these records are one multi-key transaction
+/// and must stay one frame wherever the stream is rewritten (a fuzzy
+/// checkpoint's cut re-seals them together rather than flattening them
+/// like a physical group-commit batch). Replay inherits the batch
+/// frame's all-or-nothing torn-tail rule, which is exactly the txn
+/// atomicity guarantee. Emitted by [`Wal::append_txn`] only for ≥ 2
+/// records; single-key transactions keep the legacy framing, so
+/// autocommit streams stay byte-identical to pre-transaction logs.
+const TXN_TAG: u8 = 0xC5;
 /// `tag ‖ crc ‖ seq ‖ nonce ‖ blen`.
 const HEADER_LEN: usize = 1 + 4 + 8 + 8 + 4;
 /// `op ‖ key` inside the sealed body.
@@ -538,6 +550,16 @@ pub enum WalOp {
 pub struct WalRecord {
     pub seq: u64,
     pub op: WalOp,
+}
+
+/// One frame's worth of records from a checkpoint tail scan
+/// ([`Wal::records_since`]). `txn` groups were sealed as one atomic
+/// transaction frame and must be re-sealed as one when the cut rewrites
+/// the tail; the rest may be re-framed freely.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct TailGroup {
+    pub txn: bool,
+    pub records: Vec<WalRecord>,
 }
 
 /// What replay found in an existing log.
@@ -727,9 +749,9 @@ impl<D: WalDevice> Wal<D> {
             buf.extend_from_slice(&block);
             loop {
                 match parse_frame(&buf[start..], expected_seq) {
-                    Frame::Complete { nonce, len, batch } => {
+                    Frame::Complete { nonce, len, kind } => {
                         let body = ctr_xor(&cipher, nonce, &buf[start + HEADER_LEN..start + len]);
-                        if batch {
+                        if kind.grouped() {
                             if expected_seq == 1 {
                                 // The sentinel is always a legacy frame; a
                                 // batch here means a forged or damaged
@@ -938,18 +960,23 @@ impl<D: WalDevice> Wal<D> {
     /// frame boundary where record `from_seq` begins (a fuzzy
     /// checkpoint's epoch mark, captured as `(next_seq, len_bytes)`
     /// under the log lock) — and returns every client record from it
-    /// onward, in order: the *tail* the checkpoint carries into the
-    /// fresh log it cuts over to. The scan is O(tail), not O(log). The
-    /// stream is self-written and framed, so no torn-tail handling
-    /// applies here (the frame grammar below is [`Wal::open`]'s — keep
-    /// the two in sync); the in-memory tail block is written out first
-    /// so the scan sees everything appended so far. Reads run against
-    /// detached counters: checkpoint bookkeeping is not client traffic.
+    /// onward, in order, grouped by frame: the *tail* the checkpoint
+    /// carries into the fresh log it cuts over to. The scan is O(tail),
+    /// not O(log). Legacy and batch frames come back as `txn: false`
+    /// groups (a batch's grouping is physical — the cut may flatten it);
+    /// [`TXN_TAG`] frames come back as `txn: true` groups the cut must
+    /// re-seal as one frame, so a fuzzy checkpoint can never split a
+    /// multi-key transaction across the rewrite. The stream is
+    /// self-written and framed, so no torn-tail handling applies here
+    /// (the frame grammar below is [`Wal::open`]'s — keep the two in
+    /// sync); the in-memory tail block is written out first so the scan
+    /// sees everything appended so far. Reads run against detached
+    /// counters: checkpoint bookkeeping is not client traffic.
     pub(crate) fn records_since(
         &mut self,
         from_seq: u64,
         from_offset: u64,
-    ) -> Result<Vec<WalRecord>, EngineError> {
+    ) -> Result<Vec<TailGroup>, EngineError> {
         self.check_poison()?;
         self.seal_staged()?;
         if self.tail_dirty {
@@ -960,7 +987,7 @@ impl<D: WalDevice> Wal<D> {
         }
         let block_size = self.block_size;
         let first_block = (from_offset / block_size as u64) as u32;
-        let mut out = Vec::new();
+        let mut out: Vec<TailGroup> = Vec::new();
         let mut expected_seq = from_seq;
         let mut buf: Vec<u8> = Vec::new();
         let mut start = (from_offset % block_size as u64) as usize;
@@ -971,43 +998,54 @@ impl<D: WalDevice> Wal<D> {
                 buf.extend_from_slice(&block);
                 loop {
                     match parse_frame(&buf[start..], expected_seq) {
-                        Frame::Complete { nonce, len, batch } => {
+                        Frame::Complete { nonce, len, kind } => {
                             let body =
                                 ctr_xor(&self.cipher, nonce, &buf[start + HEADER_LEN..start + len]);
-                            if batch {
+                            if kind.grouped() {
                                 let Some(entries) = decode_batch(&body) else {
                                     break 'blocks; // self-written: unreachable
                                 };
                                 let n = entries.len() as u64;
-                                for (i, (op, key, value)) in entries.into_iter().enumerate() {
-                                    let op = match op {
-                                        OP_INSERT => WalOp::Insert { key, value },
-                                        _ => WalOp::Delete { key },
-                                    };
-                                    out.push(WalRecord {
-                                        seq: expected_seq + i as u64,
-                                        op,
-                                    });
-                                }
+                                let records = entries
+                                    .into_iter()
+                                    .enumerate()
+                                    .map(|(i, (op, key, value))| {
+                                        let op = match op {
+                                            OP_INSERT => WalOp::Insert { key, value },
+                                            _ => WalOp::Delete { key },
+                                        };
+                                        WalRecord {
+                                            seq: expected_seq + i as u64,
+                                            op,
+                                        }
+                                    })
+                                    .collect();
+                                out.push(TailGroup {
+                                    txn: kind == FrameKind::Txn,
+                                    records,
+                                });
                                 start += len;
                                 expected_seq += n;
                                 continue;
                             }
                             let key =
                                 u64::from_be_bytes(body[1..9].try_into().expect("fixed width"));
-                            match body[0] {
-                                OP_INSERT => out.push(WalRecord {
-                                    seq: expected_seq,
-                                    op: WalOp::Insert {
-                                        key,
-                                        value: body[BODY_MIN..].to_vec(),
-                                    },
+                            let op = match body[0] {
+                                OP_INSERT => Some(WalOp::Insert {
+                                    key,
+                                    value: body[BODY_MIN..].to_vec(),
                                 }),
-                                OP_DELETE => out.push(WalRecord {
-                                    seq: expected_seq,
-                                    op: WalOp::Delete { key },
-                                }),
-                                _ => {} // the key-check sentinel is not client traffic
+                                OP_DELETE => Some(WalOp::Delete { key }),
+                                _ => None, // the key-check sentinel is not client traffic
+                            };
+                            if let Some(op) = op {
+                                out.push(TailGroup {
+                                    txn: false,
+                                    records: vec![WalRecord {
+                                        seq: expected_seq,
+                                        op,
+                                    }],
+                                });
                             }
                             start += len;
                             expected_seq += 1;
@@ -1031,6 +1069,57 @@ impl<D: WalDevice> Wal<D> {
 
     pub fn append_delete(&mut self, key: u64) -> Result<u64, EngineError> {
         self.append(OP_DELETE, key, &[], true)
+    }
+
+    /// Appends a multi-key transaction's writes as one atomic commit
+    /// frame (`TXN_TAG`): one sealed body, one CRC, `ops.len()`
+    /// consecutive seqs — replay recovers all of it or none of it.
+    /// Requires ≥ 2 ops (single-key transactions take the legacy framing
+    /// so autocommit streams stay byte-identical). The logical
+    /// `wal_appends`/`wal_bytes` charge is per record with each record's
+    /// own frame cost, exactly as if the ops had been appended
+    /// individually — transactional framing cannot move the paper's
+    /// counters; only the physical `wal_txn_frames` telemetry records
+    /// the grouping. Independent of the batch-sealing knob: any staged
+    /// group-commit records are sealed first so frames stay in seq
+    /// order. Returns the first seq of the frame.
+    pub fn append_txn(&mut self, ops: &[WalOp]) -> Result<u64, EngineError> {
+        self.check_poison()?;
+        debug_assert!(ops.len() >= 2, "single-op txns use the legacy framing");
+        self.seal_staged()?;
+        let timer = self.counters.obs().start();
+        let first_seq = self.next_seq;
+        let staged: Vec<StagedOp> = ops
+            .iter()
+            .map(|op| match op {
+                WalOp::Insert { key, value } => StagedOp {
+                    op: OP_INSERT,
+                    key: *key,
+                    value: value.clone(),
+                },
+                WalOp::Delete { key } => StagedOp {
+                    op: OP_DELETE,
+                    key: *key,
+                    value: Vec::new(),
+                },
+            })
+            .collect();
+        for s in &staged {
+            let frame_len = (HEADER_LEN + BODY_MIN + s.value.len()) as u64;
+            self.counters.bump(|c| &c.wal_appends);
+            self.counters.bump_by(|c| &c.wal_bytes, frame_len);
+        }
+        self.counters.bump(|c| &c.wal_txn_frames);
+        let nonce = self.next_nonce();
+        let rec = build_group_frame(TXN_TAG, &self.cipher, first_seq, nonce, &staged);
+        drop(staged); // wipes the cloned plaintext values
+        if let Err(e) = self.append_bytes(&rec) {
+            self.poisoned = true;
+            return Err(e);
+        }
+        self.next_seq += ops.len() as u64;
+        self.counters.obs().stage(Stage::WalAppend, timer);
+        Ok(first_seq)
     }
 
     /// Writes and fsyncs the key-check sentinel (not client traffic: no
@@ -1112,7 +1201,7 @@ impl<D: WalDevice> Wal<D> {
             )
         } else {
             self.counters.bump(|c| &c.wal_sealed_batches);
-            build_batch_frame(&self.cipher, first_seq, nonce, &staged)
+            build_group_frame(BATCH_TAG, &self.cipher, first_seq, nonce, &staged)
         };
         drop(staged); // wipes the staged plaintext values
         if let Err(e) = self.append_bytes(&rec) {
@@ -1230,6 +1319,56 @@ impl<D: WalDevice> Wal<D> {
         Ok(None)
     }
 
+    /// [`Wal::commit_pipelined`] with the sync policy overridden to *pay
+    /// the durability barrier now*: multi-partition transaction commits
+    /// use this so their one atomic frame is durable before any tree
+    /// effect becomes visible — under a lazy [`SyncPolicy`] a fuzzy
+    /// checkpoint could otherwise flush one partition's post-apply pages
+    /// while a crash loses the log frame that also touched another
+    /// partition, splitting the transaction. Overlap still applies: on a
+    /// pipelined device the fsync is enqueued and its ticket returned,
+    /// so the barrier is paid outside the WAL lock.
+    pub fn commit_durable(&mut self) -> Result<Option<SyncTicket>, EngineError> {
+        self.check_poison()?;
+        self.seal_staged()?;
+        if self.tail_dirty {
+            let timer = self.counters.obs().start();
+            if let Err(e) = self.write_tail() {
+                self.poisoned = true;
+                return Err(e);
+            }
+            self.counters.obs().stage(Stage::WalAppend, timer);
+        }
+        self.pending_commits += 1;
+        let amortised = self.pending_commits;
+        if self.overlap {
+            if let WalDisk::Piped(p) = &mut self.disk {
+                self.counters.bump(|c| &c.wal_fsyncs);
+                let ticket = match p.submit_sync() {
+                    Ok(t) => t,
+                    Err(e) => {
+                        self.poisoned = true;
+                        return Err(e.into());
+                    }
+                };
+                self.counters.obs().note(
+                    EventKind::GroupCommit,
+                    NO_PARTITION,
+                    amortised as u64,
+                    0,
+                    0,
+                );
+                self.pending_commits = 0;
+                return Ok(Some(ticket));
+            }
+        }
+        self.force_sync()?;
+        self.counters
+            .obs()
+            .note(EventKind::GroupCommit, NO_PARTITION, amortised as u64, 0, 0);
+        Ok(None)
+    }
+
     /// Unconditional write-out + fsync (checkpoint/shutdown path).
     pub fn flush(&mut self) -> Result<(), EngineError> {
         self.check_poison()?;
@@ -1306,11 +1445,36 @@ impl<D: WalDevice> Wal<D> {
     }
 }
 
+/// How a CRC-valid frame groups its records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FrameKind {
+    /// Legacy single-record frame ([`TAG`]).
+    Record,
+    /// Physical group-commit batch ([`BATCH_TAG`]): grouped for I/O, free
+    /// to be flattened when the stream is rewritten.
+    Batch,
+    /// Multi-key transaction commit ([`TXN_TAG`]): grouped semantically,
+    /// must stay one frame across rewrites.
+    Txn,
+}
+
+impl FrameKind {
+    /// Whether the sealed body is the grouped `count ‖ entries*` grammar.
+    fn grouped(self) -> bool {
+        self != FrameKind::Record
+    }
+}
+
 enum Frame {
     /// A CRC-valid frame with the expected sequence number; `len` is the
-    /// full record length including the header. `batch` frames carry a
-    /// sealed group of records (see [`BATCH_TAG`]) starting at that seq.
-    Complete { nonce: u64, len: usize, batch: bool },
+    /// full record length including the header. Grouped kinds carry a
+    /// sealed group of records (see [`BATCH_TAG`], [`TXN_TAG`]) starting
+    /// at that seq.
+    Complete {
+        nonce: u64,
+        len: usize,
+        kind: FrameKind,
+    },
     /// The buffer ends inside this frame; feed more bytes.
     NeedMore,
     /// Clean end of stream, or a frame-level violation (bad tag, bad CRC,
@@ -1325,10 +1489,12 @@ fn parse_frame(buf: &[u8], expected_seq: u64) -> Frame {
     if buf[0] == 0 {
         return Frame::End;
     }
-    if buf[0] != TAG && buf[0] != BATCH_TAG {
-        return Frame::End;
-    }
-    let batch = buf[0] == BATCH_TAG;
+    let kind = match buf[0] {
+        TAG => FrameKind::Record,
+        BATCH_TAG => FrameKind::Batch,
+        TXN_TAG => FrameKind::Txn,
+        _ => return Frame::End,
+    };
     if buf.len() < HEADER_LEN {
         return Frame::NeedMore;
     }
@@ -1336,7 +1502,7 @@ fn parse_frame(buf: &[u8], expected_seq: u64) -> Frame {
     let seq = u64::from_be_bytes(buf[5..13].try_into().expect("fixed width"));
     let nonce = u64::from_be_bytes(buf[13..21].try_into().expect("fixed width"));
     let blen = u32::from_be_bytes(buf[21..25].try_into().expect("fixed width")) as usize;
-    let body_min = if batch {
+    let body_min = if kind.grouped() {
         4 + 2 * BATCH_ENTRY_HEADER // count + two minimal entries
     } else {
         BODY_MIN
@@ -1354,7 +1520,7 @@ fn parse_frame(buf: &[u8], expected_seq: u64) -> Frame {
     Frame::Complete {
         nonce,
         len: total,
-        batch,
+        kind,
     }
 }
 
@@ -1397,10 +1563,16 @@ fn build_record_frame(
     finish_frame(TAG, seq, nonce, &sealed)
 }
 
-/// One batch frame sealing the whole staged group under a single nonce:
-/// `tag ‖ crc ‖ first_seq ‖ nonce ‖ blen ‖ E(count ‖ (op ‖ key ‖ vlen ‖
-/// value)*)`.
-fn build_batch_frame(cipher: &Speck64, first_seq: u64, nonce: u64, staged: &[StagedOp]) -> Vec<u8> {
+/// One grouped frame ([`BATCH_TAG`] or [`TXN_TAG`]) sealing the whole
+/// group under a single nonce: `tag ‖ crc ‖ first_seq ‖ nonce ‖ blen ‖
+/// E(count ‖ (op ‖ key ‖ vlen ‖ value)*)`.
+fn build_group_frame(
+    tag: u8,
+    cipher: &Speck64,
+    first_seq: u64,
+    nonce: u64,
+    staged: &[StagedOp],
+) -> Vec<u8> {
     let body_len: usize = 4 + staged
         .iter()
         .map(|s| BATCH_ENTRY_HEADER + s.value.len())
@@ -1415,7 +1587,7 @@ fn build_batch_frame(cipher: &Speck64, first_seq: u64, nonce: u64, staged: &[Sta
     }
     let sealed = ctr_xor(cipher, nonce, &body);
     wipe(&mut body);
-    finish_frame(BATCH_TAG, first_seq, nonce, &sealed)
+    finish_frame(tag, first_seq, nonce, &sealed)
 }
 
 /// Decodes a decrypted batch body into `(op, key, value)` entries;
@@ -1767,14 +1939,15 @@ mod tests {
         // Deliberately no commit: the scan must see the in-memory tail.
         let tail = wal.records_since(mark, mark_offset).unwrap();
         assert_eq!(tail.len(), 2);
+        assert!(tail.iter().all(|g| !g.txn && g.records.len() == 1));
         assert_eq!(
-            tail[0].op,
+            tail[0].records[0].op,
             WalOp::Insert {
                 key: 100,
                 value: b"tail-a".to_vec()
             }
         );
-        assert_eq!(tail[1].op, WalOp::Delete { key: 3 });
+        assert_eq!(tail[1].records[0].op, WalOp::Delete { key: 3 });
         // From the very beginning: every client record, sentinel excluded.
         assert_eq!(wal.records_since(1, 0).unwrap().len(), 12);
         // An empty tail (mark at the stream end) scans to nothing.
@@ -1995,20 +2168,121 @@ mod tests {
         wal.append_insert(200, b"staged").unwrap();
         wal.append_delete(201).unwrap();
         let tail = wal.records_since(mark, mark_offset).unwrap();
-        assert_eq!(tail.len(), 5);
+        // Two groups — the committed triple and the sealed staged pair —
+        // both physical batches the cut is free to flatten.
+        assert_eq!(tail.len(), 2);
+        assert!(tail.iter().all(|g| !g.txn));
+        let flat: Vec<&WalRecord> = tail.iter().flat_map(|g| &g.records).collect();
+        assert_eq!(flat.len(), 5);
         assert_eq!(
-            tail[0].op,
+            flat[0].op,
             WalOp::Insert {
                 key: 100,
                 value: b"tail".to_vec()
             }
         );
-        assert_eq!(tail[4].op, WalOp::Delete { key: 201 });
+        assert_eq!(flat[4].op, WalOp::Delete { key: 201 });
         // From the start: all 13 client records, sentinel excluded.
-        assert_eq!(wal.records_since(1, 0).unwrap().len(), 13);
+        let all: usize = wal
+            .records_since(1, 0)
+            .unwrap()
+            .iter()
+            .map(|g| g.records.len())
+            .sum();
+        assert_eq!(all, 13);
         drop(wal);
         let (_wal, replay) = reopen(&path);
         assert_eq!(replay.records.len(), 13);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn txn_frame_roundtrip_and_tail_grouping() {
+        let path = tmpfile("txn_roundtrip");
+        let counters = OpCounters::new();
+        let mut wal = Wal::create(&path, 128, KEY, SyncPolicy::Always, counters.clone()).unwrap();
+        wal.append_insert(1, b"solo").unwrap();
+        wal.commit().unwrap();
+        let before = counters.snapshot();
+        let ops = vec![
+            WalOp::Insert {
+                key: 10,
+                value: b"txn-a".to_vec(),
+            },
+            WalOp::Delete { key: 1 },
+            WalOp::Insert {
+                key: 11,
+                value: b"txn-b".to_vec(),
+            },
+        ];
+        let first = wal.append_txn(&ops).unwrap();
+        wal.commit().unwrap();
+        let delta = counters.snapshot().delta(&before);
+        // Per-record logical charge, as if appended individually.
+        assert_eq!(delta.wal_appends, 3);
+        assert_eq!(
+            delta.wal_bytes,
+            3 * (HEADER_LEN + BODY_MIN) as u64 + (b"txn-a".len() + b"txn-b".len()) as u64
+        );
+        assert_eq!(delta.wal_txn_frames, 1);
+        assert_eq!(delta.wal_sealed_batches, 0);
+        // The frame consumed three consecutive seqs.
+        assert_eq!(wal.next_seq(), first + 3);
+
+        // The checkpoint tail scan returns the txn as ONE group it must
+        // re-seal atomically; the solo record stays a free singleton.
+        let groups = wal.records_since(1, 0).unwrap();
+        assert_eq!(groups.len(), 2);
+        assert!(!groups[0].txn);
+        assert!(groups[1].txn);
+        assert_eq!(groups[1].records.len(), 3);
+        assert_eq!(groups[1].records[0].seq, first);
+        drop(wal);
+
+        // Replay recovers every record of the frame, in order.
+        let (_wal, replay) = reopen(&path);
+        assert_eq!(replay.records.len(), 4);
+        assert_eq!(replay.records[1].op, ops[0]);
+        assert_eq!(replay.records[2].op, ops[1]);
+        assert_eq!(replay.records[3].op, ops[2]);
+        assert!(!replay.torn_tail);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_txn_frame_replays_all_or_nothing() {
+        // Corrupt one byte inside a committed txn frame: the whole
+        // transaction must vanish on replay — never a prefix of it.
+        let path = tmpfile("txn_torn");
+        let mut wal = Wal::create(&path, 128, KEY, SyncPolicy::Always, OpCounters::new()).unwrap();
+        wal.append_insert(1, b"keep").unwrap();
+        wal.commit().unwrap();
+        let frame_start = wal.len_bytes();
+        wal.append_txn(&[
+            WalOp::Insert {
+                key: 2,
+                value: b"half-a".to_vec(),
+            },
+            WalOp::Insert {
+                key: 3,
+                value: b"half-b".to_vec(),
+            },
+        ])
+        .unwrap();
+        wal.commit().unwrap();
+        drop(wal);
+
+        // Flip a byte in the middle of the txn frame's sealed body (the
+        // stream starts after the FileDisk's fixed 8 KiB header).
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = 8192 + frame_start as usize + HEADER_LEN + 6;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (_wal, replay) = reopen(&path);
+        assert!(replay.torn_tail, "the damaged frame is a torn tail");
+        assert_eq!(replay.records.len(), 1, "all-or-nothing: none of the txn");
+        assert_eq!(replay.records[0].seq, 2);
         std::fs::remove_file(&path).ok();
     }
 

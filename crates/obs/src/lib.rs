@@ -339,10 +339,15 @@ pub enum Stage {
     /// Applying one grouped replay batch through the bulk-fill path
     /// during recovery.
     ReplayBatch,
+    /// One multi-key transaction commit end to end: lock acquisition,
+    /// conflict check, WAL frame, durability wait, and tree apply. Not
+    /// part of the write-path breakdown sum — it *contains* WalAppend /
+    /// WalFsync time, which the breakdown already attributes.
+    TxnCommit,
 }
 
 impl Stage {
-    pub const COUNT: usize = 17;
+    pub const COUNT: usize = 18;
 
     pub const ALL: [Stage; Stage::COUNT] = [
         Stage::BlockRead,
@@ -362,6 +367,7 @@ impl Stage {
         Stage::WalSwap,
         Stage::IndexFlush,
         Stage::ReplayBatch,
+        Stage::TxnCommit,
     ];
 
     /// Stable snake_case name (stats JSON keys).
@@ -384,6 +390,7 @@ impl Stage {
             Stage::WalSwap => "wal_swap",
             Stage::IndexFlush => "index_flush",
             Stage::ReplayBatch => "replay_batch",
+            Stage::TxnCommit => "txn_commit",
         }
     }
 }
@@ -433,6 +440,15 @@ pub enum EventKind {
     GroupCommit,
     /// Buffer-pool eviction wrote back a dirty frame. `a` = block id.
     Eviction,
+    /// Transaction began. `a` = snapshot epoch it reads at.
+    TxnBegin,
+    /// Transaction committed. `a` = keys written, `b` = partitions spanned.
+    TxnCommit,
+    /// Transaction aborted (explicitly or by drop). `a` = keys buffered.
+    TxnAbort,
+    /// A commit lost first-committer-wins validation. Carries the
+    /// conflicting *partition* only — never the key, like every event.
+    TxnConflict,
 }
 
 impl EventKind {
@@ -455,6 +471,10 @@ impl EventKind {
             EventKind::TornTailScrub => "torn_tail_scrub",
             EventKind::GroupCommit => "group_commit",
             EventKind::Eviction => "eviction",
+            EventKind::TxnBegin => "txn_begin",
+            EventKind::TxnCommit => "txn_commit",
+            EventKind::TxnAbort => "txn_abort",
+            EventKind::TxnConflict => "txn_conflict",
         }
     }
 
@@ -471,6 +491,8 @@ impl EventKind {
                 | EventKind::RecoveryReplay
                 | EventKind::GroupCommit
                 | EventKind::Eviction
+                | EventKind::TxnBegin
+                | EventKind::TxnCommit
         )
     }
 }

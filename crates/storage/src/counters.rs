@@ -173,6 +173,22 @@ counters! {
     /// Replay groups applied through the bulk-fill path during recovery
     /// (each covers a contiguous run of records for one partition).
     replay_batches,
+    /// Transactions begun (`Session::begin`). Implicit autocommit ops are
+    /// *not* counted here — their cost model is pinned to the pre-txn
+    /// counters, so only explicit transactions move the txn_* family.
+    txn_begins,
+    /// Explicit transactions committed (including empty and single-key
+    /// ones).
+    txn_commits,
+    /// Explicit transactions aborted (explicitly, by drop, or by a failed
+    /// commit).
+    txn_aborts,
+    /// Commits refused by first-committer-wins validation: a written key
+    /// was overwritten by another commit after this txn's snapshot.
+    txn_conflicts,
+    /// Multi-key transaction WAL frames sealed (one atomic commit record
+    /// per multi-key txn; single-key txns keep the legacy framing).
+    wal_txn_frames,
 }
 
 /// Cheaply cloneable handle to a shared counter set.

@@ -200,6 +200,16 @@ pub fn read_header(
             got: got_id,
         });
     }
+    // The entry count is medium-controlled. No codec packs an entry into
+    // less than one byte, so a count beyond the page's remaining capacity
+    // is corrupt — reject it here, before any decoder sizes an allocation
+    // or walks fixed-stride offsets from it.
+    if n > r.remaining() {
+        return Err(CodecError::Corrupt(format!(
+            "entry count {n} exceeds page capacity ({} bytes)",
+            r.remaining()
+        )));
+    }
     Ok((is_leaf, n))
 }
 

@@ -403,7 +403,9 @@ impl<S: BlockStore> RecordStore<S> {
     /// otherwise both are rebuilt lazily, so reopening stays O(1).
     pub fn open(store: S, data_key: u128, cache_capacity: usize) -> Result<Self, CoreError> {
         let page = store.read_block_vec(BlockId(0))?;
-        if &page[0..8] != SUPER_MAGIC {
+        // The fixed-offset reads below need the whole 45-byte superblock;
+        // a device with a smaller block cannot hold one.
+        if page.len() < 45 || &page[0..8] != SUPER_MAGIC {
             return Err(CoreError::Record(
                 "data store has no record superblock".into(),
             ));
@@ -575,6 +577,17 @@ impl<S: BlockStore> RecordStore<S> {
         let generation = r.get_u64().map_err(|e| CoreError::Record(e.to_string()))?;
         let n_slots = r.get_u16().map_err(|e| CoreError::Record(e.to_string()))?;
         let free_off = r.get_u16().map_err(|e| CoreError::Record(e.to_string()))?;
+        // Both counts are medium-controlled; every consumer derives slice
+        // offsets from them, so reject geometry the page cannot hold (the
+        // slot directory below the header, payloads above `free_off`).
+        if PAGE_HEADER + n_slots as usize * SLOT_ENTRY > page.len()
+            || free_off as usize > page.len()
+        {
+            return Err(CoreError::Record(format!(
+                "corrupt page geometry: {n_slots} slots / free_off {free_off} on a {}-byte page",
+                page.len()
+            )));
+        }
         Ok((generation, n_slots, free_off))
     }
 
@@ -763,7 +776,16 @@ impl<S: BlockStore> RecordStore<S> {
         if off == TOMBSTONE {
             return Ok(None);
         }
-        let ct = &page[off as usize..off as usize + len as usize];
+        // The slot directory is medium-controlled: a corrupt page can
+        // point anywhere. Fail closed instead of slicing out of bounds.
+        let ct = page
+            .get(off as usize..(off as usize).saturating_add(len as usize))
+            .ok_or_else(|| {
+                CoreError::Record(format!(
+                    "slot {} payload ({off}+{len}) overruns its page",
+                    ptr.slot()
+                ))
+            })?;
         self.store.counters().bump(|c| &c.data_decrypts);
         let plain = ctr_xor(&self.cipher, Self::nonce(generation, ptr.slot()), ct);
         if let Some(cache) = &self.cache {
@@ -790,6 +812,14 @@ impl<S: BlockStore> RecordStore<S> {
             )));
         }
         let dir_off = PAGE_HEADER + ptr.slot() as usize * SLOT_ENTRY;
+        if dir_off + 2 > page.len() {
+            // n_slots is medium-controlled; a corrupt count must not let
+            // the directory write run off the page.
+            return Err(CoreError::Record(format!(
+                "slot {} directory entry overruns its page",
+                ptr.slot()
+            )));
+        }
         let was_live = page[dir_off..dir_off + 2] != TOMBSTONE.to_be_bytes();
         page[dir_off..dir_off + 2].copy_from_slice(&TOMBSTONE.to_be_bytes());
         self.store.write_block(ptr.block(), &page)?;
@@ -815,7 +845,9 @@ impl<S: BlockStore> RecordStore<S> {
     /// Whether a page image is a reverse-index chain page (vs a record
     /// page).
     fn is_index_page(page: &[u8]) -> bool {
-        page[8..10] == INDEX_MARKER.to_be_bytes()
+        // Length-guarded: callers hand this raw medium pages, which a
+        // corrupt device may deliver shorter than the 16-byte header.
+        page.len() >= INDEX_HEADER && page[8..10] == INDEX_MARKER.to_be_bytes()
     }
 
     /// Ensures the dead/live accounting covers the whole store. Fresh
@@ -1158,8 +1190,9 @@ impl<S: BlockStore> RecordStore<S> {
         let corrupt = || CoreError::Record("reverse-index stream is corrupt".into());
         let at = std::cell::Cell::new(0usize);
         let take = |n: usize| -> Result<&[u8], CoreError> {
-            let s = stream.get(at.get()..at.get() + n).ok_or_else(corrupt)?;
-            at.set(at.get() + n);
+            let end = at.get().checked_add(n).ok_or_else(corrupt)?;
+            let s = stream.get(at.get()..end).ok_or_else(corrupt)?;
+            at.set(end);
             Ok(s)
         };
         let mut seen = HashSet::new();

@@ -44,7 +44,7 @@ use crate::error::EngineError;
 use crate::recovery::{apply_replay, RecoveryPath, RecoveryReport};
 use crate::stats::{PartitionStats, StatsSnapshot};
 use crate::txn::{KeyPriors, Txn, TxnManager};
-use crate::wal::{SyncTicket, Wal, WalOp};
+use crate::wal::{EngineWalDisk, SyncTicket, Wal, WalOp};
 
 use std::collections::BTreeMap;
 
@@ -71,6 +71,15 @@ pub struct EngineConfig {
     /// cost, kept as a comparison baseline); durability is identical
     /// either way. Default on.
     pub incremental_checkpoints: bool,
+    /// Fault-injection plan for the engine's WAL device. `None` (the
+    /// default, and the only production setting) runs the WAL directly on
+    /// its [`sks_storage::FileDisk`]; `Some(plan)` wraps every WAL the
+    /// engine builds — including the fresh log each checkpoint cuts to —
+    /// in a [`sks_storage::FailStore`] sharing that plan, so the
+    /// op-sequence fuzzer can kill the process at any write or fsync and
+    /// drive recovery through the exact production path.
+    #[doc(hidden)]
+    pub wal_fault: Option<sks_storage::FailPlan>,
 }
 
 impl EngineConfig {
@@ -81,6 +90,7 @@ impl EngineConfig {
             wal_block_size: 4096,
             overlap: true,
             incremental_checkpoints: true,
+            wal_fault: None,
         }
     }
 
@@ -98,6 +108,13 @@ impl EngineConfig {
     /// Sets [`EngineConfig::incremental_checkpoints`].
     pub fn incremental_checkpoints(mut self, on: bool) -> Self {
         self.incremental_checkpoints = on;
+        self
+    }
+
+    /// Sets [`EngineConfig::wal_fault`] — fuzz/crash probes only.
+    #[doc(hidden)]
+    pub fn wal_fault(mut self, plan: sks_storage::FailPlan) -> Self {
+        self.wal_fault = Some(plan);
         self
     }
 
@@ -190,7 +207,7 @@ impl OpHist {
 pub struct SksDb {
     partitions: Vec<RwLock<EncipheredBTree>>,
     router: Router,
-    wal: Mutex<Wal>,
+    wal: Mutex<Wal<EngineWalDisk>>,
     counters: OpCounters,
     /// Per-partition get/put/delete/batch latency histograms.
     op_hist: Vec<OpHist>,
@@ -480,8 +497,13 @@ impl SksDb {
                 .obs()
                 .note(EventKind::RecoveryStart, NO_PARTITION, 0, 0, 0);
             let recovery_timer = counters.obs().start();
-            let (wal, mut replay) =
-                Wal::open(&wal_path, config.wal_key(), config.sync, counters.clone())?;
+            let (wal, mut replay) = Wal::open_engine(
+                &wal_path,
+                config.wal_key(),
+                config.sync,
+                counters.clone(),
+                config.wal_fault.as_ref(),
+            )?;
             if !persisted && !snaps.is_empty() {
                 // Snapshot records replay before the log: a snapshot is
                 // one partition's state at its stream point, and every
@@ -526,12 +548,13 @@ impl SksDb {
             }
             (wal, report)
         } else {
-            let wal = Wal::create(
+            let wal = Wal::create_engine(
                 &wal_path,
                 config.wal_block_size,
                 config.wal_key(),
                 config.sync,
                 counters.clone(),
+                config.wal_fault.as_ref(),
             )?;
             // The file's directory entry must be durable too, or a crash
             // could leave a database directory with no log at all.
@@ -918,7 +941,7 @@ impl SksDb {
     /// atomic commit frame.
     fn log_autocommit(
         &self,
-        append: impl FnOnce(&mut Wal) -> Result<(), EngineError>,
+        append: impl FnOnce(&mut Wal<EngineWalDisk>) -> Result<(), EngineError>,
     ) -> Result<(), EngineError> {
         let ticket = {
             let mut wal = self.wal.lock().expect("wal lock");
@@ -1439,7 +1462,17 @@ impl SksDb {
             let block_size = self.config.wal_block_size;
             let key = self.config.wal_key();
             let sync = self.config.sync;
-            move || Wal::create(&tmp, block_size, key, sync, OpCounters::new())
+            let fault = self.config.wal_fault.clone();
+            move || {
+                Wal::create_engine(
+                    &tmp,
+                    block_size,
+                    key,
+                    sync,
+                    OpCounters::new(),
+                    fault.as_ref(),
+                )
+            }
         });
         let mut written = 0u64;
 

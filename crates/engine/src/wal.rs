@@ -134,6 +134,79 @@ impl WalDevice for FailStore<FileDisk> {
     }
 }
 
+/// The device the engine's own WAL runs on: the production [`FileDisk`],
+/// or the same disk behind a [`FailStore`] when an [`crate::EngineConfig`]
+/// carries a fault plan (the op-sequence fuzzer's crash kill points). One
+/// concrete type (rather than making `SksDb` generic) keeps the fault seam
+/// available on every engine WAL — including the fresh log a checkpoint
+/// builds — at the cost of a single match per device call.
+#[derive(Debug)]
+pub enum EngineWalDisk {
+    Plain(FileDisk),
+    Fault(FailStore<FileDisk>),
+}
+
+impl EngineWalDisk {
+    /// Wraps `disk` under `fault` when a plan is present.
+    pub fn wrap(disk: FileDisk, fault: Option<&sks_storage::FailPlan>) -> Self {
+        match fault {
+            None => EngineWalDisk::Plain(disk),
+            Some(plan) => EngineWalDisk::Fault(FailStore::with_plan(disk, plan.clone())),
+        }
+    }
+}
+
+impl WalDevice for EngineWalDisk {
+    fn block_size(&self) -> usize {
+        match self {
+            EngineWalDisk::Plain(d) => WalDevice::block_size(d),
+            EngineWalDisk::Fault(d) => WalDevice::block_size(d),
+        }
+    }
+
+    fn num_blocks(&self) -> u32 {
+        match self {
+            EngineWalDisk::Plain(d) => WalDevice::num_blocks(d),
+            EngineWalDisk::Fault(d) => WalDevice::num_blocks(d),
+        }
+    }
+
+    fn allocate(&mut self) -> Result<BlockId, StorageError> {
+        match self {
+            EngineWalDisk::Plain(d) => WalDevice::allocate(d),
+            EngineWalDisk::Fault(d) => WalDevice::allocate(d),
+        }
+    }
+
+    fn write_block(&mut self, id: BlockId, data: &[u8]) -> Result<(), StorageError> {
+        match self {
+            EngineWalDisk::Plain(d) => WalDevice::write_block(d, id, data),
+            EngineWalDisk::Fault(d) => WalDevice::write_block(d, id, data),
+        }
+    }
+
+    fn read_block_partial(&self, id: BlockId) -> Result<(Vec<u8>, usize), StorageError> {
+        match self {
+            EngineWalDisk::Plain(d) => WalDevice::read_block_partial(d, id),
+            EngineWalDisk::Fault(d) => WalDevice::read_block_partial(d, id),
+        }
+    }
+
+    fn sync(&mut self) -> Result<(), StorageError> {
+        match self {
+            EngineWalDisk::Plain(d) => WalDevice::sync(d),
+            EngineWalDisk::Fault(d) => WalDevice::sync(d),
+        }
+    }
+
+    fn set_counters(&mut self, counters: OpCounters) {
+        match self {
+            EngineWalDisk::Plain(d) => WalDevice::set_counters(d, counters),
+            EngineWalDisk::Fault(d) => WalDevice::set_counters(d, counters),
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Double-buffered writer: a WalDevice that overlaps block writes and
 // fsyncs with the caller's next batch seal.
@@ -677,6 +750,41 @@ impl Wal {
     ) -> Result<(Self, WalReplay), EngineError> {
         let disk = FileDisk::open_with_counters(path, counters.clone())?;
         Wal::open_on_device(disk, wal_key, policy, counters)
+    }
+}
+
+impl Wal<EngineWalDisk> {
+    /// [`Wal::create`] on the engine device, wrapping the disk in a
+    /// [`FailStore`] when a fault plan is supplied.
+    pub fn create_engine<P: AsRef<Path>>(
+        path: P,
+        block_size: usize,
+        wal_key: u128,
+        policy: SyncPolicy,
+        counters: OpCounters,
+        fault: Option<&sks_storage::FailPlan>,
+    ) -> Result<Self, EngineError> {
+        let disk = FileDisk::create_with_counters(path, block_size, counters.clone())?;
+        Wal::create_on_device(
+            EngineWalDisk::wrap(disk, fault),
+            block_size,
+            wal_key,
+            policy,
+            counters,
+        )
+    }
+
+    /// [`Wal::open`] on the engine device, wrapping the disk in a
+    /// [`FailStore`] when a fault plan is supplied.
+    pub fn open_engine<P: AsRef<Path>>(
+        path: P,
+        wal_key: u128,
+        policy: SyncPolicy,
+        counters: OpCounters,
+        fault: Option<&sks_storage::FailPlan>,
+    ) -> Result<(Self, WalReplay), EngineError> {
+        let disk = FileDisk::open_with_counters(path, counters.clone())?;
+        Wal::open_on_device(EngineWalDisk::wrap(disk, fault), wal_key, policy, counters)
     }
 }
 
@@ -1601,10 +1709,16 @@ fn decode_batch(body: &[u8]) -> Option<Vec<(u8, u64, Vec<u8>)>> {
     if count < 2 {
         return None; // the writer never emits smaller groups as batches
     }
+    // The count word is corruption-controlled (a CRC-colliding body gets
+    // this far), so it must never size an allocation on its own: a body of
+    // `len` bytes can hold at most `len / BATCH_ENTRY_HEADER` entries.
+    if count > body.len() / BATCH_ENTRY_HEADER {
+        return None;
+    }
     let mut off = 4;
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
-        if body.len() - off < BATCH_ENTRY_HEADER {
+        if body.len().checked_sub(off)? < BATCH_ENTRY_HEADER {
             return None;
         }
         let op = body[off];
@@ -1615,11 +1729,11 @@ fn decode_batch(body: &[u8]) -> Option<Vec<(u8, u64, Vec<u8>)>> {
         let vlen =
             u32::from_be_bytes(body[off + 9..off + 13].try_into().expect("fixed width")) as usize;
         off += BATCH_ENTRY_HEADER;
-        if body.len() - off < vlen {
+        if body.len().checked_sub(off)? < vlen {
             return None;
         }
         out.push((op, key, body[off..off + vlen].to_vec()));
-        off += vlen;
+        off = off.checked_add(vlen)?;
     }
     if off != body.len() {
         return None; // trailing garbage inside a CRC-valid frame: torn
@@ -2325,5 +2439,47 @@ mod tests {
             on.wal_fsyncs, off.wal_fsyncs,
             "group-commit cadence is untouched by batch sealing"
         );
+    }
+
+    #[test]
+    fn crc_valid_batch_count_u32_max_fails_closed() {
+        // The count word is corruption-controlled even under a valid frame
+        // CRC: decode_batch must reject an absurd value before sizing any
+        // allocation, instead of reserving count * entry bytes up front.
+        let mut raw = vec![0u8; 64];
+        raw[0..4].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert_eq!(decode_batch(&raw), None);
+
+        // End to end: a batch frame whose CRC *is* valid over a sealed
+        // body claiming u32::MAX entries. Replay must treat it as a torn
+        // tail — promptly, with no multi-GB reservation — and leave the
+        // log usable for further appends.
+        let path = tmpfile("batch_count_max");
+        drop(Wal::create(&path, 512, KEY, SyncPolicy::Always, OpCounters::new()).unwrap());
+
+        let cipher = Speck64::from_u128(KEY);
+        let nonce = 0xDEAD_BEEF_u64;
+        let mut body = vec![0u8; 4 + 2 * BATCH_ENTRY_HEADER];
+        body[0..4].copy_from_slice(&u32::MAX.to_be_bytes());
+        let frame = finish_frame(BATCH_TAG, 2, nonce, &ctr_xor(&cipher, nonce, &body));
+
+        let sentinel_len = HEADER_LEN + BODY_MIN + KEYCHECK_MAGIC.len();
+        let mut disk = FileDisk::open_with_counters(&path, OpCounters::new()).unwrap();
+        let mut block0 = disk.read_block_vec(BlockId(0)).unwrap();
+        block0[sentinel_len..sentinel_len + frame.len()].copy_from_slice(&frame);
+        BlockStore::write_block(&mut disk, BlockId(0), &block0).unwrap();
+        BlockStore::flush(&mut disk).unwrap();
+        drop(disk);
+
+        let (mut wal, replay) =
+            Wal::open(&path, KEY, SyncPolicy::Always, OpCounters::new()).unwrap();
+        assert!(replay.records.is_empty(), "corrupt batch is a torn tail");
+        assert!(replay.torn_tail, "the damaged frame is scrubbed");
+        wal.append_insert(7, b"still-usable").unwrap();
+        wal.commit().unwrap();
+        drop(wal);
+        let (_, replay) = Wal::open(&path, KEY, SyncPolicy::Always, OpCounters::new()).unwrap();
+        assert_eq!(replay.records.len(), 1);
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -1,0 +1,98 @@
+//! Seeded byte-level mutations for corrupt-ciphertext fuzzing: bit flips,
+//! byte stomps, truncation, extension, splices and zeroed runs — the
+//! damage classes a failing medium or an active adversary can inflict on
+//! sealed bytes. Every mutation is drawn from a [`FuzzRng`], so a seed
+//! reproduces the exact corrupted image.
+
+use crate::rng::FuzzRng;
+
+/// One corruption round: applies `1..=max_edits` independent mutations to
+/// a copy of `pristine` and returns it. Never returns the input unchanged
+/// unless the input is empty (edits that cancel out get a forced bit
+/// flip, so every round really exercises a corrupt image).
+pub fn mutate(rng: &mut FuzzRng, pristine: &[u8], max_edits: usize) -> Vec<u8> {
+    let mut out = pristine.to_vec();
+    if out.is_empty() {
+        return out;
+    }
+    let edits = 1 + rng.below(max_edits.max(1) as u64) as usize;
+    for _ in 0..edits {
+        apply_one(rng, &mut out);
+        if out.is_empty() {
+            break;
+        }
+    }
+    if out == pristine {
+        let i = rng.below(out.len() as u64) as usize;
+        out[i] ^= 1 << rng.below(8);
+    }
+    out
+}
+
+fn apply_one(rng: &mut FuzzRng, buf: &mut Vec<u8>) {
+    let len = buf.len() as u64;
+    match rng.below(6) {
+        // Flip a single bit — the classic single-event upset.
+        0 => {
+            let i = rng.below(len) as usize;
+            buf[i] ^= 1 << rng.below(8);
+        }
+        // Stomp a byte with a random value.
+        1 => {
+            let i = rng.below(len) as usize;
+            buf[i] = rng.next_u64() as u8;
+        }
+        // Truncate to a random prefix (a torn append / short file).
+        2 => {
+            let keep = rng.below(len + 1) as usize;
+            buf.truncate(keep);
+        }
+        // Extend with random garbage (trailing junk past the real end).
+        3 => {
+            let extra = 1 + rng.below(64) as usize;
+            let junk = rng.bytes(extra);
+            buf.extend_from_slice(&junk);
+        }
+        // Splice: copy one internal range over another (misdirected
+        // sector write — valid-looking bytes in the wrong place).
+        4 => {
+            let n = (1 + rng.below(32.min(len)) as usize).min(buf.len());
+            let src = rng.below((buf.len() - n + 1) as u64) as usize;
+            let dst = rng.below((buf.len() - n + 1) as u64) as usize;
+            let chunk = buf[src..src + n].to_vec();
+            buf[dst..dst + n].copy_from_slice(&chunk);
+        }
+        // Zero a run (a scrubbed or never-written region).
+        _ => {
+            let n = (1 + rng.below(64.min(len)) as usize).min(buf.len());
+            let at = rng.below((buf.len() - n + 1) as u64) as usize;
+            for b in &mut buf[at..at + n] {
+                *b = 0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let pristine: Vec<u8> = (0..=255u8).collect();
+        let a = mutate(&mut FuzzRng::new(3), &pristine, 4);
+        let b = mutate(&mut FuzzRng::new(3), &pristine, 4);
+        assert_eq!(a, b);
+        let c = mutate(&mut FuzzRng::new(4), &pristine, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn never_identity_on_nonempty_input() {
+        let pristine = vec![0xAB; 128];
+        for seed in 0..64 {
+            let m = mutate(&mut FuzzRng::new(seed), &pristine, 3);
+            assert_ne!(m, pristine, "seed {seed} produced an identity mutation");
+        }
+    }
+}

@@ -29,6 +29,17 @@ pub enum FailMode {
     Torn,
 }
 
+/// A concrete kill point chosen by [`FailPlan::arm_kill_point`] — the
+/// registry of everything a seeded sweep can arm. Carrying the choice in a
+/// value lets a fuzz driver log exactly which fault a failing seed maps to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillPoint {
+    /// The `nth` (1-based) `write_block` fails with the given mode.
+    Write(u64, FailMode),
+    /// The `nth` (1-based) flush fails before reaching the inner store.
+    Flush(u64),
+}
+
 #[derive(Debug, Default)]
 struct PlanInner {
     writes_seen: u64,
@@ -89,6 +100,28 @@ impl FailPlan {
         let nth = (x ^ (x >> 31)) % max_nth + 1;
         self.arm_nth_write(nth, mode);
         nth
+    }
+
+    /// Deterministically arms one kill point drawn from the full registry
+    /// — write-error, torn-write, or killed-flush — so a single seed axis
+    /// sweeps every fault class. `max_writes`/`max_flushes` bound the
+    /// ordinals (both 1-based); returns the chosen point for logging.
+    pub fn arm_kill_point(&self, seed: u64, max_writes: u64, max_flushes: u64) -> KillPoint {
+        assert!(max_writes >= 1 && max_flushes >= 1);
+        let mut x = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        let point = match x % 4 {
+            0 => KillPoint::Write((x >> 2) % max_writes + 1, FailMode::Error),
+            1 | 2 => KillPoint::Write((x >> 2) % max_writes + 1, FailMode::Torn),
+            _ => KillPoint::Flush((x >> 2) % max_flushes + 1),
+        };
+        match point {
+            KillPoint::Write(nth, mode) => self.arm_nth_write(nth, mode),
+            KillPoint::Flush(nth) => self.arm_nth_flush(nth),
+        }
+        point
     }
 
     /// Disarms without clearing the trip state.
@@ -171,6 +204,13 @@ impl<S: BlockStore> FailStore<S> {
             },
             plan,
         )
+    }
+
+    /// Wraps `inner` under an existing plan, so several stores created at
+    /// different times (e.g. an engine WAL and the fresh WAL its
+    /// checkpoint builds) share one fault schedule and one trip state.
+    pub fn with_plan(inner: S, plan: FailPlan) -> Self {
+        FailStore { inner, plan }
     }
 
     pub fn into_inner(self) -> S {

@@ -36,7 +36,7 @@ pub mod sync;
 pub use block::{BlockId, BlockStore, DynBlockStore, StorageError};
 pub use bufferpool::BufferPool;
 pub use counters::{OpCounters, OpCountersInner, OpSnapshot};
-pub use failstore::{FailMode, FailPlan, FailStore};
+pub use failstore::{FailMode, FailPlan, FailStore, KillPoint};
 pub use filedisk::{crc32, sync_dir, FileDisk};
 pub use memdisk::MemDisk;
 pub use paged::PagedFileStore;

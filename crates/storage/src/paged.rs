@@ -451,8 +451,9 @@ impl Journal {
         }
         let mut at = 8usize;
         let mut take = |n: usize| -> Option<&[u8]> {
-            let s = body.get(at..at + n)?;
-            at += n;
+            let end = at.checked_add(n)?;
+            let s = body.get(at..end)?;
+            at = end;
             Some(s)
         };
         let version = u32::from_be_bytes(take(4)?.try_into().ok()?);
@@ -462,12 +463,20 @@ impl Journal {
         let block_size = u64::from_be_bytes(take(8)?.try_into().ok()?) as usize;
         let num_blocks = u32::from_be_bytes(take(4)?.try_into().ok()?);
         let free_len = u32::from_be_bytes(take(4)?.try_into().ok()?) as usize;
-        let mut free = Vec::with_capacity(free_len);
+        // The length words are inside the CRC, but a CRC-colliding corrupt
+        // journal must not be able to demand a multi-GB allocation: clamp
+        // every pre-allocation by what the remaining bytes could encode.
+        // (Fixed fields consumed so far: magic 8 + version 4 + block_size 8
+        // + num_blocks 4 + free_len 4.)
+        let after_free_len = body.len().saturating_sub(8 + 4 + 8 + 4 + 4);
+        let mut free = Vec::with_capacity(free_len.min(after_free_len / 4));
         for _ in 0..free_len {
             free.push(u32::from_be_bytes(take(4)?.try_into().ok()?));
         }
         let page_count = u32::from_be_bytes(take(4)?.try_into().ok()?) as usize;
-        let mut pages = Vec::with_capacity(page_count);
+        let entry_len = 4usize.saturating_add(block_size).max(1);
+        let after_page_count = after_free_len.saturating_sub(free_len.saturating_mul(4) + 4);
+        let mut pages = Vec::with_capacity(page_count.min(after_page_count / entry_len));
         for _ in 0..page_count {
             let id = u32::from_be_bytes(take(4)?.try_into().ok()?);
             pages.push((BlockId(id), take(block_size)?.to_vec()));

@@ -123,7 +123,9 @@ impl<'a> PageReader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], PageOverflow> {
-        if self.pos + n > self.page.len() {
+        // `n` can come straight from medium bytes; the bound must hold
+        // even when `pos + n` would overflow.
+        if n > self.page.len().saturating_sub(self.pos) {
             return Err(PageOverflow {
                 offset: self.pos,
                 requested: n,
